@@ -1,0 +1,145 @@
+// Command lightyear verifies BGP control-plane properties of a network
+// configuration using modular local checks.
+//
+// Usage:
+//
+//	lightyear -config net.cfg -property fig1-no-transit [-workers N] [-verbose]
+//
+// The configuration file uses the DSL of internal/config (see cmd/lygen to
+// generate examples). Properties, like the local invariants of the paper's
+// deployment, are defined in code; the built-in property suites are:
+//
+//	fig1-no-transit   Table 2: routes from ISP1 never reach ISP2
+//	fig1-liveness     Table 3: customer prefixes reach ISP2
+//	fullmesh          §6.2: no-transit on a generated full mesh
+//	wan-peering       Table 4a: the 11 peering properties at every router
+//	wan-ip-reuse      Table 4b: regional reused-IP isolation
+//	wan-ip-liveness   Table 4c: reused routes propagate within each region
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lightyear/internal/config"
+	"lightyear/internal/core"
+	"lightyear/internal/netgen"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "path to the network configuration file")
+		property   = flag.String("property", "fig1-no-transit", "property suite to verify")
+		workers    = flag.Int("workers", 0, "parallel check workers (0 = GOMAXPROCS)")
+		verbose    = flag.Bool("verbose", false, "print every check result")
+		regions    = flag.Int("wan-regions", 3, "region count assumed for WAN properties")
+	)
+	flag.Parse()
+
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "lightyear: -config is required (generate one with lygen)")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*configPath)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := config.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("parsed %s: %d routers, %d externals, %d sessions\n",
+		*configPath, len(n.Routers()), len(n.Externals()), n.NumEdges())
+
+	opts := core.Options{Workers: *workers}
+	ok := true
+	switch *property {
+	case "fig1-no-transit":
+		ok = runSafety(netgen.Fig1NoTransitProblem(n), opts, *verbose)
+	case "fig1-liveness":
+		ok = runLiveness(netgen.Fig1LivenessProblem(n), opts, *verbose)
+	case "fullmesh":
+		ok = runSafety(netgen.FullMeshProblem(n), opts, *verbose)
+	case "wan-peering":
+		for _, prop := range netgen.PeeringProperties(*regions) {
+			for _, r := range n.Routers() {
+				if !runSafety(netgen.PeeringProblem(n, r, prop), opts, *verbose) {
+					ok = false
+				}
+			}
+		}
+	case "wan-ip-reuse":
+		p := netgen.WANParams{Regions: *regions}
+		for r := 0; r < *regions; r++ {
+			region := fmt.Sprintf("region-%d", r)
+			for _, out := range n.Routers() {
+				if n.Node(out).Region == region {
+					continue
+				}
+				if !runSafety(netgen.IPReuseSafetyProblem(n, p, r, out), opts, *verbose) {
+					ok = false
+				}
+			}
+		}
+	case "wan-ip-liveness":
+		p := netgen.WANParams{Regions: *regions}
+		for r := 0; r < *regions; r++ {
+			prob := netgen.IPReuseLivenessProblem(n, p, r)
+			if !runLivenessChecked(prob, opts, *verbose) {
+				ok = false
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "lightyear: unknown property %q\n", *property)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+	fmt.Println("all properties verified")
+}
+
+func runSafety(p *core.SafetyProblem, opts core.Options, verbose bool) bool {
+	rep := core.VerifySafety(p, opts)
+	printReport(rep, verbose)
+	return rep.OK()
+}
+
+func runLiveness(p *core.LivenessProblem, opts core.Options, verbose bool) bool {
+	rep, err := core.VerifyLiveness(p, opts)
+	if err != nil {
+		fatal(err)
+	}
+	printReport(rep, verbose)
+	return rep.OK()
+}
+
+func runLivenessChecked(p *core.LivenessProblem, opts core.Options, verbose bool) bool {
+	// WAN liveness paths reference generated router names; skip regions the
+	// parsed config does not contain.
+	if err := p.Validate(); err != nil {
+		fmt.Printf("skip: %v\n", err)
+		return true
+	}
+	return runLiveness(p, opts, verbose)
+}
+
+func printReport(rep *core.Report, verbose bool) {
+	if verbose {
+		for _, r := range rep.Results {
+			status := "PASS"
+			if !r.OK {
+				status = "FAIL"
+			}
+			fmt.Printf("  %s [%s] %s (%d vars, %d clauses, solve %v)\n",
+				status, r.Kind, r.Desc, r.NumVars, r.NumCons, r.SolveTime)
+		}
+	}
+	fmt.Print(rep.Summary())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lightyear:", err)
+	os.Exit(1)
+}

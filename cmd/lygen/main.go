@@ -1,0 +1,96 @@
+// Command lygen generates synthetic network configurations in the
+// Lightyear configuration language: the Figure-1 running example, the §6.2
+// full-mesh scaling networks, and the §6.1-style synthetic WAN, optionally
+// with injected configuration bugs.
+//
+// Usage:
+//
+//	lygen -topo fig1 > fig1.cfg
+//	lygen -topo fullmesh -size 20 > mesh20.cfg
+//	lygen -topo wan -regions 5 -routers-per-region 4 -edge-routers 4 > wan.cfg
+//	lygen -topo fig1 -bug omit-tag > buggy.cfg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lightyear/internal/netgen"
+)
+
+func main() {
+	var (
+		topo    = flag.String("topo", "fig1", "topology: fig1, fullmesh, wan")
+		size    = flag.Int("size", 10, "full mesh: number of routers")
+		regions = flag.Int("regions", 3, "wan: number of regions")
+		perReg  = flag.Int("routers-per-region", 2, "wan: routers per region")
+		edges   = flag.Int("edge-routers", 2, "wan: internet edge routers")
+		dcs     = flag.Int("dcs-per-region", 1, "wan: data centers per region")
+		peers   = flag.Int("peers-per-edge", 2, "wan: peers per edge router")
+		bug     = flag.String("bug", "", "inject a bug: omit-tag, strip-at-r2, skip-export-filter, forget-strip, missing-bogon, wrong-region-comm, missing-local-pref")
+		outPath = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var text string
+	switch *topo {
+	case "fig1":
+		o := netgen.Fig1Options{}
+		switch *bug {
+		case "":
+		case "omit-tag":
+			o.OmitTransitTag = true
+		case "strip-at-r2":
+			o.StripAtR2 = true
+		case "skip-export-filter":
+			o.SkipExportFilter = true
+		case "forget-strip":
+			o.ForgetStripAtR3 = true
+		default:
+			fatal(fmt.Errorf("unknown fig1 bug %q", *bug))
+		}
+		text = netgen.Fig1DSL(o)
+	case "fullmesh":
+		if *bug != "" {
+			fatal(fmt.Errorf("fullmesh has no injectable bugs"))
+		}
+		text = netgen.FullMeshDSL(*size)
+	case "wan":
+		b := netgen.WANBugs{}
+		switch *bug {
+		case "":
+		case "missing-bogon":
+			b.MissingBogonFilter = true
+		case "wrong-region-comm":
+			b.WrongRegionCommunity = true
+		case "missing-local-pref":
+			b.MissingLocalPref = true
+		default:
+			fatal(fmt.Errorf("unknown wan bug %q", *bug))
+		}
+		text = netgen.WANDSL(netgen.WANParams{
+			Regions:          *regions,
+			RoutersPerRegion: *perReg,
+			EdgeRouters:      *edges,
+			DCsPerRegion:     *dcs,
+			PeersPerEdge:     *peers,
+		}, b)
+	default:
+		fatal(fmt.Errorf("unknown topology %q", *topo))
+	}
+
+	if *outPath == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*outPath, []byte(text), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *outPath, len(text))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lygen:", err)
+	os.Exit(1)
+}

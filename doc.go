@@ -1,0 +1,13 @@
+// Package lightyear is a from-scratch Go implementation of Lightyear
+// (Tang et al., SIGCOMM 2023): modular BGP control-plane verification that
+// decomposes end-to-end network properties into local checks on individual
+// routers and edges.
+//
+// The library lives under internal/ — see internal/core for the verifier,
+// internal/smt for the SMT substrate, internal/sim for the executable BGP
+// model, and internal/minesweeper for the monolithic baseline. The
+// executables are cmd/lightyear (verifier CLI), cmd/lygen (configuration
+// generator), and cmd/lybench (evaluation harness regenerating the paper's
+// tables and figures). The benchmarks in bench_test.go cover every table
+// and figure of the paper's evaluation section.
+package lightyear

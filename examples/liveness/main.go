@@ -1,0 +1,58 @@
+// Liveness: verify the Table-3 property on the Figure-1 network — a route
+// with a customer prefix received from Customer is eventually advertised to
+// ISP2 — using a witness path, per-step constraints, propagation checks,
+// and no-interference obligations (§5). Afterwards the same property is
+// confirmed dynamically by the BGP trace simulator.
+package main
+
+import (
+	"fmt"
+
+	"lightyear/internal/core"
+	"lightyear/internal/netgen"
+	"lightyear/internal/routemodel"
+	"lightyear/internal/sim"
+	"lightyear/internal/topology"
+)
+
+func main() {
+	n := netgen.Fig1(netgen.Fig1Options{})
+	problem := netgen.Fig1LivenessProblem(n)
+
+	fmt.Println("witness path and constraints (Table 3):")
+	for i, s := range problem.Steps {
+		fmt.Printf("  C%d @ %-16s %s\n", i+1, s.Loc, s.Constraint)
+	}
+	fmt.Println()
+
+	rep, err := core.VerifyLiveness(problem, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(rep.Summary())
+
+	var prop, interf int
+	for _, r := range rep.Results {
+		switch r.Kind {
+		case core.PropagationCheck:
+			prop++
+		case core.InterferenceCheck:
+			interf++
+		}
+	}
+	fmt.Printf("(%d propagation checks along the path, %d no-interference sub-checks)\n\n", prop, interf)
+
+	// Dynamic confirmation: simulate the network; the customer route must
+	// be forwarded to ISP2 even while ISP1 floods competing announcements.
+	s := sim.New(n, []core.GhostDef{netgen.FromISP1Ghost(n)})
+	cust := routemodel.NewRoute(routemodel.MustPrefix("10.42.1.0/24"))
+	cust.ASPath = []uint32{64512}
+	s.Announce(topology.Edge{From: "Customer", To: "R3"}, cust)
+	noise := routemodel.NewRoute(routemodel.MustPrefix("10.42.1.0/24"))
+	noise.ASPath = []uint32{174, 64512}
+	s.Announce(topology.Edge{From: "ISP1", To: "R1"}, noise) // interference attempt
+	trace := s.Run(10000)
+
+	reached := trace.SatisfiesLiveness(core.AtEdge(topology.Edge{From: "R2", To: "ISP2"}), netgen.HasCustPrefix())
+	fmt.Printf("simulation: customer prefix forwarded to ISP2 = %v (%d trace events)\n", reached, len(trace.Events))
+}

@@ -1,0 +1,87 @@
+// Quickstart: build the Figure-1 network programmatically, state the
+// no-transit safety property with its three local invariants (Table 2), and
+// verify it with Lightyear's modular checks. Then plant the §2.1 bug and
+// show the localized counterexample.
+package main
+
+import (
+	"fmt"
+
+	"lightyear/internal/core"
+	"lightyear/internal/netgen"
+	"lightyear/internal/policy"
+	"lightyear/internal/routemodel"
+	"lightyear/internal/spec"
+	"lightyear/internal/topology"
+)
+
+func main() {
+	// 1. Build a network: three routers in one AS, two ISPs, one customer.
+	// (netgen.Fig1 builds the same network; spelled out here for the tour.)
+	n := topology.New()
+	n.AddRouter("R1", 65000)
+	n.AddRouter("R2", 65000)
+	n.AddRouter("R3", 65000)
+	n.AddExternal("ISP1", 174)
+	n.AddExternal("ISP2", 3356)
+	n.AddExternal("Customer", 64512)
+	n.AddPeering("ISP1", "R1")
+	n.AddPeering("ISP2", "R2")
+	n.AddPeering("Customer", "R3")
+	n.AddPeering("R1", "R2")
+	n.AddPeering("R1", "R3")
+	n.AddPeering("R2", "R3")
+
+	transit := routemodel.MustCommunity("100:1")
+
+	// R1 tags everything learned from ISP1 with 100:1.
+	n.SetImport(topology.Edge{From: "ISP1", To: "R1"}, &policy.RouteMap{
+		Name: "r1-import-isp1",
+		Clauses: []policy.Clause{
+			{Seq: 10, Actions: []policy.Action{policy.AddCommunity{Comm: transit}}, Permit: true},
+		},
+	})
+	// R2 drops tagged routes towards ISP2.
+	n.SetExport(topology.Edge{From: "R2", To: "ISP2"}, &policy.RouteMap{
+		Name: "r2-export-isp2",
+		Clauses: []policy.Clause{
+			{Seq: 10, Matches: []spec.Pred{spec.HasCommunity(transit)}, Permit: false},
+			{Seq: 20, Permit: true},
+		},
+	})
+
+	// 2. Define the ghost attribute FromISP1 (§4.4) and the property.
+	fromISP1 := core.GhostFromExternals("FromISP1", n, func(id topology.NodeID) bool {
+		return id == "ISP1"
+	})
+	exit := topology.Edge{From: "R2", To: "ISP2"}
+
+	// 3. Three local invariants (Table 2): external edges are unconstrained
+	// automatically; the exit edge forbids FromISP1; everywhere else the
+	// key invariant says FromISP1 routes carry 100:1.
+	inv := core.NewInvariants(spec.Implies(spec.Ghost("FromISP1"), spec.HasCommunity(transit)))
+	inv.SetEdge(exit, spec.Not(spec.Ghost("FromISP1")))
+
+	problem := &core.SafetyProblem{
+		Network: n,
+		Property: core.Property{
+			Loc:  core.AtEdge(exit),
+			Pred: spec.Not(spec.Ghost("FromISP1")),
+			Desc: "no transit: ISP1 routes never reach ISP2",
+		},
+		Invariants: inv,
+		Ghosts:     []core.GhostDef{fromISP1},
+	}
+
+	// 4. Verify: one local check per filter, one implication check.
+	rep := core.VerifySafety(problem, core.Options{})
+	fmt.Print(rep.Summary())
+	fmt.Printf("(%d checks, largest check: %d SAT variables)\n\n", rep.NumChecks(), rep.MaxVars())
+
+	// 5. Plant the §2.1 bug — R1 forgets to tag — and watch Lightyear
+	// localize it to the exact filter with a concrete counterexample.
+	buggy := netgen.Fig1(netgen.Fig1Options{OmitTransitTag: true})
+	rep = core.VerifySafety(netgen.Fig1NoTransitProblem(buggy), core.Options{})
+	fmt.Println("after removing the tag action at R1:")
+	fmt.Print(rep.Summary())
+}

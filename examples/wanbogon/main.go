@@ -1,0 +1,42 @@
+// WAN bogon filtering: the Table-4a scenario. Build a synthetic wide-area
+// network (regions, edge routers, Internet peers), verify the eleven
+// peering properties of §6.1 at a core router, then inject the
+// "inconsistent edge filter" bug the paper reports and show the localized
+// finding.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"lightyear/internal/core"
+	"lightyear/internal/netgen"
+)
+
+func main() {
+	params := netgen.WANParams{
+		Regions:          4,
+		RoutersPerRegion: 3,
+		EdgeRouters:      3,
+		DCsPerRegion:     1,
+		PeersPerEdge:     3,
+	}
+	n := netgen.WAN(params, netgen.WANBugs{})
+	fmt.Printf("WAN: %d routers, %d externals, %d directed BGP sessions\n\n",
+		len(n.Routers()), len(n.Externals()), n.NumEdges())
+
+	at := netgen.RegionRouter(0, 0)
+	fmt.Printf("verifying 11 peering properties at %s (FromPeer(r) => Q(r)):\n", at)
+	for _, prop := range netgen.PeeringProperties(params.Regions) {
+		t0 := time.Now()
+		rep := core.VerifySafety(netgen.PeeringProblem(n, at, prop), core.Options{})
+		fmt.Printf("  %-26s OK=%-5v checks=%-3d %v\n", prop.Name, rep.OK(), rep.NumChecks(), time.Since(t0).Round(time.Millisecond))
+	}
+
+	fmt.Println("\ninjecting the bug: one peering session missing its bogon clause")
+	buggy := netgen.WAN(params, netgen.WANBugs{MissingBogonFilter: true})
+	rep := core.VerifySafety(netgen.PeeringProblem(buggy, at, netgen.PeeringProperties(params.Regions)[0]), core.Options{})
+	fmt.Print(rep.Summary())
+	fmt.Println("note: the failure names the exact session and shows a bogon route it admits —")
+	fmt.Println("the localization benefit of modular checking (no global counterexample to dissect).")
+}

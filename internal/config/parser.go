@@ -1,0 +1,738 @@
+package config
+
+import (
+	"fmt"
+	"strconv"
+
+	"lightyear/internal/policy"
+	"lightyear/internal/routemodel"
+	"lightyear/internal/spec"
+	"lightyear/internal/topology"
+)
+
+// Parse reads a configuration text and builds the network it describes.
+func Parse(src string) (*topology.Network, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	return p.build()
+}
+
+// MustParse is Parse panicking on error, for tests and generators.
+func MustParse(src string) *topology.Network {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type nodeDecl struct {
+	id       string
+	as       uint32
+	role     string
+	region   string
+	external bool
+}
+
+type bindDecl struct {
+	from, to, mapName string
+	line              int
+}
+
+type originateDecl struct {
+	from, to string
+	route    *routemodel.Route
+	line     int
+}
+
+type parser struct {
+	toks []token
+	pos  int
+
+	nodes      []nodeDecl
+	peerings   [][2]string
+	prefixSets map[string]*routemodel.PrefixSet
+	commLists  map[string][]routemodel.Community
+	routeMaps  map[string]*policy.RouteMap
+	imports    []bindDecl
+	exports    []bindDecl
+	originates []originateDecl
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("config: line %d: "+format, append([]any{p.cur().line}, args...)...)
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	if p.cur().kind != kind {
+		return token{}, p.errf("expected %s, got %q", what, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) atom(what string) (string, error) {
+	t, err := p.expect(tokAtom, what)
+	return t.text, err
+}
+
+func (p *parser) keyword(kw string) error {
+	t, err := p.expect(tokAtom, fmt.Sprintf("%q", kw))
+	if err != nil {
+		return err
+	}
+	if t.text != kw {
+		return fmt.Errorf("config: line %d: expected %q, got %q", t.line, kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) num(what string) (uint64, error) {
+	t, err := p.expect(tokAtom, what)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(t.text, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("config: line %d: %s: bad number %q", t.line, what, t.text)
+	}
+	return v, nil
+}
+
+func (p *parser) parse() error {
+	p.prefixSets = make(map[string]*routemodel.PrefixSet)
+	p.commLists = make(map[string][]routemodel.Community)
+	p.routeMaps = make(map[string]*policy.RouteMap)
+	for p.cur().kind != tokEOF {
+		kw, err := p.atom("statement keyword")
+		if err != nil {
+			return err
+		}
+		switch kw {
+		case "node":
+			if err := p.parseNode(false); err != nil {
+				return err
+			}
+		case "external":
+			if err := p.parseNode(true); err != nil {
+				return err
+			}
+		case "peering":
+			a, err := p.atom("peering endpoint")
+			if err != nil {
+				return err
+			}
+			b, err := p.atom("peering endpoint")
+			if err != nil {
+				return err
+			}
+			p.peerings = append(p.peerings, [2]string{a, b})
+		case "prefix-list":
+			if err := p.parsePrefixList(); err != nil {
+				return err
+			}
+		case "community-list":
+			if err := p.parseCommList(); err != nil {
+				return err
+			}
+		case "route-map":
+			if err := p.parseRouteMap(); err != nil {
+				return err
+			}
+		case "import", "export":
+			b, err := p.parseBind()
+			if err != nil {
+				return err
+			}
+			if kw == "import" {
+				p.imports = append(p.imports, b)
+			} else {
+				p.exports = append(p.exports, b)
+			}
+		case "originate":
+			if err := p.parseOriginate(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("config: line %d: unknown statement %q", p.toks[p.pos-1].line, kw)
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseNode(external bool) error {
+	id, err := p.atom("node name")
+	if err != nil {
+		return err
+	}
+	d := nodeDecl{id: id, external: external}
+	if _, err := p.expect(tokLBrace, "{"); err != nil {
+		return err
+	}
+	for p.cur().kind != tokRBrace {
+		kw, err := p.atom("node attribute")
+		if err != nil {
+			return err
+		}
+		switch kw {
+		case "as":
+			v, err := p.num("AS number")
+			if err != nil {
+				return err
+			}
+			d.as = uint32(v)
+		case "role":
+			if d.role, err = p.atom("role"); err != nil {
+				return err
+			}
+		case "region":
+			if external {
+				return p.errf("external nodes have no region")
+			}
+			if d.region, err = p.atom("region"); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unknown node attribute %q", kw)
+		}
+	}
+	p.next() // }
+	p.nodes = append(p.nodes, d)
+	return nil
+}
+
+func (p *parser) parsePrefixList() error {
+	name, err := p.atom("prefix-list name")
+	if err != nil {
+		return err
+	}
+	if _, dup := p.prefixSets[name]; dup {
+		return p.errf("duplicate prefix-list %q", name)
+	}
+	if _, err := p.expect(tokLBrace, "{"); err != nil {
+		return err
+	}
+	set := &routemodel.PrefixSet{}
+	for p.cur().kind != tokRBrace {
+		t, err := p.atom("prefix")
+		if err != nil {
+			return err
+		}
+		pfx, err := routemodel.ParsePrefix(t)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		ge, le := pfx.Len, pfx.Len
+		for p.cur().kind == tokAtom && (p.cur().text == "ge" || p.cur().text == "le") {
+			kw := p.next().text
+			v, err := p.num(kw + " bound")
+			if err != nil {
+				return err
+			}
+			if v > 32 {
+				return p.errf("%s bound %d out of range", kw, v)
+			}
+			if kw == "ge" {
+				ge = uint8(v)
+			} else {
+				le = uint8(v)
+			}
+		}
+		if ge < pfx.Len || le > 32 || ge > le {
+			return p.errf("invalid ge/le window %d..%d for %s", ge, le, pfx)
+		}
+		set.AddRange(pfx, ge, le)
+	}
+	p.next()
+	p.prefixSets[name] = set
+	return nil
+}
+
+func (p *parser) parseCommList() error {
+	name, err := p.atom("community-list name")
+	if err != nil {
+		return err
+	}
+	if _, dup := p.commLists[name]; dup {
+		return p.errf("duplicate community-list %q", name)
+	}
+	if _, err := p.expect(tokLBrace, "{"); err != nil {
+		return err
+	}
+	var cs []routemodel.Community
+	for p.cur().kind != tokRBrace {
+		t, err := p.atom("community")
+		if err != nil {
+			return err
+		}
+		c, err := routemodel.ParseCommunity(t)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		cs = append(cs, c)
+	}
+	p.next()
+	p.commLists[name] = cs
+	return nil
+}
+
+func (p *parser) parseRouteMap() error {
+	name, err := p.atom("route-map name")
+	if err != nil {
+		return err
+	}
+	if _, dup := p.routeMaps[name]; dup {
+		return p.errf("duplicate route-map %q", name)
+	}
+	if _, err := p.expect(tokLBrace, "{"); err != nil {
+		return err
+	}
+	m := &policy.RouteMap{Name: name}
+	for p.cur().kind != tokRBrace {
+		kw, err := p.atom("route-map entry")
+		if err != nil {
+			return err
+		}
+		switch kw {
+		case "default":
+			v, err := p.atom("default verdict")
+			if err != nil {
+				return err
+			}
+			switch v {
+			case "permit":
+				m.DefaultPermit = true
+			case "deny":
+				m.DefaultPermit = false
+			default:
+				return p.errf("default verdict must be permit or deny, got %q", v)
+			}
+		case "term":
+			cl, err := p.parseTerm()
+			if err != nil {
+				return err
+			}
+			m.Clauses = append(m.Clauses, cl)
+		default:
+			return p.errf("unknown route-map entry %q", kw)
+		}
+	}
+	p.next()
+	p.routeMaps[name] = m
+	return nil
+}
+
+func (p *parser) parseTerm() (policy.Clause, error) {
+	var cl policy.Clause
+	seq, err := p.num("term sequence")
+	if err != nil {
+		return cl, err
+	}
+	cl.Seq = int(seq)
+	verdict, err := p.atom("term verdict")
+	if err != nil {
+		return cl, err
+	}
+	switch verdict {
+	case "permit":
+		cl.Permit = true
+	case "deny":
+		cl.Permit = false
+	default:
+		return cl, p.errf("term verdict must be permit or deny, got %q", verdict)
+	}
+	if _, err := p.expect(tokLBrace, "{"); err != nil {
+		return cl, err
+	}
+	for p.cur().kind != tokRBrace {
+		kw, err := p.atom("match or set")
+		if err != nil {
+			return cl, err
+		}
+		switch kw {
+		case "match":
+			pred, err := p.parseMatch()
+			if err != nil {
+				return cl, err
+			}
+			cl.Matches = append(cl.Matches, pred)
+		case "set":
+			act, err := p.parseSet()
+			if err != nil {
+				return cl, err
+			}
+			cl.Actions = append(cl.Actions, act)
+		default:
+			return cl, p.errf("expected match or set, got %q", kw)
+		}
+	}
+	p.next()
+	return cl, nil
+}
+
+func (p *parser) parseMatch() (spec.Pred, error) {
+	kw, err := p.atom("match kind")
+	if err != nil {
+		return nil, err
+	}
+	if kw == "not" {
+		inner, err := p.parseMatch()
+		if err != nil {
+			return nil, err
+		}
+		return spec.Not(inner), nil
+	}
+	switch kw {
+	case "prefix-list":
+		name, err := p.atom("prefix-list name")
+		if err != nil {
+			return nil, err
+		}
+		set, ok := p.prefixSets[name]
+		if !ok {
+			return nil, p.errf("undefined prefix-list %q", name)
+		}
+		return spec.PrefixIn(set), nil
+	case "prefix":
+		t, err := p.atom("prefix")
+		if err != nil {
+			return nil, err
+		}
+		pfx, err := routemodel.ParsePrefix(t)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		return spec.PrefixEquals(pfx), nil
+	case "community":
+		t, err := p.atom("community")
+		if err != nil {
+			return nil, err
+		}
+		c, err := routemodel.ParseCommunity(t)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		return spec.HasCommunity(c), nil
+	case "community-list":
+		name, err := p.atom("community-list name")
+		if err != nil {
+			return nil, err
+		}
+		cs, ok := p.commLists[name]
+		if !ok {
+			return nil, p.errf("undefined community-list %q", name)
+		}
+		return spec.HasAnyCommunity(cs...), nil
+	case "path-contains":
+		v, err := p.num("AS number")
+		if err != nil {
+			return nil, err
+		}
+		return spec.PathContains(uint32(v)), nil
+	case "plen":
+		op, err := p.expect(tokOp, "<= or >=")
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.num("prefix length")
+		if err != nil {
+			return nil, err
+		}
+		if v > 32 {
+			return nil, p.errf("prefix length %d out of range", v)
+		}
+		switch op.text {
+		case "<=":
+			return spec.PrefixLenAtMost(uint8(v)), nil
+		case ">=":
+			return spec.PrefixLenAtLeast(uint8(v)), nil
+		}
+		return nil, p.errf("plen comparison must be <= or >=")
+	case "pathlen":
+		op, err := p.expect(tokOp, "<=")
+		if err != nil {
+			return nil, err
+		}
+		if op.text != "<=" {
+			return nil, p.errf("pathlen comparison must be <=")
+		}
+		v, err := p.num("path length")
+		if err != nil {
+			return nil, err
+		}
+		return spec.PathLenAtMost(int(v)), nil
+	case "local-pref":
+		op, err := p.expect(tokOp, "comparison")
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.num("local-pref")
+		if err != nil {
+			return nil, err
+		}
+		switch op.text {
+		case "=":
+			return spec.LocalPrefEquals(uint32(v)), nil
+		case "<=":
+			return spec.LocalPrefAtMost(uint32(v)), nil
+		case ">=":
+			return spec.LocalPrefAtLeast(uint32(v)), nil
+		}
+	case "med":
+		op, err := p.expect(tokOp, "comparison")
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.num("med")
+		if err != nil {
+			return nil, err
+		}
+		switch op.text {
+		case "=":
+			return spec.MEDEquals(uint32(v)), nil
+		case "<=":
+			return spec.MEDAtMost(uint32(v)), nil
+		}
+		return nil, p.errf("med comparison must be = or <=")
+	}
+	return nil, p.errf("unknown match kind %q", kw)
+}
+
+func (p *parser) parseSet() (policy.Action, error) {
+	kw, err := p.atom("set kind")
+	if err != nil {
+		return nil, err
+	}
+	switch kw {
+	case "community":
+		sub, err := p.atom("community operation")
+		if err != nil {
+			return nil, err
+		}
+		switch sub {
+		case "none":
+			return policy.ClearCommunities{}, nil
+		case "add", "delete":
+			t, err := p.atom("community")
+			if err != nil {
+				return nil, err
+			}
+			c, err := routemodel.ParseCommunity(t)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			if sub == "add" {
+				return policy.AddCommunity{Comm: c}, nil
+			}
+			return policy.DeleteCommunity{Comm: c}, nil
+		}
+		return nil, p.errf("community operation must be add, delete, or none")
+	case "local-pref":
+		v, err := p.num("local-pref")
+		if err != nil {
+			return nil, err
+		}
+		return policy.SetLocalPref{Value: uint32(v)}, nil
+	case "med":
+		v, err := p.num("med")
+		if err != nil {
+			return nil, err
+		}
+		return policy.SetMED{Value: uint32(v)}, nil
+	case "next-hop":
+		v, err := p.num("next-hop")
+		if err != nil {
+			return nil, err
+		}
+		return policy.SetNextHop{Value: uint32(v)}, nil
+	case "prepend":
+		as, err := p.num("AS number")
+		if err != nil {
+			return nil, err
+		}
+		count, err := p.num("prepend count")
+		if err != nil {
+			return nil, err
+		}
+		return policy.PrependAS{AS: uint32(as), Count: int(count)}, nil
+	}
+	return nil, p.errf("unknown set kind %q", kw)
+}
+
+func (p *parser) parseBind() (bindDecl, error) {
+	line := p.cur().line
+	from, err := p.atom("edge source")
+	if err != nil {
+		return bindDecl{}, err
+	}
+	if _, err := p.expect(tokArrow, "->"); err != nil {
+		return bindDecl{}, err
+	}
+	to, err := p.atom("edge destination")
+	if err != nil {
+		return bindDecl{}, err
+	}
+	if err := p.keyword("map"); err != nil {
+		return bindDecl{}, err
+	}
+	mapName, err := p.atom("route-map name")
+	if err != nil {
+		return bindDecl{}, err
+	}
+	return bindDecl{from: from, to: to, mapName: mapName, line: line}, nil
+}
+
+func (p *parser) parseOriginate() error {
+	line := p.cur().line
+	from, err := p.atom("edge source")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokArrow, "->"); err != nil {
+		return err
+	}
+	to, err := p.atom("edge destination")
+	if err != nil {
+		return err
+	}
+	if err := p.keyword("route"); err != nil {
+		return err
+	}
+	t, err := p.atom("prefix")
+	if err != nil {
+		return err
+	}
+	pfx, err := routemodel.ParsePrefix(t)
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	r := routemodel.NewRoute(pfx)
+	for p.cur().kind == tokAtom {
+		switch p.cur().text {
+		case "lp":
+			p.next()
+			v, err := p.num("lp")
+			if err != nil {
+				return err
+			}
+			r.LocalPref = uint32(v)
+		case "med":
+			p.next()
+			v, err := p.num("med")
+			if err != nil {
+				return err
+			}
+			r.MED = uint32(v)
+		case "next-hop":
+			p.next()
+			v, err := p.num("next-hop")
+			if err != nil {
+				return err
+			}
+			r.NextHop = uint32(v)
+		case "community":
+			p.next()
+			t, err := p.atom("community")
+			if err != nil {
+				return err
+			}
+			c, err := routemodel.ParseCommunity(t)
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			r.AddCommunity(c)
+		case "aspath":
+			p.next()
+			for {
+				v, err := p.num("AS number")
+				if err != nil {
+					return err
+				}
+				r.ASPath = append(r.ASPath, uint32(v))
+				if p.cur().kind != tokComma {
+					break
+				}
+				p.next()
+			}
+		default:
+			// Next statement begins.
+			p.originates = append(p.originates, originateDecl{from: from, to: to, route: r, line: line})
+			return nil
+		}
+	}
+	p.originates = append(p.originates, originateDecl{from: from, to: to, route: r, line: line})
+	return nil
+}
+
+// build resolves declarations into a topology.Network.
+func (p *parser) build() (*topology.Network, error) {
+	n := topology.New()
+	seen := map[string]bool{}
+	for _, d := range p.nodes {
+		if seen[d.id] {
+			return nil, fmt.Errorf("config: duplicate node %q", d.id)
+		}
+		seen[d.id] = true
+		var node *topology.Node
+		if d.external {
+			node = n.AddExternal(topology.NodeID(d.id), d.as)
+		} else {
+			node = n.AddRouter(topology.NodeID(d.id), d.as)
+		}
+		node.Role = d.role
+		node.Region = d.region
+	}
+	for _, pr := range p.peerings {
+		for _, id := range pr {
+			if !seen[id] {
+				return nil, fmt.Errorf("config: peering references unknown node %q", id)
+			}
+		}
+		n.AddPeering(topology.NodeID(pr[0]), topology.NodeID(pr[1]))
+	}
+	bind := func(b bindDecl, imp bool) error {
+		e := topology.Edge{From: topology.NodeID(b.from), To: topology.NodeID(b.to)}
+		if !n.HasEdge(e) {
+			return fmt.Errorf("config: line %d: no peering for edge %v", b.line, e)
+		}
+		m, ok := p.routeMaps[b.mapName]
+		if !ok {
+			return fmt.Errorf("config: line %d: undefined route-map %q", b.line, b.mapName)
+		}
+		if imp {
+			n.SetImport(e, m)
+		} else {
+			n.SetExport(e, m)
+		}
+		return nil
+	}
+	for _, b := range p.imports {
+		if err := bind(b, true); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range p.exports {
+		if err := bind(b, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range p.originates {
+		e := topology.Edge{From: topology.NodeID(o.from), To: topology.NodeID(o.to)}
+		if !n.HasEdge(e) {
+			return nil, fmt.Errorf("config: line %d: no peering for origination edge %v", o.line, e)
+		}
+		n.AddOriginate(e, o.route)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("config: %v", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,79 @@
+package config_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lightyear/internal/config"
+)
+
+// TestParseNeverPanics feeds mutated and random inputs to the parser; every
+// outcome must be a clean error or success, never a panic.
+func TestParseNeverPanics(t *testing.T) {
+	base := fig1DSL
+	rng := rand.New(rand.NewSource(123))
+	inputs := []string{
+		"", "{", "}", "->", "node", "node {", "peering",
+		"route-map m { term }", "import -> map", "originate A -> B route",
+		strings.Repeat("{", 100), strings.Repeat("node A { as 1 }\n", 3),
+		"prefix-list p { 999.999.999.999/99 }",
+		"community-list c { -1:-1 }",
+		"route-map m { term 10 permit { match local-pref 5 } }",
+		"route-map m { term 10 permit { set prepend } }",
+	}
+	// Random single-byte mutations of the valid config.
+	for i := 0; i < 200; i++ {
+		b := []byte(base)
+		pos := rng.Intn(len(b))
+		b[pos] = byte(rng.Intn(96) + 32)
+		inputs = append(inputs, string(b))
+	}
+	// Random truncations.
+	for i := 0; i < 50; i++ {
+		inputs = append(inputs, base[:rng.Intn(len(base))])
+	}
+	// Random token soup.
+	words := []string{"node", "external", "peering", "route-map", "term", "permit", "deny",
+		"{", "}", "->", "match", "set", "community", "10.0.0.0/8", "100:1", "A", "B", "42", "<=", "="}
+	for i := 0; i < 200; i++ {
+		var sb strings.Builder
+		for j := rng.Intn(40); j > 0; j-- {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		inputs = append(inputs, sb.String())
+	}
+
+	for i, src := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("input %d panicked: %v\n%s", i, r, src)
+				}
+			}()
+			_, _ = config.Parse(src)
+		}()
+	}
+}
+
+// TestLexerPositions: errors must carry useful line numbers.
+func TestLexerPositions(t *testing.T) {
+	src := "node A { as 1 }\nnode B { as 1 }\nfrobnicate"
+	_, err := config.Parse(src)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("expected line-3 error, got %v", err)
+	}
+}
+
+// TestCommentsAndWhitespace: comments, CRLF, and tabs are tolerated.
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "# leading comment\r\n\tnode A { as 1 } # trailing\r\n\r\n# done\n"
+	n, err := config.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Routers()) != 1 {
+		t.Fatal("node lost")
+	}
+}

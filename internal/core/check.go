@@ -1,0 +1,401 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lightyear/internal/policy"
+	"lightyear/internal/routemodel"
+	"lightyear/internal/smt"
+	"lightyear/internal/spec"
+	"lightyear/internal/topology"
+)
+
+// CheckKind classifies a generated local check.
+type CheckKind int
+
+// Local check kinds. ImportCheck/ExportCheck/OriginateCheck are the safety
+// checks of §4.2; ImplicationCheck is the final I_ℓ ⊆ P check;
+// PropagationCheck and InterferenceCheck are the liveness checks of §5.2.
+const (
+	ImportCheck CheckKind = iota
+	ExportCheck
+	OriginateCheck
+	ImplicationCheck
+	PropagationCheck
+	InterferenceCheck
+)
+
+func (k CheckKind) String() string {
+	switch k {
+	case ImportCheck:
+		return "import"
+	case ExportCheck:
+		return "export"
+	case OriginateCheck:
+		return "originate"
+	case ImplicationCheck:
+		return "implication"
+	case PropagationCheck:
+		return "propagation"
+	case InterferenceCheck:
+		return "no-interference"
+	}
+	return fmt.Sprintf("check(%d)", int(k))
+}
+
+// Check describes one generated local check before execution.
+type Check struct {
+	Kind CheckKind
+	Loc  Location // the edge or router the check pertains to
+	Desc string
+	key  string // semantic cache key for incremental verification
+	run  func() CheckResult
+}
+
+// Counterexample is a concrete witness for a failed local check: an input
+// route that the filter at the named location handles in a way that violates
+// the local invariant.
+type Counterexample struct {
+	Input  *routemodel.Route // route arriving at the filter
+	Output *routemodel.Route // transformed route (nil if rejected/irrelevant)
+	Note   string
+}
+
+func (c *Counterexample) String() string {
+	if c == nil {
+		return "<none>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "input:  %s", c.Input)
+	if c.Output != nil {
+		fmt.Fprintf(&b, "\noutput: %s", c.Output)
+	}
+	if c.Note != "" {
+		fmt.Fprintf(&b, "\nnote:   %s", c.Note)
+	}
+	return b.String()
+}
+
+// CheckResult is the outcome of one local check.
+type CheckResult struct {
+	Kind           CheckKind
+	Loc            Location
+	Desc           string
+	OK             bool
+	Counterexample *Counterexample
+
+	NumVars   int           // SAT variables in this check's formula
+	NumCons   int           // CNF clauses in this check's formula
+	SolveTime time.Duration // time inside the solver
+	TotalTime time.Duration // encode + solve
+}
+
+// Report aggregates the results of all local checks for one verification
+// problem.
+type Report struct {
+	Property Property
+	Results  []CheckResult
+
+	TotalTime time.Duration
+}
+
+// OK reports whether every local check passed; if so the end-to-end
+// property is guaranteed (correctness theorems of §4.3 and §5.3).
+func (r *Report) OK() bool {
+	for i := range r.Results {
+		if !r.Results[i].OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures returns the failed check results.
+func (r *Report) Failures() []CheckResult {
+	var out []CheckResult
+	for i := range r.Results {
+		if !r.Results[i].OK {
+			out = append(out, r.Results[i])
+		}
+	}
+	return out
+}
+
+// NumChecks returns the number of local checks run.
+func (r *Report) NumChecks() int { return len(r.Results) }
+
+// MaxVars returns the maximum SAT variable count in any single local check —
+// the quantity plotted in Figure 3b.
+func (r *Report) MaxVars() int {
+	m := 0
+	for i := range r.Results {
+		if r.Results[i].NumVars > m {
+			m = r.Results[i].NumVars
+		}
+	}
+	return m
+}
+
+// MaxCons returns the maximum CNF clause count in any single local check
+// (Figure 3b).
+func (r *Report) MaxCons() int {
+	m := 0
+	for i := range r.Results {
+		if r.Results[i].NumCons > m {
+			m = r.Results[i].NumCons
+		}
+	}
+	return m
+}
+
+// SolveTime returns the summed solver time across all checks (Figure 3d's
+// "constraint solving time" series).
+func (r *Report) SolveTime() time.Duration {
+	var t time.Duration
+	for i := range r.Results {
+		t += r.Results[i].SolveTime
+	}
+	return t
+}
+
+// Summary renders a human-readable report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "property: %s\n", r.Property)
+	fmt.Fprintf(&b, "checks: %d, failed: %d, total time: %v\n", r.NumChecks(), len(r.Failures()), r.TotalTime)
+	for _, f := range r.Failures() {
+		fmt.Fprintf(&b, "FAIL [%s] at %s: %s\n", f.Kind, f.Loc, f.Desc)
+		if f.Counterexample != nil {
+			for _, line := range strings.Split(f.Counterexample.String(), "\n") {
+				fmt.Fprintf(&b, "    %s\n", line)
+			}
+		}
+	}
+	if r.OK() {
+		b.WriteString("all local checks passed: property verified\n")
+	}
+	return b.String()
+}
+
+// Options controls check execution.
+type Options struct {
+	// Workers is the number of checks run concurrently; 0 means GOMAXPROCS.
+	// Local checks are independent, so parallelism is safe (§2's
+	// "trivially parallelizable" observation).
+	Workers int
+	// ConflictBudget bounds SAT effort per check; 0 means unlimited.
+	ConflictBudget int64
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runChecks executes checks (in parallel when opts.Workers != 1) and
+// assembles a report with deterministic result ordering.
+func runChecks(prop Property, checks []Check, opts Options) *Report {
+	start := time.Now()
+	results := make([]CheckResult, len(checks))
+	w := opts.workers()
+	if w > len(checks) {
+		w = len(checks)
+	}
+	if w <= 1 {
+		for i := range checks {
+			results[i] = checks[i].run()
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i] = checks[i].run()
+				}
+			}()
+		}
+		for i := range checks {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].Kind != results[j].Kind {
+			return results[i].Kind < results[j].Kind
+		}
+		return results[i].Loc.String() < results[j].Loc.String()
+	})
+	return &Report{Property: prop, Results: results, TotalTime: time.Since(start)}
+}
+
+// filterCheck builds the core local check pattern shared by §4.2 (import,
+// export) and §5.2 (propagation): for a filter F on edge e with ghost
+// actions gs,
+//
+//	∀r: pre(r) ∧ r' = F(r) ⇒ (r' = Reject ∨ post(r'))    (mustAccept=false)
+//	∀r: pre(r) ∧ r' = F(r) ⇒ (r' ≠ Reject ∧ post(r'))    (mustAccept=true)
+//
+// It is decided by asking the solver for a route violating the implication;
+// UNSAT means the check holds.
+func filterCheck(
+	kind CheckKind,
+	loc Location,
+	desc string,
+	u *spec.Universe,
+	m *policy.RouteMap,
+	ghostActs []policy.Action,
+	pre, post spec.Pred,
+	mustAccept bool,
+	budget int64,
+) Check {
+	run := func() CheckResult {
+		t0 := time.Now()
+		ctx := smt.NewContext()
+		sr := spec.NewSymRoute(ctx, "r", u)
+		out, acc := m.Encode(sr)
+		out = applyGhostsSym(out, ghostActs)
+		wf := sr.WellFormed()
+
+		preT := pre.Compile(sr)
+		postT := post.Compile(out)
+
+		var violation *smt.Term
+		if mustAccept {
+			// violated when pre ∧ (¬acc ∨ ¬post)
+			violation = ctx.And(wf, preT, ctx.Or(ctx.Not(acc), ctx.Not(postT)))
+		} else {
+			// violated when pre ∧ acc ∧ ¬post
+			violation = ctx.And(wf, preT, acc, ctx.Not(postT))
+		}
+
+		solver := smt.NewSolver(ctx)
+		if budget > 0 {
+			solver.SetConflictBudget(budget)
+		}
+		solver.Assert(violation)
+		ts := time.Now()
+		res := solver.Check()
+		solveTime := time.Since(ts)
+
+		cr := CheckResult{
+			Kind:      kind,
+			Loc:       loc,
+			Desc:      desc,
+			NumVars:   res.NumVars,
+			NumCons:   res.NumCons,
+			SolveTime: solveTime,
+			TotalTime: time.Since(t0),
+		}
+		switch res.Status {
+		case smt.Unsat:
+			cr.OK = true
+		case smt.Sat:
+			cr.OK = false
+			in := sr.ConcreteRoute(res.Model)
+			ce := &Counterexample{Input: in}
+			if outR, ok := m.Apply(in); ok {
+				applyGhostsConcrete(outR, ghostActs)
+				ce.Output = outR
+				ce.Note = fmt.Sprintf("filter accepts but result violates %q", post)
+			} else {
+				ce.Note = "filter rejects a route the constraint requires to propagate"
+			}
+			cr.Counterexample = ce
+		default:
+			cr.OK = false
+			cr.Counterexample = &Counterexample{Note: "solver budget exhausted (unknown)"}
+		}
+		return cr
+	}
+	ghostStr := ""
+	for _, a := range ghostActs {
+		ghostStr += a.String() + ";"
+	}
+	key := checkKey(kind.String(), loc.String(), m.String(), ghostStr, pre.String(), post.String(), fmt.Sprint(mustAccept))
+	return Check{Kind: kind, Loc: loc, Desc: desc, key: key, run: run}
+}
+
+// implicationCheck decides pre ⊆ post (i.e., ∀r: pre(r) ⇒ post(r)) as a
+// standalone check, used for I_ℓ ⊆ P and C_n ⊆ P.
+func implicationCheck(loc Location, desc string, u *spec.Universe, pre, post spec.Pred, budget int64) Check {
+	run := func() CheckResult {
+		t0 := time.Now()
+		ctx := smt.NewContext()
+		sr := spec.NewSymRoute(ctx, "r", u)
+		solver := smt.NewSolver(ctx)
+		if budget > 0 {
+			solver.SetConflictBudget(budget)
+		}
+		solver.Assert(ctx.And(sr.WellFormed(), pre.Compile(sr), ctx.Not(post.Compile(sr))))
+		ts := time.Now()
+		res := solver.Check()
+		cr := CheckResult{
+			Kind:      ImplicationCheck,
+			Loc:       loc,
+			Desc:      desc,
+			NumVars:   res.NumVars,
+			NumCons:   res.NumCons,
+			SolveTime: time.Since(ts),
+			TotalTime: time.Since(t0),
+		}
+		switch res.Status {
+		case smt.Unsat:
+			cr.OK = true
+		case smt.Sat:
+			cr.Counterexample = &Counterexample{
+				Input: sr.ConcreteRoute(res.Model),
+				Note:  fmt.Sprintf("route satisfies %q but not %q", pre, post),
+			}
+		default:
+			cr.Counterexample = &Counterexample{Note: "solver budget exhausted (unknown)"}
+		}
+		return cr
+	}
+	key := checkKey("implication", loc.String(), pre.String(), post.String())
+	return Check{Kind: ImplicationCheck, Loc: loc, Desc: desc, key: key, run: run}
+}
+
+// originateCheck validates every originated route on edge e against the
+// edge invariant. Originated routes are concrete, so this check evaluates
+// the predicate directly rather than calling the solver.
+func originateCheck(e topology.Edge, desc string, routes []*routemodel.Route, ghosts []GhostDef, inv spec.Pred) Check {
+	loc := AtEdge(e)
+	run := func() CheckResult {
+		t0 := time.Now()
+		cr := CheckResult{Kind: OriginateCheck, Loc: loc, Desc: desc, OK: true}
+		for _, r := range routes {
+			withGhosts := originatedWithGhosts(r, e, ghosts)
+			if !inv.Eval(withGhosts) {
+				cr.OK = false
+				cr.Counterexample = &Counterexample{
+					Input: withGhosts,
+					Note:  fmt.Sprintf("originated route violates edge invariant %q", inv),
+				}
+				break
+			}
+		}
+		cr.TotalTime = time.Since(t0)
+		return cr
+	}
+	routeStr := ""
+	for _, r := range routes {
+		routeStr += r.String() + ";"
+	}
+	ghostStr := ""
+	for _, g := range ghosts {
+		ghostStr += g.Name + ";"
+	}
+	key := checkKey("originate", loc.String(), routeStr, ghostStr, inv.String())
+	return Check{Kind: OriginateCheck, Loc: loc, Desc: desc, key: key, run: run}
+}

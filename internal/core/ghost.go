@@ -1,0 +1,139 @@
+package core
+
+import (
+	"lightyear/internal/policy"
+	"lightyear/internal/routemodel"
+	"lightyear/internal/spec"
+	"lightyear/internal/topology"
+)
+
+// GhostDef defines a ghost attribute (§4.4): a boolean field conceptually
+// added to every route, updated by designated import/export filters and
+// fixed on originated routes. Ghost attributes never affect routing; they
+// exist so properties like "this route came from ISP1" become expressible.
+type GhostDef struct {
+	Name string
+
+	// OnImport, if non-nil, is consulted for each import edge; returning
+	// (v, true) makes the import filter on that edge set the ghost to v.
+	// Returning (_, false) leaves the attribute unchanged.
+	OnImport func(e topology.Edge) (value, set bool)
+
+	// OnExport is the analogous hook for export filters.
+	OnExport func(e topology.Edge) (value, set bool)
+
+	// OnOriginate, if non-nil, gives the attribute value on routes
+	// originated on edge e; a nil hook means false (the common case).
+	OnOriginate func(e topology.Edge) bool
+}
+
+// GhostFromExternals builds the common "provenance" ghost of §2 and §6.1
+// (FromISP1, FromPeer, FromRegion): true when the route was imported from an
+// external neighbor satisfying isSource, false when imported from any other
+// external neighbor, unchanged inside the network, false at origination.
+func GhostFromExternals(name string, n *topology.Network, isSource func(id topology.NodeID) bool) GhostDef {
+	return GhostDef{
+		Name: name,
+		OnImport: func(e topology.Edge) (bool, bool) {
+			if !n.IsExternal(e.From) {
+				return false, false // internal edge: unchanged
+			}
+			return isSource(e.From), true
+		},
+	}
+}
+
+// GhostWaypoint builds the waypoint ghost of §4.4: true once the route has
+// been processed by router R — filters on R set it true; imports from
+// external neighbors elsewhere set it false; originated routes start false.
+func GhostWaypoint(name string, n *topology.Network, r topology.NodeID) GhostDef {
+	return GhostDef{
+		Name: name,
+		OnImport: func(e topology.Edge) (bool, bool) {
+			if e.To == r {
+				return true, true
+			}
+			if n.IsExternal(e.From) {
+				return false, true
+			}
+			return false, false
+		},
+		OnExport: func(e topology.Edge) (bool, bool) {
+			if e.From == r {
+				return true, true
+			}
+			return false, false
+		},
+		OnOriginate: func(e topology.Edge) bool { return e.From == r },
+	}
+}
+
+// ghostImportActions returns the SetGhost actions the ghost definitions
+// attach to the import filter on edge e.
+func ghostImportActions(ghosts []GhostDef, e topology.Edge) []policy.Action {
+	var out []policy.Action
+	for _, g := range ghosts {
+		if g.OnImport == nil {
+			continue
+		}
+		if v, set := g.OnImport(e); set {
+			out = append(out, policy.SetGhost{Name: g.Name, Value: v})
+		}
+	}
+	return out
+}
+
+// ghostExportActions returns the SetGhost actions for the export filter on
+// edge e.
+func ghostExportActions(ghosts []GhostDef, e topology.Edge) []policy.Action {
+	var out []policy.Action
+	for _, g := range ghosts {
+		if g.OnExport == nil {
+			continue
+		}
+		if v, set := g.OnExport(e); set {
+			out = append(out, policy.SetGhost{Name: g.Name, Value: v})
+		}
+	}
+	return out
+}
+
+// applyGhostsSym applies ghost actions to a derived symbolic route.
+func applyGhostsSym(sr *spec.SymRoute, acts []policy.Action) *spec.SymRoute {
+	if len(acts) == 0 {
+		return sr
+	}
+	out := sr.Clone()
+	for _, a := range acts {
+		a.ApplySym(out)
+	}
+	return out
+}
+
+// applyGhostsConcrete applies ghost actions to a concrete route in place.
+func applyGhostsConcrete(r *routemodel.Route, acts []policy.Action) {
+	for _, a := range acts {
+		a.Apply(r)
+	}
+}
+
+// originatedWithGhosts returns a copy of an originated route with every
+// ghost attribute set to its origination value for edge e.
+func originatedWithGhosts(r *routemodel.Route, e topology.Edge, ghosts []GhostDef) *routemodel.Route {
+	out := r.Clone()
+	for _, g := range ghosts {
+		v := false
+		if g.OnOriginate != nil {
+			v = g.OnOriginate(e)
+		}
+		out.SetGhost(g.Name, v)
+	}
+	return out
+}
+
+// addGhostsToUniverse registers all ghost names.
+func addGhostsToUniverse(u *spec.Universe, ghosts []GhostDef) {
+	for _, g := range ghosts {
+		u.AddGhost(g.Name)
+	}
+}

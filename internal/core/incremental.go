@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+)
+
+// IncrementalVerifier caches local check results keyed by the check's
+// semantic content (the filter's policy, the invariants involved, and the
+// ghost updates). When the network configuration changes, only checks whose
+// inputs changed are re-run — the incremental re-verification benefit of
+// modularity described in §2 ("when a node is updated, only the local
+// checks pertaining to that node must be re-checked").
+type IncrementalVerifier struct {
+	problem *SafetyProblem
+	opts    Options
+	cache   map[string]CheckResult
+}
+
+// NewIncrementalVerifier wraps a safety problem for repeated verification.
+// The problem's Network may be mutated (policies rebound, edges added)
+// between Run calls; the pointer is re-read each time.
+func NewIncrementalVerifier(p *SafetyProblem, opts Options) *IncrementalVerifier {
+	return &IncrementalVerifier{problem: p, opts: opts, cache: make(map[string]CheckResult)}
+}
+
+// Run verifies the problem, reusing cached results for unchanged checks.
+// It returns the report and the number of checks served from cache.
+func (iv *IncrementalVerifier) Run() (*Report, int) {
+	start := time.Now()
+	checks := iv.problem.Checks(iv.opts)
+	var toRun []Check
+	var results []CheckResult
+	reused := 0
+	for _, c := range checks {
+		if c.key == "" {
+			toRun = append(toRun, c)
+			continue
+		}
+		if r, ok := iv.cache[c.key]; ok {
+			results = append(results, r)
+			reused++
+		} else {
+			toRun = append(toRun, c)
+		}
+	}
+	fresh := runChecks(iv.problem.Property, toRun, iv.opts)
+	for _, r := range fresh.Results {
+		results = append(results, r)
+	}
+	// Re-index the cache from scratch so stale entries for removed edges
+	// do not accumulate.
+	newCache := make(map[string]CheckResult, len(checks))
+	byIdentity := make(map[string]CheckResult, len(results))
+	for _, r := range results {
+		byIdentity[fmt.Sprintf("%d/%s/%s", r.Kind, r.Loc, r.Desc)] = r
+	}
+	for _, c := range checks {
+		if c.key == "" {
+			continue
+		}
+		if r, ok := byIdentity[fmt.Sprintf("%d/%s/%s", c.Kind, c.Loc, c.Desc)]; ok {
+			newCache[c.key] = r
+		}
+	}
+	iv.cache = newCache
+
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].Kind != results[j].Kind {
+			return results[i].Kind < results[j].Kind
+		}
+		return results[i].Loc.String() < results[j].Loc.String()
+	})
+	return &Report{
+		Property:  iv.problem.Property,
+		Results:   results,
+		TotalTime: time.Since(start),
+	}, reused
+}
+
+// CacheSize returns the number of cached check results.
+func (iv *IncrementalVerifier) CacheSize() int { return len(iv.cache) }
+
+// checkKey hashes the semantic inputs of a check into a cache key.
+func checkKey(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%x", h.Sum64())
+}

@@ -1,0 +1,208 @@
+package core_test
+
+import (
+	"testing"
+
+	"lightyear/internal/core"
+	"lightyear/internal/netgen"
+	"lightyear/internal/policy"
+	"lightyear/internal/spec"
+	"lightyear/internal/topology"
+)
+
+func TestFig1LivenessVerifies(t *testing.T) {
+	n := netgen.Fig1(netgen.Fig1Options{})
+	p := netgen.Fig1LivenessProblem(n)
+	rep, err := core.VerifyLiveness(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("liveness should verify:\n%s", rep.Summary())
+	}
+	var props, impls, interf int
+	for _, r := range rep.Results {
+		switch r.Kind {
+		case core.PropagationCheck:
+			props++
+		case core.ImplicationCheck:
+			impls++
+		case core.InterferenceCheck:
+			interf++
+		}
+	}
+	// 4 consecutive pairs on the 5-step path.
+	if props != 4 {
+		t.Fatalf("propagation checks = %d, want 4", props)
+	}
+	if impls != 1 {
+		t.Fatalf("implication checks = %d, want 1", impls)
+	}
+	if interf == 0 {
+		t.Fatal("expected no-interference sub-checks")
+	}
+}
+
+func TestFig1LivenessForgottenStripFails(t *testing.T) {
+	// §2.2: if R3's import does not strip 100:1, customer routes can carry
+	// the transit tag and would be dropped at R2's export. The propagation
+	// check at Customer -> R3 must fail.
+	n := netgen.Fig1(netgen.Fig1Options{ForgetStripAtR3: true})
+	p := netgen.Fig1LivenessProblem(n)
+	rep, err := core.VerifyLiveness(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("expected liveness failure without community stripping")
+	}
+	foundProp := false
+	for _, f := range rep.Failures() {
+		if f.Kind == core.PropagationCheck && f.Loc.String() == "Customer -> R3" {
+			foundProp = true
+			if f.Counterexample == nil {
+				t.Fatal("missing counterexample")
+			}
+			// Witness: a customer route carrying 100:1 that the import
+			// accepts without stripping.
+			if !f.Counterexample.Input.HasCommunity(netgen.CommTransit) {
+				t.Fatalf("expected witness carrying 100:1: %s", f.Counterexample)
+			}
+		}
+	}
+	if !foundProp {
+		t.Fatalf("no propagation failure at Customer -> R3:\n%s", rep.Summary())
+	}
+}
+
+func TestLivenessPropagationRejectionFails(t *testing.T) {
+	// Deny customer prefixes on R3's export to R2: the good route is
+	// dropped on the path, so the export propagation check must fail with
+	// a "rejects" counterexample.
+	n := netgen.Fig1(netgen.Fig1Options{})
+	n.SetExport(topology.Edge{From: "R3", To: "R2"}, &policy.RouteMap{
+		Name: "r3-export-r2-buggy",
+		Clauses: []policy.Clause{
+			{Seq: 10, Matches: []spec.Pred{netgen.HasCustPrefix()}, Permit: false},
+			{Seq: 20, Permit: true},
+		},
+	})
+	p := netgen.Fig1LivenessProblem(n)
+	rep, err := core.VerifyLiveness(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("expected failure when the path export drops good routes")
+	}
+	found := false
+	for _, f := range rep.Failures() {
+		if f.Kind == core.PropagationCheck && f.Loc.String() == "R3 -> R2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no propagation failure at R3 -> R2:\n%s", rep.Summary())
+	}
+}
+
+func TestLivenessValidation(t *testing.T) {
+	n := netgen.Fig1(netgen.Fig1Options{})
+	good := netgen.Fig1LivenessProblem(n)
+
+	// Empty path.
+	bad := *good
+	bad.Steps = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty path must be rejected")
+	}
+
+	// Non-topological path: router followed by a non-adjacent edge.
+	bad = *good
+	bad.Steps = append([]core.PathStep(nil), good.Steps...)
+	bad.Steps[2] = core.PathStep{Loc: core.AtEdge(topology.Edge{From: "R1", To: "R2"}), Constraint: spec.True()}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-topological path must be rejected")
+	}
+
+	// Path not ending at the property location.
+	bad = *good
+	bad.Steps = good.Steps[:3]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("path ending elsewhere must be rejected")
+	}
+
+	// Missing constraint.
+	bad = *good
+	bad.Steps = append([]core.PathStep(nil), good.Steps...)
+	bad.Steps[1] = core.PathStep{Loc: bad.Steps[1].Loc}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("missing constraint must be rejected")
+	}
+
+	// Missing PrefixPred on a router step.
+	bad = *good
+	bad.Steps = append([]core.PathStep(nil), good.Steps...)
+	bad.Steps[1] = core.PathStep{Loc: bad.Steps[1].Loc, Constraint: bad.Steps[1].Constraint}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("missing PrefixPred must be rejected")
+	}
+
+	// Missing interference invariants.
+	bad = *good
+	bad.InterferenceInvariants = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("missing interference invariants must be rejected")
+	}
+
+	// Edge not in topology.
+	bad = *good
+	bad.Steps = append([]core.PathStep(nil), good.Steps...)
+	bad.Steps[0] = core.PathStep{Loc: core.AtEdge(topology.Edge{From: "Customer", To: "R1"}), Constraint: spec.True()}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown edge must be rejected")
+	}
+
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid problem rejected: %v", err)
+	}
+}
+
+func TestLivenessInterferenceFailureDetected(t *testing.T) {
+	// Plant a route map at R2's import from R1 that tags customer prefixes
+	// with 100:1. Propagation along the path is unaffected (the path goes
+	// R3 -> R2), but the no-interference obligation at R2 must fail:
+	// a customer route arriving via R1 would carry 100:1 and win, then be
+	// dropped at R2's export.
+	n := netgen.Fig1(netgen.Fig1Options{})
+	n.SetImport(topology.Edge{From: "R1", To: "R2"}, &policy.RouteMap{
+		Name: "r2-import-r1-tagger",
+		Clauses: []policy.Clause{
+			{Seq: 10, Matches: []spec.Pred{netgen.HasCustPrefix()},
+				Actions: []policy.Action{policy.AddCommunity{Comm: netgen.CommTransit}}, Permit: true},
+			{Seq: 20, Permit: true},
+		},
+	})
+	p := netgen.Fig1LivenessProblem(n)
+	rep, err := core.VerifyLiveness(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("expected no-interference failure")
+	}
+	for _, f := range rep.Failures() {
+		if f.Kind != core.InterferenceCheck {
+			t.Fatalf("only no-interference checks should fail, got %v at %s:\n%s", f.Kind, f.Loc, rep.Summary())
+		}
+	}
+	found := false
+	for _, f := range rep.Failures() {
+		if f.Loc.String() == "R1 -> R2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("interference failure should localize at R1 -> R2:\n%s", rep.Summary())
+	}
+}

@@ -1,0 +1,124 @@
+// Package core implements Lightyear's modular control-plane verification:
+// safety verification via per-edge local checks (§4 of the paper), liveness
+// verification via propagation and no-interference checks along a path (§5),
+// the ghost-attribute framework (§4.4), parallel check execution, and
+// incremental re-verification.
+//
+// The entry points are VerifySafety and VerifyLiveness. Both take a
+// verification problem (network + property + user-provided local
+// constraints) and return a Report of local check results; if every check
+// passes, the end-to-end property is guaranteed for all possible external
+// route announcements — and, for safety properties, under arbitrary node and
+// link failures (§4.5).
+package core
+
+import (
+	"fmt"
+
+	"lightyear/internal/spec"
+	"lightyear/internal/topology"
+)
+
+// Location identifies a network location per §4.1: either a configured
+// router or a directed session edge.
+type Location struct {
+	router topology.NodeID
+	edge   topology.Edge
+	isEdge bool
+}
+
+// AtRouter returns the location of a router.
+func AtRouter(id topology.NodeID) Location { return Location{router: id} }
+
+// AtEdge returns the location of a directed edge.
+func AtEdge(e topology.Edge) Location { return Location{edge: e, isEdge: true} }
+
+// IsEdge reports whether the location is an edge.
+func (l Location) IsEdge() bool { return l.isEdge }
+
+// Router returns the router ID of a router location.
+func (l Location) Router() topology.NodeID { return l.router }
+
+// Edge returns the edge of an edge location.
+func (l Location) Edge() topology.Edge { return l.edge }
+
+// String renders "R" or "A -> B".
+func (l Location) String() string {
+	if l.isEdge {
+		return l.edge.String()
+	}
+	return string(l.router)
+}
+
+// Property is an end-to-end property (ℓ, P): at location ℓ, predicate P. For
+// safety, every route reaching ℓ must satisfy P; for liveness, some route
+// satisfying P must eventually reach ℓ.
+type Property struct {
+	Loc  Location
+	Pred spec.Pred
+	Desc string // human-readable description for reports
+}
+
+func (p Property) String() string {
+	if p.Desc != "" {
+		return fmt.Sprintf("%s @ %s (%s)", p.Pred, p.Loc, p.Desc)
+	}
+	return fmt.Sprintf("%s @ %s", p.Pred, p.Loc)
+}
+
+// Invariants assigns a network invariant I_ℓ to every location (§4.1). Users
+// typically set a handful of location-specific invariants plus a Default
+// that captures the "key invariant" holding across the rest of the network
+// (the three-part structure described in §2.1). Edges whose source is an
+// external router are always treated as unconstrained (True), mirroring the
+// paper's requirement I_{R→N} = Routes for R ∈ Externals.
+type Invariants struct {
+	Default    spec.Pred
+	byLocation map[string]spec.Pred // keyed by Location.String()
+}
+
+// NewInvariants returns an invariant map with the given default predicate.
+func NewInvariants(def spec.Pred) *Invariants {
+	return &Invariants{Default: def, byLocation: make(map[string]spec.Pred)}
+}
+
+// Set assigns the invariant for one location, overriding the default.
+func (inv *Invariants) Set(loc Location, p spec.Pred) *Invariants {
+	inv.byLocation[loc.String()] = p
+	return inv
+}
+
+// SetRouter assigns the invariant for a router location.
+func (inv *Invariants) SetRouter(id topology.NodeID, p spec.Pred) *Invariants {
+	return inv.Set(AtRouter(id), p)
+}
+
+// SetEdge assigns the invariant for an edge location.
+func (inv *Invariants) SetEdge(e topology.Edge, p spec.Pred) *Invariants {
+	return inv.Set(AtEdge(e), p)
+}
+
+// At returns the invariant for a location within the given network.
+// Edges from external routers are unconstrained regardless of settings.
+func (inv *Invariants) At(n *topology.Network, loc Location) spec.Pred {
+	if loc.IsEdge() && n.IsExternal(loc.Edge().From) {
+		return spec.True()
+	}
+	if p, ok := inv.byLocation[loc.String()]; ok {
+		return p
+	}
+	if inv.Default != nil {
+		return inv.Default
+	}
+	return spec.True()
+}
+
+// AddToUniverse collects attribute mentions from every invariant.
+func (inv *Invariants) AddToUniverse(u *spec.Universe) {
+	if inv.Default != nil {
+		inv.Default.AddToUniverse(u)
+	}
+	for _, p := range inv.byLocation {
+		p.AddToUniverse(u)
+	}
+}

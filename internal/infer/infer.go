@@ -1,0 +1,158 @@
+// Package infer implements the invariant-learning extension sketched in the
+// paper's conclusion (§8): "we believe it is possible to instead learn local
+// invariants automatically from configurations in the future, for example
+// when properties are enforced via communities."
+//
+// Given a network and a provenance ghost attribute (FromX, marking routes
+// imported from a designated set of external neighbors), InferKeyInvariant
+// searches for a community C such that the candidate key invariant
+//
+//	FromX(r) ⇒ C ∈ Comm(r)
+//
+// is locally inductive: established by every import from a FromX source,
+// and preserved by every other filter in the network. Candidates are mined
+// from the configurations themselves — the communities added by the source
+// imports — and validated with the same SMT checks the verifier uses, so an
+// inferred invariant is sound by construction.
+package infer
+
+import (
+	"fmt"
+	"sort"
+
+	"lightyear/internal/core"
+	"lightyear/internal/policy"
+	"lightyear/internal/routemodel"
+	"lightyear/internal/spec"
+	"lightyear/internal/topology"
+)
+
+// Result describes one inferred invariant candidate.
+type Result struct {
+	// Comm is the community implementing the tagging scheme.
+	Comm routemodel.Community
+	// Invariant is the learned key invariant FromX ⇒ Comm.
+	Invariant spec.Pred
+	// Inductive reports whether the invariant passed all local checks.
+	Inductive bool
+	// FailedAt names the first filter breaking inductiveness (when not
+	// inductive), which is itself useful feedback: it is where the tagging
+	// discipline is violated.
+	FailedAt string
+}
+
+// InferKeyInvariant mines candidate communities from the import filters on
+// edges whose ghost update sets ghostName, then checks each candidate's key
+// invariant for inductiveness. It returns all candidates, inductive ones
+// first; callers typically take the first inductive result and hand it to
+// core.NewInvariants.
+func InferKeyInvariant(n *topology.Network, ghost core.GhostDef) []Result {
+	candidates := mineCandidates(n, ghost)
+	results := make([]Result, 0, len(candidates))
+	for _, c := range candidates {
+		inv := spec.Implies(spec.Ghost(ghost.Name), spec.HasCommunity(c))
+		r := Result{Comm: c, Invariant: inv}
+		r.Inductive, r.FailedAt = checkInductive(n, ghost, inv)
+		results = append(results, r)
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].Inductive != results[j].Inductive {
+			return results[i].Inductive
+		}
+		return results[i].Comm < results[j].Comm
+	})
+	return results
+}
+
+// mineCandidates collects communities added unconditionally by permit
+// clauses of import maps on the ghost's source edges — the signature of a
+// community-based tagging scheme.
+func mineCandidates(n *topology.Network, ghost core.GhostDef) []routemodel.Community {
+	seen := make(map[routemodel.Community]struct{})
+	for _, e := range n.Edges() {
+		if ghost.OnImport == nil {
+			continue
+		}
+		v, set := ghost.OnImport(e)
+		if !set || !v {
+			continue // not a source edge for this ghost
+		}
+		m := n.Import(e)
+		if m == nil {
+			continue
+		}
+		for i := range m.Clauses {
+			cl := &m.Clauses[i]
+			if !cl.Permit {
+				continue
+			}
+			for _, a := range cl.Actions {
+				if add, ok := a.(policy.AddCommunity); ok {
+					seen[add.Comm] = struct{}{}
+				}
+			}
+		}
+	}
+	out := make([]routemodel.Community, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// checkInductive validates the candidate invariant with the verifier's own
+// machinery: all import/export/originate checks of the safety problem whose
+// default invariant is the candidate must pass. The property is set to the
+// invariant itself at an arbitrary internal location so only inductiveness
+// is tested.
+func checkInductive(n *topology.Network, ghost core.GhostDef, inv spec.Pred) (bool, string) {
+	routers := n.Routers()
+	if len(routers) == 0 {
+		return false, "no routers"
+	}
+	problem := &core.SafetyProblem{
+		Network: n,
+		Property: core.Property{
+			Loc:  core.AtRouter(routers[0]),
+			Pred: inv,
+			Desc: "inferred key invariant inductiveness",
+		},
+		Invariants: core.NewInvariants(inv),
+		Ghosts:     []core.GhostDef{ghost},
+	}
+	rep := core.VerifySafety(problem, core.Options{})
+	if rep.OK() {
+		return true, ""
+	}
+	f := rep.Failures()[0]
+	return false, fmt.Sprintf("%s at %s", f.Kind, f.Loc)
+}
+
+// InferNoTransitProblem assembles a complete safety problem for the common
+// no-transit pattern using a learned invariant: "routes from the ghost's
+// sources are never sent on exitEdge". It returns an error when no
+// inductive tagging invariant exists in the configuration — with the first
+// candidate's failure location as a diagnosis.
+func InferNoTransitProblem(n *topology.Network, ghost core.GhostDef, exitEdge topology.Edge) (*core.SafetyProblem, error) {
+	results := InferKeyInvariant(n, ghost)
+	if len(results) == 0 {
+		return nil, fmt.Errorf("infer: no community tagging found on %s source imports", ghost.Name)
+	}
+	best := results[0]
+	if !best.Inductive {
+		return nil, fmt.Errorf("infer: no inductive invariant; closest candidate %s fails at %s", best.Comm, best.FailedAt)
+	}
+	inv := core.NewInvariants(best.Invariant)
+	inv.SetEdge(exitEdge, spec.Not(spec.Ghost(ghost.Name)))
+	return &core.SafetyProblem{
+		Network: n,
+		Property: core.Property{
+			Loc:  core.AtEdge(exitEdge),
+			Pred: spec.Not(spec.Ghost(ghost.Name)),
+			Desc: fmt.Sprintf("no-transit via learned invariant (%s tagged %s)", ghost.Name, best.Comm),
+		},
+		Invariants: inv,
+		Ghosts:     []core.GhostDef{ghost},
+	}, nil
+}

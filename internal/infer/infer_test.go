@@ -1,0 +1,116 @@
+package infer_test
+
+import (
+	"strings"
+	"testing"
+
+	"lightyear/internal/core"
+	"lightyear/internal/infer"
+	"lightyear/internal/netgen"
+	"lightyear/internal/policy"
+	"lightyear/internal/routemodel"
+	"lightyear/internal/spec"
+	"lightyear/internal/topology"
+)
+
+func TestInferFindsFig1TaggingScheme(t *testing.T) {
+	n := netgen.Fig1(netgen.Fig1Options{})
+	results := infer.InferKeyInvariant(n, netgen.FromISP1Ghost(n))
+	if len(results) == 0 {
+		t.Fatal("no candidates mined")
+	}
+	best := results[0]
+	if !best.Inductive {
+		t.Fatalf("expected inductive invariant, got failure at %s", best.FailedAt)
+	}
+	if best.Comm != netgen.CommTransit {
+		t.Fatalf("learned community %s, want 100:1", best.Comm)
+	}
+}
+
+func TestInferredProblemVerifies(t *testing.T) {
+	n := netgen.Fig1(netgen.Fig1Options{})
+	prob, err := infer.InferNoTransitProblem(n, netgen.FromISP1Ghost(n), topology.Edge{From: "R2", To: "ISP2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := core.VerifySafety(prob, core.Options{})
+	if !rep.OK() {
+		t.Fatalf("inferred problem should verify:\n%s", rep.Summary())
+	}
+}
+
+func TestInferDiagnosesStrippingBug(t *testing.T) {
+	// With the community-stripping bug at R2, the tagging scheme is not
+	// inductive; inference must fail and point at the breaking filter.
+	n := netgen.Fig1(netgen.Fig1Options{StripAtR2: true})
+	_, err := infer.InferNoTransitProblem(n, netgen.FromISP1Ghost(n), topology.Edge{From: "R2", To: "ISP2"})
+	if err == nil {
+		t.Fatal("expected inference failure with stripping bug")
+	}
+	if !strings.Contains(err.Error(), "R1 -> R2") {
+		t.Fatalf("diagnosis should name the breaking filter: %v", err)
+	}
+}
+
+func TestInferNoTaggingFound(t *testing.T) {
+	// A network whose source import adds no community yields no candidates.
+	n := netgen.Fig1(netgen.Fig1Options{OmitTransitTag: true})
+	_, err := infer.InferNoTransitProblem(n, netgen.FromISP1Ghost(n), topology.Edge{From: "R2", To: "ISP2"})
+	if err == nil {
+		t.Fatal("expected no-candidate error")
+	}
+}
+
+func TestInferOnFullMesh(t *testing.T) {
+	n := netgen.FullMesh(6)
+	prob, err := infer.InferNoTransitProblem(n, netgen.FullMeshGhost(n), netgen.FullMeshExitEdge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := core.VerifySafety(prob, core.Options{})
+	if !rep.OK() {
+		t.Fatalf("inferred full-mesh problem should verify:\n%s", rep.Summary())
+	}
+}
+
+func TestInferPicksInductiveAmongMany(t *testing.T) {
+	// The source import adds two communities, but one of them is stripped
+	// later in the network; inference must pick the surviving one.
+	n := netgen.Fig1(netgen.Fig1Options{})
+	weak := routemodel.MustCommunity("9:9")
+	imp := n.Import(topology.Edge{From: "ISP1", To: "R1"})
+	imp.Clauses[1].Actions = append(imp.Clauses[1].Actions, policy.AddCommunity{Comm: weak})
+	n.SetImport(topology.Edge{From: "R1", To: "R2"}, &policy.RouteMap{
+		Name: "strip-weak",
+		Clauses: []policy.Clause{
+			{Seq: 10, Actions: []policy.Action{policy.DeleteCommunity{Comm: weak}}, Permit: true},
+		},
+	})
+	results := infer.InferKeyInvariant(n, netgen.FromISP1Ghost(n))
+	if len(results) < 2 {
+		t.Fatalf("want 2 candidates, got %d", len(results))
+	}
+	if !results[0].Inductive || results[0].Comm != netgen.CommTransit {
+		t.Fatalf("best candidate should be inductive 100:1, got %+v", results[0])
+	}
+	var weakRes *infer.Result
+	for i := range results {
+		if results[i].Comm == weak {
+			weakRes = &results[i]
+		}
+	}
+	if weakRes == nil || weakRes.Inductive {
+		t.Fatalf("9:9 should be a non-inductive candidate: %+v", weakRes)
+	}
+}
+
+func TestInferredInvariantMatchesHandWritten(t *testing.T) {
+	// The learned invariant must be logically identical to the Table-2 one.
+	n := netgen.Fig1(netgen.Fig1Options{})
+	results := infer.InferKeyInvariant(n, netgen.FromISP1Ghost(n))
+	want := spec.Implies(spec.Ghost("FromISP1"), spec.HasCommunity(netgen.CommTransit))
+	if results[0].Invariant.String() != want.String() {
+		t.Fatalf("learned %q, want %q", results[0].Invariant, want)
+	}
+}

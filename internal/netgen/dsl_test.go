@@ -1,0 +1,88 @@
+package netgen_test
+
+import (
+	"testing"
+
+	"lightyear/internal/config"
+	"lightyear/internal/core"
+	"lightyear/internal/netgen"
+)
+
+// TestFig1DSLRoundTrip: parsing the emitted Figure-1 configuration must
+// verify exactly like the programmatic network, for the correct and all
+// buggy variants.
+func TestFig1DSLRoundTrip(t *testing.T) {
+	variants := []netgen.Fig1Options{
+		{},
+		{OmitTransitTag: true},
+		{SkipExportFilter: true},
+		{StripAtR2: true},
+		{ForgetStripAtR3: true},
+	}
+	for i, o := range variants {
+		parsed, err := config.Parse(netgen.Fig1DSL(o))
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		progOK := core.VerifySafety(netgen.Fig1NoTransitProblem(netgen.Fig1(o)), core.Options{}).OK()
+		parsedOK := core.VerifySafety(netgen.Fig1NoTransitProblem(parsed), core.Options{}).OK()
+		if progOK != parsedOK {
+			t.Fatalf("variant %d: programmatic=%v parsed=%v", i, progOK, parsedOK)
+		}
+		progL, err := core.VerifyLiveness(netgen.Fig1LivenessProblem(netgen.Fig1(o)), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsedL, err := core.VerifyLiveness(netgen.Fig1LivenessProblem(parsed), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if progL.OK() != parsedL.OK() {
+			t.Fatalf("variant %d liveness: programmatic=%v parsed=%v", i, progL.OK(), parsedL.OK())
+		}
+	}
+}
+
+func TestFullMeshDSLRoundTrip(t *testing.T) {
+	for _, n := range []int{3, 6} {
+		parsed, err := config.Parse(netgen.FullMeshDSL(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		prog := netgen.FullMesh(n)
+		if parsed.NumEdges() != prog.NumEdges() || len(parsed.Routers()) != len(prog.Routers()) {
+			t.Fatalf("n=%d: shape mismatch", n)
+		}
+		progOK := core.VerifySafety(netgen.FullMeshProblem(prog), core.Options{}).OK()
+		parsedOK := core.VerifySafety(netgen.FullMeshProblem(parsed), core.Options{}).OK()
+		if !progOK || !parsedOK {
+			t.Fatalf("n=%d: programmatic=%v parsed=%v, want both true", n, progOK, parsedOK)
+		}
+	}
+}
+
+func TestWANDSLRoundTrip(t *testing.T) {
+	p := netgen.DefaultWANParams()
+	for _, bugs := range []netgen.WANBugs{{}, {MissingBogonFilter: true}, {WrongRegionCommunity: true}} {
+		parsed, err := config.Parse(netgen.WANDSL(p, bugs))
+		if err != nil {
+			t.Fatalf("bugs %+v: %v", bugs, err)
+		}
+		prog := netgen.WAN(p, bugs)
+		if parsed.NumEdges() != prog.NumEdges() {
+			t.Fatalf("bugs %+v: edges %d vs %d", bugs, parsed.NumEdges(), prog.NumEdges())
+		}
+		props := netgen.PeeringProperties(p.Regions)
+		at := netgen.RegionRouter(0, 0)
+		progOK := core.VerifySafety(netgen.PeeringProblem(prog, at, props[0]), core.Options{}).OK()
+		parsedOK := core.VerifySafety(netgen.PeeringProblem(parsed, at, props[0]), core.Options{}).OK()
+		if progOK != parsedOK {
+			t.Fatalf("bugs %+v: bogon property programmatic=%v parsed=%v", bugs, progOK, parsedOK)
+		}
+		progR := core.VerifySafety(netgen.IPReuseSafetyProblem(prog, p, 0, netgen.RegionRouter(1, 0)), core.Options{}).OK()
+		parsedR := core.VerifySafety(netgen.IPReuseSafetyProblem(parsed, p, 0, netgen.RegionRouter(1, 0)), core.Options{}).OK()
+		if progR != parsedR {
+			t.Fatalf("bugs %+v: reuse property programmatic=%v parsed=%v", bugs, progR, parsedR)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package netgen
+
+import (
+	"fmt"
+
+	"lightyear/internal/core"
+	"lightyear/internal/policy"
+	"lightyear/internal/routemodel"
+	"lightyear/internal/spec"
+	"lightyear/internal/topology"
+)
+
+// Bogons is a small bogon prefix list used by the synthetic eBGP filters
+// ("each eBGP connection using only prefix and community filters", §6.2).
+var Bogons = func() *routemodel.PrefixSet {
+	s := &routemodel.PrefixSet{}
+	s.AddRange(routemodel.MustPrefix("0.0.0.0/8"), 8, 32)
+	s.AddRange(routemodel.MustPrefix("127.0.0.0/8"), 8, 32)
+	s.AddRange(routemodel.MustPrefix("169.254.0.0/16"), 16, 32)
+	s.AddRange(routemodel.MustPrefix("192.0.2.0/24"), 24, 32)
+	s.AddRange(routemodel.MustPrefix("224.0.0.0/4"), 4, 32)
+	return s
+}()
+
+// CommBad is the community tagging routes learned from the designated
+// "bad" external neighbor X1 in the full-mesh scaling networks.
+var CommBad = routemodel.MustCommunity("100:1")
+
+// FullMesh builds the §6.2 synthetic scaling network of size n: routers
+// R1..Rn in a full iBGP mesh, each with one eBGP external neighbor Xi —
+// n·(n−1) + 2n directed edges, i.e. Θ(n²) as in the paper. The
+// configuration implements a no-transit scheme like Figure 1's: R1 tags
+// routes from X1 with 100:1, R2 filters 100:1 towards X2, and every eBGP
+// import also applies a bogon prefix filter.
+func FullMesh(n int) *topology.Network {
+	if n < 2 {
+		panic("netgen: full mesh needs at least 2 routers")
+	}
+	net := topology.New()
+	for i := 1; i <= n; i++ {
+		net.AddRouter(router(i), 65000).Role = "mesh"
+		net.AddExternal(external(i), uint32(1000+i))
+	}
+	for i := 1; i <= n; i++ {
+		net.AddPeering(router(i), external(i))
+		for j := i + 1; j <= n; j++ {
+			net.AddPeering(router(i), router(j))
+		}
+	}
+	for i := 1; i <= n; i++ {
+		// eBGP import: bogon filter, plus tagging at R1.
+		var actions []policy.Action
+		if i == 1 {
+			actions = []policy.Action{policy.AddCommunity{Comm: CommBad}}
+		}
+		net.SetImport(topology.Edge{From: external(i), To: router(i)}, &policy.RouteMap{
+			Name: fmt.Sprintf("r%d-import-x%d", i, i),
+			Clauses: []policy.Clause{
+				{Seq: 10, Matches: []spec.Pred{spec.PrefixIn(Bogons)}, Permit: false},
+				{Seq: 20, Actions: actions, Permit: true},
+			},
+		})
+		// eBGP export: the transit filter at R2.
+		if i == 2 {
+			net.SetExport(topology.Edge{From: router(i), To: external(i)}, &policy.RouteMap{
+				Name: "r2-export-x2",
+				Clauses: []policy.Clause{
+					{Seq: 10, Matches: []spec.Pred{spec.HasCommunity(CommBad)}, Permit: false},
+					{Seq: 20, Permit: true},
+				},
+			})
+		}
+	}
+	return net
+}
+
+func router(i int) topology.NodeID   { return topology.NodeID(fmt.Sprintf("R%d", i)) }
+func external(i int) topology.NodeID { return topology.NodeID(fmt.Sprintf("X%d", i)) }
+
+// FullMeshGhost is the provenance ghost for the scaling networks: true on
+// routes imported from X1.
+func FullMeshGhost(n *topology.Network) core.GhostDef {
+	return core.GhostFromExternals("FromBad", n, func(id topology.NodeID) bool {
+		return id == "X1"
+	})
+}
+
+// FullMeshExitEdge is the property location of the scaling experiments.
+func FullMeshExitEdge() topology.Edge { return topology.Edge{From: "R2", To: "X2"} }
+
+// FullMeshProblem builds the no-transit safety problem for a full-mesh
+// network: no route sent from R2 to X2 originates at X1, with the usual
+// three-part invariant structure.
+func FullMeshProblem(n *topology.Network) *core.SafetyProblem {
+	fromBad := spec.Ghost("FromBad")
+	keyInv := spec.Implies(fromBad, spec.HasCommunity(CommBad))
+	exit := FullMeshExitEdge()
+
+	inv := core.NewInvariants(keyInv)
+	inv.SetEdge(exit, spec.Not(fromBad))
+
+	return &core.SafetyProblem{
+		Network: n,
+		Property: core.Property{
+			Loc:  core.AtEdge(exit),
+			Pred: spec.Not(fromBad),
+			Desc: "no-transit: routes from X1 never reach X2",
+		},
+		Invariants: inv,
+		Ghosts:     []core.GhostDef{FullMeshGhost(n)},
+	}
+}
+
+// FullMeshProperty returns the property parameters for the monolithic
+// baseline on the same network.
+func FullMeshProperty() (core.Location, spec.Pred) {
+	return core.AtEdge(FullMeshExitEdge()), spec.Not(spec.Ghost("FromBad"))
+}

@@ -1,0 +1,235 @@
+package netgen_test
+
+import (
+	"testing"
+
+	"lightyear/internal/core"
+	"lightyear/internal/minesweeper"
+	"lightyear/internal/netgen"
+	"lightyear/internal/topology"
+)
+
+func TestFig1Valid(t *testing.T) {
+	n := netgen.Fig1(netgen.Fig1Options{})
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullMeshShape(t *testing.T) {
+	for _, size := range []int{2, 5, 10} {
+		n := netgen.FullMesh(size)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if got := len(n.Routers()); got != size {
+			t.Fatalf("size %d: %d routers", size, got)
+		}
+		if got := len(n.Externals()); got != size {
+			t.Fatalf("size %d: %d externals", size, got)
+		}
+		// Directed edges: n(n-1) internal + 2n external.
+		want := size*(size-1) + 2*size
+		if got := n.NumEdges(); got != want {
+			t.Fatalf("size %d: %d edges, want %d", size, got, want)
+		}
+	}
+}
+
+func TestFullMeshPanicsBelow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	netgen.FullMesh(1)
+}
+
+func TestFullMeshVerifies(t *testing.T) {
+	n := netgen.FullMesh(4)
+	rep := core.VerifySafety(netgen.FullMeshProblem(n), core.Options{})
+	if !rep.OK() {
+		t.Fatalf("full mesh no-transit should verify:\n%s", rep.Summary())
+	}
+	// Check count is linear in edges: import+export per edge side plus one
+	// implication.
+	edges := n.NumEdges()
+	if rep.NumChecks() > 2*edges+1 {
+		t.Fatalf("checks %d exceed linear bound %d", rep.NumChecks(), 2*edges+1)
+	}
+}
+
+func TestFullMeshAgreesWithMinesweeper(t *testing.T) {
+	n := netgen.FullMesh(3)
+	ly := core.VerifySafety(netgen.FullMeshProblem(n), core.Options{})
+	loc, pred := netgen.FullMeshProperty()
+	ms := minesweeper.Verify(n, loc, pred, []core.GhostDef{netgen.FullMeshGhost(n)}, minesweeper.Options{})
+	if ms.Unknown {
+		t.Fatal("minesweeper unknown")
+	}
+	if ly.OK() != ms.Holds {
+		t.Fatalf("verifiers disagree: lightyear=%v minesweeper=%v", ly.OK(), ms.Holds)
+	}
+}
+
+func TestFullMeshPerCheckSizeConstantInN(t *testing.T) {
+	// Figure 3b: the largest single local check must not grow with the
+	// network (each check involves one filter only).
+	rep5 := core.VerifySafety(netgen.FullMeshProblem(netgen.FullMesh(5)), core.Options{})
+	rep10 := core.VerifySafety(netgen.FullMeshProblem(netgen.FullMesh(10)), core.Options{})
+	if !rep5.OK() || !rep10.OK() {
+		t.Fatal("both sizes must verify")
+	}
+	if rep10.MaxVars() > rep5.MaxVars()*2 {
+		t.Fatalf("per-check vars grew with N: %d -> %d", rep5.MaxVars(), rep10.MaxVars())
+	}
+}
+
+func TestMinesweeperFormulaGrowsQuadratically(t *testing.T) {
+	// Figure 3a: monolithic formula size must grow superlinearly with N.
+	loc, pred := netgen.FullMeshProperty()
+	n4 := netgen.FullMesh(4)
+	n8 := netgen.FullMesh(8)
+	r4 := minesweeper.Verify(n4, loc, pred, []core.GhostDef{netgen.FullMeshGhost(n4)}, minesweeper.Options{ConflictBudget: 1})
+	r8 := minesweeper.Verify(n8, loc, pred, []core.GhostDef{netgen.FullMeshGhost(n8)}, minesweeper.Options{ConflictBudget: 1})
+	// Doubling N should far more than double the formula (quadratic edges).
+	if r8.NumVars < r4.NumVars*3 {
+		t.Fatalf("monolithic formula did not grow quadratically: %d -> %d vars", r4.NumVars, r8.NumVars)
+	}
+}
+
+func TestWANShape(t *testing.T) {
+	p := netgen.DefaultWANParams()
+	n := netgen.WAN(p, netgen.WANBugs{})
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantRouters := p.Regions*p.RoutersPerRegion + p.EdgeRouters
+	if got := len(n.Routers()); got != wantRouters {
+		t.Fatalf("routers = %d, want %d", got, wantRouters)
+	}
+	wantExternals := p.Regions*p.DCsPerRegion + p.EdgeRouters*p.PeersPerEdge
+	if got := len(n.Externals()); got != wantExternals {
+		t.Fatalf("externals = %d, want %d", got, wantExternals)
+	}
+	if len(n.RoutersByRole("edge")) != p.EdgeRouters {
+		t.Fatal("edge role tags missing")
+	}
+	if len(n.RoutersByRegion("region-0")) != p.RoutersPerRegion {
+		t.Fatal("region tags missing")
+	}
+}
+
+func TestWANPeeringPropertiesVerify(t *testing.T) {
+	p := netgen.DefaultWANParams()
+	n := netgen.WAN(p, netgen.WANBugs{})
+	props := netgen.PeeringProperties(p.Regions)
+	if len(props) != 11 {
+		t.Fatalf("want the 11 peering properties of §6.1, got %d", len(props))
+	}
+	at := netgen.RegionRouter(0, 0)
+	for _, prop := range props {
+		rep := core.VerifySafety(netgen.PeeringProblem(n, at, prop), core.Options{})
+		if !rep.OK() {
+			t.Fatalf("property %q should verify:\n%s", prop.Name, rep.Summary())
+		}
+	}
+}
+
+func TestWANMissingBogonFilterCaught(t *testing.T) {
+	p := netgen.DefaultWANParams()
+	n := netgen.WAN(p, netgen.WANBugs{MissingBogonFilter: true})
+	props := netgen.PeeringProperties(p.Regions)
+	rep := core.VerifySafety(netgen.PeeringProblem(n, netgen.RegionRouter(0, 0), props[0]), core.Options{})
+	if rep.OK() {
+		t.Fatal("missing bogon filter must be caught")
+	}
+	fails := rep.Failures()
+	if len(fails) != 1 {
+		t.Fatalf("want 1 localized failure, got %d:\n%s", len(fails), rep.Summary())
+	}
+	if fails[0].Loc.String() != string(netgen.PeerNode(0, 0))+" -> "+string(netgen.EdgeRouter(0)) {
+		t.Fatalf("failure at %s, want the buggy session", fails[0].Loc)
+	}
+}
+
+func TestWANMissingLocalPrefCaught(t *testing.T) {
+	p := netgen.DefaultWANParams()
+	n := netgen.WAN(p, netgen.WANBugs{MissingLocalPref: true})
+	props := netgen.PeeringProperties(p.Regions)
+	var lpProp netgen.PeeringProperty
+	for _, pr := range props {
+		if pr.Name == "local-pref-normalized" {
+			lpProp = pr
+		}
+	}
+	rep := core.VerifySafety(netgen.PeeringProblem(n, netgen.EdgeRouter(1), lpProp), core.Options{})
+	if rep.OK() {
+		t.Fatal("ad-hoc policy must be caught")
+	}
+	// Other properties stay green.
+	rep2 := core.VerifySafety(netgen.PeeringProblem(n, netgen.EdgeRouter(1), props[0]), core.Options{})
+	if !rep2.OK() {
+		t.Fatalf("unrelated property should still verify:\n%s", rep2.Summary())
+	}
+}
+
+func TestWANIPReuseSafetyVerifies(t *testing.T) {
+	p := netgen.DefaultWANParams()
+	n := netgen.WAN(p, netgen.WANBugs{})
+	// Region 0's reused space must not reach a region-1 router or an edge
+	// router.
+	for _, outside := range []topology.NodeID{netgen.RegionRouter(1, 0), netgen.EdgeRouter(0)} {
+		rep := core.VerifySafety(netgen.IPReuseSafetyProblem(n, p, 0, outside), core.Options{})
+		if !rep.OK() {
+			t.Fatalf("IP reuse safety at %s should verify:\n%s", outside, rep.Summary())
+		}
+	}
+}
+
+func TestWANIPReuseSafetyWrongCommunityCaught(t *testing.T) {
+	p := netgen.DefaultWANParams()
+	n := netgen.WAN(p, netgen.WANBugs{WrongRegionCommunity: true})
+	rep := core.VerifySafety(netgen.IPReuseSafetyProblem(n, p, 0, netgen.RegionRouter(1, 0)), core.Options{})
+	if rep.OK() {
+		t.Fatal("wrong region community must be caught")
+	}
+	// The failure should localize at a DC import of region 0.
+	found := false
+	for _, f := range rep.Failures() {
+		if f.Loc.String() == string(netgen.DCRouter(0, 0))+" -> "+string(netgen.RegionRouter(0, 0)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failure should point at region 0 DC import:\n%s", rep.Summary())
+	}
+}
+
+func TestWANIPReuseLivenessVerifies(t *testing.T) {
+	p := netgen.DefaultWANParams()
+	n := netgen.WAN(p, netgen.WANBugs{})
+	for r := 0; r < p.Regions; r++ {
+		prob := netgen.IPReuseLivenessProblem(n, p, r)
+		rep, err := core.VerifyLiveness(prob, core.Options{})
+		if err != nil {
+			t.Fatalf("region %d: %v", r, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("region %d IP reuse liveness should verify:\n%s", r, rep.Summary())
+		}
+	}
+}
+
+func TestWANIPReuseLivenessWrongCommunityFails(t *testing.T) {
+	p := netgen.DefaultWANParams()
+	n := netgen.WAN(p, netgen.WANBugs{WrongRegionCommunity: true})
+	prob := netgen.IPReuseLivenessProblem(n, p, 0)
+	rep, err := core.VerifyLiveness(prob, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("wrong community must break region 0 liveness")
+	}
+}

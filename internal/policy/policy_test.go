@@ -1,0 +1,358 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"lightyear/internal/routemodel"
+	"lightyear/internal/smt"
+	"lightyear/internal/spec"
+)
+
+var (
+	c100_1 = routemodel.MustCommunity("100:1")
+	c100_2 = routemodel.MustCommunity("100:2")
+	c200_1 = routemodel.MustCommunity("200:1")
+)
+
+func testUniverse() *spec.Universe {
+	u := spec.NewUniverse()
+	u.AddCommunity(c100_1)
+	u.AddCommunity(c100_2)
+	u.AddCommunity(c200_1)
+	u.AddASN(65001)
+	u.AddASN(174)
+	u.AddGhost("FromISP1")
+	return u
+}
+
+func TestNilMapPermitsUnchanged(t *testing.T) {
+	var m *RouteMap
+	r := routemodel.NewRoute(routemodel.MustPrefix("10.0.0.0/24"))
+	r.AddCommunity(c100_1)
+	out, ok := m.Apply(r)
+	if !ok {
+		t.Fatal("nil map must permit")
+	}
+	if !out.Equal(r) {
+		t.Fatal("nil map must not transform")
+	}
+	if out == r {
+		t.Fatal("Apply must clone")
+	}
+}
+
+func TestPermitAllDenyAll(t *testing.T) {
+	r := routemodel.NewRoute(routemodel.MustPrefix("10.0.0.0/24"))
+	if _, ok := PermitAll("p").Apply(r); !ok {
+		t.Fatal("PermitAll denied")
+	}
+	if _, ok := DenyAll("d").Apply(r); ok {
+		t.Fatal("DenyAll permitted")
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	m := &RouteMap{
+		Name: "m",
+		Clauses: []Clause{
+			{Seq: 10, Matches: []spec.Pred{spec.HasCommunity(c100_1)}, Permit: false},
+			{Seq: 20, Matches: nil, Actions: []Action{SetLocalPref{200}}, Permit: true},
+		},
+	}
+	tagged := routemodel.NewRoute(routemodel.MustPrefix("10.0.0.0/24"))
+	tagged.AddCommunity(c100_1)
+	if _, ok := m.Apply(tagged); ok {
+		t.Fatal("first clause should deny tagged route")
+	}
+	plain := routemodel.NewRoute(routemodel.MustPrefix("10.0.0.0/24"))
+	out, ok := m.Apply(plain)
+	if !ok || out.LocalPref != 200 {
+		t.Fatalf("second clause should permit with lp=200, got %v %v", out, ok)
+	}
+}
+
+func TestDefaultDeny(t *testing.T) {
+	m := &RouteMap{
+		Name: "m",
+		Clauses: []Clause{
+			{Seq: 10, Matches: []spec.Pred{spec.HasCommunity(c100_1)}, Permit: true},
+		},
+	}
+	plain := routemodel.NewRoute(routemodel.MustPrefix("10.0.0.0/24"))
+	if _, ok := m.Apply(plain); ok {
+		t.Fatal("unmatched route must hit default deny")
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	m := &RouteMap{
+		Name: "m",
+		Clauses: []Clause{
+			{Seq: 10, Actions: []Action{AddCommunity{c200_1}, SetLocalPref{50}, ClearCommunities{}}, Permit: true},
+		},
+	}
+	r := routemodel.NewRoute(routemodel.MustPrefix("10.0.0.0/24"))
+	r.AddCommunity(c100_1)
+	m.Apply(r)
+	if !r.HasCommunity(c100_1) || r.LocalPref != 100 {
+		t.Fatal("input route was mutated")
+	}
+}
+
+func TestActions(t *testing.T) {
+	r := routemodel.NewRoute(routemodel.MustPrefix("10.0.0.0/24"))
+	r.AddCommunity(c100_1)
+
+	SetLocalPref{250}.Apply(r)
+	SetMED{30}.Apply(r)
+	SetNextHop{9}.Apply(r)
+	AddCommunity{c200_1}.Apply(r)
+	DeleteCommunity{c100_1}.Apply(r)
+	SetGhost{"FromISP1", true}.Apply(r)
+	PrependAS{65001, 2}.Apply(r)
+
+	if r.LocalPref != 250 || r.MED != 30 || r.NextHop != 9 {
+		t.Fatalf("scalar actions: %v", r)
+	}
+	if r.HasCommunity(c100_1) || !r.HasCommunity(c200_1) {
+		t.Fatalf("community actions: %v", r)
+	}
+	if !r.GhostValue("FromISP1") {
+		t.Fatal("ghost action")
+	}
+	if len(r.ASPath) != 2 || r.ASPath[0] != 65001 {
+		t.Fatalf("prepend: %v", r.ASPath)
+	}
+	ClearCommunities{}.Apply(r)
+	if r.HasCommunity(c200_1) {
+		t.Fatal("clear communities")
+	}
+}
+
+// encodeAndSolve runs the symbolic semantics on a concrete input by
+// constraining the input route and extracting the output attributes.
+func encodeAndSolve(t *testing.T, m *RouteMap, in *routemodel.Route, u *spec.Universe) (accepted bool, lp uint64, comm map[routemodel.Community]bool, ghost map[string]bool, med, plen, pathlen uint64) {
+	t.Helper()
+	ctx := smt.NewContext()
+	sr := spec.NewSymRoute(ctx, "in", u)
+	out, acc := m.Encode(sr)
+
+	s := smt.NewSolver(ctx)
+	s.Assert(spec.Constrain(sr, in))
+	// Bind output attributes to fresh observation variables so we can read
+	// them from the model.
+	obsLP := ctx.BVVar("obs.lp", spec.WidthLocalPref)
+	obsMED := ctx.BVVar("obs.med", spec.WidthMED)
+	obsPL := ctx.BVVar("obs.plen", spec.WidthPrefixLen)
+	obsPathLen := ctx.BVVar("obs.pathlen", spec.WidthPathLen)
+	obsAcc := ctx.BoolVar("obs.acc")
+	s.Assert(ctx.Eq(obsLP, out.LocalPref))
+	s.Assert(ctx.Eq(obsMED, out.MED))
+	s.Assert(ctx.Eq(obsPL, out.PrefixLen))
+	s.Assert(ctx.Eq(obsPathLen, out.PathLen))
+	s.Assert(ctx.Iff(obsAcc, acc))
+	obsComm := map[routemodel.Community]*smt.Term{}
+	for c, term := range out.Comm {
+		v := ctx.BoolVar("obs.comm." + c.String())
+		s.Assert(ctx.Iff(v, term))
+		obsComm[c] = v
+	}
+	obsGhost := map[string]*smt.Term{}
+	for g, term := range out.Ghost {
+		v := ctx.BoolVar("obs.ghost." + g)
+		s.Assert(ctx.Iff(v, term))
+		obsGhost[g] = v
+	}
+	res := s.Check()
+	if res.Status != smt.Sat {
+		t.Fatalf("symbolic execution unsat for input %v", in)
+	}
+	comm = map[routemodel.Community]bool{}
+	for c := range obsComm {
+		comm[c] = res.Model.Bool("obs.comm." + c.String())
+	}
+	ghost = map[string]bool{}
+	for g := range obsGhost {
+		ghost[g] = res.Model.Bool("obs.ghost." + g)
+	}
+	return res.Model.Bool("obs.acc"), res.Model.BV("obs.lp"), comm, ghost,
+		res.Model.BV("obs.med"), res.Model.BV("obs.plen"), res.Model.BV("obs.pathlen")
+}
+
+// randomRouteMap builds a random but well-formed route map over the test
+// universe.
+func randomRouteMap(rng *rand.Rand) *RouteMap {
+	comms := []routemodel.Community{c100_1, c100_2, c200_1}
+	randMatch := func() spec.Pred {
+		switch rng.Intn(5) {
+		case 0:
+			return spec.HasCommunity(comms[rng.Intn(len(comms))])
+		case 1:
+			return spec.Not(spec.HasCommunity(comms[rng.Intn(len(comms))]))
+		case 2:
+			s := &routemodel.PrefixSet{}
+			s.AddRange(routemodel.MustPrefix("10.0.0.0/8"), 8, 24)
+			return spec.PrefixIn(s)
+		case 3:
+			return spec.PathContains(174)
+		default:
+			return spec.Ghost("FromISP1")
+		}
+	}
+	randAction := func() Action {
+		switch rng.Intn(7) {
+		case 0:
+			return SetLocalPref{uint32(rng.Intn(1000))}
+		case 1:
+			return SetMED{uint32(rng.Intn(1000))}
+		case 2:
+			return AddCommunity{comms[rng.Intn(len(comms))]}
+		case 3:
+			return DeleteCommunity{comms[rng.Intn(len(comms))]}
+		case 4:
+			return ClearCommunities{}
+		case 5:
+			return PrependAS{65001, 1 + rng.Intn(2)}
+		default:
+			return SetGhost{"FromISP1", rng.Intn(2) == 0}
+		}
+	}
+	m := &RouteMap{Name: "rand", DefaultPermit: rng.Intn(2) == 0}
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		c := Clause{Seq: (i + 1) * 10, Permit: rng.Intn(3) != 0}
+		for j := rng.Intn(3); j > 0; j-- {
+			c.Matches = append(c.Matches, randMatch())
+		}
+		if c.Permit {
+			for j := rng.Intn(3); j > 0; j-- {
+				c.Actions = append(c.Actions, randAction())
+			}
+		}
+		m.Clauses = append(m.Clauses, c)
+	}
+	return m
+}
+
+func randomRoute(rng *rand.Rand) *routemodel.Route {
+	prefixes := []string{"10.0.0.0/8", "10.1.0.0/16", "10.2.3.0/24", "192.168.1.0/24", "8.8.0.0/16"}
+	r := routemodel.NewRoute(routemodel.MustPrefix(prefixes[rng.Intn(len(prefixes))]))
+	r.LocalPref = uint32(rng.Intn(1000))
+	r.MED = uint32(rng.Intn(1000))
+	r.NextHop = uint32(rng.Intn(100))
+	for _, c := range []routemodel.Community{c100_1, c100_2, c200_1} {
+		if rng.Intn(2) == 0 {
+			r.AddCommunity(c)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		r.ASPath = append(r.ASPath, 174)
+	}
+	if rng.Intn(2) == 0 {
+		r.ASPath = append(r.ASPath, 65001)
+	}
+	if rng.Intn(2) == 0 {
+		r.SetGhost("FromISP1", true)
+	}
+	return r
+}
+
+// TestConcreteSymbolicAgreement is the central soundness property for route
+// maps: Apply and Encode must agree on acceptance and on every transformed
+// attribute, for random maps and random routes.
+func TestConcreteSymbolicAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	u := testUniverse()
+	for iter := 0; iter < 60; iter++ {
+		m := randomRouteMap(rng)
+		in := randomRoute(rng)
+		wantOut, wantOK := m.Apply(in)
+		gotOK, lp, comm, ghost, med, plen, pathlen := encodeAndSolve(t, m, in, u)
+		if gotOK != wantOK {
+			t.Fatalf("iter %d: acceptance mismatch concrete=%v symbolic=%v\nmap:\n%s\nroute: %v", iter, wantOK, gotOK, m, in)
+		}
+		if !wantOK {
+			continue
+		}
+		if uint32(lp) != wantOut.LocalPref {
+			t.Fatalf("iter %d: lp mismatch %d vs %d\nmap:\n%s\nroute: %v", iter, lp, wantOut.LocalPref, m, in)
+		}
+		if uint32(med) != wantOut.MED {
+			t.Fatalf("iter %d: med mismatch %d vs %d", iter, med, wantOut.MED)
+		}
+		if uint8(plen) != wantOut.Prefix.Len {
+			t.Fatalf("iter %d: prefix len mismatch", iter)
+		}
+		if int(pathlen) != len(wantOut.ASPath) {
+			t.Fatalf("iter %d: path length mismatch %d vs %d\nmap:\n%s\nroute: %v", iter, pathlen, len(wantOut.ASPath), m, in)
+		}
+		for c, got := range comm {
+			if got != wantOut.HasCommunity(c) {
+				t.Fatalf("iter %d: community %s mismatch sym=%v concrete=%v\nmap:\n%s\nroute: %v", iter, c, got, wantOut.HasCommunity(c), m, in)
+			}
+		}
+		for g, got := range ghost {
+			if got != wantOut.GhostValue(g) {
+				t.Fatalf("iter %d: ghost %s mismatch", iter, g)
+			}
+		}
+	}
+}
+
+func TestEncodeAcceptanceFormula(t *testing.T) {
+	// A map that denies routes with 100:1 and permits the rest must yield an
+	// acceptance formula equivalent to "not has(100:1)".
+	m := &RouteMap{
+		Name: "no-transit",
+		Clauses: []Clause{
+			{Seq: 10, Matches: []spec.Pred{spec.HasCommunity(c100_1)}, Permit: false},
+			{Seq: 20, Permit: true},
+		},
+	}
+	ctx := smt.NewContext()
+	u := testUniverse()
+	sr := spec.NewSymRoute(ctx, "r", u)
+	_, acc := m.Encode(sr)
+	// acc xor not(has 100:1) must be unsat.
+	diff := ctx.Xor(acc, ctx.Not(sr.CommTerm(c100_1)))
+	if res := smt.Solve(ctx, diff); res.Status != smt.Unsat {
+		t.Fatalf("acceptance formula not equivalent: %v", res.Status)
+	}
+}
+
+func TestRouteMapString(t *testing.T) {
+	m := &RouteMap{
+		Name: "m",
+		Clauses: []Clause{
+			{Seq: 10, Matches: []spec.Pred{spec.HasCommunity(c100_1)}, Actions: []Action{SetLocalPref{10}}, Permit: true},
+			{Seq: 20, Permit: false},
+		},
+	}
+	if m.String() == "" || (*RouteMap)(nil).String() == "" {
+		t.Fatal("String rendering")
+	}
+	for _, a := range []Action{SetLocalPref{1}, SetMED{1}, SetNextHop{1}, AddCommunity{c100_1}, DeleteCommunity{c100_1}, ClearCommunities{}, PrependAS{1, 1}, SetGhost{"g", true}} {
+		if a.String() == "" {
+			t.Fatal("action String")
+		}
+	}
+}
+
+func TestAddToUniverse(t *testing.T) {
+	m := &RouteMap{
+		Name: "m",
+		Clauses: []Clause{
+			{Seq: 10, Matches: []spec.Pred{spec.HasCommunity(c100_1)}, Actions: []Action{AddCommunity{c200_1}, SetGhost{"G", true}, PrependAS{65009, 1}}, Permit: true},
+		},
+	}
+	u := spec.NewUniverse()
+	m.AddToUniverse(u)
+	if !u.HasCommunity(c100_1) || !u.HasCommunity(c200_1) {
+		t.Fatal("communities not collected")
+	}
+	if len(u.Ghosts()) != 1 || len(u.ASNs()) != 1 {
+		t.Fatal("ghost/ASN not collected")
+	}
+	var nilMap *RouteMap
+	nilMap.AddToUniverse(u) // must not panic
+}

@@ -1,0 +1,332 @@
+// Package routemodel defines the concrete BGP route representation used
+// throughout Lightyear: route advertisements with the attributes from §3.1
+// of the paper (Prefix, ASPath, NextHop, LocalPref, MED, Communities), plus
+// the user-defined ghost attributes of §4.4, and the BGP route preference
+// relation referenced by the liveness axioms in Appendix A.
+package routemodel
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Community is a BGP standard community, a 32-bit tag conventionally written
+// high:low (e.g. 100:1).
+type Community uint32
+
+// MkCommunity builds a community from its high and low 16-bit halves.
+func MkCommunity(high, low uint16) Community {
+	return Community(uint32(high)<<16 | uint32(low))
+}
+
+// High returns the upper 16 bits of the community.
+func (c Community) High() uint16 { return uint16(c >> 16) }
+
+// Low returns the lower 16 bits of the community.
+func (c Community) Low() uint16 { return uint16(c) }
+
+// String renders the community in high:low form.
+func (c Community) String() string {
+	return fmt.Sprintf("%d:%d", c.High(), c.Low())
+}
+
+// ParseCommunity parses "high:low" notation.
+func ParseCommunity(s string) (Community, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("routemodel: community %q: want high:low", s)
+	}
+	hi, err := strconv.ParseUint(parts[0], 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("routemodel: community %q: %v", s, err)
+	}
+	lo, err := strconv.ParseUint(parts[1], 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("routemodel: community %q: %v", s, err)
+	}
+	return MkCommunity(uint16(hi), uint16(lo)), nil
+}
+
+// MustCommunity is ParseCommunity that panics on error, for tests and
+// generators with literal communities.
+func MustCommunity(s string) Community {
+	c, err := ParseCommunity(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Prefix is an IPv4 prefix: a 32-bit address and a length 0..32.
+type Prefix struct {
+	Addr uint32
+	Len  uint8
+}
+
+// ParsePrefix parses dotted-quad/len notation, e.g. "10.0.0.0/8".
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("routemodel: prefix %q: missing /len", s)
+	}
+	addrStr, lenStr := s[:slash], s[slash+1:]
+	n, err := strconv.ParseUint(lenStr, 10, 8)
+	if err != nil || n > 32 {
+		return Prefix{}, fmt.Errorf("routemodel: prefix %q: bad length", s)
+	}
+	parts := strings.Split(addrStr, ".")
+	if len(parts) != 4 {
+		return Prefix{}, fmt.Errorf("routemodel: prefix %q: bad address", s)
+	}
+	var addr uint32
+	for _, p := range parts {
+		b, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return Prefix{}, fmt.Errorf("routemodel: prefix %q: bad octet %q", s, p)
+		}
+		addr = addr<<8 | uint32(b)
+	}
+	pfx := Prefix{Addr: addr, Len: uint8(n)}
+	return pfx.Canonical(), nil
+}
+
+// MustPrefix is ParsePrefix that panics on error.
+func MustPrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Mask returns the network mask for the prefix length.
+func (p Prefix) Mask() uint32 {
+	if p.Len == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - uint32(p.Len))
+}
+
+// Canonical returns the prefix with host bits zeroed.
+func (p Prefix) Canonical() Prefix {
+	return Prefix{Addr: p.Addr & p.Mask(), Len: p.Len}
+}
+
+// Contains reports whether q's network is within p's network (p covers q).
+func (p Prefix) Contains(q Prefix) bool {
+	if q.Len < p.Len {
+		return false
+	}
+	return q.Addr&p.Mask() == p.Addr&p.Mask()
+}
+
+// ContainsAddr reports whether the address falls inside the prefix.
+func (p Prefix) ContainsAddr(addr uint32) bool {
+	return addr&p.Mask() == p.Addr&p.Mask()
+}
+
+// String renders dotted-quad/len notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d",
+		byte(p.Addr>>24), byte(p.Addr>>16), byte(p.Addr>>8), byte(p.Addr), p.Len)
+}
+
+// Route is a BGP route advertisement per §3.1:
+// (Prefix, ASPath, NextHop, LocalPref, MED, Comm), extended with the ghost
+// attributes of §4.4. Routes are treated as values; use Clone before
+// mutating a shared route.
+type Route struct {
+	Prefix      Prefix
+	ASPath      []uint32
+	NextHop     uint32
+	LocalPref   uint32
+	MED         uint32
+	Communities map[Community]bool
+	Ghost       map[string]bool
+}
+
+// NewRoute returns a route for the given prefix with default attribute
+// values (LocalPref 100, empty AS path, no communities).
+func NewRoute(p Prefix) *Route {
+	return &Route{
+		Prefix:      p,
+		LocalPref:   100,
+		Communities: make(map[Community]bool),
+		Ghost:       make(map[string]bool),
+	}
+}
+
+// Clone returns a deep copy of the route.
+func (r *Route) Clone() *Route {
+	c := &Route{
+		Prefix:      r.Prefix,
+		NextHop:     r.NextHop,
+		LocalPref:   r.LocalPref,
+		MED:         r.MED,
+		ASPath:      append([]uint32(nil), r.ASPath...),
+		Communities: make(map[Community]bool, len(r.Communities)),
+		Ghost:       make(map[string]bool, len(r.Ghost)),
+	}
+	for k, v := range r.Communities {
+		if v {
+			c.Communities[k] = true
+		}
+	}
+	for k, v := range r.Ghost {
+		if v {
+			c.Ghost[k] = true
+		}
+	}
+	return c
+}
+
+// HasCommunity reports whether the route carries community c.
+func (r *Route) HasCommunity(c Community) bool { return r.Communities[c] }
+
+// AddCommunity tags the route with community c.
+func (r *Route) AddCommunity(c Community) {
+	if r.Communities == nil {
+		r.Communities = make(map[Community]bool)
+	}
+	r.Communities[c] = true
+}
+
+// RemoveCommunity removes community c from the route.
+func (r *Route) RemoveCommunity(c Community) { delete(r.Communities, c) }
+
+// ClearCommunities removes all communities.
+func (r *Route) ClearCommunities() {
+	for k := range r.Communities {
+		delete(r.Communities, k)
+	}
+}
+
+// GhostValue returns the value of a ghost attribute (false if unset).
+func (r *Route) GhostValue(name string) bool { return r.Ghost[name] }
+
+// SetGhost sets a ghost attribute.
+func (r *Route) SetGhost(name string, v bool) {
+	if r.Ghost == nil {
+		r.Ghost = make(map[string]bool)
+	}
+	if v {
+		r.Ghost[name] = true
+	} else {
+		delete(r.Ghost, name)
+	}
+}
+
+// PathContains reports whether the AS path includes the given AS number.
+func (r *Route) PathContains(as uint32) bool {
+	for _, a := range r.ASPath {
+		if a == as {
+			return true
+		}
+	}
+	return false
+}
+
+// PrependAS pushes an AS number onto the front of the AS path (as done on
+// eBGP export).
+func (r *Route) PrependAS(as uint32) {
+	r.ASPath = append([]uint32{as}, r.ASPath...)
+}
+
+// OriginAS returns the last AS on the path (the originator), or 0 when the
+// path is empty (locally originated).
+func (r *Route) OriginAS() uint32 {
+	if len(r.ASPath) == 0 {
+		return 0
+	}
+	return r.ASPath[len(r.ASPath)-1]
+}
+
+// String renders the route compactly for counterexample reports.
+func (r *Route) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s lp=%d med=%d nh=%d path=%v", r.Prefix, r.LocalPref, r.MED, r.NextHop, r.ASPath)
+	if len(r.Communities) > 0 {
+		comms := make([]string, 0, len(r.Communities))
+		for c := range r.Communities {
+			comms = append(comms, c.String())
+		}
+		sort.Strings(comms)
+		fmt.Fprintf(&b, " comm={%s}", strings.Join(comms, ","))
+	}
+	if len(r.Ghost) > 0 {
+		gs := make([]string, 0, len(r.Ghost))
+		for g, v := range r.Ghost {
+			if v {
+				gs = append(gs, g)
+			}
+		}
+		sort.Strings(gs)
+		if len(gs) > 0 {
+			fmt.Fprintf(&b, " ghost={%s}", strings.Join(gs, ","))
+		}
+	}
+	return b.String()
+}
+
+// Equal reports deep equality of two routes including ghost attributes.
+func (r *Route) Equal(o *Route) bool {
+	if r.Prefix != o.Prefix || r.NextHop != o.NextHop || r.LocalPref != o.LocalPref || r.MED != o.MED {
+		return false
+	}
+	if len(r.ASPath) != len(o.ASPath) {
+		return false
+	}
+	for i := range r.ASPath {
+		if r.ASPath[i] != o.ASPath[i] {
+			return false
+		}
+	}
+	if countTrue(r.Communities) != countTrue(o.Communities) {
+		return false
+	}
+	for c, v := range r.Communities {
+		if v && !o.Communities[c] {
+			return false
+		}
+	}
+	if countTrue(r.Ghost) != countTrue(o.Ghost) {
+		return false
+	}
+	for g, v := range r.Ghost {
+		if v && !o.Ghost[g] {
+			return false
+		}
+	}
+	return true
+}
+
+func countTrue[K comparable](m map[K]bool) int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Prefer implements the BGP decision process ordering used by the liveness
+// axioms (Appendix A): it reports whether route a is strictly preferred over
+// route b for the same prefix. The comparison follows the standard BGP
+// steps restricted to the modeled attributes: higher LocalPref, then shorter
+// AS path, then lower MED, then lower NextHop as the final deterministic
+// tie-break.
+func Prefer(a, b *Route) bool {
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	if len(a.ASPath) != len(b.ASPath) {
+		return len(a.ASPath) < len(b.ASPath)
+	}
+	if a.MED != b.MED {
+		return a.MED < b.MED
+	}
+	return a.NextHop < b.NextHop
+}

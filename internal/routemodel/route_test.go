@@ -1,0 +1,282 @@
+package routemodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommunityRoundTrip(t *testing.T) {
+	c := MkCommunity(100, 1)
+	if c.High() != 100 || c.Low() != 1 {
+		t.Fatalf("halves: %d:%d", c.High(), c.Low())
+	}
+	if c.String() != "100:1" {
+		t.Fatalf("String = %q", c.String())
+	}
+	p, err := ParseCommunity("100:1")
+	if err != nil || p != c {
+		t.Fatalf("ParseCommunity: %v %v", p, err)
+	}
+}
+
+func TestParseCommunityErrors(t *testing.T) {
+	for _, s := range []string{"", "100", "100:1:2", "x:1", "1:x", "70000:1", "1:70000"} {
+		if _, err := ParseCommunity(s); err == nil {
+			t.Errorf("ParseCommunity(%q): expected error", s)
+		}
+	}
+}
+
+func TestQuickCommunityRoundTrip(t *testing.T) {
+	f := func(hi, lo uint16) bool {
+		c := MkCommunity(hi, lo)
+		p, err := ParseCommunity(c.String())
+		return err == nil && p == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p, err := ParsePrefix("10.0.0.0/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr != 10<<24 || p.Len != 8 {
+		t.Fatalf("got %v", p)
+	}
+	if p.String() != "10.0.0.0/8" {
+		t.Fatalf("String = %q", p.String())
+	}
+	// Host bits must canonicalize away.
+	p2, err := ParsePrefix("10.1.2.3/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Fatalf("canonicalization failed: %v vs %v", p2, p)
+	}
+}
+
+func TestParsePrefixErrors(t *testing.T) {
+	for _, s := range []string{"", "10.0.0.0", "10.0.0/8", "10.0.0.0.0/8", "10.0.0.0/33", "300.0.0.0/8", "a.b.c.d/8"} {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q): expected error", s)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p8 := MustPrefix("10.0.0.0/8")
+	p16 := MustPrefix("10.1.0.0/16")
+	other := MustPrefix("11.0.0.0/8")
+	if !p8.Contains(p16) {
+		t.Fatal("10/8 should contain 10.1/16")
+	}
+	if p16.Contains(p8) {
+		t.Fatal("10.1/16 should not contain 10/8")
+	}
+	if p8.Contains(other) {
+		t.Fatal("10/8 should not contain 11/8")
+	}
+	if !p8.Contains(p8) {
+		t.Fatal("prefix contains itself")
+	}
+	all := MustPrefix("0.0.0.0/0")
+	if !all.Contains(p8) || !all.Contains(other) {
+		t.Fatal("default route contains everything")
+	}
+}
+
+func TestPrefixMask(t *testing.T) {
+	if MustPrefix("0.0.0.0/0").Mask() != 0 {
+		t.Fatal("len 0 mask")
+	}
+	if MustPrefix("1.2.3.4/32").Mask() != ^uint32(0) {
+		t.Fatal("len 32 mask")
+	}
+	if MustPrefix("10.0.0.0/8").Mask() != 0xFF000000 {
+		t.Fatal("len 8 mask")
+	}
+}
+
+func TestRouteCloneIndependence(t *testing.T) {
+	r := NewRoute(MustPrefix("10.0.0.0/24"))
+	r.AddCommunity(MustCommunity("100:1"))
+	r.SetGhost("FromISP1", true)
+	r.ASPath = []uint32{65001, 65002}
+	c := r.Clone()
+	c.AddCommunity(MustCommunity("200:2"))
+	c.SetGhost("Other", true)
+	c.ASPath[0] = 1
+	c.LocalPref = 500
+	if r.HasCommunity(MustCommunity("200:2")) {
+		t.Fatal("clone shares community map")
+	}
+	if r.GhostValue("Other") {
+		t.Fatal("clone shares ghost map")
+	}
+	if r.ASPath[0] != 65001 {
+		t.Fatal("clone shares AS path")
+	}
+	if r.LocalPref != 100 {
+		t.Fatal("clone shares scalar state")
+	}
+	if !c.HasCommunity(MustCommunity("100:1")) || !c.GhostValue("FromISP1") {
+		t.Fatal("clone lost inherited attributes")
+	}
+}
+
+func TestCommunityOps(t *testing.T) {
+	r := NewRoute(MustPrefix("10.0.0.0/24"))
+	c1 := MustCommunity("1:1")
+	c2 := MustCommunity("2:2")
+	r.AddCommunity(c1)
+	r.AddCommunity(c2)
+	if !r.HasCommunity(c1) || !r.HasCommunity(c2) {
+		t.Fatal("add failed")
+	}
+	r.RemoveCommunity(c1)
+	if r.HasCommunity(c1) || !r.HasCommunity(c2) {
+		t.Fatal("remove failed")
+	}
+	r.ClearCommunities()
+	if r.HasCommunity(c2) {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestPathOps(t *testing.T) {
+	r := NewRoute(MustPrefix("10.0.0.0/24"))
+	if r.OriginAS() != 0 {
+		t.Fatal("empty path origin should be 0")
+	}
+	r.PrependAS(65002)
+	r.PrependAS(65001)
+	if !r.PathContains(65001) || !r.PathContains(65002) || r.PathContains(65003) {
+		t.Fatal("PathContains wrong")
+	}
+	if r.OriginAS() != 65002 {
+		t.Fatalf("OriginAS = %d", r.OriginAS())
+	}
+	if len(r.ASPath) != 2 || r.ASPath[0] != 65001 {
+		t.Fatalf("path = %v", r.ASPath)
+	}
+}
+
+func TestRouteEqual(t *testing.T) {
+	a := NewRoute(MustPrefix("10.0.0.0/24"))
+	b := NewRoute(MustPrefix("10.0.0.0/24"))
+	if !a.Equal(b) {
+		t.Fatal("identical routes should be equal")
+	}
+	b.AddCommunity(MustCommunity("1:1"))
+	if a.Equal(b) {
+		t.Fatal("community difference not detected")
+	}
+	b.RemoveCommunity(MustCommunity("1:1"))
+	if !a.Equal(b) {
+		t.Fatal("removal should restore equality")
+	}
+	b.SetGhost("g", true)
+	if a.Equal(b) {
+		t.Fatal("ghost difference not detected")
+	}
+	b.SetGhost("g", false)
+	b.ASPath = []uint32{1}
+	if a.Equal(b) {
+		t.Fatal("path difference not detected")
+	}
+}
+
+func TestPrefer(t *testing.T) {
+	base := func() *Route {
+		r := NewRoute(MustPrefix("10.0.0.0/24"))
+		r.LocalPref = 100
+		r.ASPath = []uint32{1, 2}
+		r.MED = 10
+		r.NextHop = 5
+		return r
+	}
+	hiLP := base()
+	hiLP.LocalPref = 200
+	if !Prefer(hiLP, base()) || Prefer(base(), hiLP) {
+		t.Fatal("higher local-pref must win")
+	}
+	shortPath := base()
+	shortPath.ASPath = []uint32{1}
+	if !Prefer(shortPath, base()) {
+		t.Fatal("shorter AS path must win")
+	}
+	lowMED := base()
+	lowMED.MED = 1
+	if !Prefer(lowMED, base()) {
+		t.Fatal("lower MED must win")
+	}
+	lowNH := base()
+	lowNH.NextHop = 1
+	if !Prefer(lowNH, base()) {
+		t.Fatal("lower next-hop must win tie-break")
+	}
+	if Prefer(base(), base()) {
+		t.Fatal("Prefer must be irreflexive")
+	}
+}
+
+// Prefer must be a strict total order on distinct (lp, pathlen, med, nh)
+// tuples: asymmetric and total.
+func TestQuickPreferTotalOrder(t *testing.T) {
+	gen := func(rng *rand.Rand) *Route {
+		r := NewRoute(MustPrefix("10.0.0.0/24"))
+		r.LocalPref = uint32(rng.Intn(3))
+		r.ASPath = make([]uint32, rng.Intn(3))
+		r.MED = uint32(rng.Intn(3))
+		r.NextHop = uint32(rng.Intn(3))
+		return r
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := gen(rng), gen(rng)
+		pa, pb := Prefer(a, b), Prefer(b, a)
+		if pa && pb {
+			t.Fatalf("Prefer not asymmetric: %v / %v", a, b)
+		}
+		same := a.LocalPref == b.LocalPref && len(a.ASPath) == len(b.ASPath) && a.MED == b.MED && a.NextHop == b.NextHop
+		if !same && !pa && !pb {
+			t.Fatalf("Prefer not total on distinct keys: %v / %v", a, b)
+		}
+		if same && (pa || pb) {
+			t.Fatalf("Prefer must tie on identical keys: %v / %v", a, b)
+		}
+	}
+}
+
+func TestPreferTransitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gen := func() *Route {
+		r := NewRoute(MustPrefix("10.0.0.0/24"))
+		r.LocalPref = uint32(rng.Intn(3))
+		r.ASPath = make([]uint32, rng.Intn(3))
+		r.MED = uint32(rng.Intn(3))
+		r.NextHop = uint32(rng.Intn(3))
+		return r
+	}
+	for i := 0; i < 3000; i++ {
+		a, b, c := gen(), gen(), gen()
+		if Prefer(a, b) && Prefer(b, c) && !Prefer(a, c) {
+			t.Fatalf("transitivity violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestRouteString(t *testing.T) {
+	r := NewRoute(MustPrefix("10.0.0.0/24"))
+	r.AddCommunity(MustCommunity("100:1"))
+	r.SetGhost("FromISP1", true)
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty route string")
+	}
+}

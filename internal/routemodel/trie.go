@@ -1,0 +1,151 @@
+package routemodel
+
+// PrefixSet is a set of IPv4 prefixes with optional length bounds, used for
+// prefix-list style matching: an entry (prefix, ge, le) matches a route
+// prefix q when prefix covers q and ge <= q.Len <= le. This is how bogon
+// lists and reused-IP sets are represented.
+type PrefixSet struct {
+	entries []PrefixRange
+}
+
+// PrefixRange is one prefix-list entry.
+type PrefixRange struct {
+	Prefix Prefix
+	Ge     uint8 // minimum matched length (>= Prefix.Len)
+	Le     uint8 // maximum matched length (<= 32)
+}
+
+// NewPrefixSet builds a set from exact prefixes (ge = le = prefix length).
+func NewPrefixSet(prefixes ...Prefix) *PrefixSet {
+	s := &PrefixSet{}
+	for _, p := range prefixes {
+		s.AddExact(p)
+	}
+	return s
+}
+
+// AddExact adds a prefix matched exactly.
+func (s *PrefixSet) AddExact(p Prefix) {
+	s.entries = append(s.entries, PrefixRange{Prefix: p.Canonical(), Ge: p.Len, Le: p.Len})
+}
+
+// AddRange adds a prefix matched with a ge..le length window. It panics on
+// an invalid window, which indicates a generator or parser bug.
+func (s *PrefixSet) AddRange(p Prefix, ge, le uint8) {
+	if ge < p.Len || le > 32 || ge > le {
+		panic("routemodel: invalid prefix range")
+	}
+	s.entries = append(s.entries, PrefixRange{Prefix: p.Canonical(), Ge: ge, Le: le})
+}
+
+// Entries returns the underlying entries. The slice must not be modified.
+func (s *PrefixSet) Entries() []PrefixRange { return s.entries }
+
+// Empty reports whether the set has no entries.
+func (s *PrefixSet) Empty() bool { return s == nil || len(s.entries) == 0 }
+
+// Matches reports whether route prefix q matches any entry.
+func (s *PrefixSet) Matches(q Prefix) bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.entries {
+		if q.Len >= e.Ge && q.Len <= e.Le && e.Prefix.ContainsAddr(q.Addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Trie is a binary (radix) trie over prefixes mapping to values; it provides
+// longest-prefix match. The BGP simulator uses it for its RIB and the
+// generators use it for address allocation sanity checks.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// NewTrie returns an empty trie.
+func NewTrie[V any]() *Trie[V] {
+	return &Trie[V]{root: &trieNode[V]{}}
+}
+
+// Len returns the number of stored prefixes.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Insert stores a value at the exact prefix, replacing any previous value.
+func (t *Trie[V]) Insert(p Prefix, v V) {
+	p = p.Canonical()
+	n := t.root
+	for i := 0; i < int(p.Len); i++ {
+		bit := (p.Addr >> (31 - uint(i))) & 1
+		if n.child[bit] == nil {
+			n.child[bit] = &trieNode[V]{}
+		}
+		n = n.child[bit]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val = v
+	n.set = true
+}
+
+// Exact returns the value stored at exactly prefix p.
+func (t *Trie[V]) Exact(p Prefix) (V, bool) {
+	p = p.Canonical()
+	n := t.root
+	for i := 0; i < int(p.Len); i++ {
+		bit := (p.Addr >> (31 - uint(i))) & 1
+		if n.child[bit] == nil {
+			var zero V
+			return zero, false
+		}
+		n = n.child[bit]
+	}
+	return n.val, n.set
+}
+
+// Longest returns the value of the longest stored prefix covering addr.
+func (t *Trie[V]) Longest(addr uint32) (V, bool) {
+	n := t.root
+	var best V
+	found := false
+	if n.set {
+		best, found = n.val, true
+	}
+	for i := 0; i < 32; i++ {
+		bit := (addr >> (31 - uint(i))) & 1
+		if n.child[bit] == nil {
+			break
+		}
+		n = n.child[bit]
+		if n.set {
+			best, found = n.val, true
+		}
+	}
+	return best, found
+}
+
+// Walk visits every stored (prefix, value) pair in preorder.
+func (t *Trie[V]) Walk(fn func(Prefix, V)) {
+	var rec func(n *trieNode[V], addr uint32, depth uint8)
+	rec = func(n *trieNode[V], addr uint32, depth uint8) {
+		if n.set {
+			fn(Prefix{Addr: addr, Len: depth}, n.val)
+		}
+		if n.child[0] != nil {
+			rec(n.child[0], addr, depth+1)
+		}
+		if n.child[1] != nil {
+			rec(n.child[1], addr|1<<(31-uint32(depth)), depth+1)
+		}
+	}
+	rec(t.root, 0, 0)
+}

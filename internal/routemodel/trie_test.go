@@ -1,0 +1,143 @@
+package routemodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPrefixSetExact(t *testing.T) {
+	s := NewPrefixSet(MustPrefix("10.0.0.0/8"), MustPrefix("192.168.0.0/16"))
+	if !s.Matches(MustPrefix("10.0.0.0/8")) {
+		t.Fatal("exact match failed")
+	}
+	if s.Matches(MustPrefix("10.1.0.0/16")) {
+		t.Fatal("exact set must not match longer prefixes")
+	}
+	if s.Matches(MustPrefix("11.0.0.0/8")) {
+		t.Fatal("unrelated prefix matched")
+	}
+}
+
+func TestPrefixSetRange(t *testing.T) {
+	s := &PrefixSet{}
+	s.AddRange(MustPrefix("10.0.0.0/8"), 8, 24)
+	if !s.Matches(MustPrefix("10.0.0.0/8")) || !s.Matches(MustPrefix("10.1.0.0/16")) || !s.Matches(MustPrefix("10.1.1.0/24")) {
+		t.Fatal("in-range lengths should match")
+	}
+	if s.Matches(MustPrefix("10.1.1.0/25")) {
+		t.Fatal("length 25 out of range")
+	}
+	if s.Matches(MustPrefix("11.0.0.0/16")) {
+		t.Fatal("outside address space")
+	}
+}
+
+func TestPrefixSetNilAndEmpty(t *testing.T) {
+	var s *PrefixSet
+	if s.Matches(MustPrefix("10.0.0.0/8")) {
+		t.Fatal("nil set matches nothing")
+	}
+	if !s.Empty() {
+		t.Fatal("nil set is empty")
+	}
+	e := &PrefixSet{}
+	if !e.Empty() || e.Matches(MustPrefix("10.0.0.0/8")) {
+		t.Fatal("empty set")
+	}
+}
+
+func TestPrefixSetInvalidRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&PrefixSet{}).AddRange(MustPrefix("10.0.0.0/16"), 8, 24) // ge < len
+}
+
+func TestTrieExactAndLongest(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(MustPrefix("10.0.0.0/8"), "eight")
+	tr.Insert(MustPrefix("10.1.0.0/16"), "sixteen")
+	tr.Insert(MustPrefix("0.0.0.0/0"), "default")
+
+	if v, ok := tr.Exact(MustPrefix("10.0.0.0/8")); !ok || v != "eight" {
+		t.Fatalf("Exact /8: %v %v", v, ok)
+	}
+	if _, ok := tr.Exact(MustPrefix("10.0.0.0/9")); ok {
+		t.Fatal("Exact /9 should miss")
+	}
+	addr := MustPrefix("10.1.2.0/24").Addr
+	if v, ok := tr.Longest(addr); !ok || v != "sixteen" {
+		t.Fatalf("Longest 10.1.2.0: %v %v", v, ok)
+	}
+	addr2 := MustPrefix("10.200.0.0/16").Addr
+	if v, ok := tr.Longest(addr2); !ok || v != "eight" {
+		t.Fatalf("Longest 10.200.0.0: %v %v", v, ok)
+	}
+	addr3 := MustPrefix("99.0.0.0/8").Addr
+	if v, ok := tr.Longest(addr3); !ok || v != "default" {
+		t.Fatalf("Longest 99.0.0.0: %v %v", v, ok)
+	}
+}
+
+func TestTrieReplace(t *testing.T) {
+	tr := NewTrie[int]()
+	p := MustPrefix("10.0.0.0/8")
+	tr.Insert(p, 1)
+	tr.Insert(p, 2)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if v, _ := tr.Exact(p); v != 2 {
+		t.Fatalf("replace failed: %d", v)
+	}
+}
+
+func TestTrieWalk(t *testing.T) {
+	tr := NewTrie[int]()
+	want := map[Prefix]int{
+		MustPrefix("10.0.0.0/8"):     1,
+		MustPrefix("10.128.0.0/9"):   2,
+		MustPrefix("192.168.1.0/24"): 3,
+		MustPrefix("0.0.0.0/0"):      4,
+	}
+	for p, v := range want {
+		tr.Insert(p, v)
+	}
+	got := map[Prefix]int{}
+	tr.Walk(func(p Prefix, v int) { got[p] = v })
+	if len(got) != len(want) {
+		t.Fatalf("Walk visited %d, want %d", len(got), len(want))
+	}
+	for p, v := range want {
+		if got[p] != v {
+			t.Fatalf("Walk[%v] = %d, want %d", p, got[p], v)
+		}
+	}
+}
+
+func TestTrieRandomizedAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := NewTrie[int]()
+	var stored []Prefix
+	for i := 0; i < 300; i++ {
+		p := Prefix{Addr: rng.Uint32(), Len: uint8(rng.Intn(33))}.Canonical()
+		tr.Insert(p, i)
+		stored = append(stored, p)
+	}
+	for trial := 0; trial < 500; trial++ {
+		addr := rng.Uint32()
+		// Linear-scan reference: longest stored prefix covering addr.
+		bestLen := -1
+		for _, p := range stored {
+			if p.ContainsAddr(addr) && int(p.Len) > bestLen {
+				bestLen = int(p.Len)
+			}
+		}
+		_, ok := tr.Longest(addr)
+		if (bestLen >= 0) != ok {
+			t.Fatalf("Longest(%d) presence mismatch: trie=%v scan=%v", addr, ok, bestLen >= 0)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+
+	"lightyear/internal/topology"
+)
+
+// ValidateAxioms checks a trace against the safety axioms of Appendix A:
+//
+//  1. every recv(N→R, r) is preceded by frwd(N→R, r), unless N is external;
+//  2. every slct(R, r) is preceded by a recv(N→R, r') with
+//     r = Import(N→R, r') (including ghost updates);
+//  3. every frwd(R→N, r) is an origination on R→N or is preceded by a
+//     slct(R, r') with r = Export(R→N, r') (including ghost updates and
+//     eBGP prepending).
+//
+// It returns an error describing the first violated axiom. The verifier's
+// correctness proof quantifies over traces satisfying these axioms, so the
+// simulator must only ever produce such traces; the differential tests
+// assert exactly that.
+func (s *Simulator) ValidateAxioms(t *Trace) error {
+	for i, ev := range t.Events {
+		switch ev.Kind {
+		case Recv:
+			if s.n.IsExternal(ev.Edge.From) {
+				continue // axiom 1a
+			}
+			if !precededByFrwd(t, i, ev) {
+				return fmt.Errorf("axiom 1: event %d %s has no preceding frwd", i, ev)
+			}
+		case Slct:
+			if !s.precededByMatchingRecv(t, i, ev) {
+				return fmt.Errorf("axiom 2: event %d %s has no justifying recv+import", i, ev)
+			}
+		case Frwd:
+			if s.isOrigination(ev) {
+				continue // axiom 3a
+			}
+			if !s.precededByMatchingSlct(t, i, ev) {
+				return fmt.Errorf("axiom 3: event %d %s has no justifying slct+export", i, ev)
+			}
+		}
+	}
+	return nil
+}
+
+func precededByFrwd(t *Trace, upto int, ev Event) bool {
+	for j := 0; j < upto; j++ {
+		p := t.Events[j]
+		if p.Kind == Frwd && p.Edge == ev.Edge && p.Route.Equal(ev.Route) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Simulator) precededByMatchingRecv(t *Trace, upto int, ev Event) bool {
+	for j := 0; j < upto; j++ {
+		p := t.Events[j]
+		if p.Kind != Recv || p.Edge.To != ev.Router {
+			continue
+		}
+		imported := s.importRoute(p.Edge, p.Route)
+		if imported != nil && imported.Equal(ev.Route) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Simulator) isOrigination(ev Event) bool {
+	for _, r := range s.n.Originate(ev.Edge) {
+		out := r.Clone()
+		for _, g := range s.ghosts {
+			v := false
+			if g.OnOriginate != nil {
+				v = g.OnOriginate(ev.Edge)
+			}
+			out.SetGhost(g.Name, v)
+		}
+		if s.n.IsExternal(ev.Edge.To) {
+			out.PrependAS(s.asOf(ev.Edge.From))
+		}
+		if out.Equal(ev.Route) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Simulator) precededByMatchingSlct(t *Trace, upto int, ev Event) bool {
+	for j := 0; j < upto; j++ {
+		p := t.Events[j]
+		if p.Kind != Slct || p.Router != ev.Edge.From {
+			continue
+		}
+		exported := s.exportRoute(ev.Edge, p.Route)
+		if exported != nil && exported.Equal(ev.Route) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExternalAnnounceEdges returns the edges on which external neighbors can
+// announce (used by the random-workload differential tests).
+func (s *Simulator) ExternalAnnounceEdges() []topology.Edge {
+	var out []topology.Edge
+	for _, e := range s.n.Edges() {
+		if s.n.IsExternal(e.From) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,388 @@
+// Package sim implements an executable model of the BGP semantics of §3.2:
+// an event-driven message-passing simulator that produces traces of recv,
+// slct, and frwd events satisfying the trace axioms of Appendix A. It is
+// the dynamic counterpart of the verifier — differential tests run the
+// simulator under random external announcements, event orderings, and link
+// failures, and assert that no generated trace violates a property that
+// Lightyear verified.
+//
+// The simulator executes the same policy IR (route maps + ghost updates) as
+// the verifier's symbolic encoding, applies the BGP decision process of
+// routemodel.Prefer, and follows standard session semantics: iBGP-learned
+// routes are not re-advertised to other iBGP peers (full-mesh iBGP), the
+// local AS is prepended on eBGP export, and eBGP imports drop routes whose
+// AS path already contains the local AS (loop prevention).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lightyear/internal/core"
+	"lightyear/internal/policy"
+	"lightyear/internal/routemodel"
+	"lightyear/internal/spec"
+	"lightyear/internal/topology"
+)
+
+// EventKind is the type of a trace event (§3.2).
+type EventKind int
+
+// Trace event kinds.
+const (
+	Recv EventKind = iota // recv(N -> R, r): R receives r from N
+	Slct                  // slct(R, r): R selects r as best and installs it
+	Frwd                  // frwd(R -> N, r): R forwards r to N
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Recv:
+		return "recv"
+	case Slct:
+		return "slct"
+	case Frwd:
+		return "frwd"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one trace event. Edge is set for Recv/Frwd; Router for Slct.
+type Event struct {
+	Kind   EventKind
+	Edge   topology.Edge
+	Router topology.NodeID
+	Route  *routemodel.Route
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case Slct:
+		return fmt.Sprintf("slct(%s, %s)", e.Router, e.Route)
+	default:
+		return fmt.Sprintf("%s(%s, %s)", e.Kind, e.Edge, e.Route)
+	}
+}
+
+// Trace is a sequence of events produced by one simulation run.
+type Trace struct {
+	Events []Event
+}
+
+// Violation describes a trace event contradicting a safety property.
+type Violation struct {
+	Index int
+	Event Event
+	Pred  spec.Pred
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("event %d: %s violates %q", v.Index, v.Event, v.Pred)
+}
+
+// CheckSafety scans the trace for a violation of the safety property
+// (loc, p) under the semantics of §4.1: slct events at a router location,
+// recv/frwd events at an edge location.
+func (t *Trace) CheckSafety(loc core.Location, p spec.Pred) *Violation {
+	for i, ev := range t.Events {
+		match := false
+		if loc.IsEdge() {
+			match = (ev.Kind == Recv || ev.Kind == Frwd) && ev.Edge == loc.Edge()
+		} else {
+			match = ev.Kind == Slct && ev.Router == loc.Router()
+		}
+		if match && !p.Eval(ev.Route) {
+			return &Violation{Index: i, Event: ev, Pred: p}
+		}
+	}
+	return nil
+}
+
+// SatisfiesLiveness reports whether some event at loc carries a route
+// satisfying p (the liveness property semantics of §5.1: slct for routers,
+// frwd for edges).
+func (t *Trace) SatisfiesLiveness(loc core.Location, p spec.Pred) bool {
+	for _, ev := range t.Events {
+		if loc.IsEdge() {
+			if ev.Kind == Frwd && ev.Edge == loc.Edge() && p.Eval(ev.Route) {
+				return true
+			}
+		} else {
+			if ev.Kind == Slct && ev.Router == loc.Router() && p.Eval(ev.Route) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// linkKey is an undirected link identifier.
+type linkKey struct{ a, b topology.NodeID }
+
+func mkLink(a, b topology.NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// Simulator runs BGP propagation over a network.
+type Simulator struct {
+	n      *topology.Network
+	ghosts []core.GhostDef
+
+	announcements map[topology.Edge][]*routemodel.Route
+	failed        map[linkKey]bool
+	rng           *rand.Rand
+}
+
+// New returns a simulator for the network with the given ghost definitions
+// (so that simulated routes carry the same ghost attributes the verifier
+// reasons about).
+func New(n *topology.Network, ghosts []core.GhostDef) *Simulator {
+	return &Simulator{
+		n:             n,
+		ghosts:        ghosts,
+		announcements: make(map[topology.Edge][]*routemodel.Route),
+		failed:        make(map[linkKey]bool),
+		rng:           rand.New(rand.NewSource(1)),
+	}
+}
+
+// Seed sets the randomization seed used for event-order shuffling.
+func (s *Simulator) Seed(seed int64) { s.rng = rand.New(rand.NewSource(seed)) }
+
+// Announce schedules an external announcement: the external router e.From
+// sends r to e.To when the simulation runs.
+func (s *Simulator) Announce(e topology.Edge, r *routemodel.Route) {
+	if !s.n.IsExternal(e.From) {
+		panic(fmt.Sprintf("sim: announcements must come from external nodes, got %v", e))
+	}
+	if !s.n.HasEdge(e) {
+		panic(fmt.Sprintf("sim: unknown edge %v", e))
+	}
+	s.announcements[e] = append(s.announcements[e], r)
+}
+
+// FailLink marks the (undirected) link between a and b as failed; no
+// messages traverse it in either direction.
+func (s *Simulator) FailLink(a, b topology.NodeID) { s.failed[mkLink(a, b)] = true }
+
+// message is a pending route delivery on an edge.
+type message struct {
+	edge  topology.Edge
+	route *routemodel.Route
+}
+
+// routerState is the per-router RIB state.
+type routerState struct {
+	// adjIn holds the post-import route per (prefix, sending neighbor).
+	adjIn map[routemodel.Prefix]map[topology.NodeID]*routemodel.Route
+	// bestFrom records which neighbor contributed the current best route.
+	best     map[routemodel.Prefix]*routemodel.Route
+	bestFrom map[routemodel.Prefix]topology.NodeID
+}
+
+func newRouterState() *routerState {
+	return &routerState{
+		adjIn:    make(map[routemodel.Prefix]map[topology.NodeID]*routemodel.Route),
+		best:     make(map[routemodel.Prefix]*routemodel.Route),
+		bestFrom: make(map[routemodel.Prefix]topology.NodeID),
+	}
+}
+
+// Run executes the simulation to quiescence (or maxEvents, whichever comes
+// first) and returns the trace. Each call replays the configured
+// announcements from scratch.
+func (s *Simulator) Run(maxEvents int) *Trace {
+	trace := &Trace{}
+	states := make(map[topology.NodeID]*routerState)
+	for _, r := range s.n.Routers() {
+		states[r] = newRouterState()
+	}
+
+	var queue []message
+	push := func(m message) { queue = append(queue, m) }
+
+	// Originations: frwd on their edges (axiom 3a), then deliver.
+	for _, e := range s.n.Edges() {
+		for _, r := range s.n.Originate(e) {
+			out := r.Clone()
+			for _, g := range s.ghosts {
+				v := false
+				if g.OnOriginate != nil {
+					v = g.OnOriginate(e)
+				}
+				out.SetGhost(g.Name, v)
+			}
+			if s.n.IsExternal(e.To) {
+				out = out.Clone()
+				out.PrependAS(s.asOf(e.From))
+			}
+			trace.Events = append(trace.Events, Event{Kind: Frwd, Edge: e, Route: out})
+			push(message{edge: e, route: out})
+		}
+	}
+
+	// External announcements: the external "forwards" its routes. Edges
+	// are visited in deterministic order so a fixed Seed yields a fully
+	// reproducible trace.
+	annEdges := make([]topology.Edge, 0, len(s.announcements))
+	for e := range s.announcements {
+		annEdges = append(annEdges, e)
+	}
+	sort.Slice(annEdges, func(i, j int) bool {
+		if annEdges[i].From != annEdges[j].From {
+			return annEdges[i].From < annEdges[j].From
+		}
+		return annEdges[i].To < annEdges[j].To
+	})
+	for _, e := range annEdges {
+		for _, r := range s.announcements[e] {
+			push(message{edge: e, route: r.Clone()})
+		}
+	}
+
+	for len(queue) > 0 && len(trace.Events) < maxEvents {
+		// Random event order (§3.2: events can occur in any order).
+		i := s.rng.Intn(len(queue))
+		m := queue[i]
+		queue[i] = queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		if s.failed[mkLink(m.edge.From, m.edge.To)] {
+			continue // link down: message lost
+		}
+		dst := m.edge.To
+		if s.n.IsExternal(dst) {
+			// Externals are sinks; the frwd event was already recorded.
+			continue
+		}
+		trace.Events = append(trace.Events, Event{Kind: Recv, Edge: m.edge, Route: m.route})
+
+		st := states[dst]
+		imported := s.importRoute(m.edge, m.route)
+		if imported == nil {
+			continue
+		}
+		pfx := imported.Prefix
+		if st.adjIn[pfx] == nil {
+			st.adjIn[pfx] = make(map[topology.NodeID]*routemodel.Route)
+		}
+		st.adjIn[pfx][m.edge.From] = imported
+
+		// Decision process: best route among all neighbors for the prefix.
+		// Neighbors are scanned in sorted order so Prefer ties (which it
+		// breaks deterministically) cannot depend on map iteration order.
+		nbs := make([]topology.NodeID, 0, len(st.adjIn[pfx]))
+		for nb := range st.adjIn[pfx] {
+			nbs = append(nbs, nb)
+		}
+		sort.Slice(nbs, func(i, j int) bool { return nbs[i] < nbs[j] })
+		var best *routemodel.Route
+		var bestFrom topology.NodeID
+		for _, nb := range nbs {
+			cand := st.adjIn[pfx][nb]
+			if best == nil || routemodel.Prefer(cand, best) {
+				best, bestFrom = cand, nb
+			}
+		}
+		prev := st.best[pfx]
+		if prev != nil && best.Equal(prev) && st.bestFrom[pfx] == bestFrom {
+			continue // no change: nothing new to select or advertise
+		}
+		st.best[pfx] = best
+		st.bestFrom[pfx] = bestFrom
+		trace.Events = append(trace.Events, Event{Kind: Slct, Edge: topology.Edge{}, Router: dst, Route: best})
+
+		// Advertise to neighbors per export policy and session rules.
+		fromInternal := !s.n.IsExternal(bestFrom)
+		for _, nb := range s.n.Neighbors(dst) {
+			if nb == bestFrom {
+				continue // no immediate bounce-back to the sender
+			}
+			// Full-mesh iBGP rule: internal-learned routes are not
+			// re-advertised to other internal peers.
+			if fromInternal && !s.n.IsExternal(nb) {
+				continue
+			}
+			e := topology.Edge{From: dst, To: nb}
+			if !s.n.HasEdge(e) {
+				continue
+			}
+			exported := s.exportRoute(e, best)
+			if exported == nil {
+				continue
+			}
+			trace.Events = append(trace.Events, Event{Kind: Frwd, Edge: e, Route: exported})
+			push(message{edge: e, route: exported})
+		}
+	}
+	return trace
+}
+
+func (s *Simulator) asOf(id topology.NodeID) uint32 {
+	if n := s.n.Node(id); n != nil {
+		return n.AS
+	}
+	return 0
+}
+
+// importRoute applies the import filter, ghost updates, and eBGP loop
+// prevention for a route arriving on edge e; nil means rejected.
+func (s *Simulator) importRoute(e topology.Edge, r *routemodel.Route) *routemodel.Route {
+	if s.n.IsExternal(e.From) && r.PathContains(s.asOf(e.To)) {
+		return nil // eBGP loop prevention
+	}
+	out, ok := s.n.Import(e).Apply(r)
+	if !ok {
+		return nil
+	}
+	for _, a := range ghostImports(s.ghosts, e) {
+		a.Apply(out)
+	}
+	return out
+}
+
+// exportRoute applies the export filter, ghost updates, and eBGP AS
+// prepending for a route leaving on edge e; nil means rejected.
+func (s *Simulator) exportRoute(e topology.Edge, r *routemodel.Route) *routemodel.Route {
+	out, ok := s.n.Export(e).Apply(r)
+	if !ok {
+		return nil
+	}
+	for _, a := range ghostExports(s.ghosts, e) {
+		a.Apply(out)
+	}
+	if s.n.IsExternal(e.To) {
+		out.PrependAS(s.asOf(e.From))
+	}
+	return out
+}
+
+func ghostImports(ghosts []core.GhostDef, e topology.Edge) []policy.Action {
+	var out []policy.Action
+	for _, g := range ghosts {
+		if g.OnImport == nil {
+			continue
+		}
+		if v, set := g.OnImport(e); set {
+			out = append(out, policy.SetGhost{Name: g.Name, Value: v})
+		}
+	}
+	return out
+}
+
+func ghostExports(ghosts []core.GhostDef, e topology.Edge) []policy.Action {
+	var out []policy.Action
+	for _, g := range ghosts {
+		if g.OnExport == nil {
+			continue
+		}
+		if v, set := g.OnExport(e); set {
+			out = append(out, policy.SetGhost{Name: g.Name, Value: v})
+		}
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"lightyear/internal/core"
+	"lightyear/internal/netgen"
+	"lightyear/internal/routemodel"
+	"lightyear/internal/sim"
+	"lightyear/internal/spec"
+	"lightyear/internal/topology"
+)
+
+func fig1Sim(o netgen.Fig1Options) (*topology.Network, *sim.Simulator) {
+	n := netgen.Fig1(o)
+	s := sim.New(n, []core.GhostDef{netgen.FromISP1Ghost(n)})
+	return n, s
+}
+
+func announceDefault(s *sim.Simulator) {
+	// ISP1 announces an arbitrary Internet route.
+	r := routemodel.NewRoute(routemodel.MustPrefix("8.8.0.0/16"))
+	r.ASPath = []uint32{174}
+	s.Announce(topology.Edge{From: "ISP1", To: "R1"}, r)
+	// Customer announces its own prefix.
+	c := routemodel.NewRoute(routemodel.MustPrefix("10.42.1.0/24"))
+	c.ASPath = []uint32{64512}
+	s.Announce(topology.Edge{From: "Customer", To: "R3"}, c)
+}
+
+func TestSimulationProducesEvents(t *testing.T) {
+	_, s := fig1Sim(netgen.Fig1Options{})
+	announceDefault(s)
+	tr := s.Run(10000)
+	if len(tr.Events) == 0 {
+		t.Fatal("no events produced")
+	}
+	var recvs, slcts, frwds int
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case sim.Recv:
+			recvs++
+		case sim.Slct:
+			slcts++
+		case sim.Frwd:
+			frwds++
+		}
+	}
+	if recvs == 0 || slcts == 0 || frwds == 0 {
+		t.Fatalf("event mix recv=%d slct=%d frwd=%d", recvs, slcts, frwds)
+	}
+}
+
+func TestTraceSatisfiesAxioms(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		_, s := fig1Sim(netgen.Fig1Options{})
+		s.Seed(seed)
+		announceDefault(s)
+		tr := s.Run(10000)
+		if err := s.ValidateAxioms(tr); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGhostTaggingInSimulation(t *testing.T) {
+	_, s := fig1Sim(netgen.Fig1Options{})
+	announceDefault(s)
+	tr := s.Run(10000)
+	// Every slct at R1 of the ISP1 route must carry FromISP1 and 100:1.
+	seen := false
+	for _, ev := range tr.Events {
+		if ev.Kind == sim.Slct && ev.Router == "R1" && ev.Route.Prefix == routemodel.MustPrefix("8.8.0.0/16") {
+			seen = true
+			if !ev.Route.GhostValue("FromISP1") {
+				t.Fatalf("route not marked FromISP1: %s", ev.Route)
+			}
+			if !ev.Route.HasCommunity(netgen.CommTransit) {
+				t.Fatalf("route not tagged 100:1: %s", ev.Route)
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("ISP1 route never selected at R1")
+	}
+}
+
+func TestNoTransitHoldsInSimulation(t *testing.T) {
+	exit := core.AtEdge(topology.Edge{From: "R2", To: "ISP2"})
+	pred := spec.Not(spec.Ghost("FromISP1"))
+	for seed := int64(0); seed < 10; seed++ {
+		_, s := fig1Sim(netgen.Fig1Options{})
+		s.Seed(seed)
+		announceDefault(s)
+		tr := s.Run(10000)
+		if v := tr.CheckSafety(exit, pred); v != nil {
+			t.Fatalf("seed %d: %s", seed, v)
+		}
+	}
+}
+
+func TestBuggyConfigViolatesInSimulation(t *testing.T) {
+	// Without the export filter, the ISP1 route reaches ISP2 in simulation
+	// — the simulator confirms the bug Lightyear reports statically.
+	exit := core.AtEdge(topology.Edge{From: "R2", To: "ISP2"})
+	pred := spec.Not(spec.Ghost("FromISP1"))
+	_, s := fig1Sim(netgen.Fig1Options{SkipExportFilter: true})
+	announceDefault(s)
+	tr := s.Run(10000)
+	if v := tr.CheckSafety(exit, pred); v == nil {
+		t.Fatal("expected a violation in simulation with the export filter removed")
+	}
+}
+
+func TestLivenessInSimulation(t *testing.T) {
+	exit := core.AtEdge(topology.Edge{From: "R2", To: "ISP2"})
+	_, s := fig1Sim(netgen.Fig1Options{})
+	announceDefault(s)
+	tr := s.Run(10000)
+	if !tr.SatisfiesLiveness(exit, netgen.HasCustPrefix()) {
+		t.Fatal("customer route never forwarded to ISP2")
+	}
+}
+
+func TestLinkFailureDropsMessages(t *testing.T) {
+	exit := core.AtEdge(topology.Edge{From: "R2", To: "ISP2"})
+	_, s := fig1Sim(netgen.Fig1Options{})
+	announceDefault(s)
+	s.FailLink("R3", "R2")
+	s.FailLink("R3", "R1")
+	tr := s.Run(10000)
+	// Customer routes cannot reach R2 with both R3 links down.
+	if tr.SatisfiesLiveness(exit, netgen.HasCustPrefix()) {
+		t.Fatal("customer route should not reach ISP2 with R3 isolated")
+	}
+	// Safety still holds under failures (§4.5).
+	if v := tr.CheckSafety(exit, spec.Not(spec.Ghost("FromISP1"))); v != nil {
+		t.Fatalf("safety violated under failure: %s", v)
+	}
+}
+
+func TestEBGPLoopPrevention(t *testing.T) {
+	n := netgen.Fig1(netgen.Fig1Options{})
+	s := sim.New(n, nil)
+	// ISP1 sends a route whose path already contains AS 65000 (ours).
+	r := routemodel.NewRoute(routemodel.MustPrefix("9.9.0.0/16"))
+	r.ASPath = []uint32{174, 65000}
+	s.Announce(topology.Edge{From: "ISP1", To: "R1"}, r)
+	tr := s.Run(10000)
+	for _, ev := range tr.Events {
+		if ev.Kind == sim.Slct && ev.Route.Prefix == routemodel.MustPrefix("9.9.0.0/16") {
+			t.Fatalf("looped route selected: %s", ev)
+		}
+	}
+}
+
+func TestASPrependOnEBGPExport(t *testing.T) {
+	_, s := fig1Sim(netgen.Fig1Options{})
+	announceDefault(s)
+	tr := s.Run(10000)
+	for _, ev := range tr.Events {
+		if ev.Kind == sim.Frwd && ev.Edge == (topology.Edge{From: "R2", To: "ISP2"}) {
+			if !ev.Route.PathContains(65000) {
+				t.Fatalf("eBGP export missing local AS prepend: %s", ev.Route)
+			}
+		}
+	}
+}
+
+func TestDecisionProcessPrefersLocalPref(t *testing.T) {
+	// Two externals at different routers announce the same prefix; R2
+	// raises local-pref on ISP2 routes, so R2 must select the ISP2 copy.
+	n := netgen.Fig1(netgen.Fig1Options{})
+	imp := n.Import(topology.Edge{From: "ISP2", To: "R2"})
+	imp.Clauses[1].Actions = append(imp.Clauses[1].Actions, // permit clause
+		// Raise preference for ISP2-learned routes.
+		// (Mutating the generated map is fine: it is per-test state.)
+		ispPrefAction())
+	s := sim.New(n, nil)
+	p := routemodel.MustPrefix("8.8.0.0/16")
+	r1 := routemodel.NewRoute(p)
+	r1.ASPath = []uint32{174}
+	s.Announce(topology.Edge{From: "ISP1", To: "R1"}, r1)
+	r2 := routemodel.NewRoute(p)
+	r2.ASPath = []uint32{3356, 15169}
+	s.Announce(topology.Edge{From: "ISP2", To: "R2"}, r2)
+	tr := s.Run(10000)
+
+	var last *sim.Event
+	for i := range tr.Events {
+		ev := tr.Events[i]
+		if ev.Kind == sim.Slct && ev.Router == "R2" && ev.Route.Prefix == p {
+			last = &tr.Events[i]
+		}
+	}
+	if last == nil {
+		t.Fatal("R2 never selected 8.8.0.0/16")
+	}
+	if last.Route.LocalPref != 300 {
+		t.Fatalf("R2 should settle on the lp=300 ISP2 route, got %s", last.Route)
+	}
+}
+
+func ispPrefAction() interface {
+	Apply(*routemodel.Route)
+	ApplySym(*spec.SymRoute)
+	String() string
+	AddToUniverse(*spec.Universe)
+} {
+	return setLP300{}
+}
+
+type setLP300 struct{}
+
+func (setLP300) Apply(r *routemodel.Route)      { r.LocalPref = 300 }
+func (setLP300) ApplySym(sr *spec.SymRoute)     { sr.LocalPref = sr.Ctx.BV(300, spec.WidthLocalPref) }
+func (setLP300) String() string                 { return "set local-pref 300" }
+func (setLP300) AddToUniverse(u *spec.Universe) {}
+
+// TestDifferentialSafety is the cornerstone differential test: when
+// Lightyear verifies the no-transit property, no simulated trace — over
+// random announcements, event orders, and random link failures — may
+// violate it.
+func TestDifferentialSafety(t *testing.T) {
+	n := netgen.Fig1(netgen.Fig1Options{})
+	prob := netgen.Fig1NoTransitProblem(n)
+	rep := core.VerifySafety(prob, core.Options{})
+	if !rep.OK() {
+		t.Fatalf("precondition: property must verify:\n%s", rep.Summary())
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	prefixes := []string{"8.8.0.0/16", "1.2.3.0/24", "10.42.7.0/24", "10.50.0.0/16", "203.0.113.0/24"}
+	comms := []routemodel.Community{netgen.CommTransit, routemodel.MustCommunity("7:7")}
+
+	for trial := 0; trial < 25; trial++ {
+		s := sim.New(n, []core.GhostDef{netgen.FromISP1Ghost(n)})
+		s.Seed(int64(trial))
+		for _, e := range s.ExternalAnnounceEdges() {
+			for k := rng.Intn(3); k > 0; k-- {
+				r := routemodel.NewRoute(routemodel.MustPrefix(prefixes[rng.Intn(len(prefixes))]))
+				r.ASPath = []uint32{uint32(100 + rng.Intn(900))}
+				r.LocalPref = uint32(rng.Intn(500))
+				if rng.Intn(2) == 0 {
+					r.AddCommunity(comms[rng.Intn(len(comms))]) // adversarial: externals may send 100:1!
+				}
+				s.Announce(e, r)
+			}
+		}
+		// Random failures: safety must hold regardless (§4.5).
+		if rng.Intn(2) == 0 {
+			pairs := [][2]topology.NodeID{{"R1", "R2"}, {"R1", "R3"}, {"R2", "R3"}}
+			pr := pairs[rng.Intn(len(pairs))]
+			s.FailLink(pr[0], pr[1])
+		}
+		tr := s.Run(20000)
+		if err := s.ValidateAxioms(tr); err != nil {
+			t.Fatalf("trial %d: invalid trace: %v", trial, err)
+		}
+		if v := tr.CheckSafety(prob.Property.Loc, prob.Property.Pred); v != nil {
+			t.Fatalf("trial %d: verified property violated in simulation: %s", trial, v)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"lightyear/internal/core"
+	"lightyear/internal/netgen"
+	"lightyear/internal/routemodel"
+	"lightyear/internal/sim"
+	"lightyear/internal/spec"
+	"lightyear/internal/topology"
+)
+
+// wanWorkload announces a mix of reused-prefix routes from every DC and
+// adversarial Internet announcements from every peer.
+func wanWorkload(s *sim.Simulator, rng *rand.Rand, params netgen.WANParams) {
+	for r := 0; r < params.Regions; r++ {
+		for d := 0; d < params.DCsPerRegion; d++ {
+			reused := routemodel.NewRoute(routemodel.MustPrefix("10.128.0.0/16"))
+			reused.ASPath = []uint32{uint32(65100 + r)}
+			pub := routemodel.NewRoute(routemodel.MustPrefix("52.0.0.0/16"))
+			pub.ASPath = []uint32{uint32(65100 + r)}
+			for i := 0; i < params.RoutersPerRegion; i++ {
+				e := topology.Edge{From: netgen.DCRouter(r, d), To: netgen.RegionRouter(r, i)}
+				s.Announce(e, reused)
+				s.Announce(e, pub)
+			}
+		}
+	}
+	adversarial := []string{"10.128.0.0/16", "8.8.0.0/16", "0.0.0.0/8", "240.1.0.0/16"}
+	for e := 0; e < params.EdgeRouters; e++ {
+		for q := 0; q < params.PeersPerEdge; q++ {
+			r := routemodel.NewRoute(routemodel.MustPrefix(adversarial[rng.Intn(len(adversarial))]))
+			r.ASPath = []uint32{uint32(2000 + e*100 + q)}
+			if rng.Intn(2) == 0 {
+				// Externals may even send internal region communities.
+				r.AddCommunity(netgen.RegionComm(rng.Intn(params.Regions)))
+			}
+			s.Announce(topology.Edge{From: netgen.PeerNode(e, q), To: netgen.EdgeRouter(e)}, r)
+		}
+	}
+}
+
+// TestWANDifferentialIPReuseSafety: the verified Table-4b property must
+// hold in every simulated trace, across random event orders and failures.
+func TestWANDifferentialIPReuseSafety(t *testing.T) {
+	params := netgen.DefaultWANParams()
+	n := netgen.WAN(params, netgen.WANBugs{})
+	prob := netgen.IPReuseSafetyProblem(n, params, 0, netgen.RegionRouter(1, 0))
+	if !core.VerifySafety(prob, core.Options{}).OK() {
+		t.Fatal("precondition: property must verify")
+	}
+	ghosts := []core.GhostDef{netgen.FromRegionGhost(n, 0)}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		s := sim.New(n, ghosts)
+		s.Seed(int64(trial))
+		wanWorkload(s, rng, params)
+		if rng.Intn(2) == 0 {
+			s.FailLink(netgen.RegionRouter(0, 0), netgen.RegionRouter(1, 0))
+		}
+		tr := s.Run(200000)
+		if v := tr.CheckSafety(prob.Property.Loc, prob.Property.Pred); v != nil {
+			t.Fatalf("trial %d: verified property violated: %s", trial, v)
+		}
+		if err := s.ValidateAxioms(tr); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestWANDifferentialBuggyReuseViolates: with the wrong-community bug, the
+// simulator must be able to exhibit the leak the verifier reports.
+func TestWANDifferentialBuggyReuseViolates(t *testing.T) {
+	params := netgen.DefaultWANParams()
+	n := netgen.WAN(params, netgen.WANBugs{WrongRegionCommunity: true})
+	prob := netgen.IPReuseSafetyProblem(n, params, 0, netgen.RegionRouter(1, 0))
+	if core.VerifySafety(prob, core.Options{}).OK() {
+		t.Fatal("precondition: bug must be caught statically")
+	}
+	ghosts := []core.GhostDef{netgen.FromRegionGhost(n, 0)}
+	rng := rand.New(rand.NewSource(4))
+	violated := false
+	for trial := 0; trial < 10 && !violated; trial++ {
+		s := sim.New(n, ghosts)
+		s.Seed(int64(trial))
+		wanWorkload(s, rng, params)
+		tr := s.Run(200000)
+		if tr.CheckSafety(prob.Property.Loc, prob.Property.Pred) != nil {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("simulation never exhibited the statically detected leak")
+	}
+}
+
+// TestWANDifferentialPeeringProperties: all 11 verified peering properties
+// hold dynamically at a core router.
+func TestWANDifferentialPeeringProperties(t *testing.T) {
+	params := netgen.DefaultWANParams()
+	n := netgen.WAN(params, netgen.WANBugs{})
+	ghosts := []core.GhostDef{netgen.FromPeerGhost(n)}
+	rng := rand.New(rand.NewSource(21))
+	s := sim.New(n, ghosts)
+	wanWorkload(s, rng, params)
+	tr := s.Run(200000)
+	at := core.AtRouter(netgen.RegionRouter(0, 0))
+	for _, prop := range netgen.PeeringProperties(params.Regions) {
+		pred := spec.Implies(spec.Ghost("FromPeer"), prop.Q)
+		if v := tr.CheckSafety(at, pred); v != nil {
+			t.Fatalf("property %s violated in simulation: %s", prop.Name, v)
+		}
+	}
+}
+
+// TestWANLivenessDynamically: reused routes reach the region's second
+// router in simulation, as the Table-4c proof promises.
+func TestWANLivenessDynamically(t *testing.T) {
+	params := netgen.DefaultWANParams()
+	n := netgen.WAN(params, netgen.WANBugs{})
+	ghosts := []core.GhostDef{netgen.FromRegionGhost(n, 0)}
+	s := sim.New(n, ghosts)
+	reused := routemodel.NewRoute(routemodel.MustPrefix("10.128.0.0/16"))
+	reused.ASPath = []uint32{65100}
+	s.Announce(topology.Edge{From: netgen.DCRouter(0, 0), To: netgen.RegionRouter(0, 0)}, reused)
+	tr := s.Run(100000)
+	target := core.AtRouter(netgen.RegionRouter(0, 1))
+	good := spec.And(spec.Ghost("FromRegion0"), spec.PrefixIn(netgen.ReusedIPs))
+	if !tr.SatisfiesLiveness(target, good) {
+		t.Fatal("reused route never selected at the region's second router")
+	}
+	// And it must NOT reach a router outside the region.
+	outside := core.AtRouter(netgen.RegionRouter(1, 0))
+	if tr.SatisfiesLiveness(outside, good) {
+		t.Fatal("reused route escaped its region in simulation")
+	}
+}

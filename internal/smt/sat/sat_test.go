@@ -1,0 +1,456 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLitEncoding(t *testing.T) {
+	l := MkLit(3, false)
+	if l.Var() != 3 || l.Neg() {
+		t.Fatalf("MkLit(3,false) = %v", l)
+	}
+	n := l.Not()
+	if n.Var() != 3 || !n.Neg() {
+		t.Fatalf("Not() = %v", n)
+	}
+	if n.Not() != l {
+		t.Fatalf("double negation broken")
+	}
+	if l.String() != "v3" || n.String() != "~v3" {
+		t.Fatalf("String() = %q, %q", l.String(), n.String())
+	}
+}
+
+func TestMkLitPanicsOnBadVar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for variable 0")
+		}
+	}()
+	MkLit(0, false)
+}
+
+func TestEmptySolverIsSat(t *testing.T) {
+	s := New()
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("empty formula: got %v, want sat", got)
+	}
+}
+
+func TestSingleUnit(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(MkLit(v, false))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	if !s.ModelValue(v) {
+		t.Fatal("unit literal not true in model")
+	}
+}
+
+func TestContradictoryUnits(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(MkLit(v, false))
+	ok := s.AddClause(MkLit(v, true))
+	if ok {
+		t.Fatal("AddClause of contradiction should report failure")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestEmptyClauseIsUnsat(t *testing.T) {
+	s := New()
+	if s.AddClause() {
+		t.Fatal("empty clause should make solver unsat")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("want unsat after empty clause")
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(MkLit(v, false), MkLit(v, true))
+	if s.Solve() != Sat {
+		t.Fatal("tautology should leave formula sat")
+	}
+}
+
+func TestDuplicateLiteralsDeduped(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	w := s.NewVar()
+	s.AddClause(MkLit(v, false), MkLit(v, false), MkLit(w, false))
+	if s.Solve() != Sat {
+		t.Fatal("want sat")
+	}
+}
+
+// TestPigeonhole checks the classic unsat family: n+1 pigeons in n holes.
+func TestPigeonhole(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		s := New()
+		// p[i][j]: pigeon i in hole j
+		p := make([][]int, n+1)
+		for i := range p {
+			p[i] = make([]int, n)
+			for j := range p[i] {
+				p[i][j] = s.NewVar()
+			}
+		}
+		// Each pigeon in some hole.
+		for i := 0; i <= n; i++ {
+			lits := make([]Lit, n)
+			for j := 0; j < n; j++ {
+				lits[j] = MkLit(p[i][j], false)
+			}
+			s.AddClause(lits...)
+		}
+		// No two pigeons share a hole.
+		for j := 0; j < n; j++ {
+			for i1 := 0; i1 <= n; i1++ {
+				for i2 := i1 + 1; i2 <= n; i2++ {
+					s.AddClause(MkLit(p[i1][j], true), MkLit(p[i2][j], true))
+				}
+			}
+		}
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("pigeonhole(%d): got %v, want unsat", n, got)
+		}
+	}
+}
+
+// TestGraphColoring checks sat/unsat on small coloring instances.
+func TestGraphColoring(t *testing.T) {
+	// K4 is 4-colorable but not 3-colorable.
+	color := func(k int) Status {
+		s := New()
+		const n = 4
+		v := make([][]int, n)
+		for i := range v {
+			v[i] = make([]int, k)
+			for c := range v[i] {
+				v[i][c] = s.NewVar()
+			}
+		}
+		for i := 0; i < n; i++ {
+			lits := make([]Lit, k)
+			for c := 0; c < k; c++ {
+				lits[c] = MkLit(v[i][c], false)
+			}
+			s.AddClause(lits...)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				for c := 0; c < k; c++ {
+					s.AddClause(MkLit(v[i][c], true), MkLit(v[j][c], true))
+				}
+			}
+		}
+		return s.Solve()
+	}
+	if color(3) != Unsat {
+		t.Fatal("K4 should not be 3-colorable")
+	}
+	if color(4) != Sat {
+		t.Fatal("K4 should be 4-colorable")
+	}
+}
+
+func TestModelSatisfiesFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		s := New()
+		nv := 20
+		vars := make([]int, nv)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		var cls [][]Lit
+		for c := 0; c < 60; c++ {
+			var lits []Lit
+			for k := 0; k < 3; k++ {
+				lits = append(lits, MkLit(vars[rng.Intn(nv)], rng.Intn(2) == 0))
+			}
+			cls = append(cls, lits)
+			s.AddClause(lits...)
+		}
+		if s.Solve() != Sat {
+			continue
+		}
+		for _, c := range cls {
+			ok := false
+			for _, l := range c {
+				val := s.ModelValue(l.Var())
+				if l.Neg() {
+					val = !val
+				}
+				if val {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("iter %d: model does not satisfy clause %v", iter, c)
+			}
+		}
+	}
+}
+
+// bruteForce decides satisfiability by exhaustive enumeration (<= 20 vars).
+func bruteForce(nv int, cls [][]Lit) bool {
+	for mask := 0; mask < 1<<nv; mask++ {
+		ok := true
+		for _, c := range cls {
+			sat := false
+			for _, l := range c {
+				val := mask&(1<<(l.Var()-1)) != 0
+				if l.Neg() {
+					val = !val
+				}
+				if val {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAgainstBruteForce cross-checks random small formulas at the sharp
+// sat/unsat threshold (clause/var ratio ~4.3).
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		nv := 4 + rng.Intn(9)
+		nc := int(float64(nv) * (3.5 + rng.Float64()*2))
+		s := New()
+		vars := make([]int, nv)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		var cls [][]Lit
+		for c := 0; c < nc; c++ {
+			var lits []Lit
+			for k := 0; k < 3; k++ {
+				lits = append(lits, MkLit(vars[rng.Intn(nv)], rng.Intn(2) == 0))
+			}
+			cls = append(cls, lits)
+			s.AddClause(lits...)
+		}
+		want := bruteForce(nv, cls)
+		got := s.Solve() == Sat
+		if got != want {
+			t.Fatalf("iter %d: solver=%v brute=%v (nv=%d nc=%d)", iter, got, want, nv, nc)
+		}
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	// a -> b
+	s.AddClause(MkLit(a, true), MkLit(b, false))
+	if s.Solve(MkLit(a, false)) != Sat {
+		t.Fatal("assume a: want sat")
+	}
+	if !s.ModelValue(b) {
+		t.Fatal("a -> b with a assumed: model must have b")
+	}
+	// Now force ~b and assume a: unsat under assumptions.
+	s.AddClause(MkLit(b, true))
+	if s.Solve(MkLit(a, false)) != Unsat {
+		t.Fatal("assume a with ~b clause: want unsat")
+	}
+	// Without the assumption the formula is still sat (a=false).
+	if s.Solve() != Sat {
+		t.Fatal("no assumptions: want sat")
+	}
+	if s.ModelValue(a) {
+		t.Fatal("model should set a false")
+	}
+}
+
+func TestIncrementalSolving(t *testing.T) {
+	s := New()
+	x := s.NewVar()
+	y := s.NewVar()
+	s.AddClause(MkLit(x, false), MkLit(y, false))
+	if s.Solve() != Sat {
+		t.Fatal("want sat")
+	}
+	s.AddClause(MkLit(x, true))
+	if s.Solve() != Sat {
+		t.Fatal("want sat after adding ~x")
+	}
+	if s.ModelValue(x) || !s.ModelValue(y) {
+		t.Fatal("model must have ~x, y")
+	}
+	s.AddClause(MkLit(y, true))
+	if s.Solve() != Unsat {
+		t.Fatal("want unsat after adding ~y")
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	s := New()
+	// A hard pigeonhole instance.
+	n := 8
+	p := make([][]int, n+1)
+	for i := range p {
+		p[i] = make([]int, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ {
+		lits := make([]Lit, n)
+		for j := 0; j < n; j++ {
+			lits[j] = MkLit(p[i][j], false)
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < n; j++ {
+		for i1 := 0; i1 <= n; i1++ {
+			for i2 := i1 + 1; i2 <= n; i2++ {
+				s.AddClause(MkLit(p[i1][j], true), MkLit(p[i2][j], true))
+			}
+		}
+	}
+	s.SetConflictBudget(10)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("tiny budget: got %v, want unknown", got)
+	}
+}
+
+func TestInterrupt(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(MkLit(v, false))
+	flag := true
+	s.SetInterrupt(&flag)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("interrupted: got %v, want unknown", got)
+	}
+	flag = false
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("after clearing interrupt: got %v, want sat", got)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	s.AddClause(MkLit(a, true), MkLit(b, false))
+	s.Solve()
+	st := s.Stats()
+	if st.Vars != 2 {
+		t.Fatalf("Vars = %d, want 2", st.Vars)
+	}
+	if st.Clauses != 2 {
+		t.Fatalf("Clauses = %d, want 2", st.Clauses)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Sat.String() != "sat" || Unsat.String() != "unsat" || Unknown.String() != "unknown" {
+		t.Fatal("Status.String broken")
+	}
+}
+
+// TestLargeRandomSat ensures the solver handles a larger under-constrained
+// instance quickly and returns a valid model.
+func TestLargeRandomSat(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := New()
+	nv := 500
+	vars := make([]int, nv)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	var cls [][]Lit
+	for c := 0; c < 1500; c++ {
+		var lits []Lit
+		for k := 0; k < 3; k++ {
+			lits = append(lits, MkLit(vars[rng.Intn(nv)], rng.Intn(2) == 0))
+		}
+		cls = append(cls, lits)
+		s.AddClause(lits...)
+	}
+	if s.Solve() != Sat {
+		t.Skip("random instance happened to be unsat; acceptable")
+	}
+	for _, c := range cls {
+		sat := false
+		for _, l := range c {
+			val := s.ModelValue(l.Var())
+			if l.Neg() {
+				val = !val
+			}
+			if val {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			t.Fatal("model violates a clause")
+		}
+	}
+}
+
+func BenchmarkPigeonhole7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := 7
+		s := New()
+		p := make([][]int, n+1)
+		for i := range p {
+			p[i] = make([]int, n)
+			for j := range p[i] {
+				p[i][j] = s.NewVar()
+			}
+		}
+		for i := 0; i <= n; i++ {
+			lits := make([]Lit, n)
+			for j := 0; j < n; j++ {
+				lits[j] = MkLit(p[i][j], false)
+			}
+			s.AddClause(lits...)
+		}
+		for j := 0; j < n; j++ {
+			for i1 := 0; i1 <= n; i1++ {
+				for i2 := i1 + 1; i2 <= n; i2++ {
+					s.AddClause(MkLit(p[i1][j], true), MkLit(p[i2][j], true))
+				}
+			}
+		}
+		if s.Solve() != Unsat {
+			b.Fatal("want unsat")
+		}
+	}
+}

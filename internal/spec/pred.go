@@ -1,0 +1,412 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"lightyear/internal/routemodel"
+	"lightyear/internal/smt"
+)
+
+// Pred is a predicate over BGP routes with both a concrete semantics (Eval)
+// and a symbolic semantics (Compile). The two must agree: for every route r
+// and model m describing r, Eval(r) == (Compile(sr) evaluates true under m).
+// This agreement is checked by property tests.
+type Pred interface {
+	// Eval decides the predicate on a concrete route.
+	Eval(r *routemodel.Route) bool
+	// Compile produces the SMT encoding of the predicate over a symbolic route.
+	Compile(sr *SymRoute) *smt.Term
+	// String renders the predicate for reports.
+	String() string
+	// AddToUniverse records every community/ASN/ghost the predicate mentions.
+	AddToUniverse(u *Universe)
+}
+
+// True is the predicate satisfied by every route. Per §4.1, it is the
+// invariant used for edges from external neighbors ("no assumption is made
+// about routes coming from outside the network").
+func True() Pred { return truePred{} }
+
+type truePred struct{}
+
+func (truePred) Eval(*routemodel.Route) bool    { return true }
+func (truePred) Compile(sr *SymRoute) *smt.Term { return sr.Ctx.True() }
+func (truePred) String() string                 { return "true" }
+func (truePred) AddToUniverse(*Universe)        {}
+
+// False is the predicate satisfied by no route.
+func False() Pred { return falsePred{} }
+
+type falsePred struct{}
+
+func (falsePred) Eval(*routemodel.Route) bool    { return false }
+func (falsePred) Compile(sr *SymRoute) *smt.Term { return sr.Ctx.False() }
+func (falsePred) String() string                 { return "false" }
+func (falsePred) AddToUniverse(*Universe)        {}
+
+// Not negates a predicate.
+func Not(p Pred) Pred { return notPred{p} }
+
+type notPred struct{ p Pred }
+
+func (n notPred) Eval(r *routemodel.Route) bool  { return !n.p.Eval(r) }
+func (n notPred) Compile(sr *SymRoute) *smt.Term { return sr.Ctx.Not(n.p.Compile(sr)) }
+func (n notPred) String() string                 { return "!(" + n.p.String() + ")" }
+func (n notPred) AddToUniverse(u *Universe)      { n.p.AddToUniverse(u) }
+
+// And is the conjunction of predicates; And() is True.
+func And(ps ...Pred) Pred { return andPred(ps) }
+
+type andPred []Pred
+
+func (a andPred) Eval(r *routemodel.Route) bool {
+	for _, p := range a {
+		if !p.Eval(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a andPred) Compile(sr *SymRoute) *smt.Term {
+	ts := make([]*smt.Term, len(a))
+	for i, p := range a {
+		ts[i] = p.Compile(sr)
+	}
+	return sr.Ctx.And(ts...)
+}
+
+func (a andPred) String() string { return joinPreds([]Pred(a), " && ", "true") }
+
+func (a andPred) AddToUniverse(u *Universe) {
+	for _, p := range a {
+		p.AddToUniverse(u)
+	}
+}
+
+// Or is the disjunction of predicates; Or() is False.
+func Or(ps ...Pred) Pred { return orPred(ps) }
+
+type orPred []Pred
+
+func (o orPred) Eval(r *routemodel.Route) bool {
+	for _, p := range o {
+		if p.Eval(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func (o orPred) Compile(sr *SymRoute) *smt.Term {
+	ts := make([]*smt.Term, len(o))
+	for i, p := range o {
+		ts[i] = p.Compile(sr)
+	}
+	return sr.Ctx.Or(ts...)
+}
+
+func (o orPred) String() string { return joinPreds([]Pred(o), " || ", "false") }
+
+func (o orPred) AddToUniverse(u *Universe) {
+	for _, p := range o {
+		p.AddToUniverse(u)
+	}
+}
+
+func joinPreds(ps []Pred, sep, empty string) string {
+	if len(ps) == 0 {
+		return empty
+	}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = "(" + p.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// Implies returns a => b.
+func Implies(a, b Pred) Pred { return impliesPred{a, b} }
+
+type impliesPred struct{ a, b Pred }
+
+func (i impliesPred) Eval(r *routemodel.Route) bool { return !i.a.Eval(r) || i.b.Eval(r) }
+func (i impliesPred) Compile(sr *SymRoute) *smt.Term {
+	return sr.Ctx.Implies(i.a.Compile(sr), i.b.Compile(sr))
+}
+func (i impliesPred) String() string { return "(" + i.a.String() + ") => (" + i.b.String() + ")" }
+func (i impliesPred) AddToUniverse(u *Universe) {
+	i.a.AddToUniverse(u)
+	i.b.AddToUniverse(u)
+}
+
+// HasCommunity is satisfied by routes tagged with community c.
+func HasCommunity(c routemodel.Community) Pred { return hasCommPred{c} }
+
+type hasCommPred struct{ c routemodel.Community }
+
+func (h hasCommPred) Eval(r *routemodel.Route) bool  { return r.HasCommunity(h.c) }
+func (h hasCommPred) Compile(sr *SymRoute) *smt.Term { return sr.CommTerm(h.c) }
+func (h hasCommPred) String() string                 { return fmt.Sprintf("%s in comm", h.c) }
+func (h hasCommPred) AddToUniverse(u *Universe)      { u.AddCommunity(h.c) }
+
+// HasAnyCommunity is satisfied when the route carries at least one of cs.
+func HasAnyCommunity(cs ...routemodel.Community) Pred {
+	ps := make([]Pred, len(cs))
+	for i, c := range cs {
+		ps[i] = HasCommunity(c)
+	}
+	return Or(ps...)
+}
+
+// OnlyCommunityAmong is satisfied when, restricted to the candidate set cs,
+// the route carries exactly the community c and no other member of cs. This
+// expresses the paper's "RegionalComms ∩ Comm(r) = {C}" constraint from
+// Table 4b.
+func OnlyCommunityAmong(cs []routemodel.Community, c routemodel.Community) Pred {
+	ps := []Pred{HasCommunity(c)}
+	for _, o := range cs {
+		if o != c {
+			ps = append(ps, Not(HasCommunity(o)))
+		}
+	}
+	return And(ps...)
+}
+
+// NoCommunityAmong is satisfied when the route carries none of cs
+// ("RegionalComms ∩ Comm(r) = ∅").
+func NoCommunityAmong(cs []routemodel.Community) Pred {
+	ps := make([]Pred, len(cs))
+	for i, c := range cs {
+		ps[i] = Not(HasCommunity(c))
+	}
+	return And(ps...)
+}
+
+// PrefixIn is satisfied by routes whose prefix matches the prefix set
+// (prefix-list semantics with ge/le windows). Used for bogon lists and the
+// ReusedIPs set of §6.1.
+func PrefixIn(s *routemodel.PrefixSet) Pred { return prefixInPred{s} }
+
+type prefixInPred struct{ s *routemodel.PrefixSet }
+
+func (p prefixInPred) Eval(r *routemodel.Route) bool { return p.s.Matches(r.Prefix) }
+
+func (p prefixInPred) Compile(sr *SymRoute) *smt.Term {
+	ctx := sr.Ctx
+	var alts []*smt.Term
+	for _, e := range p.s.Entries() {
+		var conj []*smt.Term
+		if e.Prefix.Len > 0 {
+			n := int(e.Prefix.Len)
+			hi := ctx.Extract(sr.Addr, 32-n, n)
+			conj = append(conj, ctx.Eq(hi, ctx.BV(uint64(e.Prefix.Addr>>(32-uint(n))), n)))
+		}
+		conj = append(conj,
+			ctx.Ule(ctx.BV(uint64(e.Ge), WidthPrefixLen), sr.PrefixLen),
+			ctx.Ule(sr.PrefixLen, ctx.BV(uint64(e.Le), WidthPrefixLen)),
+		)
+		alts = append(alts, ctx.And(conj...))
+	}
+	return ctx.Or(alts...)
+}
+
+func (p prefixInPred) String() string {
+	var parts []string
+	for _, e := range p.s.Entries() {
+		if e.Ge == e.Prefix.Len && e.Le == e.Prefix.Len {
+			parts = append(parts, e.Prefix.String())
+		} else {
+			parts = append(parts, fmt.Sprintf("%s ge %d le %d", e.Prefix, e.Ge, e.Le))
+		}
+	}
+	return "prefix in {" + strings.Join(parts, ", ") + "}"
+}
+
+func (prefixInPred) AddToUniverse(*Universe) {}
+
+// PrefixEquals is satisfied by routes announcing exactly prefix p.
+func PrefixEquals(p routemodel.Prefix) Pred { return prefixEqPred{p.Canonical()} }
+
+type prefixEqPred struct{ p routemodel.Prefix }
+
+func (e prefixEqPred) Eval(r *routemodel.Route) bool { return r.Prefix.Canonical() == e.p }
+
+func (e prefixEqPred) Compile(sr *SymRoute) *smt.Term {
+	ctx := sr.Ctx
+	return ctx.And(
+		ctx.Eq(sr.Addr, ctx.BV(uint64(e.p.Addr), WidthAddr)),
+		ctx.Eq(sr.PrefixLen, ctx.BV(uint64(e.p.Len), WidthPrefixLen)),
+	)
+}
+
+func (e prefixEqPred) String() string        { return "prefix = " + e.p.String() }
+func (prefixEqPred) AddToUniverse(*Universe) {}
+
+// PrefixLenAtMost is satisfied when the route's prefix length <= n.
+func PrefixLenAtMost(n uint8) Pred { return plenCmpPred{n: n, atMost: true} }
+
+// PrefixLenAtLeast is satisfied when the route's prefix length >= n.
+func PrefixLenAtLeast(n uint8) Pred { return plenCmpPred{n: n, atMost: false} }
+
+type plenCmpPred struct {
+	n      uint8
+	atMost bool
+}
+
+func (p plenCmpPred) Eval(r *routemodel.Route) bool {
+	if p.atMost {
+		return r.Prefix.Len <= p.n
+	}
+	return r.Prefix.Len >= p.n
+}
+
+func (p plenCmpPred) Compile(sr *SymRoute) *smt.Term {
+	ctx := sr.Ctx
+	n := ctx.BV(uint64(p.n), WidthPrefixLen)
+	if p.atMost {
+		return ctx.Ule(sr.PrefixLen, n)
+	}
+	return ctx.Uge(sr.PrefixLen, n)
+}
+
+func (p plenCmpPred) String() string {
+	if p.atMost {
+		return fmt.Sprintf("plen <= %d", p.n)
+	}
+	return fmt.Sprintf("plen >= %d", p.n)
+}
+
+func (plenCmpPred) AddToUniverse(*Universe) {}
+
+// LocalPrefEquals / LocalPrefAtLeast compare the LOCAL_PREF attribute.
+func LocalPrefEquals(v uint32) Pred  { return lpPred{v: v, mode: cmpEq} }
+func LocalPrefAtLeast(v uint32) Pred { return lpPred{v: v, mode: cmpGe} }
+func LocalPrefAtMost(v uint32) Pred  { return lpPred{v: v, mode: cmpLe} }
+
+type cmpMode int
+
+const (
+	cmpEq cmpMode = iota
+	cmpGe
+	cmpLe
+)
+
+type lpPred struct {
+	v    uint32
+	mode cmpMode
+}
+
+func (p lpPred) Eval(r *routemodel.Route) bool { return cmpU32(r.LocalPref, p.v, p.mode) }
+
+func (p lpPred) Compile(sr *SymRoute) *smt.Term {
+	return cmpTerm(sr.Ctx, sr.LocalPref, uint64(p.v), WidthLocalPref, p.mode)
+}
+
+func (p lpPred) String() string        { return "lp " + p.mode.String() + fmt.Sprint(p.v) }
+func (lpPred) AddToUniverse(*Universe) {}
+
+// MEDEquals / MEDAtMost compare the MED attribute.
+func MEDEquals(v uint32) Pred { return medPred{v: v, mode: cmpEq} }
+func MEDAtMost(v uint32) Pred { return medPred{v: v, mode: cmpLe} }
+
+type medPred struct {
+	v    uint32
+	mode cmpMode
+}
+
+func (p medPred) Eval(r *routemodel.Route) bool { return cmpU32(r.MED, p.v, p.mode) }
+
+func (p medPred) Compile(sr *SymRoute) *smt.Term {
+	return cmpTerm(sr.Ctx, sr.MED, uint64(p.v), WidthMED, p.mode)
+}
+
+func (p medPred) String() string        { return "med " + p.mode.String() + fmt.Sprint(p.v) }
+func (medPred) AddToUniverse(*Universe) {}
+
+func (m cmpMode) String() string {
+	switch m {
+	case cmpEq:
+		return "= "
+	case cmpGe:
+		return ">= "
+	default:
+		return "<= "
+	}
+}
+
+func cmpU32(a, b uint32, m cmpMode) bool {
+	switch m {
+	case cmpEq:
+		return a == b
+	case cmpGe:
+		return a >= b
+	default:
+		return a <= b
+	}
+}
+
+func cmpTerm(ctx *smt.Context, t *smt.Term, v uint64, w int, m cmpMode) *smt.Term {
+	c := ctx.BV(v, w)
+	switch m {
+	case cmpEq:
+		return ctx.Eq(t, c)
+	case cmpGe:
+		return ctx.Uge(t, c)
+	default:
+		return ctx.Ule(t, c)
+	}
+}
+
+// Ghost is satisfied when the named ghost attribute is true on the route
+// (§4.4). Ghost attributes such as FromISP1 or FromPeer are set by
+// per-edge ghost updates configured in the verification problem.
+func Ghost(name string) Pred { return ghostPred{name} }
+
+type ghostPred struct{ name string }
+
+func (g ghostPred) Eval(r *routemodel.Route) bool  { return r.GhostValue(g.name) }
+func (g ghostPred) Compile(sr *SymRoute) *smt.Term { return sr.GhostTerm(g.name) }
+func (g ghostPred) String() string                 { return g.name }
+func (g ghostPred) AddToUniverse(u *Universe)      { u.AddGhost(g.name) }
+
+// PathContains is satisfied when the AS path includes as.
+func PathContains(as uint32) Pred { return pathContainsPred{as} }
+
+type pathContainsPred struct{ as uint32 }
+
+func (p pathContainsPred) Eval(r *routemodel.Route) bool  { return r.PathContains(p.as) }
+func (p pathContainsPred) Compile(sr *SymRoute) *smt.Term { return sr.ASTerm(p.as) }
+func (p pathContainsPred) String() string                 { return fmt.Sprintf("%d in path", p.as) }
+func (p pathContainsPred) AddToUniverse(u *Universe)      { u.AddASN(p.as) }
+
+// PathLenAtMost is satisfied when the AS path has at most n hops. Used for
+// the "invalid AS path" peering properties (overly long paths are a common
+// bogon class).
+func PathLenAtMost(n int) Pred { return pathLenPred{n} }
+
+type pathLenPred struct{ n int }
+
+func (p pathLenPred) Eval(r *routemodel.Route) bool { return len(r.ASPath) <= p.n }
+
+func (p pathLenPred) Compile(sr *SymRoute) *smt.Term {
+	return sr.Ctx.Ule(sr.PathLen, sr.Ctx.BV(uint64(p.n), WidthPathLen))
+}
+
+func (p pathLenPred) String() string        { return fmt.Sprintf("pathlen <= %d", p.n) }
+func (pathLenPred) AddToUniverse(*Universe) {}
+
+// NextHopEquals compares the next-hop attribute.
+func NextHopEquals(v uint32) Pred { return nhPred{v} }
+
+type nhPred struct{ v uint32 }
+
+func (p nhPred) Eval(r *routemodel.Route) bool { return r.NextHop == p.v }
+
+func (p nhPred) Compile(sr *SymRoute) *smt.Term {
+	return sr.Ctx.Eq(sr.NextHop, sr.Ctx.BV(uint64(p.v), WidthNextHop))
+}
+
+func (p nhPred) String() string        { return fmt.Sprintf("nh = %d", p.v) }
+func (nhPred) AddToUniverse(*Universe) {}

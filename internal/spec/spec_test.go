@@ -1,0 +1,353 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+
+	"lightyear/internal/routemodel"
+	"lightyear/internal/smt"
+)
+
+var (
+	c100_1 = routemodel.MustCommunity("100:1")
+	c100_2 = routemodel.MustCommunity("100:2")
+	c200_1 = routemodel.MustCommunity("200:1")
+)
+
+func testUniverse() *Universe {
+	u := NewUniverse()
+	u.AddCommunity(c100_1)
+	u.AddCommunity(c100_2)
+	u.AddCommunity(c200_1)
+	u.AddASN(65001)
+	u.AddASN(174)
+	u.AddGhost("FromISP1")
+	u.AddGhost("FromPeer")
+	return u
+}
+
+func TestUniverseDeterministicOrder(t *testing.T) {
+	u := testUniverse()
+	cs := u.Communities()
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1] >= cs[i] {
+			t.Fatal("communities not sorted")
+		}
+	}
+	if len(u.ASNs()) != 2 || len(u.Ghosts()) != 2 {
+		t.Fatal("universe sizes wrong")
+	}
+	if !u.HasCommunity(c100_1) || u.HasCommunity(routemodel.MustCommunity("9:9")) {
+		t.Fatal("HasCommunity wrong")
+	}
+}
+
+func TestUniverseMerge(t *testing.T) {
+	a := NewUniverse()
+	a.AddCommunity(c100_1)
+	b := NewUniverse()
+	b.AddCommunity(c200_1)
+	b.AddGhost("G")
+	a.Merge(b)
+	if !a.HasCommunity(c200_1) || len(a.Ghosts()) != 1 {
+		t.Fatal("merge failed")
+	}
+}
+
+// evalViaSolver decides p on concrete route r through the symbolic path:
+// SAT(Constrain(sr,r) && Compile(p,sr)).
+func evalViaSolver(t *testing.T, p Pred, r *routemodel.Route, u *Universe) bool {
+	t.Helper()
+	ctx := smt.NewContext()
+	sr := NewSymRoute(ctx, "r", u)
+	res := smt.Solve(ctx, ctx.And(Constrain(sr, r), p.Compile(sr)))
+	if res.Status == smt.Unknown {
+		t.Fatal("solver returned unknown")
+	}
+	return res.Status == smt.Sat
+}
+
+// randomRoute generates a route whose attribute values fit the symbolic
+// widths and whose communities/ASNs are inside the test universe.
+func randomRoute(rng *rand.Rand) *routemodel.Route {
+	prefixes := []string{"10.0.0.0/8", "10.1.0.0/16", "192.168.1.0/24", "8.8.0.0/16", "0.0.0.0/0", "203.0.113.0/24"}
+	r := routemodel.NewRoute(routemodel.MustPrefix(prefixes[rng.Intn(len(prefixes))]))
+	r.LocalPref = uint32(rng.Intn(1 << 12))
+	r.MED = uint32(rng.Intn(1 << 12))
+	r.NextHop = uint32(rng.Intn(1 << 12))
+	for _, c := range []routemodel.Community{c100_1, c100_2, c200_1} {
+		if rng.Intn(2) == 0 {
+			r.AddCommunity(c)
+		}
+	}
+	var path []uint32
+	if rng.Intn(2) == 0 {
+		path = append(path, 65001)
+	}
+	if rng.Intn(2) == 0 {
+		path = append(path, 174)
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		path = append(path, 65001) // repeats change length but not membership
+	}
+	r.ASPath = path
+	if rng.Intn(2) == 0 {
+		r.SetGhost("FromISP1", true)
+	}
+	if rng.Intn(2) == 0 {
+		r.SetGhost("FromPeer", true)
+	}
+	return r
+}
+
+// randomPred generates a predicate over the test universe.
+func randomPred(rng *rand.Rand, depth int) Pred {
+	if depth == 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(10) {
+		case 0:
+			return HasCommunity(c100_1)
+		case 1:
+			return HasCommunity(c200_1)
+		case 2:
+			bog := routemodel.NewPrefixSet(routemodel.MustPrefix("10.0.0.0/8"))
+			return PrefixIn(bog)
+		case 3:
+			s := &routemodel.PrefixSet{}
+			s.AddRange(routemodel.MustPrefix("10.0.0.0/8"), 8, 24)
+			return PrefixIn(s)
+		case 4:
+			return Ghost("FromISP1")
+		case 5:
+			return PathContains(174)
+		case 6:
+			return LocalPrefAtLeast(uint32(rng.Intn(4096)))
+		case 7:
+			return MEDAtMost(uint32(rng.Intn(4096)))
+		case 8:
+			return PathLenAtMost(rng.Intn(5))
+		default:
+			return PrefixLenAtMost(uint8(rng.Intn(33)))
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return And(randomPred(rng, depth-1), randomPred(rng, depth-1))
+	case 1:
+		return Or(randomPred(rng, depth-1), randomPred(rng, depth-1))
+	case 2:
+		return Not(randomPred(rng, depth-1))
+	default:
+		return Implies(randomPred(rng, depth-1), randomPred(rng, depth-1))
+	}
+}
+
+// TestConcreteSymbolicAgreement is the central soundness test for the spec
+// package: Eval and Compile must agree on every route.
+func TestConcreteSymbolicAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	u := testUniverse()
+	for iter := 0; iter < 80; iter++ {
+		p := randomPred(rng, 3)
+		r := randomRoute(rng)
+		want := p.Eval(r)
+		got := evalViaSolver(t, p, r, u)
+		if got != want {
+			t.Fatalf("iter %d: Eval=%v solver=%v\npred: %s\nroute: %s", iter, want, got, p, r)
+		}
+	}
+}
+
+func TestBasicPredEval(t *testing.T) {
+	r := routemodel.NewRoute(routemodel.MustPrefix("10.1.0.0/16"))
+	r.AddCommunity(c100_1)
+	r.SetGhost("FromISP1", true)
+	r.ASPath = []uint32{174, 3356}
+	r.LocalPref = 200
+
+	cases := []struct {
+		p    Pred
+		want bool
+	}{
+		{True(), true},
+		{False(), false},
+		{HasCommunity(c100_1), true},
+		{HasCommunity(c200_1), false},
+		{Not(HasCommunity(c200_1)), true},
+		{And(HasCommunity(c100_1), Ghost("FromISP1")), true},
+		{Or(HasCommunity(c200_1), Ghost("FromISP1")), true},
+		{Implies(Ghost("FromISP1"), HasCommunity(c100_1)), true},
+		{Implies(Ghost("FromISP1"), HasCommunity(c200_1)), false},
+		{PathContains(174), true},
+		{PathContains(65001), false},
+		{PathLenAtMost(2), true},
+		{PathLenAtMost(1), false},
+		{LocalPrefEquals(200), true},
+		{LocalPrefAtLeast(100), true},
+		{LocalPrefAtMost(100), false},
+		{MEDEquals(0), true},
+		{PrefixEquals(routemodel.MustPrefix("10.1.0.0/16")), true},
+		{PrefixEquals(routemodel.MustPrefix("10.0.0.0/8")), false},
+		{PrefixLenAtLeast(16), true},
+		{PrefixLenAtMost(8), false},
+		{NextHopEquals(0), true},
+		{NextHopEquals(5), false},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Eval(r); got != tc.want {
+			t.Errorf("%s: Eval = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestOnlyCommunityAmong(t *testing.T) {
+	regionals := []routemodel.Community{c100_1, c100_2, c200_1}
+	p := OnlyCommunityAmong(regionals, c100_1)
+
+	r := routemodel.NewRoute(routemodel.MustPrefix("10.0.0.0/24"))
+	r.AddCommunity(c100_1)
+	if !p.Eval(r) {
+		t.Fatal("exactly the target community should satisfy")
+	}
+	r.AddCommunity(c100_2)
+	if p.Eval(r) {
+		t.Fatal("extra regional community should violate")
+	}
+	r2 := routemodel.NewRoute(routemodel.MustPrefix("10.0.0.0/24"))
+	if p.Eval(r2) {
+		t.Fatal("missing target community should violate")
+	}
+}
+
+func TestNoCommunityAmong(t *testing.T) {
+	p := NoCommunityAmong([]routemodel.Community{c100_1, c100_2})
+	r := routemodel.NewRoute(routemodel.MustPrefix("10.0.0.0/24"))
+	if !p.Eval(r) {
+		t.Fatal("no communities: should satisfy")
+	}
+	r.AddCommunity(c100_2)
+	if p.Eval(r) {
+		t.Fatal("has a listed community: should violate")
+	}
+	r.RemoveCommunity(c100_2)
+	r.AddCommunity(c200_1)
+	if !p.Eval(r) {
+		t.Fatal("unlisted community should not matter")
+	}
+}
+
+func TestHasAnyCommunity(t *testing.T) {
+	p := HasAnyCommunity(c100_1, c200_1)
+	r := routemodel.NewRoute(routemodel.MustPrefix("10.0.0.0/24"))
+	if p.Eval(r) {
+		t.Fatal("empty route should not satisfy")
+	}
+	r.AddCommunity(c200_1)
+	if !p.Eval(r) {
+		t.Fatal("should satisfy with one member")
+	}
+}
+
+func TestAddToUniverseCollectsMentions(t *testing.T) {
+	p := And(HasCommunity(c100_1), Or(Ghost("G1"), PathContains(42)), Implies(Ghost("G2"), True()))
+	u := NewUniverse()
+	p.AddToUniverse(u)
+	if !u.HasCommunity(c100_1) {
+		t.Fatal("community not collected")
+	}
+	if len(u.Ghosts()) != 2 {
+		t.Fatalf("ghosts = %v", u.Ghosts())
+	}
+	if len(u.ASNs()) != 1 || u.ASNs()[0] != 42 {
+		t.Fatalf("asns = %v", u.ASNs())
+	}
+}
+
+func TestCommOutsideUniversePanics(t *testing.T) {
+	ctx := smt.NewContext()
+	sr := NewSymRoute(ctx, "r", NewUniverse())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-universe community")
+		}
+	}()
+	HasCommunity(c100_1).Compile(sr)
+}
+
+func TestSymRouteIte(t *testing.T) {
+	ctx := smt.NewContext()
+	u := testUniverse()
+	a := NewSymRoute(ctx, "a", u)
+	b := NewSymRoute(ctx, "b", u)
+	cond := ctx.BoolVar("c")
+	m := Ite(cond, a, b)
+	// cond && m.lp = 7 forces a.lp = 7.
+	res := smt.Solve(ctx, ctx.And(cond, ctx.Eq(m.LocalPref, ctx.BV(7, WidthLocalPref))))
+	if res.Status != smt.Sat {
+		t.Fatal("want sat")
+	}
+	if res.Model.BV("a.lp") != 7 {
+		t.Fatalf("a.lp = %d, want 7", res.Model.BV("a.lp"))
+	}
+}
+
+func TestConcreteRouteFromModel(t *testing.T) {
+	ctx := smt.NewContext()
+	u := testUniverse()
+	sr := NewSymRoute(ctx, "r", u)
+	want := routemodel.NewRoute(routemodel.MustPrefix("192.168.1.0/24"))
+	want.AddCommunity(c100_1)
+	want.SetGhost("FromISP1", true)
+	want.LocalPref = 300
+	want.MED = 17
+	want.ASPath = []uint32{174}
+
+	res := smt.Solve(ctx, Constrain(sr, want))
+	if res.Status != smt.Sat {
+		t.Fatal("want sat")
+	}
+	got := sr.ConcreteRoute(res.Model)
+	if got.Prefix != want.Prefix {
+		t.Fatalf("prefix %v != %v", got.Prefix, want.Prefix)
+	}
+	if got.LocalPref != 300 || got.MED != 17 {
+		t.Fatalf("scalars: %v", got)
+	}
+	if !got.HasCommunity(c100_1) || got.HasCommunity(c200_1) {
+		t.Fatalf("communities: %v", got)
+	}
+	if !got.GhostValue("FromISP1") || got.GhostValue("FromPeer") {
+		t.Fatalf("ghosts: %v", got)
+	}
+	if !got.PathContains(174) || len(got.ASPath) != 1 {
+		t.Fatalf("path: %v", got.ASPath)
+	}
+}
+
+// TestUniverseClosure: enlarging the universe with an unrelated community
+// must not change a predicate's symbolic verdict.
+func TestUniverseClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 20; iter++ {
+		p := randomPred(rng, 2)
+		r := randomRoute(rng)
+		small := testUniverse()
+		big := testUniverse()
+		big.AddCommunity(routemodel.MustCommunity("999:999"))
+		big.AddGhost("Unrelated")
+		got1 := evalViaSolver(t, p, r, small)
+		got2 := evalViaSolver(t, p, r, big)
+		if got1 != got2 {
+			t.Fatalf("iter %d: universe enlargement changed verdict: %s on %s", iter, p, r)
+		}
+	}
+}
+
+func TestPredString(t *testing.T) {
+	p := And(HasCommunity(c100_1), Not(Ghost("FromISP1")), Or())
+	if p.String() == "" {
+		t.Fatal("empty String")
+	}
+	if True().String() != "true" || False().String() != "false" {
+		t.Fatal("const strings")
+	}
+}

@@ -1,0 +1,290 @@
+// Package spec provides the specification language of Lightyear: predicates
+// over BGP routes. A predicate is the formal counterpart of the sets of
+// routes P, I_ℓ and C_i from §4 and §5 of the paper — the end-to-end
+// property, per-location network invariants, and path constraints are all
+// route predicates.
+//
+// Every predicate has two semantics that must agree:
+//
+//   - a concrete semantics (Eval) over routemodel.Route, used by the BGP
+//     simulator and for counterexample validation, and
+//   - a symbolic semantics (Compile) that produces an smt.Term over a
+//     SymRoute, used by the verifier's local checks.
+//
+// The package also defines SymRoute, the symbolic route representation: one
+// SMT variable per modeled attribute, with communities, AS numbers, and
+// ghost attributes finitized to the Universe that appears in the
+// configurations and specifications (the standard encoding used by SMT-based
+// control-plane verifiers such as Minesweeper).
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"lightyear/internal/routemodel"
+	"lightyear/internal/smt"
+)
+
+// Attribute bit widths for the symbolic encoding. Widths are chosen to keep
+// bit-blasted formulas small while covering the value ranges the encoded
+// policies can produce.
+const (
+	WidthAddr      = 32
+	WidthPrefixLen = 6
+	WidthLocalPref = 16
+	WidthMED       = 16
+	WidthNextHop   = 16
+	WidthPathLen   = 8
+)
+
+// Universe is the finite alphabet of route attributes relevant to a
+// verification problem: every community, AS number, and ghost attribute
+// mentioned by the configurations or the specifications. Routes are encoded
+// relative to a Universe; attributes outside it cannot affect any check
+// (see the universe-closure property test).
+type Universe struct {
+	comms  map[routemodel.Community]struct{}
+	asns   map[uint32]struct{}
+	ghosts map[string]struct{}
+}
+
+// NewUniverse returns an empty universe.
+func NewUniverse() *Universe {
+	return &Universe{
+		comms:  make(map[routemodel.Community]struct{}),
+		asns:   make(map[uint32]struct{}),
+		ghosts: make(map[string]struct{}),
+	}
+}
+
+// AddCommunity adds a community to the universe.
+func (u *Universe) AddCommunity(c routemodel.Community) { u.comms[c] = struct{}{} }
+
+// AddASN adds an AS number to the universe.
+func (u *Universe) AddASN(as uint32) { u.asns[as] = struct{}{} }
+
+// AddGhost adds a ghost attribute name to the universe.
+func (u *Universe) AddGhost(name string) { u.ghosts[name] = struct{}{} }
+
+// Merge adds all members of o into u.
+func (u *Universe) Merge(o *Universe) {
+	for c := range o.comms {
+		u.comms[c] = struct{}{}
+	}
+	for a := range o.asns {
+		u.asns[a] = struct{}{}
+	}
+	for g := range o.ghosts {
+		u.ghosts[g] = struct{}{}
+	}
+}
+
+// Communities returns the communities in deterministic order.
+func (u *Universe) Communities() []routemodel.Community {
+	out := make([]routemodel.Community, 0, len(u.comms))
+	for c := range u.comms {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ASNs returns the AS numbers in deterministic order.
+func (u *Universe) ASNs() []uint32 {
+	out := make([]uint32, 0, len(u.asns))
+	for a := range u.asns {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Ghosts returns the ghost attribute names in deterministic order.
+func (u *Universe) Ghosts() []string {
+	out := make([]string, 0, len(u.ghosts))
+	for g := range u.ghosts {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasCommunity reports whether c is in the universe.
+func (u *Universe) HasCommunity(c routemodel.Community) bool {
+	_, ok := u.comms[c]
+	return ok
+}
+
+// SymRoute is a symbolic BGP route: each attribute is an SMT term. A fresh
+// SymRoute (NewSymRoute) has one variable per attribute; route maps
+// transform SymRoutes into derived SymRoutes whose attributes are arbitrary
+// term expressions.
+type SymRoute struct {
+	Ctx *smt.Context
+
+	Addr      *smt.Term // 32-bit prefix address
+	PrefixLen *smt.Term // 6-bit prefix length
+	LocalPref *smt.Term
+	MED       *smt.Term
+	NextHop   *smt.Term
+	PathLen   *smt.Term // AS-path length (8 bits)
+
+	Comm  map[routemodel.Community]*smt.Term // membership booleans
+	HasAS map[uint32]*smt.Term               // AS-path presence booleans
+	Ghost map[string]*smt.Term               // ghost attribute booleans
+
+	name string
+}
+
+// NewSymRoute allocates a fully symbolic route named name ("r", "r_in", ...)
+// over the given universe.
+func NewSymRoute(ctx *smt.Context, name string, u *Universe) *SymRoute {
+	sr := &SymRoute{
+		Ctx:       ctx,
+		Addr:      ctx.BVVar(name+".addr", WidthAddr),
+		PrefixLen: ctx.BVVar(name+".plen", WidthPrefixLen),
+		LocalPref: ctx.BVVar(name+".lp", WidthLocalPref),
+		MED:       ctx.BVVar(name+".med", WidthMED),
+		NextHop:   ctx.BVVar(name+".nh", WidthNextHop),
+		PathLen:   ctx.BVVar(name+".pathlen", WidthPathLen),
+		Comm:      make(map[routemodel.Community]*smt.Term),
+		HasAS:     make(map[uint32]*smt.Term),
+		Ghost:     make(map[string]*smt.Term),
+		name:      name,
+	}
+	for _, c := range u.Communities() {
+		sr.Comm[c] = ctx.BoolVar(fmt.Sprintf("%s.comm[%s]", name, c))
+	}
+	for _, a := range u.ASNs() {
+		sr.HasAS[a] = ctx.BoolVar(fmt.Sprintf("%s.as[%d]", name, a))
+	}
+	for _, g := range u.Ghosts() {
+		sr.Ghost[g] = ctx.BoolVar(fmt.Sprintf("%s.ghost[%s]", name, g))
+	}
+	return sr
+}
+
+// Name returns the base name used for this route's variables.
+func (sr *SymRoute) Name() string { return sr.name }
+
+// Clone returns a shallow copy whose attribute maps can be independently
+// reassigned (route-map encoding mutates the copy's fields).
+func (sr *SymRoute) Clone() *SymRoute {
+	c := *sr
+	c.Comm = make(map[routemodel.Community]*smt.Term, len(sr.Comm))
+	for k, v := range sr.Comm {
+		c.Comm[k] = v
+	}
+	c.HasAS = make(map[uint32]*smt.Term, len(sr.HasAS))
+	for k, v := range sr.HasAS {
+		c.HasAS[k] = v
+	}
+	c.Ghost = make(map[string]*smt.Term, len(sr.Ghost))
+	for k, v := range sr.Ghost {
+		c.Ghost[k] = v
+	}
+	return &c
+}
+
+// CommTerm returns the membership term for community c, panicking if c is
+// outside the universe the route was built over (an encoding bug).
+func (sr *SymRoute) CommTerm(c routemodel.Community) *smt.Term {
+	t, ok := sr.Comm[c]
+	if !ok {
+		panic(fmt.Sprintf("spec: community %s not in universe of route %q", c, sr.name))
+	}
+	return t
+}
+
+// GhostTerm returns the term for ghost attribute name, panicking if it is
+// outside the universe.
+func (sr *SymRoute) GhostTerm(name string) *smt.Term {
+	t, ok := sr.Ghost[name]
+	if !ok {
+		panic(fmt.Sprintf("spec: ghost attribute %q not in universe of route %q", name, sr.name))
+	}
+	return t
+}
+
+// ASTerm returns the AS-presence term for as, panicking if it is outside
+// the universe.
+func (sr *SymRoute) ASTerm(as uint32) *smt.Term {
+	t, ok := sr.HasAS[as]
+	if !ok {
+		panic(fmt.Sprintf("spec: AS %d not in universe of route %q", as, sr.name))
+	}
+	return t
+}
+
+// Ite returns the attribute-wise if-then-else of two symbolic routes. Both
+// routes must be over the same universe.
+func Ite(cond *smt.Term, a, b *SymRoute) *SymRoute {
+	ctx := a.Ctx
+	out := a.Clone()
+	out.Addr = ctx.Ite(cond, a.Addr, b.Addr)
+	out.PrefixLen = ctx.Ite(cond, a.PrefixLen, b.PrefixLen)
+	out.LocalPref = ctx.Ite(cond, a.LocalPref, b.LocalPref)
+	out.MED = ctx.Ite(cond, a.MED, b.MED)
+	out.NextHop = ctx.Ite(cond, a.NextHop, b.NextHop)
+	out.PathLen = ctx.Ite(cond, a.PathLen, b.PathLen)
+	for k := range out.Comm {
+		out.Comm[k] = ctx.Ite(cond, a.Comm[k], b.Comm[k])
+	}
+	for k := range out.HasAS {
+		out.HasAS[k] = ctx.Ite(cond, a.HasAS[k], b.HasAS[k])
+	}
+	for k := range out.Ghost {
+		out.Ghost[k] = ctx.Ite(cond, a.Ghost[k], b.Ghost[k])
+	}
+	return out
+}
+
+// WellFormed returns the structural validity constraint for a symbolic
+// route: the prefix length is at most 32. Checks assert it so that
+// counterexample models describe real IPv4 routes.
+func (sr *SymRoute) WellFormed() *smt.Term {
+	return sr.Ctx.Ule(sr.PrefixLen, sr.Ctx.BV(32, WidthPrefixLen))
+}
+
+// ConcreteRoute reconstructs a concrete route from a model for a SymRoute
+// whose attributes are plain variables (i.e., one built by NewSymRoute).
+// It is used to turn SAT models of failed checks into counterexample routes.
+func (sr *SymRoute) ConcreteRoute(m *smt.Model) *routemodel.Route {
+	r := routemodel.NewRoute(routemodel.Prefix{
+		Addr: uint32(m.BV(sr.name + ".addr")),
+		Len:  uint8(m.BV(sr.name + ".plen")),
+	})
+	r.Prefix = r.Prefix.Canonical()
+	r.LocalPref = uint32(m.BV(sr.name + ".lp"))
+	r.MED = uint32(m.BV(sr.name + ".med"))
+	r.NextHop = uint32(m.BV(sr.name + ".nh"))
+	for c := range sr.Comm {
+		if m.Bool(fmt.Sprintf("%s.comm[%s]", sr.name, c)) {
+			r.AddCommunity(c)
+		}
+	}
+	var path []uint32
+	for as := range sr.HasAS {
+		if m.Bool(fmt.Sprintf("%s.as[%d]", sr.name, as)) {
+			path = append(path, as)
+		}
+	}
+	sort.Slice(path, func(i, j int) bool { return path[i] < path[j] })
+	// Pad to the model's path length so PathLen-sensitive predicates agree.
+	plen := int(m.BV(sr.name + ".pathlen"))
+	for len(path) < plen {
+		if len(path) == 0 {
+			path = append(path, 64512) // filler private AS
+		} else {
+			path = append(path, path[len(path)-1])
+		}
+	}
+	r.ASPath = path
+	for g := range sr.Ghost {
+		if m.Bool(fmt.Sprintf("%s.ghost[%s]", sr.name, g)) {
+			r.SetGhost(g, true)
+		}
+	}
+	return r
+}

@@ -1,0 +1,222 @@
+package topology
+
+import (
+	"testing"
+
+	"lightyear/internal/policy"
+	"lightyear/internal/routemodel"
+)
+
+func fig1() *Network {
+	n := New()
+	n.AddRouter("R1", 65000)
+	n.AddRouter("R2", 65000)
+	n.AddRouter("R3", 65000)
+	n.AddExternal("ISP1", 174)
+	n.AddExternal("ISP2", 3356)
+	n.AddExternal("Customer", 64512)
+	n.AddPeering("ISP1", "R1")
+	n.AddPeering("ISP2", "R2")
+	n.AddPeering("Customer", "R3")
+	n.AddPeering("R1", "R2")
+	n.AddPeering("R1", "R3")
+	n.AddPeering("R2", "R3")
+	return n
+}
+
+func TestBasicConstruction(t *testing.T) {
+	n := fig1()
+	if n.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d", n.NumNodes())
+	}
+	if n.NumEdges() != 12 {
+		t.Fatalf("NumEdges = %d", n.NumEdges())
+	}
+	if got := n.Routers(); len(got) != 3 || got[0] != "R1" || got[2] != "R3" {
+		t.Fatalf("Routers = %v", got)
+	}
+	if got := n.Externals(); len(got) != 3 {
+		t.Fatalf("Externals = %v", got)
+	}
+	if !n.IsExternal("ISP1") || n.IsExternal("R1") || n.IsExternal("nope") {
+		t.Fatal("IsExternal wrong")
+	}
+	if !n.HasEdge(Edge{"R1", "R2"}) || n.HasEdge(Edge{"ISP1", "R2"}) {
+		t.Fatal("HasEdge wrong")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestEdgeHelpers(t *testing.T) {
+	e := Edge{"A", "B"}
+	if e.String() != "A -> B" {
+		t.Fatalf("String = %q", e.String())
+	}
+	if e.Reverse() != (Edge{"B", "A"}) {
+		t.Fatal("Reverse wrong")
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	n := fig1()
+	nb := n.Neighbors("R1")
+	want := []NodeID{"ISP1", "R2", "R3"}
+	if len(nb) != len(want) {
+		t.Fatalf("Neighbors(R1) = %v", nb)
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("Neighbors(R1) = %v, want %v", nb, want)
+		}
+	}
+	pred := n.Predecessors("R2")
+	if len(pred) != 3 {
+		t.Fatalf("Predecessors(R2) = %v", pred)
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	n := New()
+	n.AddRouter("R1", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.AddRouter("R1", 2)
+}
+
+func TestUnknownEdgeEndpointPanics(t *testing.T) {
+	n := New()
+	n.AddRouter("R1", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.AddEdge("R1", "nope")
+}
+
+func TestDuplicateEdgeIdempotent(t *testing.T) {
+	n := New()
+	n.AddRouter("A", 1)
+	n.AddRouter("B", 1)
+	n.AddEdge("A", "B")
+	n.AddEdge("A", "B")
+	if n.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", n.NumEdges())
+	}
+	if got := n.Neighbors("A"); len(got) != 1 {
+		t.Fatalf("adjacency duplicated: %v", got)
+	}
+}
+
+func TestPolicyBinding(t *testing.T) {
+	n := fig1()
+	e := Edge{"ISP1", "R1"}
+	m := policy.PermitAll("imp")
+	n.SetImport(e, m)
+	if n.Import(e) != m {
+		t.Fatal("Import binding lost")
+	}
+	if n.Import(Edge{"R1", "R2"}) != nil {
+		t.Fatal("unbound import should be nil")
+	}
+	x := Edge{"R2", "ISP2"}
+	xm := policy.DenyAll("exp")
+	n.SetExport(x, xm)
+	if n.Export(x) != xm {
+		t.Fatal("Export binding lost")
+	}
+	r := routemodel.NewRoute(routemodel.MustPrefix("10.0.0.0/24"))
+	n.AddOriginate(Edge{"R3", "R2"}, r)
+	if got := n.Originate(Edge{"R3", "R2"}); len(got) != 1 || got[0] != r {
+		t.Fatal("Originate binding lost")
+	}
+}
+
+func TestValidateRejectsExternalPolicies(t *testing.T) {
+	n := fig1()
+	// import at an external node's side
+	n.SetImport(Edge{"R1", "ISP1"}, policy.PermitAll("bad"))
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected validation error for import at external node")
+	}
+}
+
+func TestValidateRejectsExternalExport(t *testing.T) {
+	n := fig1()
+	n.SetExport(Edge{"ISP1", "R1"}, policy.PermitAll("bad"))
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected validation error for export at external node")
+	}
+}
+
+func TestValidateRejectsExternalOrigination(t *testing.T) {
+	n := fig1()
+	n.AddOriginate(Edge{"ISP1", "R1"}, routemodel.NewRoute(routemodel.MustPrefix("10.0.0.0/8")))
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected validation error for external origination")
+	}
+}
+
+func TestValidateRejectsExternalToExternalEdge(t *testing.T) {
+	n := New()
+	n.AddExternal("E1", 1)
+	n.AddExternal("E2", 2)
+	n.AddEdge("E1", "E2")
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected validation error for external-external edge")
+	}
+}
+
+func TestUniverseCollection(t *testing.T) {
+	n := fig1()
+	c := routemodel.MustCommunity("100:1")
+	m := &policy.RouteMap{
+		Name: "tag",
+		Clauses: []policy.Clause{
+			{Seq: 10, Actions: []policy.Action{policy.AddCommunity{Comm: c}}, Permit: true},
+		},
+	}
+	n.SetImport(Edge{"ISP1", "R1"}, m)
+	org := routemodel.NewRoute(routemodel.MustPrefix("10.9.0.0/16"))
+	org.AddCommunity(routemodel.MustCommunity("7:7"))
+	org.ASPath = []uint32{65055}
+	n.AddOriginate(Edge{"R3", "R2"}, org)
+
+	u := n.Universe()
+	if !u.HasCommunity(c) {
+		t.Fatal("policy community missing from universe")
+	}
+	if !u.HasCommunity(routemodel.MustCommunity("7:7")) {
+		t.Fatal("originated community missing from universe")
+	}
+	foundAS := false
+	for _, as := range u.ASNs() {
+		if as == 65055 {
+			foundAS = true
+		}
+	}
+	if !foundAS {
+		t.Fatal("originated AS missing from universe")
+	}
+}
+
+func TestRoleAndRegionQueries(t *testing.T) {
+	n := New()
+	n.AddRouter("E1", 1).Role = "edge"
+	n.AddRouter("E2", 1).Role = "edge"
+	n.AddRouter("C1", 1).Role = "core"
+	n.AddRouter("W1", 1).Region = "west"
+	n.AddExternal("X", 2).Role = "edge" // externals never returned
+
+	if got := n.RoutersByRole("edge"); len(got) != 2 || got[0] != "E1" {
+		t.Fatalf("RoutersByRole = %v", got)
+	}
+	if got := n.RoutersByRegion("west"); len(got) != 1 || got[0] != "W1" {
+		t.Fatalf("RoutersByRegion = %v", got)
+	}
+}
