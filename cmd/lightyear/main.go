@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	lightyear -config net.cfg -property fig1-no-transit [-workers N] [-verbose]
+//	lightyear -config net.cfg -property fig1-no-transit [-workers N] [-cache N] [-json] [-verbose]
 //
 // The configuration file uses the DSL of internal/config (see cmd/lygen to
 // generate examples). Properties, like the local invariants of the paper's
-// deployment, are defined in code; the built-in property suites are:
+// deployment, are defined in code and registered in the internal/netgen
+// suite registry; the built-in property suites are:
 //
 //	fig1-no-transit   Table 2: routes from ISP1 never reach ISP2
 //	fig1-liveness     Table 3: customer prefixes reach ISP2
@@ -15,23 +16,67 @@
 //	wan-peering       Table 4a: the 11 peering properties at every router
 //	wan-ip-reuse      Table 4b: regional reused-IP isolation
 //	wan-ip-liveness   Table 4c: reused routes propagate within each region
+//
+// All problems of the selected suite run as concurrent jobs on a shared
+// internal/engine Engine, so identical local checks across the suite's
+// properties and routers are solved once and served from the engine's
+// result cache thereafter. -workers sizes the engine's worker pool and
+// -cache its LRU result-cache capacity (0 = engine default, negative
+// disables caching).
+//
+// With -json, the command emits a single machine-readable JSON document on
+// stdout (the same report encoding the lyserve HTTP API returns) instead of
+// the human-readable summary.
+//
+// Exit status contract:
+//
+//	0  every problem in the suite verified (skipped optional problems allowed)
+//	1  at least one local check failed, or verification could not run
+//	   (unreadable or unparsable configuration, invalid liveness path)
+//	2  usage error (missing -config, unknown -property suite)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lightyear/internal/config"
 	"lightyear/internal/core"
+	"lightyear/internal/engine"
 	"lightyear/internal/netgen"
 )
+
+// problemOutcome is the per-problem record of a suite run, shared by the
+// human-readable and -json output paths.
+type problemOutcome struct {
+	Name       string             `json:"name"`
+	Skipped    bool               `json:"skipped,omitempty"`
+	SkipReason string             `json:"skip_reason,omitempty"`
+	Report     *engine.ReportJSON `json:"report,omitempty"`
+	Stats      *engine.JobStats   `json:"stats,omitempty"`
+
+	report *core.Report
+}
+
+// runOutput is the -json document: per-problem reports plus engine-level
+// dedup/cache statistics.
+type runOutput struct {
+	Suite    string           `json:"suite"`
+	OK       bool             `json:"ok"`
+	Problems []problemOutcome `json:"problems"`
+	Engine   engine.Stats     `json:"engine"`
+}
 
 func main() {
 	var (
 		configPath = flag.String("config", "", "path to the network configuration file")
 		property   = flag.String("property", "fig1-no-transit", "property suite to verify")
 		workers    = flag.Int("workers", 0, "parallel check workers (0 = GOMAXPROCS)")
+		cacheSize  = flag.Int("cache", 0, "engine result-cache capacity (0 = default, <0 disables)")
+		jsonOut    = flag.Bool("json", false, "emit the report as machine-readable JSON")
 		verbose    = flag.Bool("verbose", false, "print every check result")
 		regions    = flag.Int("wan-regions", 3, "region count assumed for WAN properties")
 	)
@@ -41,6 +86,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lightyear: -config is required (generate one with lygen)")
 		os.Exit(2)
 	}
+	suite, ok := netgen.Lookup(*property)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lightyear: unknown property %q (have: %s)\n",
+			*property, strings.Join(netgen.SuiteNames(), ", "))
+		os.Exit(2)
+	}
+
 	src, err := os.ReadFile(*configPath)
 	if err != nil {
 		fatal(err)
@@ -49,80 +101,85 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("parsed %s: %d routers, %d externals, %d sessions\n",
-		*configPath, len(n.Routers()), len(n.Externals()), n.NumEdges())
+	if !*jsonOut {
+		fmt.Printf("parsed %s: %d routers, %d externals, %d sessions\n",
+			*configPath, len(n.Routers()), len(n.Externals()), n.NumEdges())
+	}
 
-	opts := core.Options{Workers: *workers}
-	ok := true
-	switch *property {
-	case "fig1-no-transit":
-		ok = runSafety(netgen.Fig1NoTransitProblem(n), opts, *verbose)
-	case "fig1-liveness":
-		ok = runLiveness(netgen.Fig1LivenessProblem(n), opts, *verbose)
-	case "fullmesh":
-		ok = runSafety(netgen.FullMeshProblem(n), opts, *verbose)
-	case "wan-peering":
-		for _, prop := range netgen.PeeringProperties(*regions) {
-			for _, r := range n.Routers() {
-				if !runSafety(netgen.PeeringProblem(n, r, prop), opts, *verbose) {
-					ok = false
-				}
-			}
-		}
-	case "wan-ip-reuse":
-		p := netgen.WANParams{Regions: *regions}
-		for r := 0; r < *regions; r++ {
-			region := fmt.Sprintf("region-%d", r)
-			for _, out := range n.Routers() {
-				if n.Node(out).Region == region {
+	eng := engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize})
+	defer eng.Close()
+
+	problems := suite.Build(n, netgen.SuiteParams{Regions: *regions})
+	outcomes := make([]problemOutcome, len(problems))
+	jobs := make([]*engine.Job, len(problems))
+
+	// Submit every problem before collecting any, so the engine dedups
+	// identical checks across the whole suite.
+	for i, p := range problems {
+		outcomes[i].Name = p.Name
+		switch {
+		case p.Safety != nil:
+			jobs[i] = eng.SubmitSafety(p.Safety)
+		case p.Liveness != nil:
+			job, err := eng.SubmitLiveness(p.Liveness)
+			if err != nil {
+				if p.Optional {
+					// e.g. a WAN region path absent from this config.
+					outcomes[i].Skipped = true
+					outcomes[i].SkipReason = err.Error()
 					continue
 				}
-				if !runSafety(netgen.IPReuseSafetyProblem(n, p, r, out), opts, *verbose) {
-					ok = false
-				}
+				fatal(err)
 			}
+			jobs[i] = job
 		}
-	case "wan-ip-liveness":
-		p := netgen.WANParams{Regions: *regions}
-		for r := 0; r < *regions; r++ {
-			prob := netgen.IPReuseLivenessProblem(n, p, r)
-			if !runLivenessChecked(prob, opts, *verbose) {
-				ok = false
-			}
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "lightyear: unknown property %q\n", *property)
-		os.Exit(2)
 	}
-	if !ok {
+
+	allOK := true
+	for i := range problems {
+		if jobs[i] == nil {
+			if !*jsonOut && outcomes[i].Skipped {
+				fmt.Printf("skip %s: %s\n", outcomes[i].Name, outcomes[i].SkipReason)
+			}
+			continue
+		}
+		rep := jobs[i].Wait()
+		st := jobs[i].Stats()
+		outcomes[i].report = rep
+		outcomes[i].Stats = &st
+		if !rep.OK() {
+			allOK = false
+		}
+		if !*jsonOut {
+			printReport(rep, *verbose)
+		}
+	}
+
+	if *jsonOut {
+		out := runOutput{Suite: suite.Name, OK: allOK, Problems: outcomes, Engine: eng.Stats()}
+		for i := range out.Problems {
+			if r := out.Problems[i].report; r != nil {
+				enc := engine.EncodeReport(r)
+				out.Problems[i].Report = &enc
+			}
+		}
+		encoded, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(encoded, '\n'))
+	} else {
+		st := eng.Stats()
+		fmt.Printf("engine: %d checks submitted, %d solved, %d cache hits, %d dedup hits\n",
+			st.ChecksSubmitted, st.ChecksSolved, st.CacheHits, st.DedupHits)
+	}
+
+	if !allOK {
 		os.Exit(1)
 	}
-	fmt.Println("all properties verified")
-}
-
-func runSafety(p *core.SafetyProblem, opts core.Options, verbose bool) bool {
-	rep := core.VerifySafety(p, opts)
-	printReport(rep, verbose)
-	return rep.OK()
-}
-
-func runLiveness(p *core.LivenessProblem, opts core.Options, verbose bool) bool {
-	rep, err := core.VerifyLiveness(p, opts)
-	if err != nil {
-		fatal(err)
+	if !*jsonOut {
+		fmt.Println("all properties verified")
 	}
-	printReport(rep, verbose)
-	return rep.OK()
-}
-
-func runLivenessChecked(p *core.LivenessProblem, opts core.Options, verbose bool) bool {
-	// WAN liveness paths reference generated router names; skip regions the
-	// parsed config does not contain.
-	if err := p.Validate(); err != nil {
-		fmt.Printf("skip: %v\n", err)
-		return true
-	}
-	return runLiveness(p, opts, verbose)
 }
 
 func printReport(rep *core.Report, verbose bool) {

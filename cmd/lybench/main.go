@@ -8,7 +8,8 @@
 //	-experiment table4b   WAN IP-reuse safety per region (Table 4b)
 //	-experiment table4c   WAN IP-reuse liveness per region (Table 4c)
 //	-experiment fig3      Lightyear vs Minesweeper scaling sweep (Figure 3a-d)
-//	-experiment wan       §6.1 scale run: peering properties across a large WAN
+//	-experiment wan       §6.1 scale run: peering properties across a large WAN,
+//	                      sequential vs parallel vs engine (cross-problem dedup)
 //	-experiment faults    differential simulation under random failures (§4.5)
 //	-experiment all       everything above
 package main
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"lightyear/internal/core"
+	"lightyear/internal/engine"
 	"lightyear/internal/minesweeper"
 	"lightyear/internal/netgen"
 	"lightyear/internal/routemodel"
@@ -40,19 +42,26 @@ func main() {
 	)
 	flag.Parse()
 
+	// All experiments share one verification engine, so identical checks
+	// re-issued across tables are solved once. The wan experiment builds
+	// its own engines because it measures execution modes against each
+	// other.
+	eng := engine.New(engine.Options{Workers: *workers})
+	defer eng.Close()
+
 	switch *experiment {
 	case "table1":
 		table1()
 	case "table2":
-		table2(*workers)
+		table2(eng)
 	case "table3":
-		table3(*workers)
+		table3(eng)
 	case "table4a":
-		table4a(*workers)
+		table4a(eng)
 	case "table4b":
-		table4b(*workers)
+		table4b(eng)
 	case "table4c":
-		table4c(*workers)
+		table4c(eng)
 	case "fig3":
 		fig3(parseSizes(*sizes), *msTimeout, *workers)
 	case "wan":
@@ -61,11 +70,11 @@ func main() {
 		faults()
 	case "all":
 		table1()
-		table2(*workers)
-		table3(*workers)
-		table4a(*workers)
-		table4b(*workers)
-		table4c(*workers)
+		table2(eng)
+		table3(eng)
+		table4a(eng)
+		table4b(eng)
+		table4c(eng)
 		fig3(parseSizes(*sizes), *msTimeout, *workers)
 		wanExperiment(*wanScale, *workers)
 		faults()
@@ -110,23 +119,23 @@ func table1() {
 	}
 }
 
-func table2(workers int) {
+func table2(eng *engine.Engine) {
 	header("Table 2: Figure-1 no-transit safety checks")
 	n := netgen.Fig1(netgen.Fig1Options{})
-	rep := core.VerifySafety(netgen.Fig1NoTransitProblem(n), core.Options{Workers: workers})
+	rep := eng.VerifySafety(netgen.Fig1NoTransitProblem(n))
 	printChecks(rep)
 	fmt.Printf("verdict: OK=%v, %d checks in %v (max %d vars / %d clauses per check)\n",
 		rep.OK(), rep.NumChecks(), rep.TotalTime, rep.MaxVars(), rep.MaxCons())
 
 	fmt.Println("\nwith the §2.1 bug (import at R1 does not tag 100:1):")
-	buggy := core.VerifySafety(netgen.Fig1NoTransitProblem(netgen.Fig1(netgen.Fig1Options{OmitTransitTag: true})), core.Options{Workers: workers})
+	buggy := eng.VerifySafety(netgen.Fig1NoTransitProblem(netgen.Fig1(netgen.Fig1Options{OmitTransitTag: true})))
 	fmt.Print(buggy.Summary())
 }
 
-func table3(workers int) {
+func table3(eng *engine.Engine) {
 	header("Table 3: Figure-1 liveness checks")
 	n := netgen.Fig1(netgen.Fig1Options{})
-	rep, err := core.VerifyLiveness(netgen.Fig1LivenessProblem(n), core.Options{Workers: workers})
+	rep, err := eng.VerifyLiveness(netgen.Fig1LivenessProblem(n))
 	if err != nil {
 		fatal(err)
 	}
@@ -134,7 +143,7 @@ func table3(workers int) {
 	fmt.Printf("verdict: OK=%v, %d checks in %v\n", rep.OK(), rep.NumChecks(), rep.TotalTime)
 
 	fmt.Println("\nwith the §2.2 bug (R3 keeps incoming communities):")
-	buggy, err := core.VerifyLiveness(netgen.Fig1LivenessProblem(netgen.Fig1(netgen.Fig1Options{ForgetStripAtR3: true})), core.Options{Workers: workers})
+	buggy, err := eng.VerifyLiveness(netgen.Fig1LivenessProblem(netgen.Fig1(netgen.Fig1Options{ForgetStripAtR3: true})))
 	if err != nil {
 		fatal(err)
 	}
@@ -152,23 +161,23 @@ func printChecks(rep *core.Report) {
 	}
 }
 
-func table4a(workers int) {
+func table4a(eng *engine.Engine) {
 	header("Table 4a: WAN peering properties (11 properties)")
 	p := netgen.DefaultWANParams()
 	n := netgen.WAN(p, netgen.WANBugs{})
 	at := netgen.RegionRouter(0, 0)
 	for _, prop := range netgen.PeeringProperties(p.Regions) {
 		t0 := time.Now()
-		rep := core.VerifySafety(netgen.PeeringProblem(n, at, prop), core.Options{Workers: workers})
+		rep := eng.VerifySafety(netgen.PeeringProblem(n, at, prop))
 		fmt.Printf("  %-26s OK=%v  checks=%d  time=%v\n", prop.Name, rep.OK(), rep.NumChecks(), time.Since(t0))
 	}
 	fmt.Println("\nwith an injected inconsistent edge filter (missing bogon clause):")
 	buggy := netgen.WAN(p, netgen.WANBugs{MissingBogonFilter: true})
-	rep := core.VerifySafety(netgen.PeeringProblem(buggy, at, netgen.PeeringProperties(p.Regions)[0]), core.Options{Workers: workers})
+	rep := eng.VerifySafety(netgen.PeeringProblem(buggy, at, netgen.PeeringProperties(p.Regions)[0]))
 	fmt.Print(rep.Summary())
 }
 
-func table4b(workers int) {
+func table4b(eng *engine.Engine) {
 	header("Table 4b: WAN IP-reuse safety per region")
 	p := netgen.DefaultWANParams()
 	n := netgen.WAN(p, netgen.WANBugs{})
@@ -178,23 +187,23 @@ func table4b(workers int) {
 			outside = netgen.RegionRouter((r+1)%p.Regions, 0)
 		}
 		t0 := time.Now()
-		rep := core.VerifySafety(netgen.IPReuseSafetyProblem(n, p, r, outside), core.Options{Workers: workers})
+		rep := eng.VerifySafety(netgen.IPReuseSafetyProblem(n, p, r, outside))
 		fmt.Printf("  region %d (checked outside at %-10s) OK=%v checks=%d time=%v\n",
 			r, outside, rep.OK(), rep.NumChecks(), time.Since(t0))
 	}
 	fmt.Println("\nwith the metadata bug (region 0 tags with region 1's community):")
 	buggy := netgen.WAN(p, netgen.WANBugs{WrongRegionCommunity: true})
-	rep := core.VerifySafety(netgen.IPReuseSafetyProblem(buggy, p, 0, netgen.RegionRouter(1, 0)), core.Options{Workers: workers})
+	rep := eng.VerifySafety(netgen.IPReuseSafetyProblem(buggy, p, 0, netgen.RegionRouter(1, 0)))
 	fmt.Print(rep.Summary())
 }
 
-func table4c(workers int) {
+func table4c(eng *engine.Engine) {
 	header("Table 4c: WAN IP-reuse liveness per region")
 	p := netgen.DefaultWANParams()
 	n := netgen.WAN(p, netgen.WANBugs{})
 	for r := 0; r < p.Regions; r++ {
 		t0 := time.Now()
-		rep, err := core.VerifyLiveness(netgen.IPReuseLivenessProblem(n, p, r), core.Options{Workers: workers})
+		rep, err := eng.VerifyLiveness(netgen.IPReuseLivenessProblem(n, p, r))
 		if err != nil {
 			fatal(err)
 		}
@@ -205,6 +214,9 @@ func table4c(workers int) {
 // fig3 reproduces the scaling comparison: for each mesh size N it reports
 // the monolithic formula size and times (3a, 3c) and Lightyear's per-check
 // maxima and times (3b, 3d).
+// fig3 measures solving, so each size runs on a fresh cache-free engine:
+// FullMesh router names are size-independent and a warm cache would serve
+// larger sizes from smaller ones, corrupting the scaling comparison.
 func fig3(sizes []int, msTimeout time.Duration, workers int) {
 	header("Figure 3: Lightyear vs Minesweeper on synthetic full meshes")
 	fmt.Printf("%-5s | %12s %12s %10s %10s | %10s %10s %10s %10s\n",
@@ -220,7 +232,9 @@ func fig3(sizes []int, msTimeout time.Duration, workers int) {
 		} else if !ms.Holds {
 			msSolve += "(!)"
 		}
-		rep := core.VerifySafety(netgen.FullMeshProblem(n), core.Options{Workers: workers})
+		sizeEng := engine.New(engine.Options{Workers: workers, CacheSize: -1})
+		rep := sizeEng.VerifySafety(netgen.FullMeshProblem(n))
+		sizeEng.Close()
 		ok := ""
 		if !rep.OK() {
 			ok = "(!)"
@@ -255,6 +269,8 @@ func wanExperiment(scale string, workers int) {
 	props := netgen.PeeringProperties(p.Regions)[:4] // "four of the properties" (§6.1)
 	edgeRouters := n.RoutersByRole("edge")
 
+	// Mode 1 — sequential baseline: one worker, no cache, one problem at a
+	// time (the paper's single-threaded deployment mode).
 	t0 := time.Now()
 	for _, prop := range props {
 		for _, r := range edgeRouters {
@@ -266,18 +282,44 @@ func wanExperiment(scale string, workers int) {
 	}
 	seq := time.Since(t0)
 
+	// Mode 2 — parallel checks only: shared pool, caching and dedup off.
+	parEng := engine.New(engine.Options{Workers: workers, CacheSize: -1})
 	t0 = time.Now()
 	for _, prop := range props {
 		for _, r := range edgeRouters {
-			rep := core.VerifySafety(netgen.PeeringProblem(n, r, prop), core.Options{Workers: workers})
+			rep := parEng.VerifySafety(netgen.PeeringProblem(n, r, prop))
 			if !rep.OK() {
 				fmt.Printf("  unexpected failure: %s at %s\n", prop.Name, r)
 			}
 		}
 	}
 	par := time.Since(t0)
-	fmt.Printf("4 properties x %d edge routers: sequential %v, parallel %v\n",
-		len(edgeRouters), seq.Round(time.Millisecond), par.Round(time.Millisecond))
+	parEng.Close()
+
+	// Mode 3 — full engine: all property×router jobs submitted up front so
+	// byte-identical filter checks across the sweep are solved once and
+	// shared via the LRU cache / in-flight dedup.
+	eng := engine.New(engine.Options{Workers: workers})
+	t0 = time.Now()
+	var jobs []*engine.Job
+	for _, prop := range props {
+		for _, r := range edgeRouters {
+			jobs = append(jobs, eng.SubmitSafety(netgen.PeeringProblem(n, r, prop)))
+		}
+	}
+	for _, j := range jobs {
+		if rep := j.Wait(); !rep.OK() {
+			fmt.Printf("  unexpected failure: %s\n", rep.Property)
+		}
+	}
+	deduped := time.Since(t0)
+	st := eng.Stats()
+	eng.Close()
+
+	fmt.Printf("4 properties x %d edge routers: sequential %v, parallel %v, engine (dedup+cache) %v\n",
+		len(edgeRouters), seq.Round(time.Millisecond), par.Round(time.Millisecond), deduped.Round(time.Millisecond))
+	fmt.Printf("engine: %d checks submitted, %d solved, %d cache hits, %d dedup hits\n",
+		st.ChecksSubmitted, st.ChecksSolved, st.CacheHits, st.DedupHits)
 	fmt.Println("(paper: 16 minutes sequential for 4 properties across hundreds of edge routers)")
 }
 

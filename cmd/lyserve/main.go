@@ -1,0 +1,375 @@
+// Command lyserve is the Lightyear verification service: an HTTP JSON API
+// that runs verification jobs asynchronously on a shared internal/engine
+// Engine, so concurrent requests dedup identical local checks and reuse the
+// process-wide LRU result cache.
+//
+// Usage:
+//
+//	lyserve [-addr :8080] [-workers N] [-cache N]
+//
+// API:
+//
+//	POST /v1/verify
+//	    Body: {"suite": "<suite>", "regions": N,
+//	           "config": "<internal/config DSL source>"} or
+//	          {"suite": "<suite>",
+//	           "generator": {"kind": "fig1" | "fullmesh" | "wan",
+//	                         "size": N,                      // fullmesh
+//	                         "regions": N, "routers_per_region": N,
+//	                         "edge_routers": N, "dcs_per_region": N,
+//	                         "peers_per_edge": N}}           // wan
+//	    Suites are the names in the internal/netgen registry
+//	    (fig1-no-transit, fig1-liveness, fullmesh, wan-peering,
+//	    wan-ip-reuse, wan-ip-liveness).
+//	    Returns 202 with {"id": "...", "status_url": "/v1/jobs/<id>"}; the
+//	    job runs asynchronously on the engine.
+//
+//	GET /v1/jobs/{id}
+//	    Returns the job: overall status (running|done), per-problem
+//	    completion counts streamed from engine progress events, and — once
+//	    complete — each problem's report in the same JSON encoding
+//	    `lightyear -json` emits, plus per-problem cache/dedup stats.
+//
+//	GET /v1/stats
+//	    Returns engine counters (checks submitted/solved, cache hits,
+//	    dedup hits, cache occupancy) and job counts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"lightyear/internal/config"
+	"lightyear/internal/engine"
+	"lightyear/internal/netgen"
+	"lightyear/internal/topology"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+		cacheSize = flag.Int("cache", 0, "engine result-cache capacity (0 = default, <0 disables)")
+	)
+	flag.Parse()
+
+	eng := engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize})
+	defer eng.Close()
+	srv := newServer(eng)
+	log.Printf("lyserve: %s listening on %s (suites: %s)",
+		eng, *addr, strings.Join(netgen.SuiteNames(), ", "))
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}
+
+// server owns the engine and the in-memory job table.
+type server struct {
+	eng *engine.Engine
+
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*serviceJob
+}
+
+func newServer(eng *engine.Engine) *server {
+	return &server{eng: eng, jobs: make(map[string]*serviceJob)}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// serviceJob is one POST /v1/verify request: a batch of engine jobs, one
+// per problem in the suite.
+type serviceJob struct {
+	id      string
+	suite   string
+	created time.Time
+
+	mu       sync.Mutex
+	pending  int
+	problems []*problemState
+}
+
+type problemState struct {
+	name       string
+	total      int
+	completed  int
+	skipped    bool   // optional problem not applicable to this network
+	failed     bool   // problem could not be submitted; fails the job
+	skipReason string // reason for skipped or failed
+	report     *engine.ReportJSON
+	stats      *engine.JobStats
+}
+
+// verifyRequest is the POST /v1/verify body.
+type verifyRequest struct {
+	Suite     string         `json:"suite"`
+	Regions   int            `json:"regions,omitempty"`
+	Config    string         `json:"config,omitempty"`
+	Generator *generatorSpec `json:"generator,omitempty"`
+}
+
+type generatorSpec struct {
+	Kind             string `json:"kind"`
+	Size             int    `json:"size,omitempty"`
+	Regions          int    `json:"regions,omitempty"`
+	RoutersPerRegion int    `json:"routers_per_region,omitempty"`
+	EdgeRouters      int    `json:"edge_routers,omitempty"`
+	DCsPerRegion     int    `json:"dcs_per_region,omitempty"`
+	PeersPerEdge     int    `json:"peers_per_edge,omitempty"`
+}
+
+// buildNetwork materializes the request's network and the region count the
+// WAN suites should assume.
+func (r *verifyRequest) buildNetwork() (*topology.Network, int, error) {
+	regions := r.Regions
+	switch {
+	case r.Config != "" && r.Generator != nil:
+		return nil, 0, fmt.Errorf("specify either config or generator, not both")
+	case r.Config != "":
+		n, err := config.Parse(r.Config)
+		if err != nil {
+			return nil, 0, fmt.Errorf("config: %w", err)
+		}
+		return n, regions, nil
+	case r.Generator != nil:
+		g := r.Generator
+		switch g.Kind {
+		case "fig1":
+			return netgen.Fig1(netgen.Fig1Options{}), regions, nil
+		case "fullmesh":
+			size := g.Size
+			if size == 0 {
+				size = 10
+			}
+			if size < 2 {
+				return nil, 0, fmt.Errorf("fullmesh size must be >= 2")
+			}
+			return netgen.FullMesh(size), regions, nil
+		case "wan":
+			p := netgen.DefaultWANParams()
+			if g.Regions > 0 {
+				p.Regions = g.Regions
+			}
+			if g.RoutersPerRegion > 0 {
+				p.RoutersPerRegion = g.RoutersPerRegion
+			}
+			if g.EdgeRouters > 0 {
+				p.EdgeRouters = g.EdgeRouters
+			}
+			if g.DCsPerRegion > 0 {
+				p.DCsPerRegion = g.DCsPerRegion
+			}
+			if g.PeersPerEdge > 0 {
+				p.PeersPerEdge = g.PeersPerEdge
+			}
+			if regions == 0 {
+				regions = p.Regions
+			}
+			return netgen.WAN(p, netgen.WANBugs{}), regions, nil
+		default:
+			return nil, 0, fmt.Errorf("unknown generator kind %q (fig1|fullmesh|wan)", g.Kind)
+		}
+	default:
+		return nil, 0, fmt.Errorf("one of config or generator is required")
+	}
+}
+
+func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req verifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	suite, ok := netgen.Lookup(req.Suite)
+	if !ok {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown suite %q (have: %s)",
+			req.Suite, strings.Join(netgen.SuiteNames(), ", ")))
+		return
+	}
+	n, regions, err := req.buildNetwork()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	problems := suite.Build(n, netgen.SuiteParams{Regions: regions})
+
+	j := &serviceJob{suite: suite.Name, created: time.Now()}
+
+	// Submit every problem before waiting on any, so the engine dedups
+	// identical checks across the whole suite (and across other live
+	// requests sharing this engine). Watchers start only after the job
+	// table below is fully built, so no lock is needed here.
+	engineJobs := make([]*engine.Job, len(problems))
+	for i, p := range problems {
+		ps := &problemState{name: p.Name}
+		j.problems = append(j.problems, ps)
+		switch {
+		case p.Safety != nil:
+			engineJobs[i] = s.eng.SubmitSafety(p.Safety)
+		case p.Liveness != nil:
+			ej, err := s.eng.SubmitLiveness(p.Liveness)
+			if err != nil {
+				if p.Optional {
+					ps.skipped = true
+					ps.skipReason = err.Error()
+				} else {
+					ps.failed = true
+					ps.skipReason = err.Error()
+				}
+				continue
+			}
+			engineJobs[i] = ej
+		default:
+			ps.failed = true
+			ps.skipReason = "suite produced an empty problem"
+			continue
+		}
+		ps.total = engineJobs[i].NumChecks()
+		j.pending++
+	}
+
+	s.mu.Lock()
+	s.seq++
+	j.id = fmt.Sprintf("job-%d", s.seq)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	for i, ej := range engineJobs {
+		if ej != nil {
+			go j.watch(j.problems[i], ej)
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{
+		"id":         j.id,
+		"status_url": "/v1/jobs/" + j.id,
+	})
+}
+
+// watch drains an engine job's progress stream into the problem state and
+// records the final report.
+func (j *serviceJob) watch(ps *problemState, ej *engine.Job) {
+	for ev := range ej.Progress() {
+		j.mu.Lock()
+		ps.completed = ev.Completed
+		j.mu.Unlock()
+	}
+	rep := ej.Wait()
+	enc := engine.EncodeReport(rep)
+	st := ej.Stats()
+	j.mu.Lock()
+	ps.completed = ps.total
+	ps.report = &enc
+	ps.stats = &st
+	j.pending--
+	j.mu.Unlock()
+}
+
+// jobJSON is the GET /v1/jobs/{id} response.
+type jobJSON struct {
+	ID       string            `json:"id"`
+	Suite    string            `json:"suite"`
+	Status   string            `json:"status"` // running | done
+	OK       *bool             `json:"ok,omitempty"`
+	Created  time.Time         `json:"created"`
+	Problems []problemStatusJS `json:"problems"`
+}
+
+type problemStatusJS struct {
+	Name       string             `json:"name"`
+	Status     string             `json:"status"` // running | done | skipped | failed
+	Completed  int                `json:"completed"`
+	Total      int                `json:"total"`
+	SkipReason string             `json:"skip_reason,omitempty"`
+	Report     *engine.ReportJSON `json:"report,omitempty"`
+	Stats      *engine.JobStats   `json:"stats,omitempty"`
+}
+
+func (j *serviceJob) snapshot() jobJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := jobJSON{ID: j.id, Suite: j.suite, Created: j.created, Status: "done"}
+	if j.pending > 0 {
+		out.Status = "running"
+	}
+	allOK := true
+	for _, ps := range j.problems {
+		st := problemStatusJS{
+			Name:       ps.name,
+			Completed:  ps.completed,
+			Total:      ps.total,
+			SkipReason: ps.skipReason,
+			Report:     ps.report,
+			Stats:      ps.stats,
+		}
+		switch {
+		case ps.failed:
+			st.Status = "failed"
+			allOK = false
+		case ps.skipped:
+			st.Status = "skipped"
+		case ps.report != nil:
+			st.Status = "done"
+			if !ps.report.OK {
+				allOK = false
+			}
+		default:
+			st.Status = "running"
+		}
+		out.Problems = append(out.Problems, st)
+	}
+	if out.Status == "done" {
+		out.OK = &allOK
+	}
+	return out
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, j.snapshot())
+}
+
+// statsJSON is the GET /v1/stats response.
+type statsJSON struct {
+	Engine engine.Stats `json:"engine"`
+	Jobs   int          `json:"jobs"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, statsJSON{Engine: s.eng.Stats(), Jobs: jobs})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("lyserve: encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"lightyear/internal/engine"
+	"lightyear/internal/netgen"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := engine.New(engine.Options{Workers: 4})
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(newServer(eng).routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postVerify(t *testing.T, ts *httptest.Server, body string) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST /v1/verify = %d, want 202 (error: %s)", resp.StatusCode, e["error"])
+	}
+	var out struct {
+		ID        string `json:"id"`
+		StatusURL string `json:"status_url"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID == "" || out.StatusURL != "/v1/jobs/"+out.ID {
+		t.Fatalf("bad accept payload: %+v", out)
+	}
+	return out.ID
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) jobJSON {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s = %d, want 200", id, resp.StatusCode)
+	}
+	var j jobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) jobJSON {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		j := getJob(t, ts, id)
+		if j.Status == "done" {
+			return j
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not complete in time", id)
+	return jobJSON{}
+}
+
+// TestVerifyRoundTrip drives the full async API: submit a WAN peering
+// sweep, poll it to completion, and assert the reports and the engine's
+// cross-problem dedup statistics.
+func TestVerifyRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	id := postVerify(t, ts, `{
+		"suite": "wan-peering",
+		"generator": {"kind": "wan", "regions": 3, "routers_per_region": 2,
+		              "edge_routers": 2, "dcs_per_region": 1, "peers_per_edge": 2}
+	}`)
+	j := waitDone(t, ts, id)
+
+	if j.Suite != "wan-peering" || j.OK == nil || !*j.OK {
+		t.Fatalf("job should verify: %+v", j)
+	}
+	if len(j.Problems) == 0 {
+		t.Fatal("no problems in job")
+	}
+	for _, p := range j.Problems {
+		if p.Status != "done" || p.Report == nil || !p.Report.OK {
+			t.Fatalf("problem %s: status=%s report=%v", p.Name, p.Status, p.Report)
+		}
+		if p.Completed != p.Total || p.Total != p.Report.NumChecks {
+			t.Errorf("problem %s: completed %d/%d with %d checks", p.Name, p.Completed, p.Total, p.Report.NumChecks)
+		}
+	}
+
+	// The sweep re-issues identical filter checks for every router ×
+	// property pair: the engine must have deduped across problems.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Engine.CacheHits+stats.Engine.DedupHits == 0 {
+		t.Errorf("expected nonzero cross-problem cache/dedup hits, stats: %+v", stats.Engine)
+	}
+	if stats.Engine.ChecksSolved >= stats.Engine.ChecksSubmitted {
+		t.Errorf("engine solved %d of %d submitted checks; dedup had no effect",
+			stats.Engine.ChecksSolved, stats.Engine.ChecksSubmitted)
+	}
+	if stats.Jobs == 0 {
+		t.Error("stats should count the submitted job")
+	}
+}
+
+// TestConcurrentVerifyJobs submits several jobs at once and requires all to
+// complete with correct verdicts — the multi-tenant traffic shape lyserve
+// exists for.
+func TestConcurrentVerifyJobs(t *testing.T) {
+	ts := newTestServer(t)
+	bodies := []string{
+		`{"suite": "fig1-no-transit", "generator": {"kind": "fig1"}}`,
+		`{"suite": "fig1-liveness", "generator": {"kind": "fig1"}}`,
+		`{"suite": "fig1-no-transit", "generator": {"kind": "fig1"}}`,
+		`{"suite": "fullmesh", "generator": {"kind": "fullmesh", "size": 6}}`,
+	}
+	ids := make([]string, len(bodies))
+	var wg sync.WaitGroup
+	for i, b := range bodies {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			ids[i] = postVerify(t, ts, b)
+		}(i, b)
+	}
+	wg.Wait()
+
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate job id %s", id)
+		}
+		seen[id] = true
+		j := waitDone(t, ts, id)
+		if j.OK == nil || !*j.OK {
+			t.Errorf("job %s (%s) failed: %+v", id, j.Suite, j)
+		}
+	}
+}
+
+// TestVerifyFromConfigDSL submits a network as DSL source, exactly as
+// cmd/lightyear consumes it.
+func TestVerifyFromConfigDSL(t *testing.T) {
+	ts := newTestServer(t)
+	body, err := json.Marshal(map[string]any{
+		"suite":  "fig1-no-transit",
+		"config": netgen.Fig1DSL(netgen.Fig1Options{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := postVerify(t, ts, string(body))
+	j := waitDone(t, ts, id)
+	if j.OK == nil || !*j.OK {
+		t.Fatalf("DSL round-trip should verify: %+v", j)
+	}
+}
+
+// TestNonOptionalLivenessFailureFailsJob: a required liveness problem whose
+// witness path is absent from the network must fail the job, not report
+// verified-OK.
+func TestNonOptionalLivenessFailureFailsJob(t *testing.T) {
+	ts := newTestServer(t)
+	// fig1-liveness on a full mesh: the Customer -> R3 path does not exist.
+	id := postVerify(t, ts, `{"suite": "fig1-liveness", "generator": {"kind": "fullmesh", "size": 4}}`)
+	j := waitDone(t, ts, id)
+	if j.OK == nil || *j.OK {
+		t.Fatalf("job must report ok=false when a required problem cannot run: %+v", j)
+	}
+	if len(j.Problems) != 1 || j.Problems[0].Status != "failed" || j.Problems[0].SkipReason == "" {
+		t.Fatalf("problem should be marked failed with a reason: %+v", j.Problems)
+	}
+}
+
+// TestBadRequests exercises the API error contract.
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"bad-json", `{`, http.StatusBadRequest},
+		{"unknown-suite", `{"suite": "nope", "generator": {"kind": "fig1"}}`, http.StatusBadRequest},
+		{"no-network", `{"suite": "fig1-no-transit"}`, http.StatusBadRequest},
+		{"both-networks", `{"suite": "fig1-no-transit", "config": "x", "generator": {"kind": "fig1"}}`, http.StatusBadRequest},
+		{"bad-generator", `{"suite": "fig1-no-transit", "generator": {"kind": "torus"}}`, http.StatusBadRequest},
+		{"bad-config", `{"suite": "fig1-no-transit", "config": "not a config"}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewBufferString(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -7,7 +7,32 @@
 // internal/smt for the SMT substrate, internal/sim for the executable BGP
 // model, and internal/minesweeper for the monolithic baseline. The
 // executables are cmd/lightyear (verifier CLI), cmd/lygen (configuration
-// generator), and cmd/lybench (evaluation harness regenerating the paper's
-// tables and figures). The benchmarks in bench_test.go cover every table
-// and figure of the paper's evaluation section.
+// generator), cmd/lybench (evaluation harness regenerating the paper's
+// tables and figures), and cmd/lyserve (HTTP verification service). The
+// benchmarks in bench_test.go cover every table and figure of the paper's
+// evaluation section.
+//
+// # Execution engine
+//
+// All verification runs on internal/engine, the shared execution substrate:
+// a process-wide bounded worker pool that schedules the local checks of all
+// submitted problems through the pipeline
+//
+//	worker pool → in-flight dedup (singleflight) → LRU result cache → reports
+//
+// Checks are keyed by their semantic content (core.Check.Key — the filter
+// policy, predicates, and ghost updates the verdict depends on), so a WAN
+// property sweep that re-issues byte-identical filter checks for every
+// router × property pair solves each distinct formula once; concurrent jobs
+// submitting the same check share the single in-flight solve. Both
+// cmd/lightyear and cmd/lybench submit to an engine, lyserve exposes one
+// over HTTP (POST /v1/verify, GET /v1/jobs/{id}, GET /v1/stats), and
+// core.IncrementalVerifier can run on one via the core.CheckRunner seam.
+//
+// # Property registry
+//
+// Built-in property suites are registered by name in internal/netgen
+// (netgen.Lookup / netgen.SuiteNames) and shared by cmd/lightyear and
+// lyserve: fig1-no-transit, fig1-liveness, fullmesh, wan-peering,
+// wan-ip-reuse, and wan-ip-liveness.
 package lightyear

@@ -1,0 +1,3 @@
+module lightyear
+
+go 1.24

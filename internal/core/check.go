@@ -57,6 +57,18 @@ type Check struct {
 	run  func() CheckResult
 }
 
+// Key returns the check's semantic cache key: a hash of everything the
+// check's verdict depends on (the filter's policy, the predicates involved,
+// the ghost updates). Two checks with the same key decide the same formula,
+// so a result may be shared between them — the hook the engine's
+// cross-problem dedup and result cache are built on. An empty key means the
+// check is not cacheable.
+func (c Check) Key() string { return c.key }
+
+// Run executes the check and returns its result. Checks are self-contained
+// and independent, so Run may be called from any goroutine.
+func (c Check) Run() CheckResult { return c.run() }
+
 // Counterexample is a concrete witness for a failed local check: an input
 // route that the filter at the named location handles in a way that violates
 // the local invariant.
@@ -199,6 +211,47 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// SortResults orders check results deterministically by (Kind, Loc, Desc).
+// Desc breaks ties when one edge carries several checks of the same kind,
+// keeping reports stable across runs regardless of execution order.
+func SortResults(results []CheckResult) {
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].Kind != results[j].Kind {
+			return results[i].Kind < results[j].Kind
+		}
+		if li, lj := results[i].Loc.String(), results[j].Loc.String(); li != lj {
+			return li < lj
+		}
+		return results[i].Desc < results[j].Desc
+	})
+}
+
+// NewReport assembles a report from check results, sorting them
+// deterministically. It is the single result-assembly path shared by the
+// in-package runners and external execution substrates such as
+// internal/engine.
+func NewReport(prop Property, results []CheckResult, total time.Duration) *Report {
+	SortResults(results)
+	return &Report{Property: prop, Results: results, TotalTime: total}
+}
+
+// CheckRunner executes a batch of independent local checks and assembles a
+// report. The default implementation is LocalRunner; internal/engine
+// provides a process-wide pool with cross-problem dedup and result caching.
+type CheckRunner interface {
+	RunChecks(prop Property, checks []Check) *Report
+}
+
+// LocalRunner returns a CheckRunner backed by a per-call worker pool with
+// the given options — the classic standalone execution mode.
+func LocalRunner(opts Options) CheckRunner { return localRunner{opts} }
+
+type localRunner struct{ opts Options }
+
+func (l localRunner) RunChecks(prop Property, checks []Check) *Report {
+	return runChecks(prop, checks, l.opts)
+}
+
 // runChecks executes checks (in parallel when opts.Workers != 1) and
 // assembles a report with deterministic result ordering.
 func runChecks(prop Property, checks []Check, opts Options) *Report {
@@ -230,13 +283,7 @@ func runChecks(prop Property, checks []Check, opts Options) *Report {
 		close(next)
 		wg.Wait()
 	}
-	sort.SliceStable(results, func(i, j int) bool {
-		if results[i].Kind != results[j].Kind {
-			return results[i].Kind < results[j].Kind
-		}
-		return results[i].Loc.String() < results[j].Loc.String()
-	})
-	return &Report{Property: prop, Results: results, TotalTime: time.Since(start)}
+	return NewReport(prop, results, time.Since(start))
 }
 
 // filterCheck builds the core local check pattern shared by §4.2 (import,

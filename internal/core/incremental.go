@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
-	"sort"
 	"time"
 )
 
@@ -16,14 +15,24 @@ import (
 type IncrementalVerifier struct {
 	problem *SafetyProblem
 	opts    Options
+	runner  CheckRunner
 	cache   map[string]CheckResult
 }
 
-// NewIncrementalVerifier wraps a safety problem for repeated verification.
-// The problem's Network may be mutated (policies rebound, edges added)
-// between Run calls; the pointer is re-read each time.
+// NewIncrementalVerifier wraps a safety problem for repeated verification
+// using a private local worker pool. The problem's Network may be mutated
+// (policies rebound, edges added) between Run calls; the pointer is re-read
+// each time.
 func NewIncrementalVerifier(p *SafetyProblem, opts Options) *IncrementalVerifier {
-	return &IncrementalVerifier{problem: p, opts: opts, cache: make(map[string]CheckResult)}
+	return NewIncrementalVerifierOn(LocalRunner(opts), p, opts)
+}
+
+// NewIncrementalVerifierOn wraps a safety problem for repeated verification
+// on an explicit execution substrate — typically an internal/engine Engine,
+// so dirty checks re-run on the shared worker pool and benefit from (and
+// populate) the process-wide result cache.
+func NewIncrementalVerifierOn(r CheckRunner, p *SafetyProblem, opts Options) *IncrementalVerifier {
+	return &IncrementalVerifier{problem: p, opts: opts, runner: r, cache: make(map[string]CheckResult)}
 }
 
 // Run verifies the problem, reusing cached results for unchanged checks.
@@ -46,7 +55,7 @@ func (iv *IncrementalVerifier) Run() (*Report, int) {
 			toRun = append(toRun, c)
 		}
 	}
-	fresh := runChecks(iv.problem.Property, toRun, iv.opts)
+	fresh := iv.runner.RunChecks(iv.problem.Property, toRun)
 	for _, r := range fresh.Results {
 		results = append(results, r)
 	}
@@ -67,17 +76,7 @@ func (iv *IncrementalVerifier) Run() (*Report, int) {
 	}
 	iv.cache = newCache
 
-	sort.SliceStable(results, func(i, j int) bool {
-		if results[i].Kind != results[j].Kind {
-			return results[i].Kind < results[j].Kind
-		}
-		return results[i].Loc.String() < results[j].Loc.String()
-	})
-	return &Report{
-		Property:  iv.problem.Property,
-		Results:   results,
-		TotalTime: time.Since(start),
-	}, reused
+	return NewReport(iv.problem.Property, results, time.Since(start)), reused
 }
 
 // CacheSize returns the number of cached check results.

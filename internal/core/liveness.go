@@ -151,7 +151,7 @@ func (p *LivenessProblem) Checks(opts Options) ([]Check, error) {
 	lastStep := p.Steps[len(p.Steps)-1]
 	checks = append(checks, implicationCheck(
 		p.Property.Loc,
-		fmt.Sprintf("final path constraint implies liveness property"),
+		"final path constraint implies liveness property",
 		u, lastStep.Constraint, p.Property.Pred, opts.ConflictBudget,
 	))
 
@@ -187,10 +187,18 @@ func (p *LivenessProblem) Checks(opts Options) ([]Check, error) {
 func relabel(c Check, kind CheckKind, at Location) Check {
 	inner := c.run
 	desc := fmt.Sprintf("[for %s] %s", at, c.Desc)
+	// The relabeled check decides the same formula as the inner check but
+	// reports a different identity, so it caches under a key derived from
+	// (kind, path location, inner key) rather than the inner key itself.
+	key := ""
+	if c.key != "" {
+		key = checkKey("relabel", fmt.Sprint(int(kind)), at.String(), c.key)
+	}
 	return Check{
 		Kind: kind,
 		Loc:  c.Loc,
 		Desc: desc,
+		key:  key,
 		run: func() CheckResult {
 			r := inner()
 			r.Kind = kind

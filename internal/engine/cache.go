@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"lightyear/internal/core"
+)
+
+// lruCache is a concurrency-safe, capacity-bounded LRU map from check key
+// to check result. Both hits and fills refresh recency; when the cache is
+// full the least-recently-used entry is evicted. Bounding by entry count is
+// adequate because every cached value is a small CheckResult (the SAT
+// formulas themselves are never retained).
+type lruCache struct {
+	capacity int
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val core.CheckResult
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *lruCache) get(key string) (core.CheckResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return core.CheckResult{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts or refreshes key, evicting the least-recently-used entry if
+// the cache is over capacity.
+func (c *lruCache) add(key string, val core.CheckResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the number of cached results.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lightyear/internal/core"
+)
+
+func result(desc string) core.CheckResult {
+	return core.CheckResult{Desc: desc, OK: true}
+}
+
+func TestLRUCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRUCache(3)
+	c.add("a", result("a"))
+	c.add("b", result("b"))
+	c.add("c", result("c"))
+
+	// Touch "a" so "b" becomes the LRU entry, then overflow.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should be cached")
+	}
+	c.add("d", result("d"))
+
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s should survive eviction", k)
+		}
+	}
+	if c.len() != 3 {
+		t.Errorf("len = %d, want capacity 3", c.len())
+	}
+}
+
+func TestLRUCacheUpdateRefreshes(t *testing.T) {
+	c := newLRUCache(2)
+	c.add("a", result("a1"))
+	c.add("b", result("b"))
+	c.add("a", result("a2")) // refresh, not insert
+	if c.len() != 2 {
+		t.Fatalf("len = %d after refresh, want 2", c.len())
+	}
+	if r, ok := c.get("a"); !ok || r.Desc != "a2" {
+		t.Errorf("get(a) = %v/%v, want refreshed value", r.Desc, ok)
+	}
+	c.add("c", result("c")) // evicts b (a was refreshed more recently)
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestLRUCacheConcurrentAccess(t *testing.T) {
+	c := newLRUCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%100)
+				c.add(k, result(k))
+				c.get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.len() > 64 {
+		t.Errorf("len = %d exceeds capacity 64", c.len())
+	}
+}

@@ -1,0 +1,313 @@
+// Package engine is the shared execution substrate for Lightyear
+// verification: one process-wide bounded worker pool that schedules the
+// local checks of all submitted verification problems, deduplicates
+// identical checks across concurrent jobs (singleflight), and serves
+// repeated checks from a capacity-bounded LRU result cache.
+//
+// The design exploits the paper's §2 observation that local checks are
+// independent and trivially parallelizable, and goes one step further:
+// because checks are keyed by their semantic content (core.Check.Key), a
+// WAN property sweep that re-issues byte-identical filter checks for every
+// router × property pair solves each distinct formula exactly once, no
+// matter how many jobs reference it.
+//
+// The pipeline per submitted check is
+//
+//	queue → LRU cache probe → in-flight dedup → solver → cache fill → report
+//
+// Entry points: New to start an engine, SubmitSafety/SubmitLiveness for
+// asynchronous jobs with streamed per-check progress, VerifySafety/
+// VerifyLiveness for synchronous convenience, and RunChecks which makes the
+// engine a core.CheckRunner so core.IncrementalVerifier can run on it.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lightyear/internal/core"
+)
+
+// DefaultCacheSize is the LRU result-cache capacity used when
+// Options.CacheSize is zero.
+const DefaultCacheSize = 1 << 16
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the size of the worker pool shared by all jobs;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the LRU result cache (number of cached check
+	// results). 0 means DefaultCacheSize; negative disables caching
+	// entirely (in-flight dedup still applies).
+	CacheSize int
+	// ConflictBudget bounds SAT effort per check when the engine generates
+	// checks from a problem; 0 means unlimited.
+	ConflictBudget int64
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	JobsSubmitted   uint64 `json:"jobs_submitted"`
+	JobsCompleted   uint64 `json:"jobs_completed"`
+	ChecksSubmitted uint64 `json:"checks_submitted"` // checks enqueued across all jobs
+	ChecksSolved    uint64 `json:"checks_solved"`    // checks actually executed
+	CacheHits       uint64 `json:"cache_hits"`       // results served from the LRU cache
+	DedupHits       uint64 `json:"dedup_hits"`       // results shared via in-flight dedup
+	CacheLen        int    `json:"cache_len"`
+	CacheCap        int    `json:"cache_cap"`
+}
+
+// Engine schedules verification checks on a bounded worker pool with a
+// shared result cache. It is safe for concurrent use; create one per
+// process (or per tenant) and submit all jobs to it.
+type Engine struct {
+	opts  Options
+	tasks chan task
+	cache *lruCache // nil when caching is disabled
+
+	workers    sync.WaitGroup
+	submitters sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+	closed   bool
+
+	nextID          atomic.Uint64
+	jobsSubmitted   atomic.Uint64
+	jobsCompleted   atomic.Uint64
+	checksSubmitted atomic.Uint64
+	checksSolved    atomic.Uint64
+	cacheHits       atomic.Uint64
+	dedupHits       atomic.Uint64
+}
+
+// task is one check of one job, scheduled on the pool.
+type task struct {
+	job   *Job
+	idx   int
+	check core.Check
+}
+
+// flight tracks an in-progress solve of one check key; identical tasks
+// arriving while it runs attach as waiters and share the result.
+type flight struct {
+	waiters []task
+}
+
+// New starts an engine with its worker pool.
+func New(opts Options) *Engine {
+	e := &Engine{
+		opts:     opts,
+		tasks:    make(chan task, 4*opts.workers()),
+		inflight: make(map[string]*flight),
+	}
+	if opts.CacheSize >= 0 {
+		size := opts.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		e.cache = newLRUCache(size)
+	}
+	for i := 0; i < opts.workers(); i++ {
+		e.workers.Add(1)
+		go func() {
+			defer e.workers.Done()
+			for t := range e.tasks {
+				e.execute(t)
+			}
+		}()
+	}
+	return e
+}
+
+// Close drains queued work and stops the workers. Jobs submitted before
+// Close still complete; submitting after Close panics.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.submitters.Wait()
+	close(e.tasks)
+	e.workers.Wait()
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		JobsSubmitted:   e.jobsSubmitted.Load(),
+		JobsCompleted:   e.jobsCompleted.Load(),
+		ChecksSubmitted: e.checksSubmitted.Load(),
+		ChecksSolved:    e.checksSolved.Load(),
+		CacheHits:       e.cacheHits.Load(),
+		DedupHits:       e.dedupHits.Load(),
+	}
+	if e.cache != nil {
+		s.CacheLen, s.CacheCap = e.cache.len(), e.cache.capacity
+	}
+	return s
+}
+
+// checkOptions are the options used when generating checks from a problem.
+func (e *Engine) checkOptions() core.Options {
+	return core.Options{ConflictBudget: e.opts.ConflictBudget}
+}
+
+// SubmitSafety generates the local checks of a safety problem and schedules
+// them, returning the running job immediately.
+func (e *Engine) SubmitSafety(p *core.SafetyProblem) *Job {
+	return e.submit(p.Property, p.Checks(e.checkOptions()))
+}
+
+// SubmitLiveness generates the checks of a liveness problem and schedules
+// them. It fails fast if the problem's path is invalid.
+func (e *Engine) SubmitLiveness(p *core.LivenessProblem) (*Job, error) {
+	checks, err := p.Checks(e.checkOptions())
+	if err != nil {
+		return nil, err
+	}
+	return e.submit(p.Property, checks), nil
+}
+
+// VerifySafety is the synchronous convenience wrapper: submit and wait.
+func (e *Engine) VerifySafety(p *core.SafetyProblem) *core.Report {
+	return e.SubmitSafety(p).Wait()
+}
+
+// VerifyLiveness is the synchronous convenience wrapper: submit and wait.
+func (e *Engine) VerifyLiveness(p *core.LivenessProblem) (*core.Report, error) {
+	j, err := e.SubmitLiveness(p)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(), nil
+}
+
+// RunChecks implements core.CheckRunner, letting a core.IncrementalVerifier
+// (or any other producer of raw checks) execute on the shared pool and
+// benefit from the process-wide cache.
+func (e *Engine) RunChecks(prop core.Property, checks []core.Check) *core.Report {
+	return e.submit(prop, checks).Wait()
+}
+
+// submit enqueues a batch of checks as one job.
+func (e *Engine) submit(prop core.Property, checks []core.Check) *Job {
+	j := newJob(e, e.nextID.Add(1), prop, len(checks))
+	e.jobsSubmitted.Add(1)
+	e.checksSubmitted.Add(uint64(len(checks)))
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		panic("engine: submit after Close")
+	}
+	e.submitters.Add(1)
+	e.mu.Unlock()
+
+	if len(checks) == 0 {
+		j.finish()
+		e.submitters.Done()
+		return j
+	}
+	// Enqueue asynchronously so a job larger than the queue never blocks
+	// the submitter; workers interleave checks from all live jobs.
+	go func() {
+		defer e.submitters.Done()
+		for i, c := range checks {
+			e.tasks <- task{job: j, idx: i, check: c}
+		}
+	}()
+	return j
+}
+
+// execute runs one scheduled task through the cache → dedup → solve
+// pipeline.
+func (e *Engine) execute(t task) {
+	key := t.check.Key()
+	if key == "" {
+		// Uncacheable check: always solve.
+		e.checksSolved.Add(1)
+		t.job.deliver(t.idx, t.check.Run(), false, false)
+		return
+	}
+	if e.cache != nil {
+		if r, ok := e.cache.get(key); ok {
+			e.cacheHits.Add(1)
+			t.job.deliver(t.idx, adapt(r, t.check), true, false)
+			return
+		}
+	}
+	e.mu.Lock()
+	if f, ok := e.inflight[key]; ok {
+		// An identical check is being solved right now: wait for its
+		// result instead of occupying a worker.
+		f.waiters = append(f.waiters, t)
+		e.mu.Unlock()
+		return
+	}
+	// Re-probe the cache under the lock: a flight for this key may have
+	// filled the cache and retired between the lock-free probe above and
+	// acquiring e.mu, and solving again here would be redundant.
+	if e.cache != nil {
+		if r, ok := e.cache.get(key); ok {
+			e.mu.Unlock()
+			e.cacheHits.Add(1)
+			t.job.deliver(t.idx, adapt(r, t.check), true, false)
+			return
+		}
+	}
+	f := &flight{}
+	e.inflight[key] = f
+	e.mu.Unlock()
+
+	r := t.check.Run()
+	e.checksSolved.Add(1)
+	if e.cache != nil {
+		// Fill the cache before retiring the flight so a concurrent
+		// identical task either joins the flight or hits the cache.
+		e.cache.add(key, r)
+	}
+	e.mu.Lock()
+	delete(e.inflight, key)
+	waiters := f.waiters
+	f.waiters = nil
+	e.mu.Unlock()
+
+	t.job.deliver(t.idx, r, false, false)
+	for _, w := range waiters {
+		e.dedupHits.Add(1)
+		w.job.deliver(w.idx, adapt(r, w.check), false, true)
+	}
+}
+
+// adapt relabels a shared result with the identity of the receiving check.
+// Checks with equal keys decide the same formula, so verdict, witness, and
+// formula statistics carry over; Kind/Loc/Desc are per-check presentation.
+func adapt(r core.CheckResult, c core.Check) core.CheckResult {
+	r.Kind, r.Loc, r.Desc = c.Kind, c.Loc, c.Desc
+	return r
+}
+
+var _ core.CheckRunner = (*Engine)(nil)
+
+// String renders a one-line summary of the engine configuration.
+func (e *Engine) String() string {
+	cacheCap := -1
+	if e.cache != nil {
+		cacheCap = e.cache.capacity
+	}
+	return fmt.Sprintf("engine(workers=%d, cache=%d)", e.opts.workers(), cacheCap)
+}

@@ -1,0 +1,265 @@
+package engine_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lightyear/internal/core"
+	"lightyear/internal/engine"
+	"lightyear/internal/netgen"
+	"lightyear/internal/policy"
+	"lightyear/internal/topology"
+)
+
+// testWAN returns a small WAN and an overlapping peering workload: several
+// properties checked at every router, the shape of the §6.1 sweep.
+func testWAN(t *testing.T) (*topology.Network, []*core.SafetyProblem) {
+	t.Helper()
+	p := netgen.WANParams{Regions: 3, RoutersPerRegion: 2, EdgeRouters: 2, DCsPerRegion: 1, PeersPerEdge: 2}
+	n := netgen.WAN(p, netgen.WANBugs{})
+	var problems []*core.SafetyProblem
+	for _, prop := range netgen.PeeringProperties(p.Regions)[:3] {
+		for _, r := range n.Routers() {
+			problems = append(problems, netgen.PeeringProblem(n, r, prop))
+		}
+	}
+	return n, problems
+}
+
+// signature reduces a report to its semantic content (identity and verdict
+// of every check, in deterministic order), ignoring timing.
+func signature(rep *core.Report) []string {
+	var out []string
+	for _, r := range rep.Results {
+		out = append(out, fmt.Sprintf("%s|%s|%s|%v", r.Kind, r.Loc, r.Desc, r.OK))
+	}
+	return out
+}
+
+// TestEngineMatchesSequentialBaseline submits overlapping WAN peering jobs
+// concurrently and asserts (a) every per-job report is semantically equal
+// to the sequential single-worker baseline, and (b) identical checks across
+// jobs are solved exactly once (the rest served by cache or in-flight
+// dedup).
+func TestEngineMatchesSequentialBaseline(t *testing.T) {
+	_, problems := testWAN(t)
+
+	// Sequential baseline: fresh single-worker run per problem, no sharing.
+	baselines := make([][]string, len(problems))
+	for i, p := range problems {
+		baselines[i] = signature(core.VerifySafety(p, core.Options{Workers: 1}))
+	}
+
+	// The number of distinct check keys across the whole workload.
+	unique := make(map[string]bool)
+	total := 0
+	for _, p := range problems {
+		for _, c := range p.Checks(core.Options{}) {
+			total++
+			if k := c.Key(); k != "" {
+				unique[k] = true
+			}
+		}
+	}
+	if len(unique) >= total {
+		t.Fatalf("workload has no duplicate checks (unique=%d total=%d); test needs overlap", len(unique), total)
+	}
+
+	eng := engine.New(engine.Options{Workers: 8})
+	defer eng.Close()
+
+	// Submit every job concurrently to exercise in-flight dedup.
+	jobs := make([]*engine.Job, len(problems))
+	var wg sync.WaitGroup
+	for i, p := range problems {
+		wg.Add(1)
+		go func(i int, p *core.SafetyProblem) {
+			defer wg.Done()
+			jobs[i] = eng.SubmitSafety(p)
+		}(i, p)
+	}
+	wg.Wait()
+
+	for i, j := range jobs {
+		rep := j.Wait()
+		if !rep.OK() {
+			t.Errorf("job %d: engine verdict FAIL, baseline OK:\n%s", i, rep.Summary())
+		}
+		got, want := signature(rep), baselines[i]
+		if len(got) != len(want) {
+			t.Fatalf("job %d: %d results, baseline has %d", i, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Errorf("job %d result %d:\n  engine   %s\n  baseline %s", i, k, got[k], want[k])
+			}
+		}
+	}
+
+	stats := eng.Stats()
+	if stats.ChecksSolved != uint64(len(unique)) {
+		t.Errorf("solved %d checks, want exactly one per distinct key (%d)", stats.ChecksSolved, len(unique))
+	}
+	if stats.CacheHits+stats.DedupHits == 0 {
+		t.Error("expected nonzero cross-job cache/dedup hits")
+	}
+	if got := stats.ChecksSolved + stats.CacheHits + stats.DedupHits; got != stats.ChecksSubmitted {
+		t.Errorf("accounting mismatch: solved+cache+dedup = %d, submitted = %d", got, stats.ChecksSubmitted)
+	}
+	if stats.JobsCompleted != uint64(len(problems)) {
+		t.Errorf("JobsCompleted = %d, want %d", stats.JobsCompleted, len(problems))
+	}
+}
+
+// TestEngineLivenessMatchesBaseline runs the Fig-1 liveness problem (which
+// includes relabeled no-interference sub-checks) through the engine.
+func TestEngineLivenessMatchesBaseline(t *testing.T) {
+	n := netgen.Fig1(netgen.Fig1Options{})
+	base, err := core.VerifyLiveness(netgen.Fig1LivenessProblem(n), core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := engine.New(engine.Options{Workers: 4})
+	defer eng.Close()
+	rep, err := eng.VerifyLiveness(netgen.Fig1LivenessProblem(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := signature(rep), signature(base)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("engine liveness report differs from baseline:\n  engine   %v\n  baseline %v", got, want)
+	}
+
+	// An invalid path must fail fast, not enqueue.
+	bad := netgen.Fig1LivenessProblem(n)
+	bad.Steps = bad.Steps[:1]
+	if _, err := eng.SubmitLiveness(bad); err == nil {
+		t.Error("SubmitLiveness accepted an invalid path")
+	}
+}
+
+// TestJobProgressStreams asserts a job emits one progress event per check,
+// with monotonically complete accounting, and closes the stream.
+func TestJobProgressStreams(t *testing.T) {
+	n := netgen.Fig1(netgen.Fig1Options{})
+	eng := engine.New(engine.Options{Workers: 2})
+	defer eng.Close()
+
+	job := eng.SubmitSafety(netgen.Fig1NoTransitProblem(n))
+	events := 0
+	last := 0
+	for ev := range job.Progress() {
+		events++
+		if ev.Total != job.NumChecks() {
+			t.Errorf("event total = %d, want %d", ev.Total, job.NumChecks())
+		}
+		if ev.Completed <= last-1 {
+			t.Errorf("non-monotonic completion: %d after %d", ev.Completed, last)
+		}
+		last = ev.Completed
+	}
+	rep := job.Wait()
+	if events != rep.NumChecks() {
+		t.Errorf("got %d progress events, want %d", events, rep.NumChecks())
+	}
+	if last != job.NumChecks() {
+		t.Errorf("final completed = %d, want %d", last, job.NumChecks())
+	}
+	st := job.Stats()
+	if st.Completed != st.Checks {
+		t.Errorf("job stats completed = %d, want %d", st.Completed, st.Checks)
+	}
+}
+
+// TestRepeatedJobIsAllCacheHits verifies the LRU result cache across
+// non-overlapping (sequential) submissions of the same problem.
+func TestRepeatedJobIsAllCacheHits(t *testing.T) {
+	n := netgen.Fig1(netgen.Fig1Options{})
+	eng := engine.New(engine.Options{Workers: 4})
+	defer eng.Close()
+
+	first := eng.SubmitSafety(netgen.Fig1NoTransitProblem(n))
+	first.Wait()
+	second := eng.SubmitSafety(netgen.Fig1NoTransitProblem(n))
+	rep := second.Wait()
+
+	st := second.Stats()
+	if st.CacheHits != rep.NumChecks() {
+		t.Errorf("second run: %d cache hits, want all %d checks", st.CacheHits, rep.NumChecks())
+	}
+	if !rep.OK() {
+		t.Errorf("cached report must keep the verdict:\n%s", rep.Summary())
+	}
+}
+
+// TestEngineDetectsBugsLikeBaseline makes sure shared results do not mask
+// failures: the Fig-1 transit-tag bug must fail identically on the engine.
+func TestEngineDetectsBugsLikeBaseline(t *testing.T) {
+	buggy := netgen.Fig1(netgen.Fig1Options{OmitTransitTag: true})
+	base := core.VerifySafety(netgen.Fig1NoTransitProblem(buggy), core.Options{Workers: 1})
+	if base.OK() {
+		t.Fatal("baseline must fail on the buggy network")
+	}
+
+	eng := engine.New(engine.Options{Workers: 4})
+	defer eng.Close()
+	rep := eng.VerifySafety(netgen.Fig1NoTransitProblem(buggy))
+	if rep.OK() {
+		t.Fatal("engine must reproduce the failure")
+	}
+	if fmt.Sprint(signature(rep)) != fmt.Sprint(signature(base)) {
+		t.Errorf("failure reports differ:\n  engine   %v\n  baseline %v", signature(rep), signature(base))
+	}
+}
+
+// TestIncrementalVerifierOnEngine runs core.IncrementalVerifier on the
+// engine via the CheckRunner seam: warm runs reuse everything, dirty checks
+// re-run on the shared pool.
+func TestIncrementalVerifierOnEngine(t *testing.T) {
+	n := netgen.Fig1(netgen.Fig1Options{})
+	p := netgen.Fig1NoTransitProblem(n)
+	eng := engine.New(engine.Options{Workers: 4})
+	defer eng.Close()
+
+	iv := core.NewIncrementalVerifierOn(eng, p, core.Options{})
+	rep1, reused1 := iv.Run()
+	if !rep1.OK() || reused1 != 0 {
+		t.Fatalf("cold run: OK=%v reused=%d", rep1.OK(), reused1)
+	}
+	rep2, reused2 := iv.Run()
+	if !rep2.OK() || reused2 != rep2.NumChecks() {
+		t.Fatalf("warm run: OK=%v reused=%d of %d", rep2.OK(), reused2, rep2.NumChecks())
+	}
+
+	// Dirty one policy; exactly one check re-runs, on the engine.
+	n.SetImport(topology.Edge{From: "R1", To: "R3"}, &policy.RouteMap{
+		Name: "r3-import-r1-v2",
+		Clauses: []policy.Clause{
+			{Seq: 10, Actions: []policy.Action{policy.SetLocalPref{Value: 80}}, Permit: true},
+		},
+	})
+	rep3, reused3 := iv.Run()
+	if !rep3.OK() || reused3 != rep3.NumChecks()-1 {
+		t.Fatalf("dirty run: OK=%v reused=%d of %d, want %d", rep3.OK(), reused3, rep3.NumChecks(), rep3.NumChecks()-1)
+	}
+}
+
+// TestEngineCacheDisabled still dedups in-flight work but never serves
+// results across completed jobs.
+func TestEngineCacheDisabled(t *testing.T) {
+	n := netgen.Fig1(netgen.Fig1Options{})
+	eng := engine.New(engine.Options{Workers: 2, CacheSize: -1})
+	defer eng.Close()
+
+	eng.SubmitSafety(netgen.Fig1NoTransitProblem(n)).Wait()
+	second := eng.SubmitSafety(netgen.Fig1NoTransitProblem(n))
+	second.Wait()
+	if st := second.Stats(); st.CacheHits != 0 {
+		t.Errorf("cache disabled but second run had %d cache hits", st.CacheHits)
+	}
+	if st := eng.Stats(); st.CacheCap != 0 || st.CacheLen != 0 {
+		t.Errorf("cache disabled but stats report capacity %d / len %d", st.CacheCap, st.CacheLen)
+	}
+}

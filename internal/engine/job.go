@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"lightyear/internal/core"
+)
+
+// Progress is one per-check progress event streamed while a job runs.
+type Progress struct {
+	JobID     uint64
+	Completed int // checks completed so far, including this one
+	Total     int
+	FromCache bool // served from the LRU result cache
+	Deduped   bool // coalesced with an in-flight identical check
+	Result    core.CheckResult
+}
+
+// JobStats summarizes how a job's checks were satisfied.
+type JobStats struct {
+	Checks    int `json:"checks"`
+	Completed int `json:"completed"`
+	CacheHits int `json:"cache_hits"`
+	DedupHits int `json:"dedup_hits"`
+}
+
+// Job is one verification problem running on the engine. Obtain the final
+// report with Wait, or watch per-check completion with Progress.
+type Job struct {
+	ID       uint64
+	Property core.Property
+
+	engine *Engine
+	total  int
+	start  time.Time
+
+	mu        sync.Mutex
+	results   []core.CheckResult
+	completed int
+	cacheHits int
+	dedupHits int
+
+	// progress is buffered to total, so workers never block on a caller
+	// that does not drain it; it is closed when the job completes.
+	progress chan Progress
+	done     chan struct{}
+	report   *core.Report
+}
+
+func newJob(e *Engine, id uint64, prop core.Property, total int) *Job {
+	return &Job{
+		ID:       id,
+		Property: prop,
+		engine:   e,
+		total:    total,
+		start:    time.Now(),
+		results:  make([]core.CheckResult, total),
+		progress: make(chan Progress, total),
+		done:     make(chan struct{}),
+	}
+}
+
+// NumChecks returns the number of checks in the job.
+func (j *Job) NumChecks() int { return j.total }
+
+// Progress returns the per-check event stream. The channel is buffered to
+// the job's check count and closed on completion, so callers may drain it
+// fully, partially, or not at all.
+func (j *Job) Progress() <-chan Progress { return j.progress }
+
+// Done returns a channel closed when the job's report is ready.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until all checks complete and returns the assembled report.
+func (j *Job) Wait() *core.Report {
+	<-j.done
+	return j.report
+}
+
+// Stats returns a snapshot of the job's check accounting.
+func (j *Job) Stats() JobStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStats{Checks: j.total, Completed: j.completed, CacheHits: j.cacheHits, DedupHits: j.dedupHits}
+}
+
+// deliver records one completed check and finishes the job when it is the
+// last one. Called from engine workers.
+func (j *Job) deliver(idx int, r core.CheckResult, cached, deduped bool) {
+	j.mu.Lock()
+	j.results[idx] = r
+	j.completed++
+	if cached {
+		j.cacheHits++
+	}
+	if deduped {
+		j.dedupHits++
+	}
+	completed := j.completed
+	// Send under the mutex: the channel is buffered to total so this never
+	// blocks, and serializing sends here guarantees they all happen before
+	// the final deliverer closes the channel in finish.
+	j.progress <- Progress{
+		JobID:     j.ID,
+		Completed: completed,
+		Total:     j.total,
+		FromCache: cached,
+		Deduped:   deduped,
+		Result:    r,
+	}
+	j.mu.Unlock()
+
+	if completed == j.total {
+		j.finish()
+	}
+}
+
+// finish assembles the deterministic report and releases waiters.
+func (j *Job) finish() {
+	results := make([]core.CheckResult, len(j.results))
+	copy(results, j.results)
+	j.report = core.NewReport(j.Property, results, time.Since(j.start))
+	j.engine.jobsCompleted.Add(1)
+	close(j.progress)
+	close(j.done)
+}

@@ -1,0 +1,151 @@
+package netgen
+
+import (
+	"fmt"
+	"sort"
+
+	"lightyear/internal/core"
+	"lightyear/internal/topology"
+)
+
+// This file is the named problem registry: every built-in property suite is
+// registered under the name cmd/lightyear and the lyserve HTTP API accept,
+// replacing the hand-written switch the CLI used to carry. A suite maps a
+// network (parsed or generated) to the batch of verification problems it
+// implies, ready to submit to an internal/engine Engine.
+
+// SuiteParams parameterizes suite construction for suites that depend on
+// deployment shape.
+type SuiteParams struct {
+	// Regions is the region count assumed by the WAN suites; 0 means 3.
+	Regions int
+}
+
+func (p SuiteParams) regions() int {
+	if p.Regions > 0 {
+		return p.Regions
+	}
+	return 3
+}
+
+// Problem is one verification problem of a suite: exactly one of Safety or
+// Liveness is set.
+type Problem struct {
+	Name     string
+	Safety   *core.SafetyProblem
+	Liveness *core.LivenessProblem
+	// Optional marks liveness problems whose witness path may be absent
+	// from a user-supplied network (e.g. WAN region paths on a parsed
+	// config with fewer regions); such problems are skipped rather than
+	// failed when validation rejects them.
+	Optional bool
+}
+
+// Suite is a named family of verification problems over one network.
+type Suite struct {
+	Name  string
+	Desc  string
+	Build func(n *topology.Network, p SuiteParams) []Problem
+}
+
+var suites = map[string]Suite{}
+
+func registerSuite(s Suite) {
+	if _, dup := suites[s.Name]; dup {
+		panic(fmt.Sprintf("netgen: duplicate suite %q", s.Name))
+	}
+	suites[s.Name] = s
+}
+
+// Lookup returns the named suite.
+func Lookup(name string) (Suite, bool) {
+	s, ok := suites[name]
+	return s, ok
+}
+
+// SuiteNames returns the registered suite names, sorted.
+func SuiteNames() []string {
+	names := make([]string, 0, len(suites))
+	for name := range suites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	registerSuite(Suite{
+		Name: "fig1-no-transit",
+		Desc: "Table 2: routes from ISP1 never reach ISP2",
+		Build: func(n *topology.Network, _ SuiteParams) []Problem {
+			return []Problem{{Name: "fig1-no-transit", Safety: Fig1NoTransitProblem(n)}}
+		},
+	})
+	registerSuite(Suite{
+		Name: "fig1-liveness",
+		Desc: "Table 3: customer prefixes reach ISP2",
+		Build: func(n *topology.Network, _ SuiteParams) []Problem {
+			return []Problem{{Name: "fig1-liveness", Liveness: Fig1LivenessProblem(n)}}
+		},
+	})
+	registerSuite(Suite{
+		Name: "fullmesh",
+		Desc: "§6.2: no-transit on a generated full mesh",
+		Build: func(n *topology.Network, _ SuiteParams) []Problem {
+			return []Problem{{Name: "fullmesh", Safety: FullMeshProblem(n)}}
+		},
+	})
+	registerSuite(Suite{
+		Name: "wan-peering",
+		Desc: "Table 4a: the 11 peering properties at every router",
+		Build: func(n *topology.Network, p SuiteParams) []Problem {
+			var out []Problem
+			for _, prop := range PeeringProperties(p.regions()) {
+				for _, r := range n.Routers() {
+					out = append(out, Problem{
+						Name:   fmt.Sprintf("%s@%s", prop.Name, r),
+						Safety: PeeringProblem(n, r, prop),
+					})
+				}
+			}
+			return out
+		},
+	})
+	registerSuite(Suite{
+		Name: "wan-ip-reuse",
+		Desc: "Table 4b: regional reused-IP isolation",
+		Build: func(n *topology.Network, p SuiteParams) []Problem {
+			wp := WANParams{Regions: p.regions()}
+			var out []Problem
+			for r := 0; r < wp.Regions; r++ {
+				region := fmt.Sprintf("region-%d", r)
+				for _, outside := range n.Routers() {
+					if n.Node(outside).Region == region {
+						continue
+					}
+					out = append(out, Problem{
+						Name:   fmt.Sprintf("ip-reuse-region-%d@%s", r, outside),
+						Safety: IPReuseSafetyProblem(n, wp, r, outside),
+					})
+				}
+			}
+			return out
+		},
+	})
+	registerSuite(Suite{
+		Name: "wan-ip-liveness",
+		Desc: "Table 4c: reused routes propagate within each region",
+		Build: func(n *topology.Network, p SuiteParams) []Problem {
+			wp := WANParams{Regions: p.regions()}
+			var out []Problem
+			for r := 0; r < wp.Regions; r++ {
+				out = append(out, Problem{
+					Name:     fmt.Sprintf("ip-liveness-region-%d", r),
+					Liveness: IPReuseLivenessProblem(n, wp, r),
+					Optional: true,
+				})
+			}
+			return out
+		},
+	})
+}

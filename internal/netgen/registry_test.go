@@ -1,0 +1,72 @@
+package netgen_test
+
+import (
+	"testing"
+
+	"lightyear/internal/core"
+	"lightyear/internal/netgen"
+)
+
+func TestSuiteNamesStable(t *testing.T) {
+	want := []string{
+		"fig1-liveness", "fig1-no-transit", "fullmesh",
+		"wan-ip-liveness", "wan-ip-reuse", "wan-peering",
+	}
+	got := netgen.SuiteNames()
+	if len(got) != len(want) {
+		t.Fatalf("SuiteNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SuiteNames() = %v, want %v", got, want)
+		}
+	}
+	if _, ok := netgen.Lookup("no-such-suite"); ok {
+		t.Error("Lookup accepted an unknown suite")
+	}
+}
+
+func TestFig1SuitesBuildAndVerify(t *testing.T) {
+	n := netgen.Fig1(netgen.Fig1Options{})
+
+	s, ok := netgen.Lookup("fig1-no-transit")
+	if !ok {
+		t.Fatal("fig1-no-transit not registered")
+	}
+	problems := s.Build(n, netgen.SuiteParams{})
+	if len(problems) != 1 || problems[0].Safety == nil {
+		t.Fatalf("fig1-no-transit: got %d problems", len(problems))
+	}
+	if rep := core.VerifySafety(problems[0].Safety, core.Options{}); !rep.OK() {
+		t.Errorf("fig1-no-transit should verify:\n%s", rep.Summary())
+	}
+
+	s, _ = netgen.Lookup("fig1-liveness")
+	problems = s.Build(n, netgen.SuiteParams{})
+	if len(problems) != 1 || problems[0].Liveness == nil {
+		t.Fatalf("fig1-liveness: got %d problems", len(problems))
+	}
+}
+
+func TestWANPeeringSuiteShape(t *testing.T) {
+	p := netgen.WANParams{Regions: 2, RoutersPerRegion: 1, EdgeRouters: 1, DCsPerRegion: 1, PeersPerEdge: 1}
+	n := netgen.WAN(p, netgen.WANBugs{})
+	s, _ := netgen.Lookup("wan-peering")
+	problems := s.Build(n, netgen.SuiteParams{Regions: p.Regions})
+	want := len(netgen.PeeringProperties(p.Regions)) * len(n.Routers())
+	if len(problems) != want {
+		t.Fatalf("wan-peering built %d problems, want properties×routers = %d", len(problems), want)
+	}
+	for _, pr := range problems {
+		if pr.Safety == nil || pr.Name == "" {
+			t.Fatalf("malformed problem %+v", pr)
+		}
+	}
+
+	s, _ = netgen.Lookup("wan-ip-liveness")
+	for _, pr := range s.Build(n, netgen.SuiteParams{Regions: p.Regions}) {
+		if !pr.Optional || pr.Liveness == nil {
+			t.Fatalf("wan-ip-liveness problems must be optional liveness problems, got %+v", pr)
+		}
+	}
+}
