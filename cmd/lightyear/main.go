@@ -4,6 +4,8 @@
 // Usage:
 //
 //	lightyear -config net.cfg -property fig1-no-transit [-workers N] [-cache N] [-json] [-verbose]
+//	lightyear -config new.cfg -diff old.cfg -property wan-peering   # incremental re-verification
+//	lightyear -config net.cfg -store DIR                            # persistent result store
 //
 // The configuration file uses the DSL of internal/config (see cmd/lygen to
 // generate examples). Properties, like the local invariants of the paper's
@@ -23,6 +25,19 @@
 // result cache thereafter. -workers sizes the engine's worker pool and
 // -cache its LRU result-cache capacity (0 = engine default, negative
 // disables caching).
+//
+// With -store DIR the engine's result cache is replaced by the
+// internal/store persistent journal in DIR: results recorded by earlier
+// runs (of any suite) are served without re-solving, so a rerun after a
+// process restart reports reused results. -cache is ignored when -store is
+// set.
+//
+// With -diff old.cfg the command runs incrementally via internal/delta: it
+// first verifies old.cfg as the baseline, then re-verifies -config against
+// it, re-solving only the checks the configuration change dirtied, and
+// reports {changed routers, dirty checks, reused results, solved}. Exit
+// status reflects the -config (updated) network; a failing baseline is
+// reported but only fails the run if the update also fails.
 //
 // With -json, the command emits a single machine-readable JSON document on
 // stdout (the same report encoding the lyserve HTTP API returns) instead of
@@ -45,8 +60,11 @@ import (
 
 	"lightyear/internal/config"
 	"lightyear/internal/core"
+	"lightyear/internal/delta"
 	"lightyear/internal/engine"
 	"lightyear/internal/netgen"
+	"lightyear/internal/store"
+	"lightyear/internal/topology"
 )
 
 // problemOutcome is the per-problem record of a suite run, shared by the
@@ -68,6 +86,7 @@ type runOutput struct {
 	OK       bool             `json:"ok"`
 	Problems []problemOutcome `json:"problems"`
 	Engine   engine.Stats     `json:"engine"`
+	Store    *store.Stats     `json:"store,omitempty"`
 }
 
 func main() {
@@ -75,7 +94,9 @@ func main() {
 		configPath = flag.String("config", "", "path to the network configuration file")
 		property   = flag.String("property", "fig1-no-transit", "property suite to verify")
 		workers    = flag.Int("workers", 0, "parallel check workers (0 = GOMAXPROCS)")
-		cacheSize  = flag.Int("cache", 0, "engine result-cache capacity (0 = default, <0 disables)")
+		cacheSize  = flag.Int("cache", 0, "engine result-cache capacity (0 = default, <0 disables; ignored with -store)")
+		storeDir   = flag.String("store", "", "persistent result-store directory (replaces the in-memory cache)")
+		diffPath   = flag.String("diff", "", "baseline configuration: verify -config incrementally against it")
 		jsonOut    = flag.Bool("json", false, "emit the report as machine-readable JSON")
 		verbose    = flag.Bool("verbose", false, "print every check result")
 		regions    = flag.Int("wan-regions", 3, "region count assumed for WAN properties")
@@ -93,21 +114,34 @@ func main() {
 		os.Exit(2)
 	}
 
-	src, err := os.ReadFile(*configPath)
-	if err != nil {
-		fatal(err)
-	}
-	n, err := config.Parse(string(src))
-	if err != nil {
-		fatal(err)
-	}
+	n := parseConfig(*configPath)
 	if !*jsonOut {
 		fmt.Printf("parsed %s: %d routers, %d externals, %d sessions\n",
 			*configPath, len(n.Routers()), len(n.Externals()), n.NumEdges())
 	}
 
-	eng := engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize})
+	engOpts := engine.Options{Workers: *workers, CacheSize: *cacheSize}
+	var resultStore *store.Store
+	if *storeDir != "" {
+		var err error
+		resultStore, err = store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer resultStore.Close()
+		resultStore.SetFingerprint(n.Fingerprint())
+		if !*jsonOut {
+			fmt.Printf("store: %s (%d results on disk)\n", *storeDir, resultStore.Len())
+		}
+		engOpts.Cache = resultStore
+	}
+	eng := engine.New(engOpts)
 	defer eng.Close()
+
+	if *diffPath != "" {
+		runDiff(eng, resultStore, suite, *diffPath, n, netgen.SuiteParams{Regions: *regions}, *jsonOut)
+		return
+	}
 
 	problems := suite.Build(n, netgen.SuiteParams{Regions: *regions})
 	outcomes := make([]problemOutcome, len(problems))
@@ -152,11 +186,17 @@ func main() {
 		}
 		if !*jsonOut {
 			printReport(rep, *verbose)
+			fmt.Printf("  job: %d checks, %d cache hits, %d dedup hits\n",
+				st.Checks, st.CacheHits, st.DedupHits)
 		}
 	}
 
 	if *jsonOut {
 		out := runOutput{Suite: suite.Name, OK: allOK, Problems: outcomes, Engine: eng.Stats()}
+		if resultStore != nil {
+			st := resultStore.Stats()
+			out.Store = &st
+		}
 		for i := range out.Problems {
 			if r := out.Problems[i].report; r != nil {
 				enc := engine.EncodeReport(r)
@@ -172,6 +212,7 @@ func main() {
 		st := eng.Stats()
 		fmt.Printf("engine: %d checks submitted, %d solved, %d cache hits, %d dedup hits\n",
 			st.ChecksSubmitted, st.ChecksSolved, st.CacheHits, st.DedupHits)
+		printStoreSummary(resultStore)
 	}
 
 	if !allOK {
@@ -194,6 +235,140 @@ func printReport(rep *core.Report, verbose bool) {
 		}
 	}
 	fmt.Print(rep.Summary())
+}
+
+func parseConfig(path string) *topology.Network {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := config.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	return n
+}
+
+// printStoreSummary reports persistent-store reuse in the human output: the
+// "reused" count is how many checks this run served from results recorded
+// by earlier processes (plus intra-run refetches).
+func printStoreSummary(st *store.Store) {
+	if st == nil {
+		return
+	}
+	s := st.Stats()
+	fmt.Printf("store: %d results loaded, %d reused, %d recorded\n", s.Loaded, s.Hits, s.Puts)
+}
+
+// deltaProblemJSON is one problem of a delta run with its report encoded.
+type deltaProblemJSON struct {
+	delta.ProblemOutcome
+	Report *engine.ReportJSON `json:"report,omitempty"`
+}
+
+// deltaRunJSON is the JSON form of one delta.Result.
+type deltaRunJSON struct {
+	*delta.Result
+	Problems []deltaProblemJSON `json:"problems"`
+}
+
+func encodeDeltaResult(r *delta.Result) deltaRunJSON {
+	out := deltaRunJSON{Result: r}
+	for _, p := range r.Problems {
+		pj := deltaProblemJSON{ProblemOutcome: p}
+		if p.Report != nil {
+			enc := engine.EncodeReport(p.Report)
+			pj.Report = &enc
+		}
+		out.Problems = append(out.Problems, pj)
+	}
+	return out
+}
+
+// diffOutput is the -diff -json document.
+type diffOutput struct {
+	Suite    string       `json:"suite"`
+	OK       bool         `json:"ok"`
+	Baseline deltaRunJSON `json:"baseline"`
+	Update   deltaRunJSON `json:"update"`
+	Engine   engine.Stats `json:"engine"`
+	Store    *store.Stats `json:"store,omitempty"`
+}
+
+// runDiff is the -diff mode body: verify the baseline configuration, then
+// re-verify the new one incrementally, reporting the delta statistics.
+func runDiff(eng *engine.Engine, st *store.Store, suite netgen.Suite, oldPath string,
+	newNet *topology.Network, params netgen.SuiteParams, jsonOut bool) {
+	oldNet := parseConfig(oldPath)
+	if !jsonOut {
+		fmt.Printf("baseline %s: %d routers, %d externals, %d sessions\n",
+			oldPath, len(oldNet.Routers()), len(oldNet.Externals()), oldNet.NumEdges())
+	}
+	if st != nil {
+		st.SetFingerprint(oldNet.Fingerprint())
+	}
+
+	v := delta.NewVerifier(eng, suite, params)
+	base, err := v.Baseline(oldNet)
+	if err != nil {
+		fatal(err)
+	}
+	if st != nil {
+		st.SetFingerprint(newNet.Fingerprint())
+	}
+	upd, err := v.Update(newNet)
+	if err != nil {
+		fatal(err)
+	}
+
+	if jsonOut {
+		out := diffOutput{Suite: suite.Name, OK: upd.OK,
+			Baseline: encodeDeltaResult(base), Update: encodeDeltaResult(upd), Engine: eng.Stats()}
+		if st != nil {
+			s := st.Stats()
+			out.Store = &s
+		}
+		encoded, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(encoded, '\n'))
+	} else {
+		fmt.Println(base)
+		if !base.OK {
+			fmt.Println("warning: baseline configuration does not verify")
+		}
+		if upd.Diff != nil {
+			fmt.Printf("diff: %s; changed routers: %s\n", upd.Diff, joinIDs(upd.ChangedRouters))
+		}
+		fmt.Println(upd)
+		for _, p := range upd.Problems {
+			if p.Report != nil && !p.Report.OK() {
+				fmt.Print(p.Report.Summary())
+			}
+		}
+		est := eng.Stats()
+		fmt.Printf("engine: %d checks submitted, %d solved, %d cache hits, %d dedup hits\n",
+			est.ChecksSubmitted, est.ChecksSolved, est.CacheHits, est.DedupHits)
+		printStoreSummary(st)
+		if upd.OK {
+			fmt.Println("updated configuration verified incrementally")
+		}
+	}
+	if !upd.OK {
+		os.Exit(1)
+	}
+}
+
+func joinIDs(ids []topology.NodeID) string {
+	if len(ids) == 0 {
+		return "(none)"
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = string(id)
+	}
+	return strings.Join(parts, ", ")
 }
 
 func fatal(err error) {

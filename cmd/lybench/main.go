@@ -10,6 +10,8 @@
 //	-experiment fig3      Lightyear vs Minesweeper scaling sweep (Figure 3a-d)
 //	-experiment wan       §6.1 scale run: peering properties across a large WAN,
 //	                      sequential vs parallel vs engine (cross-problem dedup)
+//	-experiment delta     incremental re-verification: change size vs re-verify
+//	                      cost through internal/delta (the §2 incremental claim)
 //	-experiment faults    differential simulation under random failures (§4.5)
 //	-experiment all       everything above
 package main
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"lightyear/internal/core"
+	"lightyear/internal/delta"
 	"lightyear/internal/engine"
 	"lightyear/internal/minesweeper"
 	"lightyear/internal/netgen"
@@ -66,6 +69,8 @@ func main() {
 		fig3(parseSizes(*sizes), *msTimeout, *workers)
 	case "wan":
 		wanExperiment(*wanScale, *workers)
+	case "delta":
+		deltaExperiment(*workers)
 	case "faults":
 		faults()
 	case "all":
@@ -77,6 +82,7 @@ func main() {
 		table4c(eng)
 		fig3(parseSizes(*sizes), *msTimeout, *workers)
 		wanExperiment(*wanScale, *workers)
+		deltaExperiment(*workers)
 		faults()
 	default:
 		fmt.Fprintf(os.Stderr, "lybench: unknown experiment %q\n", *experiment)
@@ -321,6 +327,62 @@ func wanExperiment(scale string, workers int) {
 	fmt.Printf("engine: %d checks submitted, %d solved, %d cache hits, %d dedup hits\n",
 		st.ChecksSubmitted, st.ChecksSolved, st.CacheHits, st.DedupHits)
 	fmt.Println("(paper: 16 minutes sequential for 4 properties across hundreds of edge routers)")
+}
+
+// deltaExperiment measures the paper's incremental claim (§2): after a
+// configuration change touching k routers, re-verification through
+// internal/delta costs work proportional to k, not to the network. For
+// each change size it mutates k edge routers' peer-import policies,
+// re-verifies the wan-peering suite against the pinned baseline, and
+// reports dirty checks, reused results, solved checks, and wall time next
+// to the cold baseline — the incremental edition of Figure 3's scaling
+// story.
+func deltaExperiment(workers int) {
+	header("delta: change size vs incremental re-verification cost")
+	p := netgen.WANParams{Regions: 3, RoutersPerRegion: 2, EdgeRouters: 8, DCsPerRegion: 1, PeersPerEdge: 2}
+	suite, ok := netgen.Lookup("wan-peering")
+	if !ok {
+		fatal(fmt.Errorf("wan-peering suite not registered"))
+	}
+	base := netgen.WAN(p, netgen.WANBugs{})
+	fmt.Printf("WAN: %d routers, %d externals, %d directed sessions; suite %s\n",
+		len(base.Routers()), len(base.Externals()), base.NumEdges(), suite.Name)
+
+	fmt.Printf("%-18s | %8s %8s %8s %8s | %10s\n",
+		"change", "checks", "dirty", "reused", "solved", "time")
+	for _, k := range []int{0, 1, 2, 4, 8} {
+		// Fresh engine + session per change size, so each row pays its own
+		// cold baseline and the incremental run is not cross-contaminated.
+		eng := engine.New(engine.Options{Workers: workers})
+		v := delta.NewVerifier(eng, suite, netgen.SuiteParams{Regions: p.Regions})
+		cold, err := v.Baseline(netgen.WAN(p, netgen.WANBugs{}))
+		if err != nil {
+			fatal(err)
+		}
+		mutated := netgen.WAN(p, netgen.WANBugs{})
+		for i := 0; i < k; i++ {
+			netgen.TightenPeerImports(mutated, netgen.EdgeRouter(i))
+		}
+		res, err := v.Update(mutated)
+		if err != nil {
+			fatal(err)
+		}
+		eng.Close()
+		if !cold.OK || !res.OK {
+			fmt.Printf("  unexpected failure at change size %d\n", k)
+		}
+		if k == 0 {
+			fmt.Printf("%-18s | %8d %8d %8d %8d | %10v\n",
+				"cold baseline", cold.TotalChecks, cold.DirtyChecks, cold.ReusedResults,
+				cold.Solved, cold.Elapsed().Round(time.Millisecond))
+		}
+		label := fmt.Sprintf("%d router(s)", k)
+		fmt.Printf("%-18s | %8d %8d %8d %8d | %10v\n",
+			label, res.TotalChecks, res.DirtyChecks, res.ReusedResults,
+			res.Solved, res.Elapsed().Round(time.Millisecond))
+	}
+	fmt.Println("(expected shape: dirty checks and solve work grow with the change size,")
+	fmt.Println(" not the network; a 0-router change reuses every retained result.)")
 }
 
 // faults demonstrates §4.5: the verified no-transit property survives

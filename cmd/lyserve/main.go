@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	lyserve [-addr :8080] [-workers N] [-cache N]
+//	lyserve [-addr :8080] [-workers N] [-cache N] [-store DIR] [-job-ttl 1h]
+//
+// With -store DIR the engine's result cache is the internal/store
+// persistent journal in DIR, so a redeployed lyserve serves previously
+// solved checks without re-solving them. Completed jobs are garbage-
+// collected -job-ttl after completion (default 1h); sessions are pinned
+// until DELETE /v1/sessions/{id} and are never GCed automatically.
 //
 // API:
 //
@@ -32,7 +38,35 @@
 //
 //	GET /v1/stats
 //	    Returns engine counters (checks submitted/solved, cache hits,
-//	    dedup hits, cache occupancy) and job counts.
+//	    dedup hits, cache occupancy), job counts, session counts, and —
+//	    with -store — persistent-store counters.
+//
+// Incremental sessions (internal/delta): a session pins a baseline network
+// for a suite and re-verifies submitted configuration deltas against it,
+// re-solving only the checks each change dirties.
+//
+//	POST /v1/sessions
+//	    Body: same shape as /v1/verify ({"suite": ..., "config": ...} or
+//	    {"suite": ..., "generator": ...}). Pins the network as the
+//	    session baseline and verifies it in full, asynchronously.
+//	    Returns 202 with {"id": "...", "status_url": "/v1/sessions/<id>"}.
+//
+//	POST /v1/sessions/{id}/update
+//	    Body: {"config": ...} or {"generator": ...} (no suite — the
+//	    session's suite applies). Diffs the submitted network against the
+//	    session's pinned state, submits the dirty check subset as an
+//	    incremental job, and pins the new state. Returns 202 with the
+//	    update's sequence number. Updates are applied in submission order.
+//
+//	GET /v1/sessions/{id}
+//	    Returns the session: suite, pinned-network fingerprint, and every
+//	    run (baseline + updates) with its status and — once complete —
+//	    the delta result {changed routers, dirty checks, reused results,
+//	    solved, per-problem outcomes}.
+//
+//	DELETE /v1/sessions/{id}
+//	    Unpins the session, releasing its retained results and worker.
+//	    Queued-but-unstarted runs are abandoned.
 package main
 
 import (
@@ -46,38 +80,69 @@ import (
 	"time"
 
 	"lightyear/internal/config"
+	"lightyear/internal/delta"
 	"lightyear/internal/engine"
 	"lightyear/internal/netgen"
+	"lightyear/internal/store"
 	"lightyear/internal/topology"
 )
+
+// defaultJobTTL is how long completed jobs stay queryable before GC.
+const defaultJobTTL = time.Hour
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
-		cacheSize = flag.Int("cache", 0, "engine result-cache capacity (0 = default, <0 disables)")
+		cacheSize = flag.Int("cache", 0, "engine result-cache capacity (0 = default, <0 disables; ignored with -store)")
+		storeDir  = flag.String("store", "", "persistent result-store directory (replaces the in-memory cache)")
+		jobTTL    = flag.Duration("job-ttl", defaultJobTTL, "retention of completed jobs")
 	)
 	flag.Parse()
 
-	eng := engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize})
+	opts := engine.Options{Workers: *workers, CacheSize: *cacheSize}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("lyserve: %v", err)
+		}
+		defer st.Close()
+		log.Printf("lyserve: store %s (%d results on disk)", *storeDir, st.Len())
+		opts.Cache = st
+	}
+	eng := engine.New(opts)
 	defer eng.Close()
 	srv := newServer(eng)
+	srv.store = st
+	srv.ttl = *jobTTL
+	go srv.janitor()
 	log.Printf("lyserve: %s listening on %s (suites: %s)",
 		eng, *addr, strings.Join(netgen.SuiteNames(), ", "))
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
 }
 
-// server owns the engine and the in-memory job table.
+// server owns the engine and the in-memory job and session tables.
 type server struct {
-	eng *engine.Engine
+	eng   *engine.Engine
+	store *store.Store  // nil without -store; provenance tagging only
+	ttl   time.Duration // completed-job retention
 
-	mu   sync.Mutex
-	seq  int
-	jobs map[string]*serviceJob
+	mu       sync.Mutex
+	seq      int
+	jobs     map[string]*serviceJob
+	sseq     int
+	sessions map[string]*session
 }
 
 func newServer(eng *engine.Engine) *server {
-	return &server{eng: eng, jobs: make(map[string]*serviceJob)}
+	return &server{
+		eng:      eng,
+		ttl:      defaultJobTTL,
+		jobs:     make(map[string]*serviceJob),
+		sessions: make(map[string]*session),
+	}
 }
 
 func (s *server) routes() http.Handler {
@@ -85,7 +150,49 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("POST /v1/sessions/{id}/update", s.handleSessionUpdate)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	return mux
+}
+
+// janitor periodically drops completed jobs older than the TTL. It runs for
+// the life of the process.
+func (s *server) janitor() {
+	interval := s.ttl / 10
+	if interval < time.Second {
+		interval = time.Second
+	}
+	for range time.Tick(interval) {
+		s.gc(time.Now())
+	}
+}
+
+// tagStore records n's fingerprint as provenance on subsequently journaled
+// store results. Best-effort under concurrent jobs: provenance names *a*
+// network state that submitted the check around that time, which is what
+// the store documents it for (retention scoping, not lookup).
+func (s *server) tagStore(n *topology.Network) {
+	if s.store != nil {
+		s.store.SetFingerprint(n.Fingerprint())
+	}
+}
+
+// gc removes jobs that completed before now-ttl. Running jobs and sessions
+// are never collected.
+func (s *server) gc(now time.Time) int {
+	cutoff := now.Add(-s.ttl)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for id, j := range s.jobs {
+		if done, at := j.doneAt(); done && at.Before(cutoff) {
+			delete(s.jobs, id)
+			removed++
+		}
+	}
+	return removed
 }
 
 // serviceJob is one POST /v1/verify request: a batch of engine jobs, one
@@ -97,7 +204,15 @@ type serviceJob struct {
 
 	mu       sync.Mutex
 	pending  int
+	done     time.Time // when the last engine job finished (zero while running)
 	problems []*problemState
+}
+
+// doneAt reports whether the job has completed and when.
+func (j *serviceJob) doneAt() (bool, time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.pending == 0, j.done
 }
 
 type problemState struct {
@@ -202,6 +317,7 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.tagStore(n)
 	problems := suite.Build(n, netgen.SuiteParams{Regions: regions})
 
 	j := &serviceJob{suite: suite.Name, created: time.Now()}
@@ -237,6 +353,12 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		}
 		ps.total = engineJobs[i].NumChecks()
 		j.pending++
+	}
+
+	if j.pending == 0 {
+		// No engine jobs (every problem skipped or failed): completed on
+		// arrival, eligible for GC after the TTL.
+		j.done = time.Now()
 	}
 
 	s.mu.Lock()
@@ -275,6 +397,9 @@ func (j *serviceJob) watch(ps *problemState, ej *engine.Job) {
 	ps.report = &enc
 	ps.stats = &st
 	j.pending--
+	if j.pending == 0 {
+		j.done = time.Now()
+	}
 	j.mu.Unlock()
 }
 
@@ -348,17 +473,284 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, j.snapshot())
 }
 
+// session is one incremental verification session: a pinned delta.Verifier
+// plus the history of runs applied to it. A single worker goroutine drains
+// the queue, so runs execute in submission order while the HTTP handlers
+// stay asynchronous.
+type session struct {
+	id      string
+	suite   string
+	created time.Time
+
+	verifier *delta.Verifier
+	store    *store.Store // nil without -store; provenance tagging only
+	wake     chan struct{}
+
+	mu     sync.Mutex
+	runs   []*sessionRun
+	queue  []*queuedRun
+	closed bool // session deleted: worker exits, launches are refused
+}
+
+// queuedRun is one pending run awaiting the session worker.
+type queuedRun struct {
+	run      *sessionRun
+	network  *topology.Network
+	baseline bool
+}
+
+// sessionRun is one baseline or update applied to a session.
+type sessionRun struct {
+	seq       int
+	submitted time.Time
+	baseline  bool
+
+	status string // running | done | failed
+	errMsg string
+	result *delta.Result
+}
+
+// sessionRequest is the POST /v1/sessions and .../update body. Update
+// bodies carry no suite (the session's applies).
+type sessionRequest = verifyRequest
+
+func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	suite, ok := netgen.Lookup(req.Suite)
+	if !ok {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown suite %q (have: %s)",
+			req.Suite, strings.Join(netgen.SuiteNames(), ", ")))
+		return
+	}
+	n, regions, err := req.buildNetwork()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	sess := &session{
+		suite:    suite.Name,
+		created:  time.Now(),
+		verifier: delta.NewVerifier(s.eng, suite, netgen.SuiteParams{Regions: regions}),
+		store:    s.store,
+		wake:     make(chan struct{}, 1),
+	}
+	go sess.worker()
+	s.mu.Lock()
+	s.sseq++
+	sess.id = fmt.Sprintf("session-%d", s.sseq)
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+
+	sess.launch(n, true)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{
+		"id":         sess.id,
+		"status_url": "/v1/sessions/" + sess.id,
+	})
+}
+
+func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sess, ok := s.sessions[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	var req sessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.Suite != "" && req.Suite != sess.suite {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("session is pinned to suite %q; updates cannot change it", sess.suite))
+		return
+	}
+	n, _, err := req.buildNetwork()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	run := sess.launch(n, false)
+	if run == nil {
+		httpError(w, http.StatusNotFound, "session deleted")
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]any{
+		"id":         sess.id,
+		"update":     run.seq,
+		"status_url": "/v1/sessions/" + sess.id,
+	})
+}
+
+// launch enqueues a run and returns immediately; the session worker
+// executes queued runs in submission order (run seq and queue position are
+// assigned under one lock hold, so they agree). Returns nil if the session
+// has been deleted.
+func (sess *session) launch(n *topology.Network, baseline bool) *sessionRun {
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		return nil
+	}
+	run := &sessionRun{seq: len(sess.runs), submitted: time.Now(), baseline: baseline, status: "running"}
+	sess.runs = append(sess.runs, run)
+	sess.queue = append(sess.queue, &queuedRun{run: run, network: n, baseline: baseline})
+	sess.mu.Unlock()
+	select {
+	case sess.wake <- struct{}{}:
+	default: // worker already signaled
+	}
+	return run
+}
+
+// close marks the session deleted and releases its worker. Queued runs are
+// abandoned.
+func (sess *session) close() {
+	sess.mu.Lock()
+	sess.closed = true
+	sess.queue = nil
+	sess.mu.Unlock()
+	select {
+	case sess.wake <- struct{}{}:
+	default:
+	}
+}
+
+// worker drains the session's run queue until the session is deleted.
+func (sess *session) worker() {
+	for range sess.wake {
+		for {
+			sess.mu.Lock()
+			if sess.closed {
+				sess.mu.Unlock()
+				return
+			}
+			if len(sess.queue) == 0 {
+				sess.mu.Unlock()
+				break
+			}
+			q := sess.queue[0]
+			sess.queue = sess.queue[1:]
+			sess.mu.Unlock()
+
+			if sess.store != nil {
+				sess.store.SetFingerprint(q.network.Fingerprint())
+			}
+			var res *delta.Result
+			var err error
+			if q.baseline {
+				res, err = sess.verifier.Baseline(q.network)
+			} else {
+				res, err = sess.verifier.Update(q.network)
+			}
+			sess.mu.Lock()
+			if err != nil {
+				q.run.status = "failed"
+				q.run.errMsg = err.Error()
+			} else {
+				q.run.status = "done"
+				q.run.result = res
+			}
+			sess.mu.Unlock()
+		}
+	}
+}
+
+// sessionJSON is the GET /v1/sessions/{id} response.
+type sessionJSON struct {
+	ID          string           `json:"id"`
+	Suite       string           `json:"suite"`
+	Created     time.Time        `json:"created"`
+	Fingerprint string           `json:"fingerprint,omitempty"` // pinned network state
+	Results     int              `json:"retained_results"`
+	Runs        []sessionRunJSON `json:"runs"`
+}
+
+type sessionRunJSON struct {
+	Seq       int           `json:"seq"`
+	Submitted time.Time     `json:"submitted"`
+	Baseline  bool          `json:"baseline"`
+	Status    string        `json:"status"`
+	Error     string        `json:"error,omitempty"`
+	Result    *delta.Result `json:"result,omitempty"`
+}
+
+func (s *server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sess, ok := s.sessions[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	out := sessionJSON{
+		ID:          sess.id,
+		Suite:       sess.suite,
+		Created:     sess.created,
+		Fingerprint: sess.verifier.Fingerprint(),
+		Results:     sess.verifier.ResultCount(),
+	}
+	sess.mu.Lock()
+	for _, run := range sess.runs {
+		out.Runs = append(out.Runs, sessionRunJSON{
+			Seq:       run.seq,
+			Submitted: run.submitted,
+			Baseline:  run.baseline,
+			Status:    run.status,
+			Error:     run.errMsg,
+			Result:    run.result,
+		})
+	}
+	sess.mu.Unlock()
+	writeJSON(w, out)
+}
+
+func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sess, ok := s.sessions[r.PathValue("id")]
+	if ok {
+		delete(s.sessions, sess.id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	sess.close()
+	writeJSON(w, map[string]string{"deleted": sess.id})
+}
+
 // statsJSON is the GET /v1/stats response.
 type statsJSON struct {
-	Engine engine.Stats `json:"engine"`
-	Jobs   int          `json:"jobs"`
+	Engine   engine.Stats `json:"engine"`
+	Jobs     int          `json:"jobs"`
+	Sessions int          `json:"sessions"`
+	Store    *store.Stats `json:"store,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	jobs := len(s.jobs)
+	jobs, sessions := len(s.jobs), len(s.sessions)
 	s.mu.Unlock()
-	writeJSON(w, statsJSON{Engine: s.eng.Stats(), Jobs: jobs})
+	out := statsJSON{Engine: s.eng.Stats(), Jobs: jobs, Sessions: sessions}
+	if st, ok := s.eng.Cache().(*store.Store); ok {
+		stats := st.Stats()
+		out.Store = &stats
+	}
+	writeJSON(w, out)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -194,6 +195,235 @@ func TestNonOptionalLivenessFailureFailsJob(t *testing.T) {
 	}
 	if len(j.Problems) != 1 || j.Problems[0].Status != "failed" || j.Problems[0].SkipReason == "" {
 		t.Fatalf("problem should be marked failed with a reason: %+v", j.Problems)
+	}
+}
+
+// newTestServerWithState also exposes the server struct, for tests that
+// drive internals (GC) directly.
+func newTestServerWithState(t *testing.T) (*httptest.Server, *server) {
+	t.Helper()
+	eng := engine.New(engine.Options{Workers: 4})
+	t.Cleanup(eng.Close)
+	srv := newServer(eng)
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// TestJobGC: completed jobs must be collectable after the TTL; running and
+// fresh jobs must survive.
+func TestJobGC(t *testing.T) {
+	ts, srv := newTestServerWithState(t)
+	id := postVerify(t, ts, `{"suite": "fig1-no-transit", "generator": {"kind": "fig1"}}`)
+	waitDone(t, ts, id)
+
+	// Before the TTL elapses nothing is collected.
+	if n := srv.gc(time.Now()); n != 0 {
+		t.Fatalf("gc before TTL removed %d jobs", n)
+	}
+	// After the TTL the completed job goes away and queries 404.
+	if n := srv.gc(time.Now().Add(srv.ttl + time.Minute)); n != 1 {
+		t.Fatalf("gc after TTL removed %d jobs, want 1", n)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("collected job should 404, got %d", resp.StatusCode)
+	}
+}
+
+type sessionStatus struct {
+	ID          string `json:"id"`
+	Suite       string `json:"suite"`
+	Fingerprint string `json:"fingerprint"`
+	Results     int    `json:"retained_results"`
+	Runs        []struct {
+		Seq      int    `json:"seq"`
+		Baseline bool   `json:"baseline"`
+		Status   string `json:"status"`
+		Error    string `json:"error"`
+		Result   *struct {
+			OK             bool     `json:"ok"`
+			TotalChecks    int      `json:"total_checks"`
+			DirtyChecks    int      `json:"dirty_checks"`
+			ReusedResults  int      `json:"reused_results"`
+			Solved         int      `json:"solved"`
+			ChangedRouters []string `json:"changed_routers"`
+		} `json:"result"`
+	} `json:"runs"`
+}
+
+func getSession(t *testing.T, ts *httptest.Server, id string) sessionStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/sessions/%s = %d, want 200", id, resp.StatusCode)
+	}
+	var s sessionStatus
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func waitRunDone(t *testing.T, ts *httptest.Server, id string, seq int) sessionStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		s := getSession(t, ts, id)
+		if seq < len(s.Runs) && s.Runs[seq].Status != "running" {
+			return s
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("session %s run %d did not complete in time", id, seq)
+	return sessionStatus{}
+}
+
+// TestSessionIncrementalFlow drives the delta session API: pin a baseline,
+// submit a no-op update and a growth update, and assert the incremental
+// accounting.
+func TestSessionIncrementalFlow(t *testing.T) {
+	ts := newTestServer(t)
+	gen := func(edgeRouters int) string {
+		return fmt.Sprintf(`{"kind": "wan", "regions": 2, "routers_per_region": 1,
+			"edge_routers": %d, "dcs_per_region": 1, "peers_per_edge": 2}`, edgeRouters)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json",
+		bytes.NewBufferString(`{"suite": "wan-peering", "generator": `+gen(1)+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID        string `json:"id"`
+		StatusURL string `json:"status_url"`
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/sessions = %d, want 202", resp.StatusCode)
+	}
+	json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	if created.ID == "" || created.StatusURL != "/v1/sessions/"+created.ID {
+		t.Fatalf("bad accept payload: %+v", created)
+	}
+
+	st := waitRunDone(t, ts, created.ID, 0)
+	if st.Suite != "wan-peering" || st.Fingerprint == "" || st.Results == 0 {
+		t.Fatalf("bad session state after baseline: %+v", st)
+	}
+	base := st.Runs[0]
+	if base.Status != "done" || !base.Baseline || base.Result == nil || !base.Result.OK {
+		t.Fatalf("baseline run: %+v (err %s)", base, base.Error)
+	}
+	if base.Result.DirtyChecks != base.Result.TotalChecks || base.Result.Solved == 0 {
+		t.Fatalf("baseline should be fully dirty and solve checks: %+v", base.Result)
+	}
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/sessions/"+created.ID+"/update",
+			"application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			var e map[string]string
+			json.NewDecoder(resp.Body).Decode(&e)
+			t.Fatalf("POST update = %d (error: %s)", resp.StatusCode, e["error"])
+		}
+		var out struct {
+			Update int `json:"update"`
+		}
+		json.NewDecoder(resp.Body).Decode(&out)
+		return out.Update
+	}
+
+	// No-op update: everything reused, nothing solved.
+	seq := post(`{"generator": ` + gen(1) + `}`)
+	st = waitRunDone(t, ts, created.ID, seq)
+	noop := st.Runs[seq]
+	if noop.Status != "done" || noop.Result == nil || !noop.Result.OK {
+		t.Fatalf("no-op update: %+v (err %s)", noop, noop.Error)
+	}
+	if noop.Result.DirtyChecks != 0 || noop.Result.Solved != 0 ||
+		noop.Result.ReusedResults != noop.Result.TotalChecks {
+		t.Fatalf("no-op update should reuse everything: %+v", noop.Result)
+	}
+
+	// Growth update: adding an edge router dirties part of the suite.
+	seq = post(`{"generator": ` + gen(2) + `}`)
+	st = waitRunDone(t, ts, created.ID, seq)
+	grow := st.Runs[seq]
+	if grow.Status != "done" || grow.Result == nil || !grow.Result.OK {
+		t.Fatalf("growth update: %+v (err %s)", grow, grow.Error)
+	}
+	r := grow.Result
+	if r.ReusedResults == 0 || r.DirtyChecks == 0 || r.DirtyChecks >= r.TotalChecks {
+		t.Fatalf("growth update should mix reuse and dirty work: %+v", r)
+	}
+	if r.Solved >= base.Result.Solved+r.TotalChecks-r.ReusedResults+1 {
+		t.Fatalf("growth update solved too much: %+v", r)
+	}
+	if len(r.ChangedRouters) == 0 {
+		t.Fatalf("growth update should report changed routers: %+v", r)
+	}
+
+	// Errors: unknown session, suite mismatch.
+	resp, err = http.Post(ts.URL+"/v1/sessions/session-999/update", "application/json",
+		bytes.NewBufferString(`{"generator": `+gen(1)+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session update = %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/sessions/"+created.ID+"/update", "application/json",
+		bytes.NewBufferString(`{"suite": "fullmesh", "generator": `+gen(1)+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("suite-mismatch update = %d, want 400", resp.StatusCode)
+	}
+
+	// Delete the session: it disappears, and further use 404s.
+	del := func() int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+created.ID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del(); code != http.StatusOK {
+		t.Fatalf("DELETE session = %d, want 200", code)
+	}
+	if code := del(); code != http.StatusNotFound {
+		t.Fatalf("second DELETE = %d, want 404", code)
+	}
+	resp, err = http.Get(ts.URL + "/v1/sessions/" + created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET deleted session = %d, want 404", resp.StatusCode)
 	}
 }
 

@@ -20,14 +20,36 @@
 //
 //	worker pool → in-flight dedup (singleflight) → LRU result cache → reports
 //
-// Checks are keyed by their semantic content (core.Check.Key — the filter
-// policy, predicates, and ghost updates the verdict depends on), so a WAN
-// property sweep that re-issues byte-identical filter checks for every
-// router × property pair solves each distinct formula once; concurrent jobs
-// submitting the same check share the single in-flight solve. Both
-// cmd/lightyear and cmd/lybench submit to an engine, lyserve exposes one
-// over HTTP (POST /v1/verify, GET /v1/jobs/{id}, GET /v1/stats), and
-// core.IncrementalVerifier can run on one via the core.CheckRunner seam.
+// Checks are keyed by their semantic content (core.Check.Key — a truncated
+// SHA-256 over the filter policy, predicates, and ghost updates the verdict
+// depends on), so a WAN property sweep that re-issues byte-identical filter
+// checks for every router × property pair solves each distinct formula
+// once; concurrent jobs submitting the same check share the single
+// in-flight solve. Both cmd/lightyear and cmd/lybench submit to an engine,
+// lyserve exposes one over HTTP (POST /v1/verify, GET /v1/jobs/{id},
+// GET /v1/stats), and core.IncrementalVerifier can run on one via the
+// core.CheckRunner seam.
+//
+// The result cache is a pluggable seam (engine.ResultCache): the default is
+// an in-memory LRU, and internal/store provides a disk-persistent
+// JSON-journal implementation keyed by check key (with the originating
+// network's fingerprint as provenance), so warm starts survive process
+// restarts and lyserve redeploys (-store DIR on both commands).
+//
+// # Delta verification
+//
+// internal/delta turns the paper's §2 incremental claim — re-verification
+// after a change costs work proportional to the change, not the network —
+// into a measurable subsystem. A delta.Verifier pins a baseline network
+// for a registry suite; each Update computes the per-router/per-edge
+// structural diff (topology.DiffNetworks over topology.Fingerprint
+// identities), re-enumerates the suite's checks, reuses every check whose
+// semantic key already has a retained result, and submits only the dirty
+// subset to the engine, reporting {changed routers, dirty checks, reused
+// results, solved}. Surfaces: `lightyear -diff old.cfg` for incremental
+// CLI runs, the lyserve session API (POST /v1/sessions, POST
+// /v1/sessions/{id}/update, GET /v1/sessions/{id}), and `lybench
+// -experiment delta` for the change-size vs re-verification-cost sweep.
 //
 // # Property registry
 //

@@ -83,12 +83,20 @@ func (c *Counterexample) String() string {
 		return "<none>"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "input:  %s", c.Input)
+	if c.Input != nil {
+		fmt.Fprintf(&b, "input:  %s", c.Input)
+	}
 	if c.Output != nil {
-		fmt.Fprintf(&b, "\noutput: %s", c.Output)
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "output: %s", c.Output)
 	}
 	if c.Note != "" {
-		fmt.Fprintf(&b, "\nnote:   %s", c.Note)
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "note:   %s", c.Note)
 	}
 	return b.String()
 }

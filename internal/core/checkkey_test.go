@@ -1,0 +1,57 @@
+package core
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// fnv64aKey reproduces the pre-SHA-256 key scheme, kept here so the
+// regression below keeps proving its inputs really collide under it.
+func fnv64aKey(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// TestCheckKeyCollisionRegression pins the reason checkKey moved from
+// 64-bit FNV-1a to truncated SHA-256: the strings below are a published
+// FNV-1a-64 collision pair, so under the old scheme two distinct checks
+// whose semantic descriptions contained them would silently share one
+// cached verdict.
+func TestCheckKeyCollisionRegression(t *testing.T) {
+	const a, b = "8yn0iYCKYHlIj4-BwPqk", "GReLUrM4wMqfg9yzV3KQ"
+	if fnv64aKey(a) != fnv64aKey(b) {
+		t.Fatalf("test vectors no longer collide under FNV-1a-64: %x vs %x", fnv64aKey(a), fnv64aKey(b))
+	}
+	if checkKey(a) == checkKey(b) {
+		t.Fatalf("checkKey still collides on the FNV-1a-64 pair: %s", checkKey(a))
+	}
+
+	// Second published pair, hashed as multi-part keys.
+	const c, d = "gMPflVXtwGDXbIhP73TX", "LtHf1prlU1bCeYZEdqWf"
+	if fnv64aKey("import", c) != fnv64aKey("import", d) {
+		// Same-length prefixes preserve FNV collisions (the hash is a
+		// running fold), so this should still collide.
+		t.Logf("prefixed vectors diverged under FNV; continuing")
+	}
+	if checkKey("import", c) == checkKey("import", d) {
+		t.Fatal("checkKey collides on prefixed FNV-1a-64 pair")
+	}
+}
+
+func TestCheckKeyShapeAndSeparation(t *testing.T) {
+	k := checkKey("import", "A -> B", "route-map m")
+	if len(k) != 32 {
+		t.Fatalf("key should be 32 hex chars (128-bit truncated SHA-256), got %d: %q", len(k), k)
+	}
+	if k != checkKey("import", "A -> B", "route-map m") {
+		t.Fatal("checkKey must be deterministic")
+	}
+	// Part boundaries matter: "ab"+"c" must not equal "a"+"bc".
+	if checkKey("ab", "c") == checkKey("a", "bc") {
+		t.Fatal("checkKey must separate parts")
+	}
+}

@@ -1,0 +1,317 @@
+// Package delta implements config-diff-driven incremental re-verification —
+// the paper's §2 argument that modular decomposition makes re-verification
+// after a configuration change proportional to the change, not the network,
+// turned into a measurable artifact.
+//
+// A Verifier pins a baseline network state for a registry suite
+// (netgen.Lookup) and re-verifies successive states against it:
+//
+//	v := delta.NewVerifier(eng, suite, params)
+//	base, _ := v.Baseline(oldNet) // full cold run, results retained by key
+//	res, _ := v.Update(newNet)    // re-solves only the dirty subset
+//
+// Update computes the per-router/per-edge semantic diff between the pinned
+// state and the new one (topology.DiffNetworks), re-enumerates the suite's
+// local checks on the new network, and splits them by semantic check key
+// (core.Check.Key): a check whose key already has a retained result is
+// clean — equal keys decide the same formula — and is served without
+// touching the engine; everything else is the dirty subset, submitted to
+// the shared engine as one job per problem so cross-problem dedup still
+// applies. The returned Result reports {changed routers, dirty checks,
+// reused results, solved} alongside the per-problem reports, and the
+// structural diff is cross-checked against the dirty set: every dirty
+// cacheable check must sit at a location the diff touches.
+//
+// The Verifier's retained results live in process memory; pairing the
+// engine with an internal/store persistent cache (engine.Options.Cache)
+// additionally makes the dirty subset's solves survive restarts.
+package delta
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lightyear/internal/core"
+	"lightyear/internal/engine"
+	"lightyear/internal/netgen"
+	"lightyear/internal/store"
+	"lightyear/internal/topology"
+)
+
+// Store must keep satisfying the engine's cache seam: the CLI and lyserve
+// plug it in behind the same engines delta runs on.
+var _ engine.ResultCache = (*store.Store)(nil)
+
+// ProblemOutcome is the per-problem record of one delta run.
+type ProblemOutcome struct {
+	Name       string `json:"name"`
+	Skipped    bool   `json:"skipped,omitempty"`
+	Failed     bool   `json:"failed,omitempty"`
+	SkipReason string `json:"skip_reason,omitempty"`
+	Checks     int    `json:"checks"`
+	Dirty      int    `json:"dirty"`  // checks submitted to the engine
+	Reused     int    `json:"reused"` // results served from the pinned session
+	OK         bool   `json:"ok"`
+
+	// Report is the assembled verification report (nil when skipped or
+	// failed); encode with engine.EncodeReport for the wire.
+	Report *core.Report `json:"-"`
+}
+
+// Result summarizes one Baseline or Update run.
+type Result struct {
+	Suite       string `json:"suite"`
+	Baseline    bool   `json:"baseline"`
+	Fingerprint string `json:"fingerprint"` // network state verified
+
+	// Diff is the structural change from the previously pinned state
+	// (nil on baseline runs).
+	Diff           *topology.NetworkDiff `json:"diff,omitempty"`
+	ChangedRouters []topology.NodeID     `json:"changed_routers,omitempty"`
+
+	TotalChecks   int  `json:"total_checks"`
+	DirtyChecks   int  `json:"dirty_checks"`   // submitted to the engine
+	ReusedResults int  `json:"reused_results"` // served from the session's retained results
+	Solved        int  `json:"solved"`         // actually executed (after engine cache/dedup)
+	OK            bool `json:"ok"`
+
+	ElapsedNanos int64            `json:"elapsed_ns"`
+	Problems     []ProblemOutcome `json:"problems"`
+}
+
+// Elapsed returns the run's wall-clock duration.
+func (r *Result) Elapsed() time.Duration { return time.Duration(r.ElapsedNanos) }
+
+// String renders the one-line incremental summary.
+func (r *Result) String() string {
+	mode := "update"
+	if r.Baseline {
+		mode = "baseline"
+	}
+	return fmt.Sprintf("delta %s: %d routers changed, %d/%d checks dirty, %d reused, %d solved, ok=%v in %v",
+		mode, len(r.ChangedRouters), r.DirtyChecks, r.TotalChecks, r.ReusedResults, r.Solved, r.OK,
+		r.Elapsed().Round(time.Millisecond))
+}
+
+// Verifier is a long-lived incremental verification session: a suite, an
+// engine, the currently pinned network state, and the check results
+// retained from the last run, keyed by semantic check key. Runs are
+// serialized; the Verifier is safe for concurrent use, and the state
+// accessors (Fingerprint, ResultCount) never block behind a run in
+// progress — they observe the last completed run.
+type Verifier struct {
+	eng    *engine.Engine
+	suite  netgen.Suite
+	params netgen.SuiteParams
+
+	runMu sync.Mutex // serializes Baseline/Update
+
+	mu          sync.Mutex // guards the pinned state below
+	network     *topology.Network
+	fingerprint string
+	results     map[string]core.CheckResult
+}
+
+// NewVerifier creates a session for the given suite on the shared engine.
+// Call Baseline before Update.
+func NewVerifier(eng *engine.Engine, suite netgen.Suite, params netgen.SuiteParams) *Verifier {
+	return &Verifier{eng: eng, suite: suite, params: params}
+}
+
+// Fingerprint returns the fingerprint of the pinned network state ("" before
+// Baseline).
+func (v *Verifier) Fingerprint() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.fingerprint
+}
+
+// ResultCount returns the number of retained check results.
+func (v *Verifier) ResultCount() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.results)
+}
+
+// Baseline pins n as the session's network state and verifies it in full,
+// retaining every cacheable result for later Updates.
+func (v *Verifier) Baseline(n *topology.Network) (*Result, error) {
+	v.runMu.Lock()
+	defer v.runMu.Unlock()
+	return v.run(nil, nil, n, true)
+}
+
+// Update verifies n incrementally against the pinned state: only checks
+// whose semantic key has no retained result are re-solved. On return n is
+// the pinned state. Update before Baseline is an error.
+func (v *Verifier) Update(n *topology.Network) (*Result, error) {
+	v.runMu.Lock()
+	defer v.runMu.Unlock()
+	v.mu.Lock()
+	prev, prevResults := v.network, v.results
+	v.mu.Unlock()
+	if prev == nil {
+		return nil, fmt.Errorf("delta: Update before Baseline")
+	}
+	return v.run(prev, prevResults, n, false)
+}
+
+// problemRun carries one problem through the submit → wait pipeline.
+type problemRun struct {
+	outcome ProblemOutcome
+	prop    core.Property
+	checks  []core.Check
+	reused  []core.CheckResult
+	job     *engine.Job
+	start   time.Time
+}
+
+// run is the shared Baseline/Update body; v.runMu is held, so prev and
+// prevResults are stable. v.mu is only taken briefly at the end to publish
+// the new pinned state, keeping the state accessors responsive while the
+// run waits on the engine.
+func (v *Verifier) run(prev *topology.Network, prevResults map[string]core.CheckResult,
+	n *topology.Network, baseline bool) (*Result, error) {
+	start := time.Now()
+	res := &Result{Suite: v.suite.Name, Baseline: baseline, Fingerprint: n.Fingerprint(), OK: true}
+	if !baseline {
+		res.Diff = topology.DiffNetworks(prev, n)
+		res.ChangedRouters = changedRouters(res.Diff, prev, n)
+	}
+
+	problems := v.suite.Build(n, v.params)
+	runs := make([]*problemRun, len(problems))
+	opts := v.eng.CheckOptions()
+
+	// Submit the dirty subset of every problem before waiting on any, so
+	// the engine dedups identical dirty checks across the whole suite.
+	for i, p := range problems {
+		pr := &problemRun{outcome: ProblemOutcome{Name: p.Name}, start: time.Now()}
+		runs[i] = pr
+		var err error
+		switch {
+		case p.Safety != nil:
+			pr.prop = p.Safety.Property
+			pr.checks = p.Safety.Checks(opts)
+		case p.Liveness != nil:
+			pr.prop = p.Liveness.Property
+			pr.checks, err = p.Liveness.Checks(opts)
+		default:
+			err = fmt.Errorf("suite produced an empty problem")
+		}
+		if err != nil {
+			if p.Optional {
+				pr.outcome.Skipped = true
+			} else {
+				pr.outcome.Failed = true
+				res.OK = false
+			}
+			pr.outcome.SkipReason = err.Error()
+			continue
+		}
+
+		var dirty []core.Check
+		for _, c := range pr.checks {
+			if r, ok := prevResults[c.Key()]; ok && c.Key() != "" {
+				r.Kind, r.Loc, r.Desc = c.Kind, c.Loc, c.Desc
+				pr.reused = append(pr.reused, r)
+				continue
+			}
+			dirty = append(dirty, c)
+		}
+		pr.outcome.Checks = len(pr.checks)
+		pr.outcome.Dirty = len(dirty)
+		pr.outcome.Reused = len(pr.reused)
+		res.TotalChecks += len(pr.checks)
+		res.DirtyChecks += len(dirty)
+		res.ReusedResults += len(pr.reused)
+		pr.job = v.eng.SubmitChecks(pr.prop, dirty)
+	}
+
+	// Collect, merge reused + fresh, and re-index the retained results
+	// from scratch so entries for removed locations do not accumulate
+	// (the same re-index discipline as core.IncrementalVerifier).
+	retained := make(map[string]core.CheckResult)
+	for _, pr := range runs {
+		if pr.job == nil {
+			res.Problems = append(res.Problems, pr.outcome)
+			continue
+		}
+		fresh := pr.job.Wait()
+		st := pr.job.Stats()
+		res.Solved += st.Checks - st.CacheHits - st.DedupHits
+		merged := append(append([]core.CheckResult(nil), pr.reused...), fresh.Results...)
+		pr.outcome.Report = core.NewReport(pr.prop, merged, time.Since(pr.start))
+		pr.outcome.OK = pr.outcome.Report.OK()
+		if !pr.outcome.OK {
+			res.OK = false
+		}
+		byIdentity := make(map[string]core.CheckResult, len(merged))
+		for _, r := range pr.outcome.Report.Results {
+			byIdentity[core.CheckIdentity(r.Kind, r.Loc, r.Desc)] = r
+		}
+		for _, c := range pr.checks {
+			if c.Key() == "" {
+				continue
+			}
+			if r, ok := byIdentity[core.CheckIdentity(c.Kind, c.Loc, c.Desc)]; ok {
+				retained[c.Key()] = r
+			}
+		}
+		res.Problems = append(res.Problems, pr.outcome)
+	}
+
+	v.mu.Lock()
+	v.results = retained
+	v.network = n
+	v.fingerprint = res.Fingerprint
+	v.mu.Unlock()
+	res.ElapsedNanos = time.Since(start).Nanoseconds()
+	return res, nil
+}
+
+// changedRouters filters the diff's touched nodes to configured routers of
+// either network state — the paper's "when a node is updated" unit of
+// change.
+func changedRouters(d *topology.NetworkDiff, old, new *topology.Network) []topology.NodeID {
+	var out []topology.NodeID
+	for _, id := range d.TouchedNodes() {
+		if isRouter(new, id) || isRouter(old, id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func isRouter(n *topology.Network, id topology.NodeID) bool {
+	node := n.Node(id)
+	return node != nil && !node.External
+}
+
+// DirtyConsistent cross-checks a diff against a dirty check subset using
+// core.PartitionChecks: it returns an error if any cacheable dirty check
+// sits at a location the diff does not touch. It is a sanity invariant for
+// tests and experiments — semantic keys, not locations, decide dirtiness,
+// and this verifies the two views agree.
+func DirtyConsistent(d *topology.NetworkDiff, dirty []core.Check) error {
+	offending, _ := core.PartitionChecks(dirty, func(loc core.Location) bool {
+		if loc.IsEdge() {
+			return !d.Touches(loc.Edge())
+		}
+		for _, id := range d.TouchedNodes() {
+			if id == loc.Router() {
+				return false
+			}
+		}
+		// Router locations (the final implication check) have no edge to
+		// attribute the change to; treat them as always consistent.
+		return false
+	})
+	for _, c := range offending {
+		if c.Key() != "" {
+			return fmt.Errorf("delta: dirty check %q at untouched location %s", c.Desc, c.Loc)
+		}
+	}
+	return nil
+}

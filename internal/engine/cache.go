@@ -7,6 +7,24 @@ import (
 	"lightyear/internal/core"
 )
 
+// ResultCache is the engine's pluggable result-cache seam: a concurrency-
+// safe map from semantic check key (core.Check.Key) to check result. The
+// engine probes Get before solving and calls Add after every solve. The
+// default implementation is the in-memory lruCache below; internal/store
+// provides a disk-persistent implementation so warm starts survive process
+// restarts. Implementations may additionally expose Cap() int to report a
+// capacity bound in engine stats.
+//
+// Contract: a result stored under a key may be returned for any check with
+// that key — checks with equal keys decide the same formula, and the engine
+// relabels Kind/Loc/Desc for the receiving check — so implementations must
+// never invent or transform keys.
+type ResultCache interface {
+	Get(key string) (core.CheckResult, bool)
+	Add(key string, val core.CheckResult)
+	Len() int
+}
+
 // lruCache is a concurrency-safe, capacity-bounded LRU map from check key
 // to check result. Both hits and fills refresh recency; when the cache is
 // full the least-recently-used entry is evicted. Bounding by entry count is
@@ -36,8 +54,8 @@ func newLRUCache(capacity int) *lruCache {
 	}
 }
 
-// get returns the cached result for key, refreshing its recency.
-func (c *lruCache) get(key string) (core.CheckResult, bool) {
+// Get returns the cached result for key, refreshing its recency.
+func (c *lruCache) Get(key string) (core.CheckResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -48,9 +66,9 @@ func (c *lruCache) get(key string) (core.CheckResult, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
-// add inserts or refreshes key, evicting the least-recently-used entry if
+// Add inserts or refreshes key, evicting the least-recently-used entry if
 // the cache is over capacity.
-func (c *lruCache) add(key string, val core.CheckResult) {
+func (c *lruCache) Add(key string, val core.CheckResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
@@ -66,9 +84,12 @@ func (c *lruCache) add(key string, val core.CheckResult) {
 	}
 }
 
-// len returns the number of cached results.
-func (c *lruCache) len() int {
+// Len returns the number of cached results.
+func (c *lruCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// Cap returns the capacity bound, surfaced in engine stats.
+func (c *lruCache) Cap() int { return c.capacity }

@@ -14,42 +14,42 @@ func result(desc string) core.CheckResult {
 
 func TestLRUCacheEvictsLeastRecentlyUsed(t *testing.T) {
 	c := newLRUCache(3)
-	c.add("a", result("a"))
-	c.add("b", result("b"))
-	c.add("c", result("c"))
+	c.Add("a", result("a"))
+	c.Add("b", result("b"))
+	c.Add("c", result("c"))
 
 	// Touch "a" so "b" becomes the LRU entry, then overflow.
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a should be cached")
 	}
-	c.add("d", result("d"))
+	c.Add("d", result("d"))
 
-	if _, ok := c.get("b"); ok {
+	if _, ok := c.Get("b"); ok {
 		t.Error("b should have been evicted as least recently used")
 	}
 	for _, k := range []string{"a", "c", "d"} {
-		if _, ok := c.get(k); !ok {
+		if _, ok := c.Get(k); !ok {
 			t.Errorf("%s should survive eviction", k)
 		}
 	}
-	if c.len() != 3 {
-		t.Errorf("len = %d, want capacity 3", c.len())
+	if c.Len() != 3 {
+		t.Errorf("len = %d, want capacity 3", c.Len())
 	}
 }
 
 func TestLRUCacheUpdateRefreshes(t *testing.T) {
 	c := newLRUCache(2)
-	c.add("a", result("a1"))
-	c.add("b", result("b"))
-	c.add("a", result("a2")) // refresh, not insert
-	if c.len() != 2 {
-		t.Fatalf("len = %d after refresh, want 2", c.len())
+	c.Add("a", result("a1"))
+	c.Add("b", result("b"))
+	c.Add("a", result("a2")) // refresh, not insert
+	if c.Len() != 2 {
+		t.Fatalf("len = %d after refresh, want 2", c.Len())
 	}
-	if r, ok := c.get("a"); !ok || r.Desc != "a2" {
+	if r, ok := c.Get("a"); !ok || r.Desc != "a2" {
 		t.Errorf("get(a) = %v/%v, want refreshed value", r.Desc, ok)
 	}
-	c.add("c", result("c")) // evicts b (a was refreshed more recently)
-	if _, ok := c.get("b"); ok {
+	c.Add("c", result("c")) // evicts b (a was refreshed more recently)
+	if _, ok := c.Get("b"); ok {
 		t.Error("b should have been evicted")
 	}
 }
@@ -63,13 +63,13 @@ func TestLRUCacheConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
 				k := fmt.Sprintf("k%d", (g*31+i)%100)
-				c.add(k, result(k))
-				c.get(k)
+				c.Add(k, result(k))
+				c.Get(k)
 			}
 		}(g)
 	}
 	wg.Wait()
-	if c.len() > 64 {
-		t.Errorf("len = %d exceeds capacity 64", c.len())
+	if c.Len() > 64 {
+		t.Errorf("len = %d exceeds capacity 64", c.Len())
 	}
 }

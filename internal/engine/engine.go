@@ -41,8 +41,13 @@ type Options struct {
 	Workers int
 	// CacheSize bounds the LRU result cache (number of cached check
 	// results). 0 means DefaultCacheSize; negative disables caching
-	// entirely (in-flight dedup still applies).
+	// entirely (in-flight dedup still applies). Ignored when Cache is set.
 	CacheSize int
+	// Cache, when non-nil, replaces the built-in LRU with a custom
+	// ResultCache — e.g. an internal/store disk-persistent store, so
+	// results survive process restarts. The engine does not close or
+	// flush a custom cache; its owner does.
+	Cache ResultCache
 	// ConflictBudget bounds SAT effort per check when the engine generates
 	// checks from a problem; 0 means unlimited.
 	ConflictBudget int64
@@ -73,7 +78,7 @@ type Stats struct {
 type Engine struct {
 	opts  Options
 	tasks chan task
-	cache *lruCache // nil when caching is disabled
+	cache ResultCache // nil when caching is disabled
 
 	workers    sync.WaitGroup
 	submitters sync.WaitGroup
@@ -111,7 +116,10 @@ func New(opts Options) *Engine {
 		tasks:    make(chan task, 4*opts.workers()),
 		inflight: make(map[string]*flight),
 	}
-	if opts.CacheSize >= 0 {
+	switch {
+	case opts.Cache != nil:
+		e.cache = opts.Cache
+	case opts.CacheSize >= 0:
 		size := opts.CacheSize
 		if size == 0 {
 			size = DefaultCacheSize
@@ -156,10 +164,15 @@ func (e *Engine) Stats() Stats {
 		DedupHits:       e.dedupHits.Load(),
 	}
 	if e.cache != nil {
-		s.CacheLen, s.CacheCap = e.cache.len(), e.cache.capacity
+		s.CacheLen, s.CacheCap = e.cache.Len(), cacheCap(e.cache)
 	}
 	return s
 }
+
+// Cache returns the engine's result cache, nil when caching is disabled —
+// owners of a custom cache (e.g. lyserve's persistent store) use it to
+// reach their implementation for stats.
+func (e *Engine) Cache() ResultCache { return e.cache }
 
 // checkOptions are the options used when generating checks from a problem.
 func (e *Engine) checkOptions() core.Options {
@@ -203,6 +216,21 @@ func (e *Engine) RunChecks(prop core.Property, checks []core.Check) *core.Report
 	return e.submit(prop, checks).Wait()
 }
 
+// SubmitChecks schedules a raw batch of checks as one asynchronous job —
+// the entry point internal/delta uses to run just the dirty subset of a
+// problem's checks while letting jobs from several problems interleave on
+// the pool.
+func (e *Engine) SubmitChecks(prop core.Property, checks []core.Check) *Job {
+	return e.submit(prop, checks)
+}
+
+// CheckOptions returns the core.Options the engine uses when generating
+// checks from a problem, so external check producers (internal/delta)
+// enumerate exactly the same checks SubmitSafety/SubmitLiveness would.
+func (e *Engine) CheckOptions() core.Options {
+	return e.checkOptions()
+}
+
 // submit enqueues a batch of checks as one job.
 func (e *Engine) submit(prop core.Property, checks []core.Check) *Job {
 	j := newJob(e, e.nextID.Add(1), prop, len(checks))
@@ -244,7 +272,7 @@ func (e *Engine) execute(t task) {
 		return
 	}
 	if e.cache != nil {
-		if r, ok := e.cache.get(key); ok {
+		if r, ok := e.cache.Get(key); ok {
 			e.cacheHits.Add(1)
 			t.job.deliver(t.idx, adapt(r, t.check), true, false)
 			return
@@ -262,7 +290,7 @@ func (e *Engine) execute(t task) {
 	// filled the cache and retired between the lock-free probe above and
 	// acquiring e.mu, and solving again here would be redundant.
 	if e.cache != nil {
-		if r, ok := e.cache.get(key); ok {
+		if r, ok := e.cache.Get(key); ok {
 			e.mu.Unlock()
 			e.cacheHits.Add(1)
 			t.job.deliver(t.idx, adapt(r, t.check), true, false)
@@ -278,7 +306,7 @@ func (e *Engine) execute(t task) {
 	if e.cache != nil {
 		// Fill the cache before retiring the flight so a concurrent
 		// identical task either joins the flight or hits the cache.
-		e.cache.add(key, r)
+		e.cache.Add(key, r)
 	}
 	e.mu.Lock()
 	delete(e.inflight, key)
@@ -305,9 +333,18 @@ var _ core.CheckRunner = (*Engine)(nil)
 
 // String renders a one-line summary of the engine configuration.
 func (e *Engine) String() string {
-	cacheCap := -1
+	cap := -1
 	if e.cache != nil {
-		cacheCap = e.cache.capacity
+		cap = cacheCap(e.cache)
 	}
-	return fmt.Sprintf("engine(workers=%d, cache=%d)", e.opts.workers(), cacheCap)
+	return fmt.Sprintf("engine(workers=%d, cache=%d)", e.opts.workers(), cap)
+}
+
+// cacheCap reports a cache's capacity bound, or -1 for unbounded caches
+// (custom ResultCache implementations without a Cap method).
+func cacheCap(c ResultCache) int {
+	if b, ok := c.(interface{ Cap() int }); ok {
+		return b.Cap()
+	}
+	return -1
 }

@@ -1,0 +1,234 @@
+// Package store is the disk-persistent, content-addressed check-result
+// store behind the engine's ResultCache seam: a JSON-lines journal of
+// {check key → verdict} records that is replayed into memory on Open, so a
+// warm start — a CLI rerun with -store, or an lyserve redeploy — serves
+// previously solved checks without touching the solver.
+//
+// Results are addressed purely by the semantic check key (core.Check.Key):
+// the key already hashes everything the verdict depends on (the filter
+// policy, the predicates, the ghost updates), so it is sound across network
+// states, processes, and suites — the same property the engine's in-memory
+// cache and cross-job dedup rest on. Each record additionally carries the
+// fingerprint of the network state that produced it (topology.Fingerprint)
+// as provenance, which Compact and future sharded/remote stores can use to
+// scope retention without affecting lookup correctness.
+//
+// Persisted results deliberately drop the per-check identity
+// (Kind/Loc/Desc): the engine relabels shared results for the receiving
+// check anyway (engine.adapt), and a counterexample's routes are kept as
+// their rendered text. The journal is append-only and crash-tolerant: a
+// truncated final line is ignored on replay, and re-recording an
+// already-known key is skipped to keep warm reruns from growing the file.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"lightyear/internal/core"
+)
+
+// journalName is the journal file created inside the store directory.
+const journalName = "results.jsonl"
+
+// record is one journal line.
+type record struct {
+	Key         string       `json:"key"`
+	Fingerprint string       `json:"fp,omitempty"`
+	Result      resultRecord `json:"result"`
+}
+
+// resultRecord is the persisted portion of a core.CheckResult.
+type resultRecord struct {
+	OK      bool   `json:"ok"`
+	NumVars int    `json:"vars,omitempty"`
+	NumCons int    `json:"cons,omitempty"`
+	SolveNS int64  `json:"solve_ns,omitempty"`
+	TotalNS int64  `json:"total_ns,omitempty"`
+	Witness string `json:"witness,omitempty"` // rendered counterexample, failures only
+}
+
+func encodeResult(r core.CheckResult) resultRecord {
+	out := resultRecord{
+		OK:      r.OK,
+		NumVars: r.NumVars,
+		NumCons: r.NumCons,
+		SolveNS: r.SolveTime.Nanoseconds(),
+		TotalNS: r.TotalTime.Nanoseconds(),
+	}
+	if r.Counterexample != nil {
+		out.Witness = r.Counterexample.String()
+	}
+	return out
+}
+
+func (rr resultRecord) decode() core.CheckResult {
+	out := core.CheckResult{
+		OK:        rr.OK,
+		NumVars:   rr.NumVars,
+		NumCons:   rr.NumCons,
+		SolveTime: time.Duration(rr.SolveNS),
+		TotalTime: time.Duration(rr.TotalNS),
+	}
+	if rr.Witness != "" {
+		out.Counterexample = &core.Counterexample{Note: rr.Witness}
+	}
+	return out
+}
+
+// Stats counts store traffic since Open.
+type Stats struct {
+	Loaded int `json:"loaded"` // distinct results replayed from the journal
+	Hits   int `json:"hits"`   // Get calls served
+	Misses int `json:"misses"` // Get calls not served
+	Puts   int `json:"puts"`   // new results appended to the journal
+}
+
+// Store is a disk-backed ResultCache. It is safe for concurrent use by one
+// process; multi-process sharing of one directory is not supported (the
+// sharding direction left open in the roadmap).
+type Store struct {
+	path string
+
+	mu     sync.Mutex
+	mem    map[string]resultRecord
+	f      *os.File
+	w      *bufio.Writer
+	fp     string // provenance fingerprint attached to subsequent Puts
+	loaded int
+	hits   int
+	misses int
+	puts   int
+}
+
+// Open creates the directory if needed, replays the journal, and returns a
+// store ready to serve Gets from memory and append Puts to disk.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{path: path, mem: make(map[string]resultRecord), f: f, w: bufio.NewWriter(f)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			// Torn or foreign line (e.g. a crash mid-append): skip it
+			// rather than refuse the rest of the journal.
+			continue
+		}
+		if _, dup := s.mem[rec.Key]; !dup {
+			s.loaded++
+		}
+		s.mem[rec.Key] = rec.Result
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: replay %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// SetFingerprint sets the network-state fingerprint recorded as provenance
+// on subsequent Puts (see topology.Fingerprint).
+func (s *Store) SetFingerprint(fp string) {
+	s.mu.Lock()
+	s.fp = fp
+	s.mu.Unlock()
+}
+
+// Get implements engine.ResultCache. The returned result carries no
+// Kind/Loc/Desc; the engine relabels it for the receiving check.
+func (s *Store) Get(key string) (core.CheckResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rr, ok := s.mem[key]
+	if !ok {
+		s.misses++
+		return core.CheckResult{}, false
+	}
+	s.hits++
+	return rr.decode(), true
+}
+
+// Add implements engine.ResultCache: record the result in memory and append
+// it to the journal. Keys already present are left untouched — results are
+// content-addressed, so the first verdict recorded for a key is the
+// verdict.
+func (s *Store) Add(key string, val core.CheckResult) {
+	if key == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return // closed
+	}
+	if _, dup := s.mem[key]; dup {
+		return
+	}
+	rec := record{Key: key, Fingerprint: s.fp, Result: encodeResult(val)}
+	s.mem[key] = rec.Result
+	s.puts++
+	if err := s.append(rec); err != nil {
+		// Disk trouble degrades the store to in-memory; verification
+		// results are reproducible, so losing persistence is not fatal.
+		fmt.Fprintf(os.Stderr, "store: append: %v\n", err)
+	}
+}
+
+func (s *Store) append(rec record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// Len implements engine.ResultCache.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// Stats returns the traffic counters since Open.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Loaded: s.loaded, Hits: s.hits, Misses: s.misses, Puts: s.puts}
+}
+
+// Close flushes and closes the journal. The store must not be used after
+// Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.w.Flush()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lightyear/internal/core"
+)
+
+func TestStoreRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFingerprint("fp-1")
+
+	pass := core.CheckResult{OK: true, NumVars: 12, NumCons: 34,
+		SolveTime: 5 * time.Millisecond, TotalTime: 9 * time.Millisecond}
+	fail := core.CheckResult{OK: false,
+		Counterexample: &core.Counterexample{Note: "filter accepts a bogon"}}
+	s.Add("key-pass", pass)
+	s.Add("key-fail", fail)
+	s.Add("", core.CheckResult{OK: true}) // uncacheable: must be ignored
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if st := s.Stats(); st.Puts != 2 || st.Loaded != 0 {
+		t.Fatalf("stats = %+v, want 2 puts, 0 loaded", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Process restart": reopen and serve both results from the journal.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("after reopen Len = %d, want 2", s2.Len())
+	}
+	if st := s2.Stats(); st.Loaded != 2 {
+		t.Fatalf("after reopen stats = %+v, want 2 loaded", st)
+	}
+	got, ok := s2.Get("key-pass")
+	if !ok || !got.OK || got.NumVars != 12 || got.NumCons != 34 ||
+		got.SolveTime != 5*time.Millisecond || got.TotalTime != 9*time.Millisecond {
+		t.Fatalf("key-pass round trip = %+v/%v", got, ok)
+	}
+	gotFail, ok := s2.Get("key-fail")
+	if !ok || gotFail.OK || gotFail.Counterexample == nil ||
+		gotFail.Counterexample.String() == "" {
+		t.Fatalf("key-fail round trip = %+v/%v", gotFail, ok)
+	}
+	if _, ok := s2.Get("absent"); ok {
+		t.Fatal("absent key must miss")
+	}
+	if st := s2.Stats(); st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+}
+
+func TestStoreSkipsDuplicatesAndTornLines(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add("k", core.CheckResult{OK: true})
+	s.Add("k", core.CheckResult{OK: false}) // duplicate: first verdict wins
+	if st := s.Stats(); st.Puts != 1 {
+		t.Fatalf("duplicate Add journaled: %+v", st)
+	}
+	if r, _ := s.Get("k"); !r.OK {
+		t.Fatal("duplicate Add overwrote the recorded verdict")
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: a torn trailing line.
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"torn","result":{"ok`)
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn journal must not fail replay: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d after torn-line replay, want 1", s2.Len())
+	}
+	if _, ok := s2.Get("k"); !ok {
+		t.Fatal("intact record lost")
+	}
+}
