@@ -4,13 +4,18 @@
 // Usage:
 //
 //	lightyear -config net.cfg -property fig1-no-transit [-workers N] [-cache N] [-json] [-verbose]
-//	lightyear -config new.cfg -diff old.cfg -property wan-peering   # incremental re-verification
-//	lightyear -config net.cfg -store DIR                            # persistent result store
+//	lightyear -config net.cfg -property wan-peering,wan-ip-reuse        # several properties, one engine
+//	lightyear -config net.cfg -property wan-peering -routers edge-0    # router-scoped properties
+//	lightyear -config new.cfg -diff old.cfg -property wan-peering      # incremental re-verification
+//	lightyear -config net.cfg -store DIR                               # persistent result store
+//	lightyear -plan plan.json                                          # run a saved verification plan
+//	lightyear -list                                                    # print the property registry
 //
-// The configuration file uses the DSL of internal/config (see cmd/lygen to
-// generate examples). Properties, like the local invariants of the paper's
-// deployment, are defined in code and registered in the internal/netgen
-// suite registry; the built-in property suites are:
+// Every invocation is compiled into an internal/plan Request — the same
+// declarative document lyserve accepts on POST /v2/verify — and run on a
+// shared internal/engine Engine. The configuration file uses the DSL of
+// internal/config (see cmd/lygen to generate examples). Properties are
+// registered in the internal/netgen suite registry; -list prints them:
 //
 //	fig1-no-transit   Table 2: routes from ISP1 never reach ISP2
 //	fig1-liveness     Table 3: customer prefixes reach ISP2
@@ -19,12 +24,19 @@
 //	wan-ip-reuse      Table 4b: regional reused-IP isolation
 //	wan-ip-liveness   Table 4c: reused routes propagate within each region
 //
-// All problems of the selected suite run as concurrent jobs on a shared
-// internal/engine Engine, so identical local checks across the suite's
-// properties and routers are solved once and served from the engine's
-// result cache thereafter. -workers sizes the engine's worker pool and
-// -cache its LRU result-cache capacity (0 = engine default, negative
-// disables caching).
+// -property accepts a comma-separated list; all listed properties run as
+// one plan on one engine, so identical local checks shared across
+// properties (and across the routers each property sweeps) are solved once
+// and served from the engine's result cache thereafter. -routers scopes
+// per-router properties (wan-peering, wan-ip-reuse) to a comma-separated
+// router subset. -workers sizes the engine's worker pool and -cache its LRU
+// result-cache capacity (0 = engine default, negative disables caching).
+//
+// With -plan file.json the request is read from the file (the plan.Request
+// JSON schema; see package internal/plan). Explicitly set flags override
+// the corresponding plan fields: -config replaces the network source,
+// -property/-routers the property list, -diff the baseline, and
+// -workers/-cache/-store/-wan-regions the execution options.
 //
 // With -store DIR the engine's result cache is replaced by the
 // internal/store persistent journal in DIR: results recorded by earlier
@@ -37,188 +49,268 @@
 // it, re-solving only the checks the configuration change dirtied, and
 // reports {changed routers, dirty checks, reused results, solved}. Exit
 // status reflects the -config (updated) network; a failing baseline is
-// reported but only fails the run if the update also fails.
+// reported but only fails the run if the update also fails. Incremental
+// runs inherit the plan's property list and -routers scoping.
 //
 // With -json, the command emits a single machine-readable JSON document on
-// stdout (the same report encoding the lyserve HTTP API returns) instead of
-// the human-readable summary.
+// stdout instead of the human-readable summary. Single-property unscoped
+// runs keep the historical {suite, ok, problems, engine} encoding (the same
+// report encoding lyserve's v1 API serves); multi-property or scoped runs
+// emit the plan result encoding {ok, properties: [...], engine} that
+// lyserve's v2 API serves.
 //
 // Exit status contract:
 //
-//	0  every problem in the suite verified (skipped optional problems allowed)
+//	0  every problem of every property verified (skipped optional problems allowed)
 //	1  at least one local check failed, or verification could not run
 //	   (unreadable or unparsable configuration, invalid liveness path)
-//	2  usage error (missing -config, unknown -property suite)
+//	2  usage error (missing network source, unknown -property)
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"lightyear/internal/config"
 	"lightyear/internal/core"
 	"lightyear/internal/delta"
 	"lightyear/internal/engine"
 	"lightyear/internal/netgen"
+	"lightyear/internal/plan"
 	"lightyear/internal/store"
 	"lightyear/internal/topology"
 )
 
-// problemOutcome is the per-problem record of a suite run, shared by the
-// human-readable and -json output paths.
-type problemOutcome struct {
-	Name       string             `json:"name"`
-	Skipped    bool               `json:"skipped,omitempty"`
-	SkipReason string             `json:"skip_reason,omitempty"`
-	Report     *engine.ReportJSON `json:"report,omitempty"`
-	Stats      *engine.JobStats   `json:"stats,omitempty"`
-
-	report *core.Report
+// cliFlags carries the parsed command line into buildRequest, with Set
+// recording which flags were given explicitly (plan-file overrides).
+type cliFlags struct {
+	ConfigPath string
+	Properties string
+	Routers    string
+	PlanPath   string
+	DiffPath   string
+	Workers    int
+	Cache      int
+	Store      string
+	Regions    int
+	Set        map[string]bool
 }
 
-// runOutput is the -json document: per-problem reports plus engine-level
-// dedup/cache statistics.
-type runOutput struct {
-	Suite    string           `json:"suite"`
-	OK       bool             `json:"ok"`
-	Problems []problemOutcome `json:"problems"`
-	Engine   engine.Stats     `json:"engine"`
-	Store    *store.Stats     `json:"store,omitempty"`
+func (f cliFlags) set(name string) bool { return f.Set[name] }
+
+// buildRequest compiles the flags into the plan.Request the run executes.
+// Usage errors (the exit-2 class) are returned as *usageError.
+func buildRequest(f cliFlags) (plan.Request, error) {
+	var req plan.Request
+	if f.PlanPath != "" {
+		src, err := os.ReadFile(f.PlanPath)
+		if err != nil {
+			return req, err
+		}
+		if err := json.Unmarshal(src, &req); err != nil {
+			return req, fmt.Errorf("%s: %w", f.PlanPath, err)
+		}
+	}
+	if f.PlanPath == "" || f.set("config") {
+		if f.ConfigPath == "" {
+			return req, &usageError{"-config is required (generate one with lygen, or pass -plan)"}
+		}
+		req.Network = plan.Network{ConfigPath: f.ConfigPath}
+	}
+	var routers []topology.NodeID
+	if f.Routers != "" {
+		for _, r := range strings.Split(f.Routers, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				routers = append(routers, topology.NodeID(r))
+			}
+		}
+	}
+	switch {
+	case f.PlanPath == "" || f.set("property"):
+		req.Properties = nil
+		for _, name := range strings.Split(f.Properties, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := netgen.Lookup(name); !ok {
+				return req, &usageError{fmt.Sprintf("unknown property %q (have: %s)",
+					name, strings.Join(netgen.SuiteNames(), ", "))}
+			}
+			req.Properties = append(req.Properties, plan.Property{Name: name, Routers: routers})
+		}
+		if len(req.Properties) == 0 {
+			return req, &usageError{fmt.Sprintf("-property lists no properties (have: %s)",
+				strings.Join(netgen.SuiteNames(), ", "))}
+		}
+	case f.set("routers"):
+		// -routers alone re-scopes the saved plan's own property list.
+		for i := range req.Properties {
+			req.Properties[i].Routers = routers
+		}
+	}
+	if f.DiffPath != "" {
+		req.Options.Baseline = &plan.Network{ConfigPath: f.DiffPath}
+	}
+	if f.PlanPath == "" || f.set("workers") {
+		req.Options.Workers = f.Workers
+	}
+	if f.PlanPath == "" || f.set("cache") {
+		req.Options.Cache = f.Cache
+	}
+	if f.PlanPath == "" || f.set("store") {
+		req.Options.Store = f.Store
+	}
+	if f.PlanPath == "" || f.set("wan-regions") {
+		req.Options.WANRegions = f.Regions
+	}
+	if err := req.Validate(); err != nil {
+		var reqErr *plan.RequestError
+		if errors.As(err, &reqErr) {
+			return req, &usageError{strings.TrimPrefix(reqErr.Error(), "plan: ")}
+		}
+		return req, err
+	}
+	return req, nil
 }
+
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
 
 func main() {
-	var (
-		configPath = flag.String("config", "", "path to the network configuration file")
-		property   = flag.String("property", "fig1-no-transit", "property suite to verify")
-		workers    = flag.Int("workers", 0, "parallel check workers (0 = GOMAXPROCS)")
-		cacheSize  = flag.Int("cache", 0, "engine result-cache capacity (0 = default, <0 disables; ignored with -store)")
-		storeDir   = flag.String("store", "", "persistent result-store directory (replaces the in-memory cache)")
-		diffPath   = flag.String("diff", "", "baseline configuration: verify -config incrementally against it")
-		jsonOut    = flag.Bool("json", false, "emit the report as machine-readable JSON")
-		verbose    = flag.Bool("verbose", false, "print every check result")
-		regions    = flag.Int("wan-regions", 3, "region count assumed for WAN properties")
-	)
+	var f cliFlags
+	flag.StringVar(&f.ConfigPath, "config", "", "path to the network configuration file")
+	flag.StringVar(&f.Properties, "property", "fig1-no-transit", "comma-separated property suites to verify")
+	flag.StringVar(&f.Routers, "routers", "", "comma-separated router subset scoping per-router properties")
+	flag.StringVar(&f.PlanPath, "plan", "", "run a saved plan.Request JSON file")
+	flag.StringVar(&f.DiffPath, "diff", "", "baseline configuration: verify -config incrementally against it")
+	flag.IntVar(&f.Workers, "workers", 0, "parallel check workers (0 = GOMAXPROCS)")
+	flag.IntVar(&f.Cache, "cache", 0, "engine result-cache capacity (0 = default, <0 disables; ignored with -store)")
+	flag.StringVar(&f.Store, "store", "", "persistent result-store directory (replaces the in-memory cache)")
+	flag.IntVar(&f.Regions, "wan-regions", 3, "region count assumed for WAN properties")
+	list := flag.Bool("list", false, "print the registered property suites and exit")
+	jsonOut := flag.Bool("json", false, "emit the report as machine-readable JSON")
+	verbose := flag.Bool("verbose", false, "print every check result")
 	flag.Parse()
+	f.Set = map[string]bool{}
+	flag.Visit(func(fl *flag.Flag) { f.Set[fl.Name] = true })
 
-	if *configPath == "" {
-		fmt.Fprintln(os.Stderr, "lightyear: -config is required (generate one with lygen)")
-		os.Exit(2)
-	}
-	suite, ok := netgen.Lookup(*property)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "lightyear: unknown property %q (have: %s)\n",
-			*property, strings.Join(netgen.SuiteNames(), ", "))
-		os.Exit(2)
+	if *list {
+		for _, s := range netgen.Suites() {
+			fmt.Printf("%-17s %s\n", s.Name, s.Desc)
+		}
+		return
 	}
 
-	n := parseConfig(*configPath)
+	req, err := buildRequest(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lightyear:", err)
+		if _, usage := err.(*usageError); usage {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+
+	compiled, err := plan.Compile(req, nil)
+	if err != nil {
+		var reqErr *plan.RequestError
+		if errors.As(err, &reqErr) { // e.g. an invalid -routers scope
+			fmt.Fprintln(os.Stderr, "lightyear:", strings.TrimPrefix(reqErr.Error(), "plan: "))
+			os.Exit(2)
+		}
+		fatal(err)
+	}
 	if !*jsonOut {
-		fmt.Printf("parsed %s: %d routers, %d externals, %d sessions\n",
-			*configPath, len(n.Routers()), len(n.Externals()), n.NumEdges())
+		if path := req.Network.ConfigPath; path != "" {
+			n := compiled.Network
+			fmt.Printf("parsed %s: %d routers, %d externals, %d sessions\n",
+				path, len(n.Routers()), len(n.Externals()), n.NumEdges())
+		}
+		if b := req.Options.Baseline; b != nil && b.ConfigPath != "" {
+			n := compiled.Baseline
+			fmt.Printf("baseline %s: %d routers, %d externals, %d sessions\n",
+				b.ConfigPath, len(n.Routers()), len(n.Externals()), n.NumEdges())
+		}
 	}
 
-	engOpts := engine.Options{Workers: *workers, CacheSize: *cacheSize}
+	engOpts := engine.Options{Workers: req.Options.Workers, CacheSize: req.Options.Cache}
 	var resultStore *store.Store
-	if *storeDir != "" {
-		var err error
-		resultStore, err = store.Open(*storeDir)
+	if req.Options.Store != "" {
+		resultStore, err = store.Open(req.Options.Store)
 		if err != nil {
 			fatal(err)
 		}
 		defer resultStore.Close()
-		resultStore.SetFingerprint(n.Fingerprint())
 		if !*jsonOut {
-			fmt.Printf("store: %s (%d results on disk)\n", *storeDir, resultStore.Len())
+			fmt.Printf("store: %s (%d results on disk)\n", req.Options.Store, resultStore.Len())
 		}
 		engOpts.Cache = resultStore
 	}
 	eng := engine.New(engOpts)
 	defer eng.Close()
 
-	if *diffPath != "" {
-		runDiff(eng, resultStore, suite, *diffPath, n, netgen.SuiteParams{Regions: *regions}, *jsonOut)
-		return
+	res, err := plan.Run(eng, compiled, plan.RunConfig{Store: resultStore})
+	if err != nil {
+		fatal(err)
 	}
 
-	problems := suite.Build(n, netgen.SuiteParams{Regions: *regions})
-	outcomes := make([]problemOutcome, len(problems))
-	jobs := make([]*engine.Job, len(problems))
-
-	// Submit every problem before collecting any, so the engine dedups
-	// identical checks across the whole suite.
-	for i, p := range problems {
-		outcomes[i].Name = p.Name
-		switch {
-		case p.Safety != nil:
-			jobs[i] = eng.SubmitSafety(p.Safety)
-		case p.Liveness != nil:
-			job, err := eng.SubmitLiveness(p.Liveness)
-			if err != nil {
-				if p.Optional {
-					// e.g. a WAN region path absent from this config.
-					outcomes[i].Skipped = true
-					outcomes[i].SkipReason = err.Error()
-					continue
-				}
-				fatal(err)
-			}
-			jobs[i] = job
-		}
+	switch {
+	case res.Update != nil: // delta-vs-baseline mode
+		printDelta(res, compiled, *jsonOut, resultStore)
+	case *jsonOut:
+		printJSON(res, compiled)
+	default:
+		printHuman(res, compiled, *verbose, resultStore)
 	}
-
-	allOK := true
-	for i := range problems {
-		if jobs[i] == nil {
-			if !*jsonOut && outcomes[i].Skipped {
-				fmt.Printf("skip %s: %s\n", outcomes[i].Name, outcomes[i].SkipReason)
-			}
-			continue
-		}
-		rep := jobs[i].Wait()
-		st := jobs[i].Stats()
-		outcomes[i].report = rep
-		outcomes[i].Stats = &st
-		if !rep.OK() {
-			allOK = false
-		}
-		if !*jsonOut {
-			printReport(rep, *verbose)
-			fmt.Printf("  job: %d checks, %d cache hits, %d dedup hits\n",
-				st.Checks, st.CacheHits, st.DedupHits)
-		}
-	}
-
-	if *jsonOut {
-		out := runOutput{Suite: suite.Name, OK: allOK, Problems: outcomes, Engine: eng.Stats()}
-		if resultStore != nil {
-			st := resultStore.Stats()
-			out.Store = &st
-		}
-		for i := range out.Problems {
-			if r := out.Problems[i].report; r != nil {
-				enc := engine.EncodeReport(r)
-				out.Problems[i].Report = &enc
-			}
-		}
-		encoded, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			fatal(err)
-		}
-		os.Stdout.Write(append(encoded, '\n'))
-	} else {
-		st := eng.Stats()
-		fmt.Printf("engine: %d checks submitted, %d solved, %d cache hits, %d dedup hits\n",
-			st.ChecksSubmitted, st.ChecksSolved, st.CacheHits, st.DedupHits)
-		printStoreSummary(resultStore)
-	}
-
-	if !allOK {
+	if !res.OK {
 		os.Exit(1)
 	}
-	if !*jsonOut {
+}
+
+// legacySingleProperty reports whether the run must keep the historical
+// single-suite output encoding.
+func legacySingleProperty(c *plan.Compiled) bool {
+	return len(c.Units) == 1 && c.Units[0].Property.Scope().Empty()
+}
+
+// printHuman renders the per-problem reports, per-property and engine
+// accounting, and the final verdict line.
+func printHuman(res *plan.Result, c *plan.Compiled, verbose bool, st *store.Store) {
+	multi := len(res.Properties) > 1
+	for _, pr := range res.Properties {
+		if multi {
+			scope := ""
+			if len(pr.Property.Routers) > 0 {
+				scope = fmt.Sprintf(" (routers %s)", joinIDs(pr.Property.Routers))
+			}
+			fmt.Printf("== property %s%s\n", pr.Property.Name, scope)
+		}
+		for _, p := range pr.Problems {
+			switch {
+			case p.Skipped:
+				fmt.Printf("skip %s: %s\n", p.Name, p.SkipReason)
+			case p.Failed:
+				fmt.Printf("FAIL %s: %s\n", p.Name, p.SkipReason)
+			default:
+				printReport(p.Report, verbose)
+				fmt.Printf("  job: %d checks, %d cache hits, %d dedup hits\n",
+					p.Stats.Checks, p.Stats.CacheHits, p.Stats.DedupHits)
+			}
+		}
+		if multi {
+			fmt.Printf("== property %s: %d checks, %d cache hits, %d dedup hits, ok=%v\n",
+				pr.Property.Name, pr.Stats.Checks, pr.Stats.CacheHits, pr.Stats.DedupHits, pr.OK)
+		}
+	}
+	est := res.Engine
+	fmt.Printf("engine: %d checks submitted, %d solved, %d cache hits, %d dedup hits\n",
+		est.ChecksSubmitted, est.ChecksSolved, est.CacheHits, est.DedupHits)
+	printStoreSummary(st)
+	if res.OK {
 		fmt.Println("all properties verified")
 	}
 }
@@ -237,18 +329,6 @@ func printReport(rep *core.Report, verbose bool) {
 	fmt.Print(rep.Summary())
 }
 
-func parseConfig(path string) *topology.Network {
-	src, err := os.ReadFile(path)
-	if err != nil {
-		fatal(err)
-	}
-	n, err := config.Parse(string(src))
-	if err != nil {
-		fatal(err)
-	}
-	return n
-}
-
 // printStoreSummary reports persistent-store reuse in the human output: the
 // "reused" count is how many checks this run served from results recorded
 // by earlier processes (plus intra-run refetches).
@@ -258,6 +338,47 @@ func printStoreSummary(st *store.Store) {
 	}
 	s := st.Stats()
 	fmt.Printf("store: %d results loaded, %d reused, %d recorded\n", s.Loaded, s.Hits, s.Puts)
+}
+
+// legacyProblemJSON and legacyRunJSON keep the historical single-suite
+// -json document byte-compatible for existing consumers.
+type legacyProblemJSON struct {
+	Name       string             `json:"name"`
+	Skipped    bool               `json:"skipped,omitempty"`
+	SkipReason string             `json:"skip_reason,omitempty"`
+	Report     *engine.ReportJSON `json:"report,omitempty"`
+	Stats      *engine.JobStats   `json:"stats,omitempty"`
+}
+
+type legacyRunJSON struct {
+	Suite    string              `json:"suite"`
+	OK       bool                `json:"ok"`
+	Problems []legacyProblemJSON `json:"problems"`
+	Engine   engine.Stats        `json:"engine"`
+	Store    *store.Stats        `json:"store,omitempty"`
+}
+
+func printJSON(res *plan.Result, c *plan.Compiled) {
+	var doc any = res
+	if legacySingleProperty(c) {
+		out := legacyRunJSON{Suite: c.Units[0].Property.Name, OK: res.OK, Engine: res.Engine, Store: res.Store}
+		for _, p := range res.Properties[0].Problems {
+			out.Problems = append(out.Problems, legacyProblemJSON{
+				Name: p.Name, Skipped: p.Skipped, SkipReason: p.SkipReason,
+				Report: p.ReportJSON, Stats: p.Stats,
+			})
+		}
+		doc = out
+	}
+	emitJSON(doc)
+}
+
+func emitJSON(doc any) {
+	encoded, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(append(encoded, '\n'))
 }
 
 // deltaProblemJSON is one problem of a delta run with its report encoded.
@@ -295,68 +416,34 @@ type diffOutput struct {
 	Store    *store.Stats `json:"store,omitempty"`
 }
 
-// runDiff is the -diff mode body: verify the baseline configuration, then
-// re-verify the new one incrementally, reporting the delta statistics.
-func runDiff(eng *engine.Engine, st *store.Store, suite netgen.Suite, oldPath string,
-	newNet *topology.Network, params netgen.SuiteParams, jsonOut bool) {
-	oldNet := parseConfig(oldPath)
-	if !jsonOut {
-		fmt.Printf("baseline %s: %d routers, %d externals, %d sessions\n",
-			oldPath, len(oldNet.Routers()), len(oldNet.Externals()), oldNet.NumEdges())
-	}
-	if st != nil {
-		st.SetFingerprint(oldNet.Fingerprint())
-	}
-
-	v := delta.NewVerifier(eng, suite, params)
-	base, err := v.Baseline(oldNet)
-	if err != nil {
-		fatal(err)
-	}
-	if st != nil {
-		st.SetFingerprint(newNet.Fingerprint())
-	}
-	upd, err := v.Update(newNet)
-	if err != nil {
-		fatal(err)
-	}
-
+// printDelta renders an incremental (delta-vs-baseline) run.
+func printDelta(res *plan.Result, c *plan.Compiled, jsonOut bool, st *store.Store) {
+	base, upd := res.Baseline, res.Update
 	if jsonOut {
-		out := diffOutput{Suite: suite.Name, OK: upd.OK,
-			Baseline: encodeDeltaResult(base), Update: encodeDeltaResult(upd), Engine: eng.Stats()}
-		if st != nil {
-			s := st.Stats()
-			out.Store = &s
-		}
-		encoded, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			fatal(err)
-		}
-		os.Stdout.Write(append(encoded, '\n'))
-	} else {
-		fmt.Println(base)
-		if !base.OK {
-			fmt.Println("warning: baseline configuration does not verify")
-		}
-		if upd.Diff != nil {
-			fmt.Printf("diff: %s; changed routers: %s\n", upd.Diff, joinIDs(upd.ChangedRouters))
-		}
-		fmt.Println(upd)
-		for _, p := range upd.Problems {
-			if p.Report != nil && !p.Report.OK() {
-				fmt.Print(p.Report.Summary())
-			}
-		}
-		est := eng.Stats()
-		fmt.Printf("engine: %d checks submitted, %d solved, %d cache hits, %d dedup hits\n",
-			est.ChecksSubmitted, est.ChecksSolved, est.CacheHits, est.DedupHits)
-		printStoreSummary(st)
-		if upd.OK {
-			fmt.Println("updated configuration verified incrementally")
+		emitJSON(diffOutput{Suite: c.Label(), OK: res.OK,
+			Baseline: encodeDeltaResult(base), Update: encodeDeltaResult(upd),
+			Engine: res.Engine, Store: res.Store})
+		return
+	}
+	fmt.Println(base)
+	if !base.OK {
+		fmt.Println("warning: baseline configuration does not verify")
+	}
+	if upd.Diff != nil {
+		fmt.Printf("diff: %s; changed routers: %s\n", upd.Diff, joinIDs(upd.ChangedRouters))
+	}
+	fmt.Println(upd)
+	for _, p := range upd.Problems {
+		if p.Report != nil && !p.Report.OK() {
+			fmt.Print(p.Report.Summary())
 		}
 	}
-	if !upd.OK {
-		os.Exit(1)
+	est := res.Engine
+	fmt.Printf("engine: %d checks submitted, %d solved, %d cache hits, %d dedup hits\n",
+		est.ChecksSubmitted, est.ChecksSolved, est.CacheHits, est.DedupHits)
+	printStoreSummary(st)
+	if res.OK {
+		fmt.Println("updated configuration verified incrementally")
 	}
 }
 

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lightyear/internal/netgen"
+	"lightyear/internal/plan"
+	"lightyear/internal/topology"
+)
+
+func baseFlags() cliFlags {
+	return cliFlags{Properties: "fig1-no-transit", Regions: 3, Set: map[string]bool{}}
+}
+
+func writeConfig(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "net.cfg")
+	if err := os.WriteFile(path, []byte(netgen.Fig1DSL(netgen.Fig1Options{})), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildRequestFlags(t *testing.T) {
+	f := baseFlags()
+	f.ConfigPath = writeConfig(t)
+	f.Properties = "wan-peering, wan-ip-reuse"
+	f.Routers = "edge-0,wan-r0-0"
+	f.DiffPath = "old.cfg"
+	f.Workers = 8
+	req, err := buildRequest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Network.ConfigPath != f.ConfigPath {
+		t.Errorf("network = %+v", req.Network)
+	}
+	if len(req.Properties) != 2 || req.Properties[0].Name != "wan-peering" ||
+		req.Properties[1].Name != "wan-ip-reuse" {
+		t.Fatalf("properties = %+v", req.Properties)
+	}
+	for _, p := range req.Properties {
+		if len(p.Routers) != 2 || p.Routers[0] != "edge-0" {
+			t.Fatalf("router scope not applied: %+v", p)
+		}
+	}
+	if req.Options.Baseline == nil || req.Options.Baseline.ConfigPath != "old.cfg" {
+		t.Errorf("baseline = %+v", req.Options.Baseline)
+	}
+	if req.Options.Workers != 8 || req.Options.WANRegions != 3 {
+		t.Errorf("options = %+v", req.Options)
+	}
+}
+
+// TestBuildRequestUnknownPropertyListsSuites: the error must name every
+// registered suite so the caller can pick one.
+func TestBuildRequestUnknownPropertyListsSuites(t *testing.T) {
+	f := baseFlags()
+	f.ConfigPath = "net.cfg"
+	f.Properties = "no-such-suite"
+	_, err := buildRequest(f)
+	var usage *usageError
+	if err == nil {
+		t.Fatal("unknown property accepted")
+	}
+	if u, ok := err.(*usageError); !ok {
+		t.Fatalf("error %v (%T) is not a usage error", err, err)
+	} else {
+		usage = u
+	}
+	for _, name := range netgen.SuiteNames() {
+		if !strings.Contains(usage.Error(), name) {
+			t.Errorf("error should list suite %q: %v", name, usage)
+		}
+	}
+}
+
+func TestBuildRequestMissingConfigIsUsageError(t *testing.T) {
+	_, err := buildRequest(baseFlags())
+	if _, ok := err.(*usageError); !ok {
+		t.Fatalf("missing -config should be a usage error, got %v (%T)", err, err)
+	}
+}
+
+// TestBuildRequestFromPlanFile: -plan loads the saved request; explicitly
+// set flags override its fields, defaults do not.
+func TestBuildRequestFromPlanFile(t *testing.T) {
+	saved := plan.Request{
+		Network: plan.Network{Generator: &netgen.GeneratorSpec{Kind: "wan", Regions: 2}},
+		Properties: []plan.Property{
+			{Name: "wan-peering", Routers: []topology.NodeID{"edge-0"}},
+			{Name: "wan-ip-liveness"},
+		},
+		Options: plan.Options{WANRegions: 2, Workers: 2},
+	}
+	b, err := json.Marshal(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f := baseFlags()
+	f.PlanPath = path
+	req, err := buildRequest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Network.Generator == nil || len(req.Properties) != 2 ||
+		req.Options.WANRegions != 2 || req.Options.Workers != 2 {
+		t.Fatalf("plan file not honored: %+v", req)
+	}
+
+	// Explicit -workers overrides the plan; the untouched -property default
+	// does not.
+	f.Workers = 16
+	f.Set["workers"] = true
+	req, err = buildRequest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Options.Workers != 16 || len(req.Properties) != 2 {
+		t.Fatalf("flag override wrong: %+v", req)
+	}
+}
+
+// TestBuildRequestPlanRoutersOnly: -plan with -routers (and no -property)
+// re-scopes the saved plan's own properties instead of replacing them with
+// the -property flag default.
+func TestBuildRequestPlanRoutersOnly(t *testing.T) {
+	saved := plan.Request{
+		Network: plan.Network{Generator: &netgen.GeneratorSpec{Kind: "wan", Regions: 2}},
+		Properties: []plan.Property{
+			{Name: "wan-peering", Routers: []topology.NodeID{"edge-0"}},
+			{Name: "wan-ip-reuse"},
+		},
+		Options: plan.Options{WANRegions: 2},
+	}
+	b, err := json.Marshal(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f := baseFlags()
+	f.PlanPath = path
+	f.Routers = "wan-r0-0"
+	f.Set["routers"] = true
+	req, err := buildRequest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Properties) != 2 || req.Properties[0].Name != "wan-peering" ||
+		req.Properties[1].Name != "wan-ip-reuse" {
+		t.Fatalf("-routers alone must keep the plan's properties: %+v", req.Properties)
+	}
+	for i, p := range req.Properties {
+		if len(p.Routers) != 1 || p.Routers[0] != "wan-r0-0" {
+			t.Fatalf("property %d not re-scoped: %+v", i, p)
+		}
+	}
+}

@@ -1,7 +1,7 @@
 // Command lyserve is the Lightyear verification service: an HTTP JSON API
 // that runs verification jobs asynchronously on a shared internal/engine
 // Engine, so concurrent requests dedup identical local checks and reuse the
-// process-wide LRU result cache.
+// process-wide result cache.
 //
 // Usage:
 //
@@ -11,66 +11,84 @@
 // persistent journal in DIR, so a redeployed lyserve serves previously
 // solved checks without re-solving them. Completed jobs are garbage-
 // collected -job-ttl after completion (default 1h); sessions are pinned
-// until DELETE /v1/sessions/{id} and are never GCed automatically.
+// until DELETE /v{1,2}/sessions/{id} and are never GCed automatically.
 //
-// API:
+// # v2 API — declarative verification plans
+//
+// The v2 surface accepts internal/plan requests: one document composing a
+// network source, a list of properties (each optionally scoped to routers
+// or regions), and execution options. All request bodies are capped at
+// 1 MiB (413 beyond that).
+//
+//	POST /v2/verify
+//	    Body: a plan.Request, e.g.
+//	      {"network":    {"generator": {"kind": "wan", "regions": 2}},
+//	       "properties": [{"name": "wan-peering", "routers": ["edge-0"]},
+//	                      {"name": "wan-ip-reuse"}],
+//	       "options":    {"wan_regions": 2}}
+//	    The network source is one of "config" (inline DSL), "generator",
+//	    or "baseline" (a session id whose pinned network to verify).
+//	    Returns 202 with {"id", "status_url", "events_url"}. All properties
+//	    run as one plan on the shared engine, so checks shared across
+//	    properties are solved once.
+//
+//	GET /v2/jobs/{id}
+//	    The job grouped per property: status, per-problem completion, and —
+//	    once complete — each property's problem reports plus aggregated
+//	    cache/dedup stats.
+//
+//	GET /v2/jobs/{id}/events
+//	    NDJSON stream of the run's progress events: a "start" event per
+//	    problem as it is submitted (with its check total), one "check"
+//	    event per completed engine check (with cache/dedup provenance), a
+//	    "problem" event per finished problem (with its stats), a "property"
+//	    summary event each, and a final "plan" event, after which the
+//	    stream closes. Events already emitted are replayed first, so late
+//	    subscribers see the full history.
+//
+//	POST /v2/sessions
+//	    Body: a plan.Request. Pins the request's network as an incremental
+//	    session baseline and verifies the full (scoped) property list.
+//	    Updates inherit the plan's properties and scoping.
+//
+//	POST /v2/sessions/{id}/update
+//	    Body: {"network": <plan network source>}. Diffs the new network
+//	    against the pinned state and re-solves only dirtied checks.
+//
+//	GET /v2/sessions/{id}, DELETE /v2/sessions/{id}
+//	    As in v1.
+//
+// # v1 API — single-suite requests
+//
+// The v1 endpoints keep their original request and response shapes,
+// implemented as adapters that compile each request into a single-property
+// plan.
 //
 //	POST /v1/verify
 //	    Body: {"suite": "<suite>", "regions": N,
 //	           "config": "<internal/config DSL source>"} or
 //	          {"suite": "<suite>",
-//	           "generator": {"kind": "fig1" | "fullmesh" | "wan",
-//	                         "size": N,                      // fullmesh
-//	                         "regions": N, "routers_per_region": N,
-//	                         "edge_routers": N, "dcs_per_region": N,
-//	                         "peers_per_edge": N}}           // wan
-//	    Suites are the names in the internal/netgen registry
-//	    (fig1-no-transit, fig1-liveness, fullmesh, wan-peering,
-//	    wan-ip-reuse, wan-ip-liveness).
-//	    Returns 202 with {"id": "...", "status_url": "/v1/jobs/<id>"}; the
-//	    job runs asynchronously on the engine.
+//	           "generator": {"kind": "fig1" | "fullmesh" | "wan", ...}}
+//	    Suites are the names in the internal/netgen registry. Returns 202
+//	    with {"id": "...", "status_url": "/v1/jobs/<id>"}.
 //
 //	GET /v1/jobs/{id}
-//	    Returns the job: overall status (running|done), per-problem
-//	    completion counts streamed from engine progress events, and — once
-//	    complete — each problem's report in the same JSON encoding
-//	    `lightyear -json` emits, plus per-problem cache/dedup stats.
+//	    The flat per-problem view: overall status (running|done),
+//	    per-problem completion counts, and — once complete — each problem's
+//	    report in the same JSON encoding `lightyear -json` emits.
 //
 //	GET /v1/stats
-//	    Returns engine counters (checks submitted/solved, cache hits,
-//	    dedup hits, cache occupancy), job counts, session counts, and —
-//	    with -store — persistent-store counters.
+//	    Engine counters, job/session counts, and — with -store —
+//	    persistent-store counters.
 //
-// Incremental sessions (internal/delta): a session pins a baseline network
-// for a suite and re-verifies submitted configuration deltas against it,
-// re-solving only the checks each change dirties.
-//
-//	POST /v1/sessions
-//	    Body: same shape as /v1/verify ({"suite": ..., "config": ...} or
-//	    {"suite": ..., "generator": ...}). Pins the network as the
-//	    session baseline and verifies it in full, asynchronously.
-//	    Returns 202 with {"id": "...", "status_url": "/v1/sessions/<id>"}.
-//
-//	POST /v1/sessions/{id}/update
-//	    Body: {"config": ...} or {"generator": ...} (no suite — the
-//	    session's suite applies). Diffs the submitted network against the
-//	    session's pinned state, submits the dirty check subset as an
-//	    incremental job, and pins the new state. Returns 202 with the
-//	    update's sequence number. Updates are applied in submission order.
-//
-//	GET /v1/sessions/{id}
-//	    Returns the session: suite, pinned-network fingerprint, and every
-//	    run (baseline + updates) with its status and — once complete —
-//	    the delta result {changed routers, dirty checks, reused results,
-//	    solved, per-problem outcomes}.
-//
-//	DELETE /v1/sessions/{id}
-//	    Unpins the session, releasing its retained results and worker.
-//	    Queued-but-unstarted runs are abandoned.
+//	POST /v1/sessions, POST /v1/sessions/{id}/update,
+//	GET /v1/sessions/{id}, DELETE /v1/sessions/{id}
+//	    Incremental sessions pinned to one suite, as before.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -79,16 +97,19 @@ import (
 	"sync"
 	"time"
 
-	"lightyear/internal/config"
 	"lightyear/internal/delta"
 	"lightyear/internal/engine"
 	"lightyear/internal/netgen"
+	"lightyear/internal/plan"
 	"lightyear/internal/store"
 	"lightyear/internal/topology"
 )
 
 // defaultJobTTL is how long completed jobs stay queryable before GC.
 const defaultJobTTL = time.Hour
+
+// maxRequestBody caps every JSON request body read by the service.
+const maxRequestBody = 1 << 20 // 1 MiB
 
 func main() {
 	var (
@@ -147,14 +168,71 @@ func newServer(eng *engine.Engine) *server {
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/verify", s.handleVerify)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/verify", s.handleVerifyV1)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobV1)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
-	mux.HandleFunc("POST /v1/sessions/{id}/update", s.handleSessionUpdate)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreateV1)
+	mux.HandleFunc("POST /v1/sessions/{id}/update", s.handleSessionUpdateV1)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+
+	mux.HandleFunc("POST /v2/verify", s.handleVerifyV2)
+	mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobV2)
+	mux.HandleFunc("GET /v2/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("POST /v2/sessions", s.handleSessionCreateV2)
+	mux.HandleFunc("POST /v2/sessions/{id}/update", s.handleSessionUpdateV2)
+	mux.HandleFunc("GET /v2/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("DELETE /v2/sessions/{id}", s.handleSessionDelete)
 	return mux
+}
+
+// decodeBody decodes a JSON request body capped at maxRequestBody,
+// answering 413 for oversized bodies and 400 for malformed ones. Returns
+// false when the request has been answered.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+		} else {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		}
+		return false
+	}
+	return true
+}
+
+// rejectConfigPath enforces the service's filesystem boundary: plan network
+// sources may name server-local files only through the CLI, never over
+// HTTP (a remote config_path would let callers probe and partially read
+// any server-readable file via echoed parse errors). Answers 400 and
+// returns false when the source uses config_path.
+func rejectConfigPath(w http.ResponseWriter, ns plan.Network) bool {
+	if ns.ConfigPath != "" {
+		httpError(w, http.StatusBadRequest,
+			"config_path is not supported over HTTP; inline the configuration as \"config\"")
+		return false
+	}
+	return true
+}
+
+// ResolveBaseline implements plan.Resolver: a "baseline" network reference
+// names a session whose pinned state becomes the plan's network, verified
+// under the session's WAN region count unless the plan overrides it.
+func (s *server) ResolveBaseline(ref string) (*topology.Network, int, error) {
+	s.mu.Lock()
+	sess, ok := s.sessions[ref]
+	s.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("baseline %q names no live session", ref)
+	}
+	n := sess.verifier.PinnedNetwork()
+	if n == nil {
+		return nil, 0, fmt.Errorf("session %q has not pinned a baseline yet", ref)
+	}
+	return n, sess.plan.Params.Regions, nil
 }
 
 // janitor periodically drops completed jobs older than the TTL. It runs for
@@ -166,16 +244,6 @@ func (s *server) janitor() {
 	}
 	for range time.Tick(interval) {
 		s.gc(time.Now())
-	}
-}
-
-// tagStore records n's fingerprint as provenance on subsequently journaled
-// store results. Best-effort under concurrent jobs: provenance names *a*
-// network state that submitted the check around that time, which is what
-// the store documents it for (retention scoping, not lookup).
-func (s *server) tagStore(n *topology.Network) {
-	if s.store != nil {
-		s.store.SetFingerprint(n.Fingerprint())
 	}
 }
 
@@ -195,24 +263,26 @@ func (s *server) gc(now time.Time) int {
 	return removed
 }
 
-// serviceJob is one POST /v1/verify request: a batch of engine jobs, one
-// per problem in the suite.
+// serviceJob is one verification request running as a plan: per-property,
+// per-problem state updated from the run's event stream, the ordered event
+// log served by GET /v2/jobs/{id}/events, and the final result.
 type serviceJob struct {
 	id      string
-	suite   string
+	label   string // v1 suite name, or the plan's property list
 	created time.Time
 
 	mu       sync.Mutex
-	pending  int
-	done     time.Time // when the last engine job finished (zero while running)
-	problems []*problemState
+	props    []*propertyState
+	events   []plan.Event
+	notify   chan struct{} // closed and replaced whenever events/finished change
+	finished bool
+	done     time.Time
+	result   *plan.Result
 }
 
-// doneAt reports whether the job has completed and when.
-func (j *serviceJob) doneAt() (bool, time.Time) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.pending == 0, j.done
+type propertyState struct {
+	property plan.Property
+	problems []*problemState
 }
 
 type problemState struct {
@@ -224,155 +294,142 @@ type problemState struct {
 	skipReason string // reason for skipped or failed
 	report     *engine.ReportJSON
 	stats      *engine.JobStats
+	ok         bool
 }
 
-// verifyRequest is the POST /v1/verify body.
-type verifyRequest struct {
-	Suite     string         `json:"suite"`
-	Regions   int            `json:"regions,omitempty"`
-	Config    string         `json:"config,omitempty"`
-	Generator *generatorSpec `json:"generator,omitempty"`
+// doneAt reports whether the job has completed and when.
+func (j *serviceJob) doneAt() (bool, time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished, j.done
 }
 
-type generatorSpec struct {
-	Kind             string `json:"kind"`
-	Size             int    `json:"size,omitempty"`
-	Regions          int    `json:"regions,omitempty"`
-	RoutersPerRegion int    `json:"routers_per_region,omitempty"`
-	EdgeRouters      int    `json:"edge_routers,omitempty"`
-	DCsPerRegion     int    `json:"dcs_per_region,omitempty"`
-	PeersPerEdge     int    `json:"peers_per_edge,omitempty"`
-}
-
-// buildNetwork materializes the request's network and the region count the
-// WAN suites should assume.
-func (r *verifyRequest) buildNetwork() (*topology.Network, int, error) {
-	regions := r.Regions
-	switch {
-	case r.Config != "" && r.Generator != nil:
-		return nil, 0, fmt.Errorf("specify either config or generator, not both")
-	case r.Config != "":
-		n, err := config.Parse(r.Config)
-		if err != nil {
-			return nil, 0, fmt.Errorf("config: %w", err)
+// launchPlan registers a job for the compiled plan and starts it on the
+// shared engine.
+func (s *server) launchPlan(c *plan.Compiled, label string) *serviceJob {
+	j := &serviceJob{label: label, created: time.Now(), notify: make(chan struct{})}
+	for _, u := range c.Units {
+		ps := &propertyState{property: u.Property}
+		for _, p := range u.Problems {
+			ps.problems = append(ps.problems, &problemState{name: p.Name})
 		}
-		return n, regions, nil
-	case r.Generator != nil:
-		g := r.Generator
-		switch g.Kind {
-		case "fig1":
-			return netgen.Fig1(netgen.Fig1Options{}), regions, nil
-		case "fullmesh":
-			size := g.Size
-			if size == 0 {
-				size = 10
-			}
-			if size < 2 {
-				return nil, 0, fmt.Errorf("fullmesh size must be >= 2")
-			}
-			return netgen.FullMesh(size), regions, nil
-		case "wan":
-			p := netgen.DefaultWANParams()
-			if g.Regions > 0 {
-				p.Regions = g.Regions
-			}
-			if g.RoutersPerRegion > 0 {
-				p.RoutersPerRegion = g.RoutersPerRegion
-			}
-			if g.EdgeRouters > 0 {
-				p.EdgeRouters = g.EdgeRouters
-			}
-			if g.DCsPerRegion > 0 {
-				p.DCsPerRegion = g.DCsPerRegion
-			}
-			if g.PeersPerEdge > 0 {
-				p.PeersPerEdge = g.PeersPerEdge
-			}
-			if regions == 0 {
-				regions = p.Regions
-			}
-			return netgen.WAN(p, netgen.WANBugs{}), regions, nil
-		default:
-			return nil, 0, fmt.Errorf("unknown generator kind %q (fig1|fullmesh|wan)", g.Kind)
-		}
-	default:
-		return nil, 0, fmt.Errorf("one of config or generator is required")
+		j.props = append(j.props, ps)
 	}
-}
-
-func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
-	var req verifyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
-		return
-	}
-	suite, ok := netgen.Lookup(req.Suite)
-	if !ok {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown suite %q (have: %s)",
-			req.Suite, strings.Join(netgen.SuiteNames(), ", ")))
-		return
-	}
-	n, regions, err := req.buildNetwork()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	s.tagStore(n)
-	problems := suite.Build(n, netgen.SuiteParams{Regions: regions})
-
-	j := &serviceJob{suite: suite.Name, created: time.Now()}
-
-	// Submit every problem before waiting on any, so the engine dedups
-	// identical checks across the whole suite (and across other live
-	// requests sharing this engine). Watchers start only after the job
-	// table below is fully built, so no lock is needed here.
-	engineJobs := make([]*engine.Job, len(problems))
-	for i, p := range problems {
-		ps := &problemState{name: p.Name}
-		j.problems = append(j.problems, ps)
-		switch {
-		case p.Safety != nil:
-			engineJobs[i] = s.eng.SubmitSafety(p.Safety)
-		case p.Liveness != nil:
-			ej, err := s.eng.SubmitLiveness(p.Liveness)
-			if err != nil {
-				if p.Optional {
-					ps.skipped = true
-					ps.skipReason = err.Error()
-				} else {
-					ps.failed = true
-					ps.skipReason = err.Error()
-				}
-				continue
-			}
-			engineJobs[i] = ej
-		default:
-			ps.failed = true
-			ps.skipReason = "suite produced an empty problem"
-			continue
-		}
-		ps.total = engineJobs[i].NumChecks()
-		j.pending++
-	}
-
-	if j.pending == 0 {
-		// No engine jobs (every problem skipped or failed): completed on
-		// arrival, eligible for GC after the TTL.
-		j.done = time.Now()
-	}
-
 	s.mu.Lock()
 	s.seq++
 	j.id = fmt.Sprintf("job-%d", s.seq)
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 
-	for i, ej := range engineJobs {
-		if ej != nil {
-			go j.watch(j.problems[i], ej)
+	go func() {
+		res, err := plan.Run(s.eng, c, plan.RunConfig{Sink: j.handleEvent, Store: s.store})
+		if err != nil {
+			// Only delta-mode plans can error, and jobs never run in delta
+			// mode; record defensively rather than wedge the job.
+			log.Printf("lyserve: job %s: %v", j.id, err)
+			res = &plan.Result{}
+		}
+		j.mu.Lock()
+		j.result = res
+		j.finished = true
+		j.done = time.Now()
+		close(j.notify)
+		j.notify = make(chan struct{})
+		j.mu.Unlock()
+	}()
+	return j
+}
+
+// handleEvent is the plan.Run sink: it appends the event to the replay log,
+// folds it into the per-problem state, and wakes streaming watchers. Calls
+// are serialized by plan.Run.
+func (j *serviceJob) handleEvent(ev plan.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if ev.Type == "start" || ev.Type == "check" || ev.Type == "problem" {
+		if ev.Prop < len(j.props) && ev.Idx < len(j.props[ev.Prop].problems) {
+			ps := j.props[ev.Prop].problems[ev.Idx]
+			switch ev.Type {
+			case "start":
+				ps.total = ev.Total
+			case "check":
+				ps.completed, ps.total = ev.Completed, ev.Total
+			case "problem":
+				ps.skipped, ps.failed, ps.skipReason = ev.Skipped, ev.Failed, ev.Reason
+				if ev.OK != nil {
+					ps.ok = *ev.OK
+				}
+				if ev.Stats != nil {
+					ps.stats = ev.Stats
+					ps.completed, ps.total = ev.Stats.Checks, ev.Stats.Checks
+				}
+			}
 		}
 	}
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
 
+// fillReports copies the final per-problem reports out of the plan result
+// into the snapshot state. Called lazily from snapshots (the result carries
+// the reports; events deliberately do not).
+func (j *serviceJob) fillReports() {
+	if j.result == nil {
+		return
+	}
+	for pi, pr := range j.result.Properties {
+		for i := range pr.Problems {
+			if pi < len(j.props) && i < len(j.props[pi].problems) {
+				j.props[pi].problems[i].report = pr.Problems[i].ReportJSON
+			}
+		}
+	}
+}
+
+// verifyRequest is the POST /v1/verify body (and session create/update
+// bodies): one suite plus a network source.
+type verifyRequest struct {
+	Suite     string                `json:"suite"`
+	Regions   int                   `json:"regions,omitempty"`
+	Config    string                `json:"config,omitempty"`
+	Generator *netgen.GeneratorSpec `json:"generator,omitempty"`
+}
+
+// planRequest compiles the v1 body into a single-property plan request.
+func (r *verifyRequest) planRequest() plan.Request {
+	return plan.Request{
+		Network:    plan.Network{Config: r.Config, Generator: r.Generator},
+		Properties: []plan.Property{{Name: r.Suite}},
+		Options:    plan.Options{WANRegions: r.Regions},
+	}
+}
+
+// compileV1 validates and compiles a v1 request, answering 400 on error.
+func (s *server) compileV1(w http.ResponseWriter, req *verifyRequest) (*plan.Compiled, bool) {
+	if _, ok := netgen.Lookup(req.Suite); !ok {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown suite %q (have: %s)",
+			req.Suite, strings.Join(netgen.SuiteNames(), ", ")))
+		return nil, false
+	}
+	c, err := plan.Compile(req.planRequest(), s)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, strings.TrimPrefix(err.Error(), "plan: "))
+		return nil, false
+	}
+	return c, true
+}
+
+func (s *server) handleVerifyV1(w http.ResponseWriter, r *http.Request) {
+	var req verifyRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c, ok := s.compileV1(w, &req)
+	if !ok {
+		return
+	}
+	j := s.launchPlan(c, req.Suite)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(map[string]string{
@@ -381,29 +438,35 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// watch drains an engine job's progress stream into the problem state and
-// records the final report.
-func (j *serviceJob) watch(ps *problemState, ej *engine.Job) {
-	for ev := range ej.Progress() {
-		j.mu.Lock()
-		ps.completed = ev.Completed
-		j.mu.Unlock()
+func (s *server) handleVerifyV2(w http.ResponseWriter, r *http.Request) {
+	var req plan.Request
+	if !decodeBody(w, r, &req) {
+		return
 	}
-	rep := ej.Wait()
-	enc := engine.EncodeReport(rep)
-	st := ej.Stats()
-	j.mu.Lock()
-	ps.completed = ps.total
-	ps.report = &enc
-	ps.stats = &st
-	j.pending--
-	if j.pending == 0 {
-		j.done = time.Now()
+	if req.Options.Baseline != nil {
+		httpError(w, http.StatusBadRequest,
+			"options.baseline is not supported on /v2/verify; use sessions for incremental runs")
+		return
 	}
-	j.mu.Unlock()
+	if !rejectConfigPath(w, req.Network) {
+		return
+	}
+	c, err := plan.Compile(req, s)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, strings.TrimPrefix(err.Error(), "plan: "))
+		return
+	}
+	j := s.launchPlan(c, c.Label())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{
+		"id":         j.id,
+		"status_url": "/v2/jobs/" + j.id,
+		"events_url": "/v2/jobs/" + j.id + "/events",
+	})
 }
 
-// jobJSON is the GET /v1/jobs/{id} response.
+// jobJSON is the GET /v1/jobs/{id} response: the flat single-suite view.
 type jobJSON struct {
 	ID       string            `json:"id"`
 	Suite    string            `json:"suite"`
@@ -423,54 +486,164 @@ type problemStatusJS struct {
 	Stats      *engine.JobStats   `json:"stats,omitempty"`
 }
 
-func (j *serviceJob) snapshot() jobJSON {
+func (ps *problemState) statusJS() problemStatusJS {
+	st := problemStatusJS{
+		Name:       ps.name,
+		Completed:  ps.completed,
+		Total:      ps.total,
+		SkipReason: ps.skipReason,
+		Report:     ps.report,
+		Stats:      ps.stats,
+	}
+	switch {
+	case ps.failed:
+		st.Status = "failed"
+	case ps.skipped:
+		st.Status = "skipped"
+	case ps.stats != nil:
+		st.Status = "done"
+	default:
+		st.Status = "running"
+	}
+	return st
+}
+
+func (j *serviceJob) snapshotV1() jobJSON {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	out := jobJSON{ID: j.id, Suite: j.suite, Created: j.created, Status: "done"}
-	if j.pending > 0 {
-		out.Status = "running"
-	}
+	j.fillReports()
+	out := jobJSON{ID: j.id, Suite: j.label, Created: j.created, Status: "running"}
 	allOK := true
-	for _, ps := range j.problems {
-		st := problemStatusJS{
-			Name:       ps.name,
-			Completed:  ps.completed,
-			Total:      ps.total,
-			SkipReason: ps.skipReason,
-			Report:     ps.report,
-			Stats:      ps.stats,
-		}
-		switch {
-		case ps.failed:
-			st.Status = "failed"
-			allOK = false
-		case ps.skipped:
-			st.Status = "skipped"
-		case ps.report != nil:
-			st.Status = "done"
-			if !ps.report.OK {
+	for _, prop := range j.props {
+		for _, ps := range prop.problems {
+			st := ps.statusJS()
+			if st.Status == "failed" || (st.Status == "done" && !ps.ok) {
 				allOK = false
 			}
-		default:
-			st.Status = "running"
+			out.Problems = append(out.Problems, st)
 		}
-		out.Problems = append(out.Problems, st)
 	}
-	if out.Status == "done" {
+	if j.finished {
+		out.Status = "done"
+		if j.result != nil {
+			allOK = j.result.OK
+		}
 		out.OK = &allOK
 	}
 	return out
 }
 
-func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+// jobV2JSON is the GET /v2/jobs/{id} response: the plan view, grouped per
+// property.
+type jobV2JSON struct {
+	ID         string             `json:"id"`
+	Label      string             `json:"label"`
+	Status     string             `json:"status"` // running | done
+	OK         *bool              `json:"ok,omitempty"`
+	Created    time.Time          `json:"created"`
+	Properties []propertyStatusJS `json:"properties"`
+	Engine     *engine.Stats      `json:"engine,omitempty"`
+}
+
+type propertyStatusJS struct {
+	Property plan.Property     `json:"property"`
+	OK       *bool             `json:"ok,omitempty"`
+	Stats    *engine.JobStats  `json:"stats,omitempty"`
+	Problems []problemStatusJS `json:"problems"`
+}
+
+func (j *serviceJob) snapshotV2() jobV2JSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.fillReports()
+	out := jobV2JSON{ID: j.id, Label: j.label, Created: j.created, Status: "running"}
+	for pi, prop := range j.props {
+		ps := propertyStatusJS{Property: prop.property}
+		for _, pb := range prop.problems {
+			ps.Problems = append(ps.Problems, pb.statusJS())
+		}
+		if j.result != nil && pi < len(j.result.Properties) {
+			pr := j.result.Properties[pi]
+			ok := pr.OK
+			st := pr.Stats
+			ps.OK, ps.Stats = &ok, &st
+		}
+		out.Properties = append(out.Properties, ps)
+	}
+	if j.finished {
+		out.Status = "done"
+		if j.result != nil {
+			ok := j.result.OK
+			out.OK = &ok
+			eng := j.result.Engine
+			out.Engine = &eng
+		}
+	}
+	return out
+}
+
+func (s *server) lookupJob(w http.ResponseWriter, r *http.Request) (*serviceJob, bool) {
 	s.mu.Lock()
 	j, ok := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such job")
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *server) handleJobV1(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookupJob(w, r); ok {
+		writeJSON(w, j.snapshotV1())
+	}
+}
+
+func (s *server) handleJobV2(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookupJob(w, r); ok {
+		writeJSON(w, j.snapshotV2())
+	}
+}
+
+// handleJobEvents streams the job's plan events as NDJSON: the full history
+// so far, then live events until the final "plan" event closes the stream.
+func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
 		return
 	}
-	writeJSON(w, j.snapshot())
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	idx := 0
+	for {
+		j.mu.Lock()
+		pendingEvents := j.events[idx:] // elements are immutable once appended
+		notify := j.notify
+		finished := j.finished
+		j.mu.Unlock()
+
+		for _, ev := range pendingEvents {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		idx += len(pendingEvents)
+		if len(pendingEvents) > 0 && canFlush {
+			flusher.Flush()
+		}
+		// finished and events were read under one lock hold: once finished,
+		// the log is complete, and everything up to idx has been delivered.
+		if finished {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // session is one incremental verification session: a pinned delta.Verifier
@@ -479,7 +652,8 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 // stay asynchronous.
 type session struct {
 	id      string
-	suite   string
+	label   string         // suite name (v1) or plan property list (v2)
+	plan    *plan.Compiled // the pinned plan; updates re-validate scopes against it
 	created time.Time
 
 	verifier *delta.Verifier
@@ -510,32 +684,14 @@ type sessionRun struct {
 	result *delta.Result
 }
 
-// sessionRequest is the POST /v1/sessions and .../update body. Update
-// bodies carry no suite (the session's applies).
-type sessionRequest = verifyRequest
-
-func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
-	var req sessionRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
-		return
-	}
-	suite, ok := netgen.Lookup(req.Suite)
-	if !ok {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown suite %q (have: %s)",
-			req.Suite, strings.Join(netgen.SuiteNames(), ", ")))
-		return
-	}
-	n, regions, err := req.buildNetwork()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-
+// createSession registers and starts a session whose problem source is the
+// compiled plan, pinning c.Network as the baseline.
+func (s *server) createSession(w http.ResponseWriter, c *plan.Compiled, statusPrefix string) {
 	sess := &session{
-		suite:    suite.Name,
+		label:    c.Label(),
+		plan:     c,
 		created:  time.Now(),
-		verifier: delta.NewVerifier(s.eng, suite, netgen.SuiteParams{Regions: regions}),
+		verifier: delta.NewVerifierFor(s.eng, c),
 		store:    s.store,
 		wake:     make(chan struct{}, 1),
 	}
@@ -546,53 +702,134 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
 
-	sess.launch(n, true)
+	sess.launch(c.Network, true)
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(map[string]string{
 		"id":         sess.id,
-		"status_url": "/v1/sessions/" + sess.id,
+		"status_url": statusPrefix + sess.id,
 	})
 }
 
-func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleSessionCreateV1(w http.ResponseWriter, r *http.Request) {
+	var req verifyRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c, ok := s.compileV1(w, &req)
+	if !ok {
+		return
+	}
+	s.createSession(w, c, "/v1/sessions/")
+}
+
+func (s *server) handleSessionCreateV2(w http.ResponseWriter, r *http.Request) {
+	var req plan.Request
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Options.Baseline != nil {
+		httpError(w, http.StatusBadRequest,
+			"options.baseline is not supported on sessions; the session pins its own baseline")
+		return
+	}
+	if !rejectConfigPath(w, req.Network) {
+		return
+	}
+	c, err := plan.Compile(req, s)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, strings.TrimPrefix(err.Error(), "plan: "))
+		return
+	}
+	s.createSession(w, c, "/v2/sessions/")
+}
+
+func (s *server) lookupSession(w http.ResponseWriter, r *http.Request) (*session, bool) {
 	s.mu.Lock()
 	sess, ok := s.sessions[r.PathValue("id")]
 	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such session")
-		return
+		return nil, false
 	}
-	var req sessionRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
-		return
-	}
-	if req.Suite != "" && req.Suite != sess.suite {
-		httpError(w, http.StatusBadRequest,
-			fmt.Sprintf("session is pinned to suite %q; updates cannot change it", sess.suite))
-		return
-	}
-	n, _, err := req.buildNetwork()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
+	return sess, true
+}
 
+// launchUpdate queues a materialized network as a session update and
+// answers 202.
+func launchUpdate(w http.ResponseWriter, sess *session, n *topology.Network, statusPrefix string) {
 	run := sess.launch(n, false)
 	if run == nil {
 		httpError(w, http.StatusNotFound, "session deleted")
 		return
 	}
-
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(map[string]any{
 		"id":         sess.id,
 		"update":     run.seq,
-		"status_url": "/v1/sessions/" + sess.id,
+		"status_url": statusPrefix + sess.id,
 	})
+}
+
+func (s *server) handleSessionUpdateV1(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	var req verifyRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Suite != "" && req.Suite != sess.label {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("session is pinned to suite %q; updates cannot change it", sess.label))
+		return
+	}
+	n, _, err := plan.Network{Config: req.Config, Generator: req.Generator}.Materialize(s)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := sess.plan.ValidateScopes(n); err != nil {
+		httpError(w, http.StatusBadRequest, strings.TrimPrefix(err.Error(), "plan: "))
+		return
+	}
+	launchUpdate(w, sess, n, "/v1/sessions/")
+}
+
+// sessionUpdateV2 is the POST /v2/sessions/{id}/update body: a new network
+// state for the session's pinned plan.
+type sessionUpdateV2 struct {
+	Network plan.Network `json:"network"`
+}
+
+func (s *server) handleSessionUpdateV2(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	var req sessionUpdateV2
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !rejectConfigPath(w, req.Network) {
+		return
+	}
+	n, _, err := req.Network.Materialize(s)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The pinned plan's scopes must still select real routers on the new
+	// state, or the incremental run would silently verify a smaller —
+	// possibly empty — problem set.
+	if err := sess.plan.ValidateScopes(n); err != nil {
+		httpError(w, http.StatusBadRequest, strings.TrimPrefix(err.Error(), "plan: "))
+		return
+	}
+	launchUpdate(w, sess, n, "/v2/sessions/")
 }
 
 // launch enqueues a run and returns immediately; the session worker
@@ -669,7 +906,7 @@ func (sess *session) worker() {
 	}
 }
 
-// sessionJSON is the GET /v1/sessions/{id} response.
+// sessionJSON is the GET /v{1,2}/sessions/{id} response.
 type sessionJSON struct {
 	ID          string           `json:"id"`
 	Suite       string           `json:"suite"`
@@ -689,16 +926,13 @@ type sessionRunJSON struct {
 }
 
 func (s *server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	sess, ok := s.sessions[r.PathValue("id")]
-	s.mu.Unlock()
+	sess, ok := s.lookupSession(w, r)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such session")
 		return
 	}
 	out := sessionJSON{
 		ID:          sess.id,
-		Suite:       sess.suite,
+		Suite:       sess.label,
 		Created:     sess.created,
 		Fingerprint: sess.verifier.Fingerprint(),
 		Results:     sess.verifier.ResultCount(),

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -460,5 +462,341 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// --- v2 plan API ---
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+// TestV2PlanVerifyEventsAndSnapshot drives the v2 surface end to end: POST
+// a multi-property scoped plan, follow the NDJSON event stream to the final
+// plan event, and cross-check the grouped job snapshot and cross-property
+// cache reuse.
+func TestV2PlanVerifyEventsAndSnapshot(t *testing.T) {
+	ts := newTestServer(t)
+	resp, accepted := postJSON(t, ts.URL+"/v2/verify", `{
+		"network": {"generator": {"kind": "wan", "regions": 2, "routers_per_region": 2,
+		                          "edge_routers": 1, "dcs_per_region": 1, "peers_per_edge": 1}},
+		"properties": [{"name": "wan-peering", "routers": ["wan-r0-0"]},
+		               {"name": "wan-peering", "routers": ["wan-r1-0"]}],
+		"options": {"wan_regions": 2}
+	}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v2/verify = %d (%v), want 202", resp.StatusCode, accepted)
+	}
+	id, _ := accepted["id"].(string)
+	if id == "" || accepted["events_url"] != "/v2/jobs/"+id+"/events" ||
+		accepted["status_url"] != "/v2/jobs/"+id {
+		t.Fatalf("bad accept payload: %+v", accepted)
+	}
+
+	// Follow the event stream: it must replay history, stream live events,
+	// and terminate with the plan event.
+	eventsResp, err := http.Get(ts.URL + "/v2/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eventsResp.Body.Close()
+	if ct := eventsResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	var checks, problems, properties, plans int
+	var planOK bool
+	sc := bufio.NewScanner(eventsResp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		var ev struct {
+			Type string `json:"type"`
+			OK   *bool  `json:"ok"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "check":
+			checks++
+		case "problem":
+			problems++
+		case "property":
+			properties++
+			if ev.OK == nil || !*ev.OK {
+				t.Fatalf("property event not ok: %s", sc.Text())
+			}
+		case "plan":
+			plans++
+			planOK = ev.OK != nil && *ev.OK
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	wantProblems := 2 * len(netgen.PeeringProperties(2))
+	if checks == 0 || problems != wantProblems || properties != 2 || plans != 1 || !planOK {
+		t.Fatalf("event stream: %d checks, %d problems (want %d), %d properties, %d plans, ok=%v",
+			checks, problems, wantProblems, properties, plans, planOK)
+	}
+
+	// The grouped snapshot agrees, and the two scoped instances of the same
+	// suite shared their checks on the engine.
+	resp2, err := http.Get(ts.URL + "/v2/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var job struct {
+		Status     string `json:"status"`
+		OK         *bool  `json:"ok"`
+		Properties []struct {
+			Property struct {
+				Name    string   `json:"name"`
+				Routers []string `json:"routers"`
+			} `json:"property"`
+			OK    *bool `json:"ok"`
+			Stats struct {
+				Checks    int `json:"checks"`
+				CacheHits int `json:"cache_hits"`
+				DedupHits int `json:"dedup_hits"`
+			} `json:"stats"`
+			Problems []struct {
+				Status string `json:"status"`
+				Report *struct {
+					OK bool `json:"ok"`
+				} `json:"report"`
+			} `json:"problems"`
+		} `json:"properties"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != "done" || job.OK == nil || !*job.OK || len(job.Properties) != 2 {
+		t.Fatalf("v2 snapshot: %+v", job)
+	}
+	reuse := 0
+	for i, pr := range job.Properties {
+		if pr.OK == nil || !*pr.OK || pr.Property.Name != "wan-peering" || len(pr.Property.Routers) != 1 {
+			t.Fatalf("property %d: %+v", i, pr)
+		}
+		for _, pb := range pr.Problems {
+			if pb.Status != "done" || pb.Report == nil || !pb.Report.OK {
+				t.Fatalf("property %d problem: %+v", i, pb)
+			}
+		}
+		reuse += pr.Stats.CacheHits + pr.Stats.DedupHits
+	}
+	if reuse == 0 {
+		t.Error("expected cross-property cache/dedup reuse in per-property stats")
+	}
+}
+
+// TestV2LateEventSubscriber: subscribing after completion still replays the
+// full history and terminates.
+func TestV2LateEventSubscriber(t *testing.T) {
+	ts := newTestServer(t)
+	_, accepted := postJSON(t, ts.URL+"/v2/verify",
+		`{"network": {"generator": {"kind": "fig1"}}, "properties": [{"name": "fig1-no-transit"}]}`)
+	id := accepted["id"].(string)
+	waitDone(t, ts, id) // v1 job view works for v2 jobs too
+
+	resp, err := http.Get(ts.URL + "/v2/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sawPlan bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if bytes.Contains(sc.Bytes(), []byte(`"type":"plan"`)) {
+			sawPlan = true
+		}
+	}
+	if !sawPlan {
+		t.Fatal("late subscriber did not see the replayed plan event")
+	}
+}
+
+// TestV2BadRequests exercises the v2 error contract.
+func TestV2BadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"bad-json", `{`, http.StatusBadRequest},
+		{"no-network", `{"properties": [{"name": "fig1-no-transit"}]}`, http.StatusBadRequest},
+		{"no-properties", `{"network": {"generator": {"kind": "fig1"}}}`, http.StatusBadRequest},
+		{"unknown-property", `{"network": {"generator": {"kind": "fig1"}}, "properties": [{"name": "nope"}]}`, http.StatusBadRequest},
+		{"unknown-router", `{"network": {"generator": {"kind": "fig1"}}, "properties": [{"name": "fig1-no-transit", "routers": ["bogus"]}]}`, http.StatusBadRequest},
+		{"config-path-rejected", `{"network": {"config_path": "/etc/passwd"}, "properties": [{"name": "fig1-no-transit"}]}`, http.StatusBadRequest},
+		{"baseline-no-session", `{"network": {"baseline": "session-99"}, "properties": [{"name": "fig1-no-transit"}]}`, http.StatusBadRequest},
+		{"delta-on-verify", `{"network": {"generator": {"kind": "fig1"}}, "properties": [{"name": "fig1-no-transit"}], "options": {"baseline": {"generator": {"kind": "fig1"}}}}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, out := postJSON(t, ts.URL+"/v2/verify", c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+		if msg, _ := out["error"].(string); c.name == "config-path-rejected" && !strings.Contains(msg, "config_path") {
+			// The rejection must happen at the API boundary — before any
+			// filesystem access — so the error names the field, not the file.
+			t.Errorf("config_path rejection should not touch the filesystem: %q", out["error"])
+		}
+	}
+}
+
+// TestRequestBodyTooLarge: every decode site must cap bodies at 1 MiB and
+// answer 413.
+func TestRequestBodyTooLarge(t *testing.T) {
+	ts := newTestServer(t)
+	huge := `{"suite": "fig1-no-transit", "config": "` + strings.Repeat("x", 2<<20) + `"}`
+	for _, url := range []string{"/v1/verify", "/v1/sessions", "/v2/verify", "/v2/sessions"} {
+		resp, _ := postJSON(t, ts.URL+url, huge)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("POST %s with 2 MiB body = %d, want 413", url, resp.StatusCode)
+		}
+	}
+	// Session update decode sites, against a real session.
+	_, accepted := postJSON(t, ts.URL+"/v1/sessions",
+		`{"suite": "fig1-no-transit", "generator": {"kind": "fig1"}}`)
+	id := accepted["id"].(string)
+	for _, url := range []string{"/v1/sessions/" + id + "/update", "/v2/sessions/" + id + "/update"} {
+		resp, _ := postJSON(t, ts.URL+url, huge)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("POST %s with 2 MiB body = %d, want 413", url, resp.StatusCode)
+		}
+	}
+}
+
+// TestV2SessionScopedPlan: a v2 session pins a scoped multi-property plan;
+// updates inherit the scoping, and a v2 verify can reference the session's
+// pinned baseline as its network source.
+func TestV2SessionScopedPlan(t *testing.T) {
+	ts := newTestServer(t)
+	gen := func(edgeRouters int) string {
+		return fmt.Sprintf(`{"kind": "wan", "regions": 2, "routers_per_region": 1,
+			"edge_routers": %d, "dcs_per_region": 1, "peers_per_edge": 2}`, edgeRouters)
+	}
+	resp, accepted := postJSON(t, ts.URL+"/v2/sessions", `{
+		"network": {"generator": `+gen(1)+`},
+		"properties": [{"name": "wan-peering", "routers": ["wan-r0-0", "wan-r1-0"]}],
+		"options": {"wan_regions": 2}
+	}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v2/sessions = %d (%v), want 202", resp.StatusCode, accepted)
+	}
+	id := accepted["id"].(string)
+	if accepted["status_url"] != "/v2/sessions/"+id {
+		t.Fatalf("bad accept payload: %+v", accepted)
+	}
+
+	st := waitRunDone(t, ts, id, 0)
+	base := st.Runs[0]
+	if base.Status != "done" || base.Result == nil || !base.Result.OK {
+		t.Fatalf("baseline run: %+v (err %s)", base, base.Error)
+	}
+	// The scoped plan covers exactly 2 routers × 11 properties.
+	if want := 2 * len(netgen.PeeringProperties(2)); base.Result.TotalChecks == 0 ||
+		len(st.Runs) != 1 || baseProblemCount(t, ts, id) != want {
+		t.Fatalf("scoped baseline shape wrong: %+v (problems %d, want %d)",
+			base.Result, baseProblemCount(t, ts, id), want)
+	}
+
+	// Update with a grown network: scoping is inherited, work is reused.
+	resp, out := postJSON(t, ts.URL+"/v2/sessions/"+id+"/update",
+		`{"network": {"generator": `+gen(2)+`}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST v2 update = %d (%v), want 202", resp.StatusCode, out)
+	}
+	st = waitRunDone(t, ts, id, 1)
+	upd := st.Runs[1]
+	if upd.Status != "done" || upd.Result == nil || !upd.Result.OK {
+		t.Fatalf("update run: %+v (err %s)", upd, upd.Error)
+	}
+	if upd.Result.ReusedResults == 0 || baseProblemCount(t, ts, id) != 2*len(netgen.PeeringProperties(2)) {
+		t.Fatalf("scoped update should reuse and keep scope: %+v", upd.Result)
+	}
+
+	// An update whose network no longer contains a scoped router must be
+	// rejected, not verified vacuously (wan-r1-0 vanishes with regions=1).
+	resp, out = postJSON(t, ts.URL+"/v2/sessions/"+id+"/update",
+		`{"network": {"generator": {"kind": "wan", "regions": 1, "routers_per_region": 1,
+		                            "edge_routers": 2, "dcs_per_region": 1, "peers_per_edge": 2}}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("update dropping a scoped router = %d (%v), want 400", resp.StatusCode, out)
+	}
+
+	// A v2 verify over the session's pinned baseline.
+	resp, accepted = postJSON(t, ts.URL+"/v2/verify", `{
+		"network": {"baseline": "`+id+`"},
+		"properties": [{"name": "wan-ip-reuse"}],
+		"options": {"wan_regions": 2}
+	}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("baseline-ref verify = %d (%v), want 202", resp.StatusCode, accepted)
+	}
+	j := waitDone(t, ts, accepted["id"].(string))
+	if j.OK == nil || !*j.OK {
+		t.Fatalf("baseline-ref job failed: %+v", j)
+	}
+}
+
+// baseProblemCount counts the problems of the session's latest run.
+func baseProblemCount(t *testing.T, ts *httptest.Server, id string) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s struct {
+		Runs []struct {
+			Result *struct {
+				Problems []struct {
+					Name string `json:"name"`
+				} `json:"problems"`
+			} `json:"result"`
+		} `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	last := s.Runs[len(s.Runs)-1]
+	if last.Result == nil {
+		return -1
+	}
+	return len(last.Result.Problems)
+}
+
+// TestSessionUpdateAmbiguousSourceRejected: an update body setting both
+// config and generator must 400, not silently pick one.
+func TestSessionUpdateAmbiguousSourceRejected(t *testing.T) {
+	ts := newTestServer(t)
+	_, accepted := postJSON(t, ts.URL+"/v1/sessions",
+		`{"suite": "fig1-no-transit", "generator": {"kind": "fig1"}}`)
+	id := accepted["id"].(string)
+	ambiguous := fmt.Sprintf(`{"config": %q, "generator": {"kind": "fig1"}}`,
+		netgen.Fig1DSL(netgen.Fig1Options{}))
+	for _, url := range []string{"/v1/sessions/" + id + "/update", "/v2/sessions/" + id + "/update"} {
+		resp, out := postJSON(t, ts.URL+url, ambiguous)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s with ambiguous network = %d (%v), want 400", url, resp.StatusCode, out)
+		}
+	}
+	// v2 update bodies nest the source under "network".
+	resp, out := postJSON(t, ts.URL+"/v2/sessions/"+id+"/update",
+		`{"network": `+ambiguous+`}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("v2 nested ambiguous network = %d (%v), want 400", resp.StatusCode, out)
 	}
 }

@@ -26,9 +26,8 @@
 // checks for every router × property pair solves each distinct formula
 // once; concurrent jobs submitting the same check share the single
 // in-flight solve. Both cmd/lightyear and cmd/lybench submit to an engine,
-// lyserve exposes one over HTTP (POST /v1/verify, GET /v1/jobs/{id},
-// GET /v1/stats), and core.IncrementalVerifier can run on one via the
-// core.CheckRunner seam.
+// lyserve exposes one over HTTP, and core.IncrementalVerifier can run on
+// one via the core.CheckRunner seam.
 //
 // The result cache is a pluggable seam (engine.ResultCache): the default is
 // an in-memory LRU, and internal/store provides a disk-persistent
@@ -51,10 +50,47 @@
 // /v1/sessions/{id}/update, GET /v1/sessions/{id}), and `lybench
 // -experiment delta` for the change-size vs re-verification-cost sweep.
 //
+// # Verification plans — the one request API
+//
+// internal/plan is the declarative request schema every entry point speaks:
+// a plan.Request composes a network source (inline config DSL, a config
+// file path, a named netgen generator, or a pinned session baseline), a
+// list of properties — each a registered suite name optionally scoped to a
+// router or region subset (netgen.Scope) — and execution options (workers,
+// cache or persistent store, WAN region count, and an optional baseline
+// network that switches the run to incremental delta mode). The canonical
+// JSON form:
+//
+//	{
+//	  "network":    {"generator": {"kind": "wan", "regions": 2}},
+//	  "properties": [{"name": "wan-peering", "routers": ["edge-0"]},
+//	                 {"name": "wan-ip-reuse"}],
+//	  "options":    {"wan_regions": 2}
+//	}
+//
+// One request producing N per-property reports runs as N job batches on one
+// engine, so checks shared across properties are solved once. Surfaces:
+//
+//   - CLI: `lightyear -property a,b,c [-routers r1,r2]` compiles the flags
+//     into a plan; `-plan file.json` runs a saved one; `-list` prints the
+//     registry.
+//   - HTTP: `POST /v2/verify` accepts a plan and returns a job whose
+//     per-check engine Progress events stream as NDJSON from
+//     `GET /v2/jobs/{id}/events` ("start", "check", "problem", "property",
+//     and a final "plan" event); `GET /v2/jobs/{id}` is the grouped
+//     snapshot.
+//     `POST /v2/sessions` pins a plan for incremental updates that inherit
+//     its scoping. The v1 endpoints remain as single-suite adapters over
+//     the same machinery.
+//   - Library: plan.Execute (one-stop) or plan.Compile + plan.Run on a
+//     long-lived engine; a Compiled plan is also a delta.ProblemSource.
+//
 // # Property registry
 //
 // Built-in property suites are registered by name in internal/netgen
-// (netgen.Lookup / netgen.SuiteNames) and shared by cmd/lightyear and
-// lyserve: fig1-no-transit, fig1-liveness, fullmesh, wan-peering,
-// wan-ip-reuse, and wan-ip-liveness.
+// (netgen.Lookup / netgen.SuiteNames) and shared by all entry points:
+// fig1-no-transit, fig1-liveness, fullmesh, wan-peering, wan-ip-reuse, and
+// wan-ip-liveness. Suites decompose into network builders
+// (netgen.Generate over netgen.GeneratorSpec) and scoped property builders
+// (netgen.Suite.Problems), the two layers plans compose.
 package lightyear

@@ -1,7 +1,33 @@
 // Quickstart: build the Figure-1 network programmatically, state the
 // no-transit safety property with its three local invariants (Table 2), and
 // verify it with Lightyear's modular checks. Then plant the §2.1 bug and
-// show the localized counterexample.
+// show the localized counterexample, and finally run a declarative
+// multi-property verification plan — the same request document the CLI
+// (-plan) and the lyserve HTTP API (POST /v2/verify) accept.
+//
+// The plan.Request JSON schema, shared verbatim across CLI, HTTP, and
+// library:
+//
+//	{
+//	  "network":    {"generator": {"kind": "wan", "regions": 2}},
+//	  "properties": [{"name": "wan-peering", "routers": ["edge-0"]},
+//	                 {"name": "wan-ip-reuse"}],
+//	  "options":    {"wan_regions": 2}
+//	}
+//
+// Against a running lyserve, submit it and stream per-check progress as
+// NDJSON until the final {"type":"plan"} event:
+//
+//	curl -s localhost:8080/v2/verify -d @plan.json
+//	  => {"id":"job-1","status_url":"/v2/jobs/job-1",
+//	      "events_url":"/v2/jobs/job-1/events"}
+//	curl -sN localhost:8080/v2/jobs/job-1/events
+//	  => {"type":"start","prop":0,"problem":"no-bogons@edge-0","total":21}
+//	     {"type":"check","prop":0,"property":"wan-peering",...}
+//	     ...
+//	     {"type":"problem","prop":0,"problem":"no-bogons@edge-0","ok":true,...}
+//	     {"type":"property","prop":0,"property":"wan-peering","ok":true,...}
+//	     {"type":"plan","ok":true}
 package main
 
 import (
@@ -9,6 +35,7 @@ import (
 
 	"lightyear/internal/core"
 	"lightyear/internal/netgen"
+	"lightyear/internal/plan"
 	"lightyear/internal/policy"
 	"lightyear/internal/routemodel"
 	"lightyear/internal/spec"
@@ -84,4 +111,28 @@ func main() {
 	rep = core.VerifySafety(netgen.Fig1NoTransitProblem(buggy), core.Options{})
 	fmt.Println("after removing the tag action at R1:")
 	fmt.Print(rep.Summary())
+
+	// 6. The declarative plan API: several properties — here scoped to a
+	// router subset — verified as one request on one shared engine, so
+	// checks shared across properties are solved once. This is the exact
+	// document `lightyear -plan` and lyserve's POST /v2/verify accept.
+	res, err := plan.Execute(plan.Request{
+		Network: plan.Network{Generator: &netgen.GeneratorSpec{Kind: "wan", Regions: 2,
+			RoutersPerRegion: 1, EdgeRouters: 1, PeersPerEdge: 2}},
+		Properties: []plan.Property{
+			{Name: "wan-peering", Routers: []topology.NodeID{netgen.EdgeRouter(0)}},
+			{Name: "wan-ip-reuse"},
+		},
+		Options: plan.Options{WANRegions: 2},
+	}, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nplan: ok=%v across %d properties\n", res.OK, len(res.Properties))
+	for _, pr := range res.Properties {
+		fmt.Printf("  %-13s %d problems, %d checks, %d cache hits, %d dedup hits\n",
+			pr.Property.Name, len(pr.Problems), pr.Stats.Checks, pr.Stats.CacheHits, pr.Stats.DedupHits)
+	}
+	fmt.Printf("engine: %d checks submitted, %d solved\n",
+		res.Engine.ChecksSubmitted, res.Engine.ChecksSolved)
 }

@@ -94,16 +94,44 @@ func (r *Result) String() string {
 		r.Elapsed().Round(time.Millisecond))
 }
 
-// Verifier is a long-lived incremental verification session: a suite, an
-// engine, the currently pinned network state, and the check results
-// retained from the last run, keyed by semantic check key. Runs are
+// ProblemSource enumerates the verification problems implied by a network
+// state — the seam that lets both registry suites and compiled plans
+// (internal/plan) drive incremental re-verification. Problems must be
+// re-enumerable on every state the Verifier is asked to pin: the Verifier
+// calls Problems once per Baseline/Update with the new network.
+type ProblemSource interface {
+	// Label names the source in results (a suite name, or a plan's
+	// property list).
+	Label() string
+	// Problems builds the source's problems over n.
+	Problems(n *topology.Network) []netgen.Problem
+}
+
+// suiteSource adapts a registry suite to the ProblemSource seam.
+type suiteSource struct {
+	suite  netgen.Suite
+	params netgen.SuiteParams
+}
+
+func (s suiteSource) Label() string { return s.suite.Name }
+func (s suiteSource) Problems(n *topology.Network) []netgen.Problem {
+	return s.suite.Build(n, s.params)
+}
+
+// SuiteSource wraps a registry suite as a ProblemSource.
+func SuiteSource(suite netgen.Suite, params netgen.SuiteParams) ProblemSource {
+	return suiteSource{suite: suite, params: params}
+}
+
+// Verifier is a long-lived incremental verification session: a problem
+// source, an engine, the currently pinned network state, and the check
+// results retained from the last run, keyed by semantic check key. Runs are
 // serialized; the Verifier is safe for concurrent use, and the state
 // accessors (Fingerprint, ResultCount) never block behind a run in
 // progress — they observe the last completed run.
 type Verifier struct {
 	eng    *engine.Engine
-	suite  netgen.Suite
-	params netgen.SuiteParams
+	source ProblemSource
 
 	runMu sync.Mutex // serializes Baseline/Update
 
@@ -116,7 +144,14 @@ type Verifier struct {
 // NewVerifier creates a session for the given suite on the shared engine.
 // Call Baseline before Update.
 func NewVerifier(eng *engine.Engine, suite netgen.Suite, params netgen.SuiteParams) *Verifier {
-	return &Verifier{eng: eng, suite: suite, params: params}
+	return NewVerifierFor(eng, SuiteSource(suite, params))
+}
+
+// NewVerifierFor creates a session for an arbitrary problem source — the
+// entry point internal/plan uses so incremental runs inherit a plan's
+// property list and scoping. Call Baseline before Update.
+func NewVerifierFor(eng *engine.Engine, source ProblemSource) *Verifier {
+	return &Verifier{eng: eng, source: source}
 }
 
 // Fingerprint returns the fingerprint of the pinned network state ("" before
@@ -132,6 +167,14 @@ func (v *Verifier) ResultCount() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	return len(v.results)
+}
+
+// PinnedNetwork returns the currently pinned network state (nil before
+// Baseline) — the state a plan's "baseline" network reference resolves to.
+func (v *Verifier) PinnedNetwork() *topology.Network {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.network
 }
 
 // Baseline pins n as the session's network state and verifies it in full,
@@ -174,13 +217,13 @@ type problemRun struct {
 func (v *Verifier) run(prev *topology.Network, prevResults map[string]core.CheckResult,
 	n *topology.Network, baseline bool) (*Result, error) {
 	start := time.Now()
-	res := &Result{Suite: v.suite.Name, Baseline: baseline, Fingerprint: n.Fingerprint(), OK: true}
+	res := &Result{Suite: v.source.Label(), Baseline: baseline, Fingerprint: n.Fingerprint(), OK: true}
 	if !baseline {
 		res.Diff = topology.DiffNetworks(prev, n)
 		res.ChangedRouters = changedRouters(res.Diff, prev, n)
 	}
 
-	problems := v.suite.Build(n, v.params)
+	problems := v.source.Problems(n)
 	runs := make([]*problemRun, len(problems))
 	opts := v.eng.CheckOptions()
 

@@ -17,6 +17,7 @@ package minesweeper
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"lightyear/internal/core"
@@ -73,9 +74,9 @@ func Verify(n *topology.Network, loc core.Location, pred spec.Pred, ghosts []cor
 	if opts.ConflictBudget > 0 {
 		enc.solver.SetConflictBudget(opts.ConflictBudget)
 	}
-	var interrupted bool
+	var interrupted atomic.Bool
 	if opts.Timeout > 0 {
-		timer := time.AfterFunc(opts.Timeout, func() { interrupted = true })
+		timer := time.AfterFunc(opts.Timeout, func() { interrupted.Store(true) })
 		defer timer.Stop()
 		enc.solver.SetInterrupt(&interrupted)
 	}

@@ -1,0 +1,65 @@
+package netgen
+
+import (
+	"fmt"
+
+	"lightyear/internal/topology"
+)
+
+// GeneratorSpec names a built-in network generator with its parameters — the
+// serializable network-builder half of a verification plan. It is the same
+// shape the lyserve HTTP API has always accepted under "generator"; moving
+// it here lets the CLI, the service, and internal/plan materialize networks
+// from one registry.
+type GeneratorSpec struct {
+	// Kind selects the generator: "fig1", "fullmesh", or "wan".
+	Kind string `json:"kind"`
+	// Size is the router count for "fullmesh" (0 means 10).
+	Size int `json:"size,omitempty"`
+	// The remaining fields parameterize "wan"; zero values take the
+	// DefaultWANParams defaults.
+	Regions          int `json:"regions,omitempty"`
+	RoutersPerRegion int `json:"routers_per_region,omitempty"`
+	EdgeRouters      int `json:"edge_routers,omitempty"`
+	DCsPerRegion     int `json:"dcs_per_region,omitempty"`
+	PeersPerEdge     int `json:"peers_per_edge,omitempty"`
+}
+
+// Generate materializes the spec. The second return value is the region
+// count WAN suites should assume for this network (0 for non-regional
+// generators, deferring to the request's own region setting).
+func Generate(g GeneratorSpec) (*topology.Network, int, error) {
+	switch g.Kind {
+	case "fig1":
+		return Fig1(Fig1Options{}), 0, nil
+	case "fullmesh":
+		size := g.Size
+		if size == 0 {
+			size = 10
+		}
+		if size < 2 {
+			return nil, 0, fmt.Errorf("fullmesh size must be >= 2")
+		}
+		return FullMesh(size), 0, nil
+	case "wan":
+		p := DefaultWANParams()
+		if g.Regions > 0 {
+			p.Regions = g.Regions
+		}
+		if g.RoutersPerRegion > 0 {
+			p.RoutersPerRegion = g.RoutersPerRegion
+		}
+		if g.EdgeRouters > 0 {
+			p.EdgeRouters = g.EdgeRouters
+		}
+		if g.DCsPerRegion > 0 {
+			p.DCsPerRegion = g.DCsPerRegion
+		}
+		if g.PeersPerEdge > 0 {
+			p.PeersPerEdge = g.PeersPerEdge
+		}
+		return WAN(p, WANBugs{}), p.Regions, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown generator kind %q (fig1|fullmesh|wan)", g.Kind)
+	}
+}

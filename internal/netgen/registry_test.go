@@ -1,10 +1,12 @@
 package netgen_test
 
 import (
+	"strings"
 	"testing"
 
 	"lightyear/internal/core"
 	"lightyear/internal/netgen"
+	"lightyear/internal/topology"
 )
 
 func TestSuiteNamesStable(t *testing.T) {
@@ -45,6 +47,88 @@ func TestFig1SuitesBuildAndVerify(t *testing.T) {
 	problems = s.Build(n, netgen.SuiteParams{})
 	if len(problems) != 1 || problems[0].Liveness == nil {
 		t.Fatalf("fig1-liveness: got %d problems", len(problems))
+	}
+}
+
+func TestScopedSuiteBuilds(t *testing.T) {
+	p := netgen.WANParams{Regions: 2, RoutersPerRegion: 2, EdgeRouters: 1, DCsPerRegion: 1, PeersPerEdge: 1}
+	n := netgen.WAN(p, netgen.WANBugs{})
+	params := netgen.SuiteParams{Regions: p.Regions}
+
+	s, _ := netgen.Lookup("wan-peering")
+	r0 := netgen.RegionRouter(0, 0)
+	scoped := s.Problems(n, params, netgen.Scope{Routers: []topology.NodeID{r0}})
+	if want := len(netgen.PeeringProperties(p.Regions)); len(scoped) != want {
+		t.Fatalf("router-scoped wan-peering built %d problems, want %d", len(scoped), want)
+	}
+	for _, pr := range scoped {
+		if !strings.HasSuffix(pr.Name, "@"+string(r0)) {
+			t.Fatalf("scoped problem %q is not at %s", pr.Name, r0)
+		}
+	}
+
+	s, _ = netgen.Lookup("wan-ip-reuse")
+	all := s.Build(n, params)
+	byRegion := s.Problems(n, params, netgen.Scope{Regions: []int{0}})
+	if len(byRegion) == 0 || len(byRegion) >= len(all) {
+		t.Fatalf("region-scoped wan-ip-reuse built %d of %d problems", len(byRegion), len(all))
+	}
+	for _, pr := range byRegion {
+		if !strings.HasPrefix(pr.Name, "ip-reuse-region-0@") {
+			t.Fatalf("region-scoped problem %q is not region 0", pr.Name)
+		}
+	}
+
+	s, _ = netgen.Lookup("wan-ip-liveness")
+	if got := s.Problems(n, params, netgen.Scope{Regions: []int{1}}); len(got) != 1 {
+		t.Fatalf("region-scoped wan-ip-liveness built %d problems, want 1", len(got))
+	}
+
+	// Network-global suites ignore scope.
+	fig1 := netgen.Fig1(netgen.Fig1Options{})
+	s, _ = netgen.Lookup("fig1-no-transit")
+	if got := s.Problems(fig1, netgen.SuiteParams{}, netgen.Scope{Routers: []topology.NodeID{"R1"}}); len(got) != 1 {
+		t.Fatalf("scoped fig1-no-transit built %d problems, want 1", len(got))
+	}
+}
+
+func TestScopeValidate(t *testing.T) {
+	n := netgen.Fig1(netgen.Fig1Options{})
+	regions := netgen.SuiteParams{Regions: 2}.EffectiveRegions()
+	if err := (netgen.Scope{Routers: []topology.NodeID{"R1"}, Regions: []int{0, 1}}).Validate(n, regions); err != nil {
+		t.Errorf("valid scope rejected: %v", err)
+	}
+	if err := (netgen.Scope{Routers: []topology.NodeID{"nope"}}).Validate(n, regions); err == nil {
+		t.Error("unknown router accepted")
+	}
+	if err := (netgen.Scope{Routers: []topology.NodeID{"ISP1"}}).Validate(n, regions); err == nil {
+		t.Error("external node accepted")
+	}
+	if err := (netgen.Scope{Regions: []int{-1}}).Validate(n, regions); err == nil {
+		t.Error("negative region accepted")
+	}
+	if err := (netgen.Scope{Regions: []int{2}}).Validate(n, regions); err == nil {
+		t.Error("out-of-range region accepted (would scope to nothing and pass vacuously)")
+	}
+	if got := (netgen.SuiteParams{}).EffectiveRegions(); got != 3 {
+		t.Errorf("default EffectiveRegions = %d, want 3", got)
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	n, regions, err := netgen.Generate(netgen.GeneratorSpec{Kind: "wan", Regions: 2,
+		RoutersPerRegion: 1, EdgeRouters: 1, PeersPerEdge: 1})
+	if err != nil || regions != 2 || len(n.Routers()) != 3 {
+		t.Fatalf("wan generate: n=%v regions=%d err=%v", n, regions, err)
+	}
+	if _, _, err := netgen.Generate(netgen.GeneratorSpec{Kind: "torus"}); err == nil {
+		t.Error("unknown generator kind accepted")
+	}
+	if _, _, err := netgen.Generate(netgen.GeneratorSpec{Kind: "fullmesh", Size: 1}); err == nil {
+		t.Error("fullmesh size 1 accepted")
+	}
+	if n, regions, err := netgen.Generate(netgen.GeneratorSpec{Kind: "fig1"}); err != nil || regions != 0 || n == nil {
+		t.Errorf("fig1 generate: regions=%d err=%v", regions, err)
 	}
 }
 

@@ -1,0 +1,295 @@
+package plan
+
+import (
+	"errors"
+	"sync"
+
+	"lightyear/internal/core"
+	"lightyear/internal/delta"
+	"lightyear/internal/engine"
+	"lightyear/internal/store"
+)
+
+// Event is one progress event of a running plan, in the order emitted: one
+// "start" event per problem as it is submitted (carrying the check Total),
+// per-check "check" events as the engine completes checks, a "problem"
+// event when each problem's report is ready, one "property" event per
+// request property once all its problems finished, and a final "plan"
+// event. lyserve streams these as NDJSON on GET /v2/jobs/{id}/events.
+type Event struct {
+	Type string `json:"type"` // start | check | problem | property | plan
+
+	// Prop indexes the request's property list; Property is its suite name.
+	Prop     int    `json:"prop"`
+	Property string `json:"property,omitempty"`
+	// Idx indexes the problem within the property; Problem is its name
+	// (check and problem events).
+	Idx     int    `json:"idx"`
+	Problem string `json:"problem,omitempty"`
+
+	// Check progress (check events).
+	Completed int  `json:"completed,omitempty"`
+	Total     int  `json:"total,omitempty"`
+	FromCache bool `json:"from_cache,omitempty"`
+	Deduped   bool `json:"deduped,omitempty"`
+
+	// Outcome (check, problem, property, and plan events).
+	OK      *bool  `json:"ok,omitempty"`
+	Skipped bool   `json:"skipped,omitempty"`
+	Failed  bool   `json:"failed,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+
+	// Aggregated problem stats (problem events).
+	Stats *engine.JobStats `json:"stats,omitempty"`
+}
+
+// ProblemResult is the outcome of one problem of one property.
+type ProblemResult struct {
+	Name       string `json:"name"`
+	OK         bool   `json:"ok"`
+	Skipped    bool   `json:"skipped,omitempty"`
+	Failed     bool   `json:"failed,omitempty"`
+	SkipReason string `json:"skip_reason,omitempty"`
+
+	Stats      *engine.JobStats   `json:"stats,omitempty"`
+	ReportJSON *engine.ReportJSON `json:"report,omitempty"`
+
+	// Report is the raw report for in-process consumers (nil when skipped
+	// or failed); ReportJSON carries its wire form.
+	Report *core.Report `json:"-"`
+}
+
+// PropertyResult is one per-property report of a plan run: the problems of
+// one Property entry plus engine accounting aggregated over them, so a
+// multi-property request shows how much of each property was served from
+// the shared cache or coalesced with in-flight identical checks.
+type PropertyResult struct {
+	Property Property        `json:"property"`
+	OK       bool            `json:"ok"`
+	Stats    engine.JobStats `json:"stats"`
+	Problems []ProblemResult `json:"problems"`
+}
+
+// Result is the outcome of one plan run.
+type Result struct {
+	OK         bool             `json:"ok"`
+	Properties []PropertyResult `json:"properties"`
+	Engine     engine.Stats     `json:"engine"`
+	Store      *store.Stats     `json:"store,omitempty"`
+
+	// Baseline and Update are set in delta-vs-baseline mode
+	// (Options.Baseline) instead of Properties.
+	Baseline *delta.Result `json:"baseline,omitempty"`
+	Update   *delta.Result `json:"update,omitempty"`
+}
+
+// RunConfig parameterizes Run.
+type RunConfig struct {
+	// Sink, when non-nil, receives every Event. Calls are serialized, so
+	// the sink needs no locking of its own and events form one total order
+	// ending with the "plan" event.
+	Sink func(Event)
+	// Store, when non-nil, is tagged with the fingerprints of the networks
+	// the run verifies (provenance on journaled results); the store itself
+	// must already be plugged into the engine by the caller.
+	Store *store.Store
+}
+
+// Run executes a compiled plan on the engine: every problem of every
+// property is submitted before any is awaited, so the engine dedups
+// identical checks across the whole request. In delta mode
+// (Options.Baseline) the run goes through an internal/delta verifier
+// instead, re-solving only the checks the baseline→network change dirtied.
+func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
+	if c.Baseline != nil {
+		return runDelta(eng, c, cfg)
+	}
+
+	var sinkMu sync.Mutex
+	emit := func(ev Event) {
+		if cfg.Sink == nil {
+			return
+		}
+		sinkMu.Lock()
+		cfg.Sink(ev)
+		sinkMu.Unlock()
+	}
+	if cfg.Store != nil {
+		cfg.Store.SetFingerprint(c.Network.Fingerprint())
+	}
+
+	res := &Result{OK: true}
+	var resMu sync.Mutex // guards ProblemResult fields written by watchers
+
+	// Submit every problem of every property before collecting any.
+	type pending struct {
+		prop, idx int
+		job       *engine.Job
+	}
+	var jobs []pending
+	for pi, u := range c.Units {
+		pr := PropertyResult{Property: u.Property, OK: true, Problems: make([]ProblemResult, len(u.Problems))}
+		for i, p := range u.Problems {
+			out := &pr.Problems[i]
+			out.Name = p.Name
+			var job *engine.Job
+			var err error
+			switch {
+			case p.Safety != nil:
+				job = eng.SubmitSafety(p.Safety)
+			case p.Liveness != nil:
+				job, err = eng.SubmitLiveness(p.Liveness)
+			default:
+				err = errEmptyProblem
+			}
+			if err != nil {
+				out.SkipReason = err.Error()
+				if p.Optional {
+					out.Skipped, out.OK = true, true
+				} else {
+					out.Failed = true
+					pr.OK = false
+					res.OK = false
+				}
+				continue
+			}
+			jobs = append(jobs, pending{prop: pi, idx: i, job: job})
+			emit(Event{Type: "start", Prop: pi, Property: u.Property.Name, Idx: i,
+				Problem: p.Name, Total: job.NumChecks()})
+		}
+		res.Properties = append(res.Properties, pr)
+	}
+
+	// Emit skip/fail events only after all placeholders exist, keeping the
+	// event order stable relative to the result layout.
+	for pi := range res.Properties {
+		for i, out := range res.Properties[pi].Problems {
+			if out.Skipped || out.Failed {
+				ok := out.OK
+				emit(Event{Type: "problem", Prop: pi, Property: c.Units[pi].Property.Name, Idx: i,
+					Problem: out.Name, OK: &ok, Skipped: out.Skipped, Failed: out.Failed, Reason: out.SkipReason})
+			}
+		}
+	}
+
+	// Watch every engine job: stream its per-check progress, then record
+	// the report and emit the problem event.
+	var wg sync.WaitGroup
+	for _, pd := range jobs {
+		wg.Add(1)
+		go func(pd pending) {
+			defer wg.Done()
+			propName := c.Units[pd.prop].Property.Name
+			probName := res.Properties[pd.prop].Problems[pd.idx].Name
+			for ev := range pd.job.Progress() {
+				ok := ev.Result.OK
+				emit(Event{Type: "check", Prop: pd.prop, Property: propName, Idx: pd.idx, Problem: probName,
+					Completed: ev.Completed, Total: ev.Total,
+					FromCache: ev.FromCache, Deduped: ev.Deduped, OK: &ok})
+			}
+			rep := pd.job.Wait()
+			st := pd.job.Stats()
+			enc := engine.EncodeReport(rep)
+			ok := rep.OK()
+
+			resMu.Lock()
+			out := &res.Properties[pd.prop].Problems[pd.idx]
+			out.Report, out.ReportJSON, out.Stats, out.OK = rep, &enc, &st, ok
+			if !ok {
+				res.Properties[pd.prop].OK = false
+				res.OK = false
+			}
+			resMu.Unlock()
+
+			emit(Event{Type: "problem", Prop: pd.prop, Property: propName, Idx: pd.idx, Problem: probName,
+				OK: &ok, Stats: &st})
+		}(pd)
+	}
+	wg.Wait()
+
+	// Aggregate per-property stats, emit property summaries, then the final
+	// plan event — the stream's completion marker.
+	for pi := range res.Properties {
+		pr := &res.Properties[pi]
+		for _, out := range pr.Problems {
+			if out.Stats != nil {
+				pr.Stats.Checks += out.Stats.Checks
+				pr.Stats.Completed += out.Stats.Completed
+				pr.Stats.CacheHits += out.Stats.CacheHits
+				pr.Stats.DedupHits += out.Stats.DedupHits
+			}
+		}
+		ok := pr.OK
+		emit(Event{Type: "property", Prop: pi, Property: pr.Property.Name, OK: &ok, Stats: &pr.Stats})
+	}
+	res.Engine = eng.Stats()
+	if cfg.Store != nil {
+		st := cfg.Store.Stats()
+		res.Store = &st
+	}
+	ok := res.OK
+	emit(Event{Type: "plan", OK: &ok})
+	return res, nil
+}
+
+// runDelta is the delta-vs-baseline body: verify the baseline in full, then
+// re-verify the request's network incrementally against it. Per-check
+// events are not streamed in this mode (the delta verifier batches dirty
+// subsets internally); the property and plan events still are.
+func runDelta(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
+	res := &Result{}
+	v := delta.NewVerifierFor(eng, c)
+	if cfg.Store != nil {
+		cfg.Store.SetFingerprint(c.Baseline.Fingerprint())
+	}
+	base, err := v.Baseline(c.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Store != nil {
+		cfg.Store.SetFingerprint(c.Network.Fingerprint())
+	}
+	upd, err := v.Update(c.Network)
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline, res.Update = base, upd
+	res.OK = upd.OK
+	res.Engine = eng.Stats()
+	if cfg.Store != nil {
+		st := cfg.Store.Stats()
+		res.Store = &st
+	}
+	if cfg.Sink != nil {
+		ok := res.OK
+		cfg.Sink(Event{Type: "plan", OK: &ok})
+	}
+	return res, nil
+}
+
+// Execute is the library one-stop entry point: compile the request, build
+// an engine (and persistent store) from its options, run, and tear down.
+// Hosts with a long-lived engine use Compile + Run instead.
+func Execute(req Request, res Resolver) (*Result, error) {
+	c, err := Compile(req, res)
+	if err != nil {
+		return nil, err
+	}
+	opts := engine.Options{Workers: req.Options.Workers, CacheSize: req.Options.Cache}
+	var st *store.Store
+	if req.Options.Store != "" {
+		st, err = store.Open(req.Options.Store)
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		opts.Cache = st
+	}
+	eng := engine.New(opts)
+	defer eng.Close()
+	return Run(eng, c, RunConfig{Store: st})
+}
+
+// errEmptyProblem mirrors the legacy entry points' guard for suites that
+// produce a Problem with neither half set.
+var errEmptyProblem = errors.New("suite produced an empty problem")

@@ -2,6 +2,7 @@ package smt
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"lightyear/internal/smt/sat"
 )
@@ -102,7 +103,7 @@ func (s *Solver) SetConflictBudget(n int64) {
 }
 
 // SetInterrupt installs a cooperative cancellation flag.
-func (s *Solver) SetInterrupt(flag *bool) { s.sat.SetInterrupt(flag) }
+func (s *Solver) SetInterrupt(flag *atomic.Bool) { s.sat.SetInterrupt(flag) }
 
 // Assert adds a boolean term as a top-level constraint.
 func (s *Solver) Assert(t *Term) {

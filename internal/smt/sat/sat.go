@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Lit is a propositional literal. For a variable v >= 1, the positive literal
@@ -164,10 +165,10 @@ type Solver struct {
 	nVars int
 	stats Stats
 
-	conflictBudget int64 // <0 means unlimited
-	interrupted    *bool // optional external interrupt flag
-	disableVSIDS   bool  // ablation: static variable order instead of VSIDS
-	disableRestart bool  // ablation: no Luby restarts
+	conflictBudget int64        // <0 means unlimited
+	interrupted    *atomic.Bool // optional external interrupt flag
+	disableVSIDS   bool         // ablation: static variable order instead of VSIDS
+	disableRestart bool         // ablation: no Luby restarts
 
 	model []bool // last satisfying assignment (index by var)
 
@@ -227,9 +228,10 @@ func (s *Solver) NumClauses() int { return s.stats.Clauses }
 // calls. A negative budget means unlimited.
 func (s *Solver) SetConflictBudget(n int64) { s.conflictBudget = n }
 
-// SetInterrupt installs a flag polled during solving; when *flag becomes
-// true, Solve returns Unknown.
-func (s *Solver) SetInterrupt(flag *bool) { s.interrupted = flag }
+// SetInterrupt installs a flag polled during solving; when the flag
+// becomes true, Solve returns Unknown. An atomic flag, so timer or signal
+// goroutines may set it while Solve runs.
+func (s *Solver) SetInterrupt(flag *atomic.Bool) { s.interrupted = flag }
 
 // SetDisableVSIDS switches the decision heuristic to a static variable
 // order. Used by the heuristic-ablation benchmarks.
@@ -683,7 +685,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	var restartNum int64
 	conflictC := int64(0)
 	for {
-		if s.interrupted != nil && *s.interrupted {
+		if s.interrupted != nil && s.interrupted.Load() {
 			s.backtrack(0)
 			return Unknown
 		}

@@ -2,6 +2,7 @@ package sat
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
 )
 
@@ -342,12 +343,13 @@ func TestInterrupt(t *testing.T) {
 	s := New()
 	v := s.NewVar()
 	s.AddClause(MkLit(v, false))
-	flag := true
+	var flag atomic.Bool
+	flag.Store(true)
 	s.SetInterrupt(&flag)
 	if got := s.Solve(); got != Unknown {
 		t.Fatalf("interrupted: got %v, want unknown", got)
 	}
-	flag = false
+	flag.Store(false)
 	if got := s.Solve(); got != Sat {
 		t.Fatalf("after clearing interrupt: got %v, want sat", got)
 	}

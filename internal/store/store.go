@@ -19,6 +19,10 @@
 // their rendered text. The journal is append-only and crash-tolerant: a
 // truncated final line is ignored on replay, and re-recording an
 // already-known key is skipped to keep warm reruns from growing the file.
+// Journals that nevertheless accumulate superseded duplicate keys (crashes,
+// older writers, concatenated directories) are compacted on Open: the file
+// is atomically rewritten with exactly one record per key, so long-lived
+// store directories stop growing unboundedly.
 package store
 
 import (
@@ -28,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -84,10 +89,11 @@ func (rr resultRecord) decode() core.CheckResult {
 
 // Stats counts store traffic since Open.
 type Stats struct {
-	Loaded int `json:"loaded"` // distinct results replayed from the journal
-	Hits   int `json:"hits"`   // Get calls served
-	Misses int `json:"misses"` // Get calls not served
-	Puts   int `json:"puts"`   // new results appended to the journal
+	Loaded    int `json:"loaded"`              // distinct results replayed from the journal
+	Hits      int `json:"hits"`                // Get calls served
+	Misses    int `json:"misses"`              // Get calls not served
+	Puts      int `json:"puts"`                // new results appended to the journal
+	Compacted int `json:"compacted,omitempty"` // superseded journal lines dropped on Open
 }
 
 // Store is a disk-backed ResultCache. It is safe for concurrent use by one
@@ -96,52 +102,111 @@ type Stats struct {
 type Store struct {
 	path string
 
-	mu     sync.Mutex
-	mem    map[string]resultRecord
-	f      *os.File
-	w      *bufio.Writer
-	fp     string // provenance fingerprint attached to subsequent Puts
-	loaded int
-	hits   int
-	misses int
-	puts   int
+	mu        sync.Mutex
+	mem       map[string]record // full records, so compaction keeps provenance
+	f         *os.File
+	w         *bufio.Writer
+	fp        string // provenance fingerprint attached to subsequent Puts
+	loaded    int
+	hits      int
+	misses    int
+	puts      int
+	compacted int
 }
 
-// Open creates the directory if needed, replays the journal, and returns a
-// store ready to serve Gets from memory and append Puts to disk.
+// Open creates the directory if needed, replays the journal — compacting it
+// in place when it carries superseded duplicate keys, so long-lived store
+// directories stop growing unboundedly — and returns a store ready to serve
+// Gets from memory and append Puts to disk.
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	path := filepath.Join(dir, journalName)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	s := &Store{path: path, mem: make(map[string]record)}
+
+	lines := 0
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			lines++
+			var rec record
+			if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+				// Torn or foreign line (e.g. a crash mid-append): skip it
+				// rather than refuse the rest of the journal.
+				continue
+			}
+			s.mem[rec.Key] = rec // last record for a key wins, as in Get
+		}
+		err := sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("store: replay %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.loaded = len(s.mem)
+
+	if lines > len(s.mem) {
+		// The journal carries superseded duplicates (or torn lines):
+		// rewrite it with exactly one record per key. Best-effort — a
+		// failed compaction leaves the original journal in place.
+		if err := s.compact(); err != nil {
+			fmt.Fprintf(os.Stderr, "store: compact: %v\n", err)
+		} else {
+			s.compacted = lines - len(s.mem)
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{path: path, mem: make(map[string]resultRecord), f: f, w: bufio.NewWriter(f)}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var rec record
-		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
-			// Torn or foreign line (e.g. a crash mid-append): skip it
-			// rather than refuse the rest of the journal.
-			continue
-		}
-		if _, dup := s.mem[rec.Key]; !dup {
-			s.loaded++
-		}
-		s.mem[rec.Key] = rec.Result
-	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: replay %s: %w", path, err)
-	}
+	s.f, s.w = f, bufio.NewWriter(f)
 	return s, nil
+}
+
+// compact atomically rewrites the journal from memory: one record per key,
+// sorted for determinism, written to a temp file and renamed over the
+// original. Called before the append handle is opened.
+func (s *Store) compact() error {
+	keys := make([]string, 0, len(s.mem))
+	for k := range s.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	tmp, err := os.CreateTemp(filepath.Dir(s.path), journalName+".compact-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	for _, k := range keys {
+		b, err := json.Marshal(s.mem[k])
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path)
 }
 
 // SetFingerprint sets the network-state fingerprint recorded as provenance
@@ -157,13 +222,13 @@ func (s *Store) SetFingerprint(fp string) {
 func (s *Store) Get(key string) (core.CheckResult, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rr, ok := s.mem[key]
+	rec, ok := s.mem[key]
 	if !ok {
 		s.misses++
 		return core.CheckResult{}, false
 	}
 	s.hits++
-	return rr.decode(), true
+	return rec.Result.decode(), true
 }
 
 // Add implements engine.ResultCache: record the result in memory and append
@@ -183,7 +248,7 @@ func (s *Store) Add(key string, val core.CheckResult) {
 		return
 	}
 	rec := record{Key: key, Fingerprint: s.fp, Result: encodeResult(val)}
-	s.mem[key] = rec.Result
+	s.mem[key] = rec
 	s.puts++
 	if err := s.append(rec); err != nil {
 		// Disk trouble degrades the store to in-memory; verification
@@ -214,7 +279,7 @@ func (s *Store) Len() int {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{Loaded: s.loaded, Hits: s.hits, Misses: s.misses, Puts: s.puts}
+	return Stats{Loaded: s.loaded, Hits: s.hits, Misses: s.misses, Puts: s.puts, Compacted: s.compacted}
 }
 
 // Close flushes and closes the journal. The store must not be used after

@@ -3,6 +3,7 @@ package store
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -101,3 +102,73 @@ func TestStoreSkipsDuplicatesAndTornLines(t *testing.T) {
 		t.Fatal("intact record lost")
 	}
 }
+
+// TestCompactOnOpen: a journal carrying superseded duplicate keys is
+// rewritten on Open with exactly one record per key, the latest verdict
+// winning and fingerprint provenance preserved; a clean journal is left
+// byte-identical.
+func TestCompactOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, journalName)
+	journal := `{"key":"a","fp":"fp-old","result":{"ok":false,"witness":"stale"}}
+{"key":"b","fp":"fp-1","result":{"ok":true}}
+{"key":"a","fp":"fp-new","result":{"ok":true,"vars":7}}
+{"key":"torn","result":{"ok
+`
+	if err := os.WriteFile(path, []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Loaded != 2 || st.Compacted != 2 {
+		t.Fatalf("stats = %+v, want 2 loaded / 2 compacted", st)
+	}
+	if r, ok := s.Get("a"); !ok || !r.OK || r.NumVars != 7 {
+		t.Fatalf("compaction must keep the superseding record: %+v/%v", r, ok)
+	}
+	// Appends after compaction must still work.
+	s.Add("c", core.CheckResult{OK: true})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, l := range splitLines(string(data)) {
+		if l != "" {
+			lines++
+		}
+	}
+	if lines != 3 {
+		t.Fatalf("compacted journal has %d records, want 3 (a, b, c):\n%s", lines, data)
+	}
+	if want := `"fp":"fp-new"`; !contains(string(data), want) {
+		t.Fatalf("compaction dropped fingerprint provenance:\n%s", data)
+	}
+
+	// Reopen: nothing left to compact, everything still served.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Loaded != 3 || st.Compacted != 0 {
+		t.Fatalf("second open stats = %+v, want 3 loaded / 0 compacted", st)
+	}
+	data2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data2) != string(data) {
+		t.Fatal("reopening a clean journal must not rewrite it")
+	}
+}
+
+func splitLines(s string) []string { return strings.Split(s, "\n") }
+func contains(s, sub string) bool  { return strings.Contains(s, sub) }
