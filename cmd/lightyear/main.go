@@ -6,8 +6,11 @@
 //	lightyear -config net.cfg -property fig1-no-transit [-workers N] [-cache N] [-json] [-verbose]
 //	lightyear -config net.cfg -property wan-peering,wan-ip-reuse        # several properties, one engine
 //	lightyear -config net.cfg -property wan-peering -routers edge-0    # router-scoped properties
+//	lightyear -config net.cfg -property wan-ip-reuse -regions 0,2      # region-scoped properties
 //	lightyear -config new.cfg -diff old.cfg -property wan-peering      # incremental re-verification
 //	lightyear -config net.cfg -store DIR                               # persistent result store
+//	lightyear -config net.cfg -solver portfolio                        # race solver heuristics per check
+//	lightyear -config net.cfg -solver tiered:1000                      # small budget first, escalate on Unknown
 //	lightyear -plan plan.json                                          # run a saved verification plan
 //	lightyear -list                                                    # print the property registry
 //
@@ -20,6 +23,7 @@
 //	fig1-no-transit   Table 2: routes from ISP1 never reach ISP2
 //	fig1-liveness     Table 3: customer prefixes reach ISP2
 //	fullmesh          §6.2: no-transit on a generated full mesh
+//	sat-stress        adversarial pigeonhole obligations exercising the solver backends
 //	wan-peering       Table 4a: the 11 peering properties at every router
 //	wan-ip-reuse      Table 4b: regional reused-IP isolation
 //	wan-ip-liveness   Table 4c: reused routes propagate within each region
@@ -29,14 +33,27 @@
 // properties (and across the routers each property sweeps) are solved once
 // and served from the engine's result cache thereafter. -routers scopes
 // per-router properties (wan-peering, wan-ip-reuse) to a comma-separated
-// router subset. -workers sizes the engine's worker pool and -cache its LRU
-// result-cache capacity (0 = engine default, negative disables caching).
+// router subset; -regions scopes regional properties (wan-ip-reuse,
+// wan-ip-liveness) to a comma-separated list of 0-based region indices.
+// -workers sizes the engine's worker pool and -cache its LRU result-cache
+// capacity (0 = engine default, negative disables caching).
+//
+// -solver selects the solver backend checks are routed to, as
+// "backend[:budget]" (the plan document's "solver" execution option):
+//
+//	native       one in-process CDCL solve per check (default); an optional
+//	             budget caps SAT conflicts per check (checks that exceed it
+//	             report UNKNOWN)
+//	portfolio    race heuristic variants of the solver per check, first
+//	             verdict wins, losers cancelled
+//	tiered       solve with a small conflict budget first (default 2048, or
+//	             the given budget), escalate to unlimited on Unknown
 //
 // With -plan file.json the request is read from the file (the plan.Request
 // JSON schema; see package internal/plan). Explicitly set flags override
 // the corresponding plan fields: -config replaces the network source,
-// -property/-routers the property list, -diff the baseline, and
-// -workers/-cache/-store/-wan-regions the execution options.
+// -property/-routers/-regions the property list, -diff the baseline, and
+// -workers/-cache/-store/-solver/-wan-regions the execution options.
 //
 // With -store DIR the engine's result cache is replaced by the
 // internal/store persistent journal in DIR: results recorded by earlier
@@ -64,7 +81,10 @@
 //	0  every problem of every property verified (skipped optional problems allowed)
 //	1  at least one local check failed, or verification could not run
 //	   (unreadable or unparsable configuration, invalid liveness path)
-//	2  usage error (missing network source, unknown -property)
+//	2  usage error (missing network source, unknown -property or -solver)
+//	3  no check failed, but at least one check was left UNKNOWN (solver
+//	   budget exhausted) — the properties are neither proven nor refuted;
+//	   raise the budget or switch -solver to decide them
 package main
 
 import (
@@ -73,13 +93,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"lightyear/internal/core"
 	"lightyear/internal/delta"
 	"lightyear/internal/engine"
 	"lightyear/internal/netgen"
 	"lightyear/internal/plan"
+	"lightyear/internal/solver"
 	"lightyear/internal/store"
 	"lightyear/internal/topology"
 )
@@ -90,12 +114,14 @@ type cliFlags struct {
 	ConfigPath string
 	Properties string
 	Routers    string
+	Regions    string // property scope: comma-separated region indices
 	PlanPath   string
 	DiffPath   string
 	Workers    int
 	Cache      int
 	Store      string
-	Regions    int
+	Solver     string
+	WANRegions int
 	Set        map[string]bool
 }
 
@@ -128,6 +154,20 @@ func buildRequest(f cliFlags) (plan.Request, error) {
 			}
 		}
 	}
+	var regions []int
+	if f.Regions != "" {
+		for _, r := range strings.Split(f.Regions, ",") {
+			r = strings.TrimSpace(r)
+			if r == "" {
+				continue
+			}
+			idx, err := strconv.Atoi(r)
+			if err != nil {
+				return req, &usageError{fmt.Sprintf("-regions: bad region index %q (want 0-based integers)", r)}
+			}
+			regions = append(regions, idx)
+		}
+	}
 	switch {
 	case f.PlanPath == "" || f.set("property"):
 		req.Properties = nil
@@ -140,16 +180,34 @@ func buildRequest(f cliFlags) (plan.Request, error) {
 				return req, &usageError{fmt.Sprintf("unknown property %q (have: %s)",
 					name, strings.Join(netgen.SuiteNames(), ", "))}
 			}
-			req.Properties = append(req.Properties, plan.Property{Name: name, Routers: routers})
+			req.Properties = append(req.Properties, plan.Property{Name: name, Routers: routers, Regions: regions})
 		}
 		if len(req.Properties) == 0 {
 			return req, &usageError{fmt.Sprintf("-property lists no properties (have: %s)",
 				strings.Join(netgen.SuiteNames(), ", "))}
 		}
-	case f.set("routers"):
-		// -routers alone re-scopes the saved plan's own property list.
-		for i := range req.Properties {
-			req.Properties[i].Routers = routers
+	default:
+		// -routers / -regions alone re-scope the saved plan's own property
+		// list.
+		if f.set("routers") {
+			for i := range req.Properties {
+				req.Properties[i].Routers = routers
+			}
+		}
+		if f.set("regions") {
+			for i := range req.Properties {
+				req.Properties[i].Regions = regions
+			}
+		}
+	}
+	if f.PlanPath == "" || f.set("solver") {
+		req.Options.Solver = nil
+		if f.Solver != "" {
+			spec, err := solver.ParseSpec(f.Solver)
+			if err != nil {
+				return req, &usageError{err.Error()}
+			}
+			req.Options.Solver = &spec
 		}
 	}
 	if f.DiffPath != "" {
@@ -165,7 +223,7 @@ func buildRequest(f cliFlags) (plan.Request, error) {
 		req.Options.Store = f.Store
 	}
 	if f.PlanPath == "" || f.set("wan-regions") {
-		req.Options.WANRegions = f.Regions
+		req.Options.WANRegions = f.WANRegions
 	}
 	if err := req.Validate(); err != nil {
 		var reqErr *plan.RequestError
@@ -186,12 +244,14 @@ func main() {
 	flag.StringVar(&f.ConfigPath, "config", "", "path to the network configuration file")
 	flag.StringVar(&f.Properties, "property", "fig1-no-transit", "comma-separated property suites to verify")
 	flag.StringVar(&f.Routers, "routers", "", "comma-separated router subset scoping per-router properties")
+	flag.StringVar(&f.Regions, "regions", "", "comma-separated 0-based region indices scoping regional properties")
 	flag.StringVar(&f.PlanPath, "plan", "", "run a saved plan.Request JSON file")
 	flag.StringVar(&f.DiffPath, "diff", "", "baseline configuration: verify -config incrementally against it")
 	flag.IntVar(&f.Workers, "workers", 0, "parallel check workers (0 = GOMAXPROCS)")
 	flag.IntVar(&f.Cache, "cache", 0, "engine result-cache capacity (0 = default, <0 disables; ignored with -store)")
 	flag.StringVar(&f.Store, "store", "", "persistent result-store directory (replaces the in-memory cache)")
-	flag.IntVar(&f.Regions, "wan-regions", 3, "region count assumed for WAN properties")
+	flag.StringVar(&f.Solver, "solver", "", "solver backend as backend[:budget]: native, portfolio, or tiered")
+	flag.IntVar(&f.WANRegions, "wan-regions", 3, "region count assumed for WAN properties")
 	list := flag.Bool("list", false, "print the registered property suites and exit")
 	jsonOut := flag.Bool("json", false, "emit the report as machine-readable JSON")
 	verbose := flag.Bool("verbose", false, "print every check result")
@@ -266,8 +326,22 @@ func main() {
 	default:
 		printHuman(res, compiled, *verbose, resultStore)
 	}
-	if !res.OK {
-		os.Exit(1)
+	os.Exit(exitCode(res))
+}
+
+// exitCode maps a plan result onto the CLI's exit contract: 0 verified,
+// 1 a check failed (or a problem could not run), 3 nothing failed but at
+// least one check was left UNKNOWN — the run exhausted its solver budget
+// without refuting anything, which deserves a distinct signal from a real
+// violation.
+func exitCode(res *plan.Result) int {
+	switch {
+	case res.OK:
+		return 0
+	case res.Failures == 0 && res.Unknowns > 0:
+		return 3
+	default:
+		return 1
 	}
 }
 
@@ -306,12 +380,40 @@ func printHuman(res *plan.Result, c *plan.Compiled, verbose bool, st *store.Stor
 				pr.Property.Name, pr.Stats.Checks, pr.Stats.CacheHits, pr.Stats.DedupHits, pr.OK)
 		}
 	}
-	est := res.Engine
+	printEngineSummary(res.Engine)
+	printStoreSummary(st)
+	switch {
+	case res.OK:
+		fmt.Println("all properties verified")
+	case res.Failures == 0 && res.Unknowns > 0:
+		fmt.Printf("%d checks UNKNOWN (solver budget exhausted): properties undecided, not refuted\n", res.Unknowns)
+	}
+}
+
+// printEngineSummary renders the engine counters plus the per-backend solve
+// accounting (deterministic order).
+func printEngineSummary(est engine.Stats) {
 	fmt.Printf("engine: %d checks submitted, %d solved, %d cache hits, %d dedup hits\n",
 		est.ChecksSubmitted, est.ChecksSolved, est.CacheHits, est.DedupHits)
-	printStoreSummary(st)
-	if res.OK {
-		fmt.Println("all properties verified")
+	names := make([]string, 0, len(est.Backends))
+	for name := range est.Backends {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bs := est.Backends[name]
+		extra := ""
+		if bs.Raced > 0 {
+			extra += fmt.Sprintf(", %d variants raced", bs.Raced)
+		}
+		if bs.Escalated > 0 {
+			extra += fmt.Sprintf(", %d escalated", bs.Escalated)
+		}
+		if bs.Unknown > 0 {
+			extra += fmt.Sprintf(", %d unknown", bs.Unknown)
+		}
+		fmt.Printf("  backend %s: %d solved in %v%s\n",
+			name, bs.Solved, time.Duration(bs.SolveNanos).Round(time.Microsecond), extra)
 	}
 }
 
@@ -438,12 +540,13 @@ func printDelta(res *plan.Result, c *plan.Compiled, jsonOut bool, st *store.Stor
 			fmt.Print(p.Report.Summary())
 		}
 	}
-	est := res.Engine
-	fmt.Printf("engine: %d checks submitted, %d solved, %d cache hits, %d dedup hits\n",
-		est.ChecksSubmitted, est.ChecksSolved, est.CacheHits, est.DedupHits)
+	printEngineSummary(res.Engine)
 	printStoreSummary(st)
-	if res.OK {
+	switch {
+	case res.OK:
 		fmt.Println("updated configuration verified incrementally")
+	case res.Failures == 0 && res.Unknowns > 0:
+		fmt.Printf("%d checks UNKNOWN (solver budget exhausted): properties undecided, not refuted\n", res.Unknowns)
 	}
 }
 

@@ -13,7 +13,7 @@ import (
 )
 
 func baseFlags() cliFlags {
-	return cliFlags{Properties: "fig1-no-transit", Regions: 3, Set: map[string]bool{}}
+	return cliFlags{Properties: "fig1-no-transit", WANRegions: 3, Set: map[string]bool{}}
 }
 
 func writeConfig(t *testing.T) string {
@@ -166,6 +166,60 @@ func TestBuildRequestPlanRoutersOnly(t *testing.T) {
 	for i, p := range req.Properties {
 		if len(p.Routers) != 1 || p.Routers[0] != "wan-r0-0" {
 			t.Fatalf("property %d not re-scoped: %+v", i, p)
+		}
+	}
+}
+
+// TestBuildRequestSolverAndRegions: -solver compiles into the plan's solver
+// option and -regions into per-property region scopes.
+func TestBuildRequestSolverAndRegions(t *testing.T) {
+	f := baseFlags()
+	f.ConfigPath = writeConfig(t)
+	f.Properties = "wan-ip-reuse"
+	f.Regions = "0, 2"
+	f.Solver = "tiered:500"
+	req, err := buildRequest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := req.Options.Solver; s == nil || s.Backend != "tiered" || s.Budget != 500 {
+		t.Fatalf("solver spec = %+v", req.Options.Solver)
+	}
+	if len(req.Properties) != 1 || len(req.Properties[0].Regions) != 2 ||
+		req.Properties[0].Regions[0] != 0 || req.Properties[0].Regions[1] != 2 {
+		t.Fatalf("region scope = %+v", req.Properties)
+	}
+
+	f.Solver = "warp-drive"
+	if _, err := buildRequest(f); err == nil {
+		t.Fatal("unknown solver backend accepted")
+	} else if _, ok := err.(*usageError); !ok {
+		t.Fatalf("unknown solver backend: %v (%T), want usage error", err, err)
+	}
+
+	f.Solver = ""
+	f.Regions = "two"
+	if _, err := buildRequest(f); err == nil {
+		t.Fatal("bad region index accepted")
+	} else if _, ok := err.(*usageError); !ok {
+		t.Fatalf("bad region index: %v (%T), want usage error", err, err)
+	}
+}
+
+// TestExitCodeContract: 0 verified, 1 failed, 3 unknown-only.
+func TestExitCodeContract(t *testing.T) {
+	cases := []struct {
+		res  plan.Result
+		want int
+	}{
+		{plan.Result{OK: true}, 0},
+		{plan.Result{OK: false, Failures: 2}, 1},
+		{plan.Result{OK: false, Failures: 1, Unknowns: 3}, 1}, // a real failure dominates
+		{plan.Result{OK: false, Unknowns: 3}, 3},
+	}
+	for _, c := range cases {
+		if got := exitCode(&c.res); got != c.want {
+			t.Errorf("exitCode(%+v) = %d, want %d", c.res, got, c.want)
 		}
 	}
 }

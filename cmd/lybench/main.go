@@ -9,9 +9,15 @@
 //	-experiment table4c   WAN IP-reuse liveness per region (Table 4c)
 //	-experiment fig3      Lightyear vs Minesweeper scaling sweep (Figure 3a-d)
 //	-experiment wan       §6.1 scale run: peering properties across a large WAN,
-//	                      sequential vs parallel vs engine (cross-problem dedup)
+//	                      sequential vs parallel vs compiled plan (cross-problem
+//	                      dedup), all driving the same netgen suite registry and
+//	                      plan path production uses
 //	-experiment delta     incremental re-verification: change size vs re-verify
-//	                      cost through internal/delta (the §2 incremental claim)
+//	                      cost through internal/delta (the §2 incremental claim),
+//	                      driving a compiled plan as the problem source
+//	-experiment solver    solver-backend comparison: the wan-peering suite run
+//	                      cold under the native, portfolio, and tiered backends,
+//	                      with per-backend solve-time and routing stats
 //	-experiment faults    differential simulation under random failures (§4.5)
 //	-experiment all       everything above
 package main
@@ -30,8 +36,10 @@ import (
 	"lightyear/internal/engine"
 	"lightyear/internal/minesweeper"
 	"lightyear/internal/netgen"
+	"lightyear/internal/plan"
 	"lightyear/internal/routemodel"
 	"lightyear/internal/sim"
+	"lightyear/internal/solver"
 	"lightyear/internal/topology"
 )
 
@@ -71,6 +79,8 @@ func main() {
 		wanExperiment(*wanScale, *workers)
 	case "delta":
 		deltaExperiment(*workers)
+	case "solver":
+		solverExperiment(*workers)
 	case "faults":
 		faults()
 	case "all":
@@ -83,6 +93,7 @@ func main() {
 		fig3(parseSizes(*sizes), *msTimeout, *workers)
 		wanExperiment(*wanScale, *workers)
 		deltaExperiment(*workers)
+		solverExperiment(*workers)
 		faults()
 	default:
 		fmt.Fprintf(os.Stderr, "lybench: unknown experiment %q\n", *experiment)
@@ -255,6 +266,20 @@ func fig3(sizes []int, msTimeout time.Duration, workers int) {
 	fmt.Println(" LY per-check size is constant and total time linear in edges.)")
 }
 
+// wanSpec renders WAN parameters as the serializable generator spec compiled
+// plans carry, so the bench's networks are built by the exact registry path
+// the CLI and lyserve use.
+func wanSpec(p netgen.WANParams) *netgen.GeneratorSpec {
+	return &netgen.GeneratorSpec{
+		Kind:             "wan",
+		Regions:          p.Regions,
+		RoutersPerRegion: p.RoutersPerRegion,
+		EdgeRouters:      p.EdgeRouters,
+		DCsPerRegion:     p.DCsPerRegion,
+		PeersPerEdge:     p.PeersPerEdge,
+	}
+}
+
 func wanExperiment(scale string, workers int) {
 	header("§6.1 WAN scale run")
 	var p netgen.WANParams
@@ -272,18 +297,25 @@ func wanExperiment(scale string, workers int) {
 	fmt.Printf("WAN: %d routers, %d externals, %d directed sessions\n",
 		len(n.Routers()), len(n.Externals()), n.NumEdges())
 
-	props := netgen.PeeringProperties(p.Regions)[:4] // "four of the properties" (§6.1)
+	// All three modes measure the same problem set: the wan-peering registry
+	// suite scoped to the edge routers — the exact problems a production
+	// plan {"name": "wan-peering", "routers": [...]} enumerates.
+	suite, ok := netgen.Lookup("wan-peering")
+	if !ok {
+		fatal(fmt.Errorf("wan-peering suite not registered"))
+	}
+	params := netgen.SuiteParams{Regions: p.Regions}
 	edgeRouters := n.RoutersByRole("edge")
+	scope := netgen.Scope{Routers: edgeRouters}
+	problems := suite.Problems(n, params, scope)
 
 	// Mode 1 — sequential baseline: one worker, no cache, one problem at a
 	// time (the paper's single-threaded deployment mode).
 	t0 := time.Now()
-	for _, prop := range props {
-		for _, r := range edgeRouters {
-			rep := core.VerifySafety(netgen.PeeringProblem(n, r, prop), core.Options{Workers: 1})
-			if !rep.OK() {
-				fmt.Printf("  unexpected failure: %s at %s\n", prop.Name, r)
-			}
+	for _, prob := range problems {
+		rep := core.VerifySafety(prob.Safety, core.Options{Workers: 1})
+		if !rep.OK() {
+			fmt.Printf("  unexpected failure: %s\n", prob.Name)
 		}
 	}
 	seq := time.Since(t0)
@@ -291,42 +323,49 @@ func wanExperiment(scale string, workers int) {
 	// Mode 2 — parallel checks only: shared pool, caching and dedup off.
 	parEng := engine.New(engine.Options{Workers: workers, CacheSize: -1})
 	t0 = time.Now()
-	for _, prop := range props {
-		for _, r := range edgeRouters {
-			rep := parEng.VerifySafety(netgen.PeeringProblem(n, r, prop))
-			if !rep.OK() {
-				fmt.Printf("  unexpected failure: %s at %s\n", prop.Name, r)
-			}
+	for _, prob := range problems {
+		rep := parEng.VerifySafety(prob.Safety)
+		if !rep.OK() {
+			fmt.Printf("  unexpected failure: %s\n", prob.Name)
 		}
 	}
 	par := time.Since(t0)
 	parEng.Close()
 
-	// Mode 3 — full engine: all property×router jobs submitted up front so
-	// byte-identical filter checks across the sweep are solved once and
-	// shared via the LRU cache / in-flight dedup.
+	// Mode 3 — the production path: the same suite compiled as a plan and
+	// run on a fresh engine. Every problem is submitted before any is
+	// awaited, so byte-identical filter checks across the sweep are solved
+	// once and shared via the LRU cache / in-flight dedup.
+	req := plan.Request{
+		Network:    plan.Network{Generator: wanSpec(p)},
+		Properties: []plan.Property{{Name: "wan-peering", Routers: edgeRouters}},
+		Options:    plan.Options{WANRegions: p.Regions},
+	}
+	c, err := plan.Compile(req, nil)
+	if err != nil {
+		fatal(err)
+	}
 	eng := engine.New(engine.Options{Workers: workers})
 	t0 = time.Now()
-	var jobs []*engine.Job
-	for _, prop := range props {
-		for _, r := range edgeRouters {
-			jobs = append(jobs, eng.SubmitSafety(netgen.PeeringProblem(n, r, prop)))
-		}
-	}
-	for _, j := range jobs {
-		if rep := j.Wait(); !rep.OK() {
-			fmt.Printf("  unexpected failure: %s\n", rep.Property)
-		}
-	}
+	res, err := plan.Run(eng, c, plan.RunConfig{})
 	deduped := time.Since(t0)
 	st := eng.Stats()
 	eng.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if !res.OK {
+		fmt.Println("  unexpected failure in plan run")
+	}
 
-	fmt.Printf("4 properties x %d edge routers: sequential %v, parallel %v, engine (dedup+cache) %v\n",
-		len(edgeRouters), seq.Round(time.Millisecond), par.Round(time.Millisecond), deduped.Round(time.Millisecond))
+	fmt.Printf("%d problems (all %d peering properties x %d edge routers): sequential %v, parallel %v, plan on engine (dedup+cache) %v\n",
+		len(problems), len(netgen.PeeringProperties(p.Regions)), len(edgeRouters),
+		seq.Round(time.Millisecond), par.Round(time.Millisecond), deduped.Round(time.Millisecond))
 	fmt.Printf("engine: %d checks submitted, %d solved, %d cache hits, %d dedup hits\n",
 		st.ChecksSubmitted, st.ChecksSolved, st.CacheHits, st.DedupHits)
-	fmt.Println("(paper: 16 minutes sequential for 4 properties across hundreds of edge routers)")
+	fmt.Println("(paper §6.1: 16 minutes sequential for a 4-property subset across hundreds of")
+	fmt.Println(" edge routers; this run sweeps the full 11-property suite, so compare modes")
+	fmt.Println(" against each other, not against the paper's absolute figure)")
 }
 
 // deltaExperiment measures the paper's incremental claim (§2): after a
@@ -340,21 +379,30 @@ func wanExperiment(scale string, workers int) {
 func deltaExperiment(workers int) {
 	header("delta: change size vs incremental re-verification cost")
 	p := netgen.WANParams{Regions: 3, RoutersPerRegion: 2, EdgeRouters: 8, DCsPerRegion: 1, PeersPerEdge: 2}
-	suite, ok := netgen.Lookup("wan-peering")
-	if !ok {
-		fatal(fmt.Errorf("wan-peering suite not registered"))
-	}
 	base := netgen.WAN(p, netgen.WANBugs{})
-	fmt.Printf("WAN: %d routers, %d externals, %d directed sessions; suite %s\n",
-		len(base.Routers()), len(base.Externals()), base.NumEdges(), suite.Name)
+	// The incremental session runs on a compiled plan as its problem source
+	// — the same source lyserve sessions pin — so the bench measures the
+	// production incremental path, not a bespoke suite adapter.
+	req := plan.Request{
+		Network:    plan.Network{Generator: wanSpec(p)},
+		Properties: []plan.Property{{Name: "wan-peering"}},
+		Options:    plan.Options{WANRegions: p.Regions},
+	}
+	fmt.Printf("WAN: %d routers, %d externals, %d directed sessions; plan %s\n",
+		len(base.Routers()), len(base.Externals()), base.NumEdges(), "wan-peering")
 
 	fmt.Printf("%-18s | %8s %8s %8s %8s | %10s\n",
 		"change", "checks", "dirty", "reused", "solved", "time")
 	for _, k := range []int{0, 1, 2, 4, 8} {
 		// Fresh engine + session per change size, so each row pays its own
 		// cold baseline and the incremental run is not cross-contaminated.
+		c, err := plan.Compile(req, nil)
+		if err != nil {
+			fatal(err)
+		}
 		eng := engine.New(engine.Options{Workers: workers})
-		v := delta.NewVerifier(eng, suite, netgen.SuiteParams{Regions: p.Regions})
+		v := delta.NewVerifierFor(eng, c)
+		v.SetSubmitOptions(c.SubmitOptions())
 		cold, err := v.Baseline(netgen.WAN(p, netgen.WANBugs{}))
 		if err != nil {
 			fatal(err)
@@ -383,6 +431,49 @@ func deltaExperiment(workers int) {
 	}
 	fmt.Println("(expected shape: dirty checks and solve work grow with the change size,")
 	fmt.Println(" not the network; a 0-router change reuses every retained result.)")
+}
+
+// solverExperiment compares the solver backends on the wan-peering suite:
+// the same compiled plan runs cold on a fresh engine per backend, so every
+// row pays identical check-generation work and the rows differ only in how
+// obligations are decided — one native solve, a heuristic-variant race
+// (portfolio), or budget-tiered escalation (tiered).
+func solverExperiment(workers int) {
+	header("solver: backend comparison on wan-peering")
+	p := netgen.WANParams{Regions: 3, RoutersPerRegion: 2, EdgeRouters: 6, DCsPerRegion: 1, PeersPerEdge: 2}
+	req := plan.Request{
+		Network:    plan.Network{Generator: wanSpec(p)},
+		Properties: []plan.Property{{Name: "wan-peering"}},
+		Options:    plan.Options{WANRegions: p.Regions},
+	}
+	fmt.Printf("%-10s | %8s %8s %8s %8s %8s | %10s %10s\n",
+		"backend", "checks", "solved", "unknown", "raced", "escal", "solve", "wall")
+	for _, name := range solver.Names() {
+		r := req
+		r.Options.Solver = &solver.Spec{Backend: name}
+		c, err := plan.Compile(r, nil)
+		if err != nil {
+			fatal(err)
+		}
+		eng := engine.New(engine.Options{Workers: workers})
+		t0 := time.Now()
+		res, err := plan.Run(eng, c, plan.RunConfig{})
+		wall := time.Since(t0)
+		eng.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if !res.OK {
+			fmt.Printf("  unexpected failure under backend %s\n", name)
+		}
+		st := res.Properties[0].Stats
+		fmt.Printf("%-10s | %8d %8d %8d %8d %8d | %10v %10v\n",
+			name, st.Checks, st.Solved, st.Unknown, st.Raced, st.Escalated,
+			time.Duration(st.SolveNanos).Round(time.Microsecond), wall.Round(time.Millisecond))
+	}
+	fmt.Println("(tiered matches native when every check fits the quick tier — escalations")
+	fmt.Println(" would appear in 'escal'; portfolio trades CPU for per-check latency")
+	fmt.Println(" robustness, racing variants and cancelling the losers.)")
 }
 
 // faults demonstrates §4.5: the verified no-transit property survives

@@ -5,13 +5,17 @@
 //
 // Usage:
 //
-//	lyserve [-addr :8080] [-workers N] [-cache N] [-store DIR] [-job-ttl 1h]
+//	lyserve [-addr :8080] [-workers N] [-cache N] [-store DIR] [-job-ttl 1h] [-event-window N]
 //
 // With -store DIR the engine's result cache is the internal/store
 // persistent journal in DIR, so a redeployed lyserve serves previously
 // solved checks without re-solving them. Completed jobs are garbage-
 // collected -job-ttl after completion (default 1h); sessions are pinned
 // until DELETE /v{1,2}/sessions/{id} and are never GCed automatically.
+// -event-window N (default 4096) bounds the per-job event history retained
+// for GET /v2/jobs/{id}/events replay: when a large plan emits more events
+// than the window, the oldest are evicted and late subscribers receive a
+// single {"type":"truncated","dropped":K} marker in their place.
 //
 // # v2 API — declarative verification plans
 //
@@ -25,12 +29,18 @@
 //	      {"network":    {"generator": {"kind": "wan", "regions": 2}},
 //	       "properties": [{"name": "wan-peering", "routers": ["edge-0"]},
 //	                      {"name": "wan-ip-reuse"}],
-//	       "options":    {"wan_regions": 2}}
+//	       "options":    {"wan_regions": 2,
+//	                      "solver": {"backend": "portfolio"}}}
 //	    The network source is one of "config" (inline DSL), "generator",
 //	    or "baseline" (a session id whose pinned network to verify).
 //	    Returns 202 with {"id", "status_url", "events_url"}. All properties
 //	    run as one plan on the shared engine, so checks shared across
-//	    properties are solved once.
+//	    properties are solved once. The optional "solver" option routes the
+//	    request's checks to a solver backend ("native", "portfolio", or
+//	    "tiered", optionally with a conflict "budget") — a per-job routing
+//	    decision on the shared engine, so concurrent tenants may use
+//	    different backends. Checks whose budget ran out report status
+//	    "unknown", distinct from "fail".
 //
 //	GET /v2/jobs/{id}
 //	    The job grouped per property: status, per-problem completion, and —
@@ -40,11 +50,13 @@
 //	GET /v2/jobs/{id}/events
 //	    NDJSON stream of the run's progress events: a "start" event per
 //	    problem as it is submitted (with its check total), one "check"
-//	    event per completed engine check (with cache/dedup provenance), a
-//	    "problem" event per finished problem (with its stats), a "property"
-//	    summary event each, and a final "plan" event, after which the
-//	    stream closes. Events already emitted are replayed first, so late
-//	    subscribers see the full history.
+//	    event per completed engine check (with cache/dedup provenance and
+//	    its ok/fail/unknown status), a "problem" event per finished problem
+//	    (with its stats), a "property" summary event each, and a final
+//	    "plan" event, after which the stream closes. Events already emitted
+//	    are replayed first, so late subscribers see the full history (or,
+//	    past the -event-window, a truncation marker followed by the
+//	    retained suffix).
 //
 //	POST /v2/sessions
 //	    Body: a plan.Request. Pins the request's network as an incremental
@@ -78,8 +90,9 @@
 //	    report in the same JSON encoding `lightyear -json` emits.
 //
 //	GET /v1/stats
-//	    Engine counters, job/session counts, and — with -store —
-//	    persistent-store counters.
+//	    Engine counters (including per-solver-backend counters: solved,
+//	    unknown, variants raced, tiered escalations, solve time), job and
+//	    session counts, and — with -store — persistent-store counters.
 //
 //	POST /v1/sessions, POST /v1/sessions/{id}/update,
 //	GET /v1/sessions/{id}, DELETE /v1/sessions/{id}
@@ -108,6 +121,9 @@ import (
 // defaultJobTTL is how long completed jobs stay queryable before GC.
 const defaultJobTTL = time.Hour
 
+// defaultEventWindow is the per-job event-history bound (-event-window).
+const defaultEventWindow = 4096
+
 // maxRequestBody caps every JSON request body read by the service.
 const maxRequestBody = 1 << 20 // 1 MiB
 
@@ -118,6 +134,7 @@ func main() {
 		cacheSize = flag.Int("cache", 0, "engine result-cache capacity (0 = default, <0 disables; ignored with -store)")
 		storeDir  = flag.String("store", "", "persistent result-store directory (replaces the in-memory cache)")
 		jobTTL    = flag.Duration("job-ttl", defaultJobTTL, "retention of completed jobs")
+		evWindow  = flag.Int("event-window", defaultEventWindow, "per-job event-history entries retained for /events replay (<=0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -138,6 +155,7 @@ func main() {
 	srv := newServer(eng)
 	srv.store = st
 	srv.ttl = *jobTTL
+	srv.eventWindow = *evWindow
 	go srv.janitor()
 	log.Printf("lyserve: %s listening on %s (suites: %s)",
 		eng, *addr, strings.Join(netgen.SuiteNames(), ", "))
@@ -146,9 +164,10 @@ func main() {
 
 // server owns the engine and the in-memory job and session tables.
 type server struct {
-	eng   *engine.Engine
-	store *store.Store  // nil without -store; provenance tagging only
-	ttl   time.Duration // completed-job retention
+	eng         *engine.Engine
+	store       *store.Store  // nil without -store; provenance tagging only
+	ttl         time.Duration // completed-job retention
+	eventWindow int           // per-job event-history bound (<=0 = unbounded)
 
 	mu       sync.Mutex
 	seq      int
@@ -159,10 +178,11 @@ type server struct {
 
 func newServer(eng *engine.Engine) *server {
 	return &server{
-		eng:      eng,
-		ttl:      defaultJobTTL,
-		jobs:     make(map[string]*serviceJob),
-		sessions: make(map[string]*session),
+		eng:         eng,
+		ttl:         defaultJobTTL,
+		eventWindow: defaultEventWindow,
+		jobs:        make(map[string]*serviceJob),
+		sessions:    make(map[string]*session),
 	}
 }
 
@@ -270,10 +290,12 @@ type serviceJob struct {
 	id      string
 	label   string // v1 suite name, or the plan's property list
 	created time.Time
+	window  int // event-history bound (<=0 = unbounded)
 
 	mu       sync.Mutex
 	props    []*propertyState
 	events   []plan.Event
+	dropped  int           // events evicted from the front of the history
 	notify   chan struct{} // closed and replaced whenever events/finished change
 	finished bool
 	done     time.Time
@@ -307,7 +329,7 @@ func (j *serviceJob) doneAt() (bool, time.Time) {
 // launchPlan registers a job for the compiled plan and starts it on the
 // shared engine.
 func (s *server) launchPlan(c *plan.Compiled, label string) *serviceJob {
-	j := &serviceJob{label: label, created: time.Now(), notify: make(chan struct{})}
+	j := &serviceJob{label: label, created: time.Now(), window: s.eventWindow, notify: make(chan struct{})}
 	for _, u := range c.Units {
 		ps := &propertyState{property: u.Property}
 		for _, p := range u.Problems {
@@ -367,6 +389,15 @@ func (j *serviceJob) handleEvent(ev plan.Event) {
 		}
 	}
 	j.events = append(j.events, ev)
+	if j.window > 0 && len(j.events) > j.window {
+		// Bound the replay history: evict the oldest events and remember how
+		// many, so late subscribers get a truncation marker instead of the
+		// missing prefix. Live subscribers past the eviction point are
+		// unaffected (their cursor is absolute).
+		evict := len(j.events) - j.window
+		j.events = j.events[evict:]
+		j.dropped += evict
+	}
 	close(j.notify)
 	j.notify = make(chan struct{})
 }
@@ -605,8 +636,12 @@ func (s *server) handleJobV2(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleJobEvents streams the job's plan events as NDJSON: the full history
-// so far, then live events until the final "plan" event closes the stream.
+// handleJobEvents streams the job's plan events as NDJSON: the retained
+// history so far, then live events until the final "plan" event closes the
+// stream. The cursor is an absolute event index; when the job's bounded
+// history (-event-window) has already evicted events the subscriber has not
+// seen, a single {"type":"truncated","dropped":K} marker is emitted in
+// their place.
 func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookupJob(w, r)
 	if !ok {
@@ -616,21 +651,33 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
-	idx := 0
+	idx := 0 // absolute index of the next event to deliver
 	for {
 		j.mu.Lock()
-		pendingEvents := j.events[idx:] // elements are immutable once appended
+		gap := 0
+		if idx < j.dropped {
+			gap = j.dropped - idx
+			idx = j.dropped
+		}
+		pendingEvents := j.events[idx-j.dropped:] // elements are immutable once appended
 		notify := j.notify
 		finished := j.finished
 		j.mu.Unlock()
 
+		if gap > 0 {
+			marker := plan.Event{Type: "truncated", Dropped: gap,
+				Reason: "event window exceeded; earlier events evicted"}
+			if err := enc.Encode(marker); err != nil {
+				return
+			}
+		}
 		for _, ev := range pendingEvents {
 			if err := enc.Encode(ev); err != nil {
 				return
 			}
 		}
 		idx += len(pendingEvents)
-		if len(pendingEvents) > 0 && canFlush {
+		if (gap > 0 || len(pendingEvents) > 0) && canFlush {
 			flusher.Flush()
 		}
 		// finished and events were read under one lock hold: once finished,
@@ -695,6 +742,9 @@ func (s *server) createSession(w http.ResponseWriter, c *plan.Compiled, statusPr
 		store:    s.store,
 		wake:     make(chan struct{}, 1),
 	}
+	// The request's solver backend follows the session: every incremental
+	// update's dirty subset solves on the backend the plan selected.
+	sess.verifier.SetSubmitOptions(c.SubmitOptions())
 	go sess.worker()
 	s.mu.Lock()
 	s.sseq++

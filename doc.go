@@ -29,6 +29,38 @@
 // lyserve exposes one over HTTP, and core.IncrementalVerifier can run on
 // one via the core.CheckRunner seam.
 //
+// # Check obligations and solver backends
+//
+// Check construction and check execution are separate layers. A generated
+// check carries a core.Obligation — the declarative, inspectable description
+// of what must be proven (kind, location, the route map and ghost actions
+// involved, the pre/post predicates, and the polarity) with an Encode method
+// producing the violation formula in any smt.Context — and internal/solver
+// decides obligations through the solver.Backend interface
+// (Solve(ctx, obligation, budget) → outcome). Three backends ship:
+//
+//   - native: one in-process CDCL solve per obligation (the default);
+//   - portfolio: races heuristic variants of the solver (VSIDS vs static
+//     order, phase polarity, restarts) per obligation — the first verdict
+//     wins and the losers are cancelled via context;
+//   - tiered: a small conflict-budget attempt first, escalating to the full
+//     budget only on Unknown, so cheap checks stay cheap and hard ones
+//     still finish.
+//
+// Every check result carries an explicit Status — ok, fail, or unknown
+// (budget exhausted; not a refutation) — plus the backend label that
+// produced it, and the engine aggregates per-backend counters (solved,
+// unknown, variants raced, escalations, solve time). Unknown results are
+// never cached or retained, so a later run with a bigger budget re-solves
+// them. Choosing a backend is a per-request routing decision: the plan
+// option {"solver": {"backend": "portfolio", "budget": N}}, the CLI flag
+// `lightyear -solver tiered:1000`, or engine.SubmitOptions in the library;
+// `lightyear` exits 3 when a run fails only because of Unknown checks. The
+// sat-stress suite (registered like any property) plants pigeonhole
+// obligations that genuinely require search, for exercising budgets and
+// backends end-to-end; `lybench -experiment solver` compares the backends
+// on the WAN suites.
+//
 // The result cache is a pluggable seam (engine.ResultCache): the default is
 // an in-memory LRU, and internal/store provides a disk-persistent
 // JSON-journal implementation keyed by check key (with the originating
@@ -89,8 +121,8 @@
 //
 // Built-in property suites are registered by name in internal/netgen
 // (netgen.Lookup / netgen.SuiteNames) and shared by all entry points:
-// fig1-no-transit, fig1-liveness, fullmesh, wan-peering, wan-ip-reuse, and
-// wan-ip-liveness. Suites decompose into network builders
+// fig1-no-transit, fig1-liveness, fullmesh, wan-peering, wan-ip-reuse,
+// wan-ip-liveness, and sat-stress. Suites decompose into network builders
 // (netgen.Generate over netgen.GeneratorSpec) and scoped property builders
 // (netgen.Suite.Problems), the two layers plans compose.
 package lightyear

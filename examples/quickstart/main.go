@@ -28,6 +28,37 @@
 //	     {"type":"problem","prop":0,"problem":"no-bogons@edge-0","ok":true,...}
 //	     {"type":"property","prop":0,"property":"wan-peering","ok":true,...}
 //	     {"type":"plan","ok":true}
+//
+// # Choosing a solver backend
+//
+// Every check is a declarative obligation decided by a pluggable solver
+// backend (internal/solver). The plan's "solver" execution option selects
+// one per request — the engine routes just that request's checks to it, so
+// concurrent tenants of one lyserve can use different backends:
+//
+//	{
+//	  "network":    {"generator": {"kind": "wan", "regions": 2}},
+//	  "properties": [{"name": "wan-peering"}],
+//	  "options":    {"wan_regions": 2,
+//	                 "solver": {"backend": "portfolio"}}
+//	}
+//
+// Backends: "native" (one in-process CDCL solve; add "budget": N to cap SAT
+// conflicts per check — checks that exceed it report status "unknown"
+// rather than a fake failure, and lightyear exits 3 on unknown-only runs),
+// "portfolio" (races heuristic variants per check, first verdict wins,
+// losers cancelled), and "tiered" (small conflict budget first — "budget"
+// overrides the 2048 default — escalating to unlimited on Unknown). The
+// same selection is `lightyear -solver portfolio` on the CLI. Submit one
+// over HTTP and read the per-backend counters back:
+//
+//	curl -s localhost:8080/v2/verify -d '{
+//	  "network":    {"generator": {"kind": "fig1"}},
+//	  "properties": [{"name": "sat-stress"}],
+//	  "options":    {"solver": {"backend": "portfolio"}}}'
+//	curl -s localhost:8080/v1/stats
+//	  => {"engine": {..., "backends": {"portfolio":
+//	      {"solved": 24, "raced": 87, "solve_ns": ...}}}, ...}
 package main
 
 import (

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -10,7 +11,6 @@ import (
 
 	"lightyear/internal/policy"
 	"lightyear/internal/routemodel"
-	"lightyear/internal/smt"
 	"lightyear/internal/spec"
 	"lightyear/internal/topology"
 )
@@ -48,13 +48,35 @@ func (k CheckKind) String() string {
 	return fmt.Sprintf("check(%d)", int(k))
 }
 
-// Check describes one generated local check before execution.
+// Check is one generated local check: a declarative Obligation (what must be
+// proven) bound to the execution options it was generated under. Construction
+// and execution are separate — SafetyProblem.Checks / LivenessProblem.Checks
+// build checks without solving anything, and any execution substrate (the
+// in-package runners, internal/engine, an internal/solver backend) decides
+// the obligation later.
 type Check struct {
 	Kind CheckKind
 	Loc  Location // the edge or router the check pertains to
 	Desc string
 	key  string // semantic cache key for incremental verification
-	run  func() CheckResult
+
+	ob     *Obligation
+	budget int64       // conflict budget from the generating Options
+	solver CheckSolver // custom solver from the generating Options, nil = native
+}
+
+// newCheck binds an obligation to the generating options' execution
+// parameters, mirroring the obligation's identity onto the check.
+func newCheck(ob *Obligation, opts Options) Check {
+	return Check{
+		Kind:   ob.Kind,
+		Loc:    ob.Loc,
+		Desc:   ob.Desc,
+		key:    ob.key,
+		ob:     ob,
+		budget: opts.ConflictBudget,
+		solver: opts.Solver,
+	}
 }
 
 // Key returns the check's semantic cache key: a hash of everything the
@@ -65,9 +87,37 @@ type Check struct {
 // check is not cacheable.
 func (c Check) Key() string { return c.key }
 
+// Obligation returns the check's declarative content. Execution substrates
+// that route checks to solver backends (internal/engine) solve the
+// obligation directly and stamp the result with the check's identity.
+func (c Check) Obligation() *Obligation { return c.ob }
+
+// Budget returns the conflict budget the check was generated under
+// (Options.ConflictBudget; 0 = unlimited). External execution substrates
+// honor it so a check batch generated with a bounded budget keeps that
+// bound wherever it runs.
+func (c Check) Budget() int64 { return c.budget }
+
 // Run executes the check and returns its result. Checks are self-contained
 // and independent, so Run may be called from any goroutine.
-func (c Check) Run() CheckResult { return c.run() }
+func (c Check) Run() CheckResult { return c.RunContext(context.Background()) }
+
+// RunContext executes the check with cooperative cancellation: when ctx is
+// cancelled mid-solve the result has StatusUnknown. The check's generating
+// Options decide the solver (Options.Solver, native by default) and the
+// conflict budget.
+func (c Check) RunContext(ctx context.Context) CheckResult {
+	var r CheckResult
+	if c.solver != nil {
+		r = c.solver(ctx, c.ob, c.budget)
+	} else {
+		r = c.ob.Solve(ctx, SolveConfig{ConflictBudget: c.budget})
+	}
+	// The obligation may be shared (relabeled checks); the result reports
+	// the running check's identity.
+	r.Kind, r.Loc, r.Desc = c.Kind, c.Loc, c.Desc
+	return r
+}
 
 // Counterexample is a concrete witness for a failed local check: an input
 // route that the filter at the named location handles in a way that violates
@@ -103,10 +153,20 @@ func (c *Counterexample) String() string {
 
 // CheckResult is the outcome of one local check.
 type CheckResult struct {
-	Kind           CheckKind
-	Loc            Location
-	Desc           string
-	OK             bool
+	Kind CheckKind
+	Loc  Location
+	Desc string
+	// OK mirrors Status == StatusOK; it is kept as a field because nearly
+	// every consumer only needs the boolean.
+	OK bool
+	// Status distinguishes a proven violation (StatusFail) from an undecided
+	// check (StatusUnknown — budget exhausted or cancelled). Both have
+	// OK == false; only StatusFail carries a real counterexample.
+	Status Status
+	// Backend labels the solver path that produced the verdict ("native",
+	// "portfolio/<variant>", "tiered/quick", ...). Empty for results
+	// assembled outside a solver (e.g. replayed from a persistent store).
+	Backend        string
 	Counterexample *Counterexample
 
 	NumVars   int           // SAT variables in this check's formula
@@ -135,11 +195,37 @@ func (r *Report) OK() bool {
 	return true
 }
 
-// Failures returns the failed check results.
+// Failures returns every check result that did not pass — proven violations
+// and undecided (Unknown) checks alike. Use HardFailures/Unknowns to tell
+// them apart.
 func (r *Report) Failures() []CheckResult {
 	var out []CheckResult
 	for i := range r.Results {
 		if !r.Results[i].OK {
+			out = append(out, r.Results[i])
+		}
+	}
+	return out
+}
+
+// HardFailures returns the checks with a proven violation (StatusFail),
+// excluding undecided checks.
+func (r *Report) HardFailures() []CheckResult {
+	var out []CheckResult
+	for i := range r.Results {
+		if r.Results[i].Status == StatusFail {
+			out = append(out, r.Results[i])
+		}
+	}
+	return out
+}
+
+// Unknowns returns the undecided checks (StatusUnknown): the solver budget
+// was exhausted or the solve was cancelled before a verdict.
+func (r *Report) Unknowns() []CheckResult {
+	var out []CheckResult
+	for i := range r.Results {
+		if r.Results[i].Status == StatusUnknown {
 			out = append(out, r.Results[i])
 		}
 	}
@@ -183,18 +269,26 @@ func (r *Report) SolveTime() time.Duration {
 	return t
 }
 
-// Summary renders a human-readable report.
+// Summary renders a human-readable report. Proven violations print as FAIL
+// lines with their counterexamples; undecided checks print as UNKNOWN lines
+// (the property is not refuted — the solver budget was exhausted before a
+// verdict, so escalate the budget or backend to decide them).
 func (r *Report) Summary() string {
 	var b strings.Builder
+	unknowns := r.Unknowns()
 	fmt.Fprintf(&b, "property: %s\n", r.Property)
-	fmt.Fprintf(&b, "checks: %d, failed: %d, total time: %v\n", r.NumChecks(), len(r.Failures()), r.TotalTime)
-	for _, f := range r.Failures() {
+	fmt.Fprintf(&b, "checks: %d, failed: %d, unknown: %d, total time: %v\n",
+		r.NumChecks(), len(r.HardFailures()), len(unknowns), r.TotalTime)
+	for _, f := range r.HardFailures() {
 		fmt.Fprintf(&b, "FAIL [%s] at %s: %s\n", f.Kind, f.Loc, f.Desc)
 		if f.Counterexample != nil {
 			for _, line := range strings.Split(f.Counterexample.String(), "\n") {
 				fmt.Fprintf(&b, "    %s\n", line)
 			}
 		}
+	}
+	for _, u := range unknowns {
+		fmt.Fprintf(&b, "UNKNOWN [%s] at %s: %s (solver budget exhausted)\n", u.Kind, u.Loc, u.Desc)
 	}
 	if r.OK() {
 		b.WriteString("all local checks passed: property verified\n")
@@ -210,6 +304,11 @@ type Options struct {
 	Workers int
 	// ConflictBudget bounds SAT effort per check; 0 means unlimited.
 	ConflictBudget int64
+	// Solver, when non-nil, replaces the native in-process solve for every
+	// check generated under these options — the seam internal/solver's
+	// backends (portfolio, tiered) adapt onto for the standalone runners;
+	// internal/engine routes obligations to its own backend instead.
+	Solver CheckSolver
 }
 
 func (o Options) workers() int {
@@ -271,7 +370,7 @@ func runChecks(prop Property, checks []Check, opts Options) *Report {
 	}
 	if w <= 1 {
 		for i := range checks {
-			results[i] = checks[i].run()
+			results[i] = checks[i].Run()
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -281,7 +380,7 @@ func runChecks(prop Property, checks []Check, opts Options) *Report {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					results[i] = checks[i].run()
+					results[i] = checks[i].Run()
 				}
 			}()
 		}
@@ -302,7 +401,8 @@ func runChecks(prop Property, checks []Check, opts Options) *Report {
 //	∀r: pre(r) ∧ r' = F(r) ⇒ (r' ≠ Reject ∧ post(r'))    (mustAccept=true)
 //
 // It is decided by asking the solver for a route violating the implication;
-// UNSAT means the check holds.
+// UNSAT means the check holds. The check carries the declarative obligation;
+// nothing is encoded or solved until an execution substrate decides it.
 func filterCheck(
 	kind CheckKind,
 	loc Location,
@@ -312,137 +412,42 @@ func filterCheck(
 	ghostActs []policy.Action,
 	pre, post spec.Pred,
 	mustAccept bool,
-	budget int64,
+	opts Options,
 ) Check {
-	run := func() CheckResult {
-		t0 := time.Now()
-		ctx := smt.NewContext()
-		sr := spec.NewSymRoute(ctx, "r", u)
-		out, acc := m.Encode(sr)
-		out = applyGhostsSym(out, ghostActs)
-		wf := sr.WellFormed()
-
-		preT := pre.Compile(sr)
-		postT := post.Compile(out)
-
-		var violation *smt.Term
-		if mustAccept {
-			// violated when pre ∧ (¬acc ∨ ¬post)
-			violation = ctx.And(wf, preT, ctx.Or(ctx.Not(acc), ctx.Not(postT)))
-		} else {
-			// violated when pre ∧ acc ∧ ¬post
-			violation = ctx.And(wf, preT, acc, ctx.Not(postT))
-		}
-
-		solver := smt.NewSolver(ctx)
-		if budget > 0 {
-			solver.SetConflictBudget(budget)
-		}
-		solver.Assert(violation)
-		ts := time.Now()
-		res := solver.Check()
-		solveTime := time.Since(ts)
-
-		cr := CheckResult{
-			Kind:      kind,
-			Loc:       loc,
-			Desc:      desc,
-			NumVars:   res.NumVars,
-			NumCons:   res.NumCons,
-			SolveTime: solveTime,
-			TotalTime: time.Since(t0),
-		}
-		switch res.Status {
-		case smt.Unsat:
-			cr.OK = true
-		case smt.Sat:
-			cr.OK = false
-			in := sr.ConcreteRoute(res.Model)
-			ce := &Counterexample{Input: in}
-			if outR, ok := m.Apply(in); ok {
-				applyGhostsConcrete(outR, ghostActs)
-				ce.Output = outR
-				ce.Note = fmt.Sprintf("filter accepts but result violates %q", post)
-			} else {
-				ce.Note = "filter rejects a route the constraint requires to propagate"
-			}
-			cr.Counterexample = ce
-		default:
-			cr.OK = false
-			cr.Counterexample = &Counterexample{Note: "solver budget exhausted (unknown)"}
-		}
-		return cr
-	}
 	ghostStr := ""
 	for _, a := range ghostActs {
 		ghostStr += a.String() + ";"
 	}
-	key := checkKey(kind.String(), loc.String(), m.String(), ghostStr, pre.String(), post.String(), fmt.Sprint(mustAccept))
-	return Check{Kind: kind, Loc: loc, Desc: desc, key: key, run: run}
+	ob := &Obligation{
+		Kind: kind,
+		Loc:  loc,
+		Desc: desc,
+		key:  checkKey(kind.String(), loc.String(), m.String(), ghostStr, pre.String(), post.String(), fmt.Sprint(mustAccept)),
+		filter: &filterObligation{
+			u: u, m: m, ghostActs: ghostActs,
+			pre: pre, post: post, mustAccept: mustAccept,
+		},
+	}
+	return newCheck(ob, opts)
 }
 
 // implicationCheck decides pre ⊆ post (i.e., ∀r: pre(r) ⇒ post(r)) as a
 // standalone check, used for I_ℓ ⊆ P and C_n ⊆ P.
-func implicationCheck(loc Location, desc string, u *spec.Universe, pre, post spec.Pred, budget int64) Check {
-	run := func() CheckResult {
-		t0 := time.Now()
-		ctx := smt.NewContext()
-		sr := spec.NewSymRoute(ctx, "r", u)
-		solver := smt.NewSolver(ctx)
-		if budget > 0 {
-			solver.SetConflictBudget(budget)
-		}
-		solver.Assert(ctx.And(sr.WellFormed(), pre.Compile(sr), ctx.Not(post.Compile(sr))))
-		ts := time.Now()
-		res := solver.Check()
-		cr := CheckResult{
-			Kind:      ImplicationCheck,
-			Loc:       loc,
-			Desc:      desc,
-			NumVars:   res.NumVars,
-			NumCons:   res.NumCons,
-			SolveTime: time.Since(ts),
-			TotalTime: time.Since(t0),
-		}
-		switch res.Status {
-		case smt.Unsat:
-			cr.OK = true
-		case smt.Sat:
-			cr.Counterexample = &Counterexample{
-				Input: sr.ConcreteRoute(res.Model),
-				Note:  fmt.Sprintf("route satisfies %q but not %q", pre, post),
-			}
-		default:
-			cr.Counterexample = &Counterexample{Note: "solver budget exhausted (unknown)"}
-		}
-		return cr
+func implicationCheck(loc Location, desc string, u *spec.Universe, pre, post spec.Pred, opts Options) Check {
+	ob := &Obligation{
+		Kind:        ImplicationCheck,
+		Loc:         loc,
+		Desc:        desc,
+		key:         checkKey("implication", loc.String(), pre.String(), post.String()),
+		implication: &implicationObligation{u: u, pre: pre, post: post},
 	}
-	key := checkKey("implication", loc.String(), pre.String(), post.String())
-	return Check{Kind: ImplicationCheck, Loc: loc, Desc: desc, key: key, run: run}
+	return newCheck(ob, opts)
 }
 
 // originateCheck validates every originated route on edge e against the
 // edge invariant. Originated routes are concrete, so this check evaluates
 // the predicate directly rather than calling the solver.
-func originateCheck(e topology.Edge, desc string, routes []*routemodel.Route, ghosts []GhostDef, inv spec.Pred) Check {
-	loc := AtEdge(e)
-	run := func() CheckResult {
-		t0 := time.Now()
-		cr := CheckResult{Kind: OriginateCheck, Loc: loc, Desc: desc, OK: true}
-		for _, r := range routes {
-			withGhosts := originatedWithGhosts(r, e, ghosts)
-			if !inv.Eval(withGhosts) {
-				cr.OK = false
-				cr.Counterexample = &Counterexample{
-					Input: withGhosts,
-					Note:  fmt.Sprintf("originated route violates edge invariant %q", inv),
-				}
-				break
-			}
-		}
-		cr.TotalTime = time.Since(t0)
-		return cr
-	}
+func originateCheck(e topology.Edge, desc string, routes []*routemodel.Route, ghosts []GhostDef, inv spec.Pred, opts Options) Check {
 	routeStr := ""
 	for _, r := range routes {
 		routeStr += r.String() + ";"
@@ -451,6 +456,12 @@ func originateCheck(e topology.Edge, desc string, routes []*routemodel.Route, gh
 	for _, g := range ghosts {
 		ghostStr += g.Name + ";"
 	}
-	key := checkKey("originate", loc.String(), routeStr, ghostStr, inv.String())
-	return Check{Kind: OriginateCheck, Loc: loc, Desc: desc, key: key, run: run}
+	ob := &Obligation{
+		Kind:      OriginateCheck,
+		Loc:       AtEdge(e),
+		Desc:      desc,
+		key:       checkKey("originate", AtEdge(e).String(), routeStr, ghostStr, inv.String()),
+		originate: &originateObligation{e: e, routes: routes, ghosts: ghosts, inv: inv},
+	}
+	return newCheck(ob, opts)
 }

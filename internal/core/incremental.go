@@ -71,7 +71,10 @@ func (iv *IncrementalVerifier) Run() (*Report, int) {
 		if c.key == "" {
 			continue
 		}
-		if r, ok := byIdentity[CheckIdentity(c.Kind, c.Loc, c.Desc)]; ok {
+		// Unknown is not a verdict: retaining it would freeze "insufficient
+		// budget" as the key's answer forever (the same rule every other
+		// retention layer — engine cache, store, delta — applies).
+		if r, ok := byIdentity[CheckIdentity(c.Kind, c.Loc, c.Desc)]; ok && r.Status != StatusUnknown {
 			newCache[c.key] = r
 		}
 	}

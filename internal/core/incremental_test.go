@@ -107,3 +107,24 @@ func TestIncrementalInvariantChangeInvalidatesAll(t *testing.T) {
 		t.Fatal("cache should be repopulated")
 	}
 }
+
+// TestIncrementalVerifierDoesNotRetainUnknown: a budget-exhausted result is
+// not a verdict and must be re-solved on the next Run, not served from the
+// verifier's private cache.
+func TestIncrementalVerifierDoesNotRetainUnknown(t *testing.T) {
+	p := netgen.StressProblem(netgen.Fig1(netgen.Fig1Options{}), 4)
+	iv := core.NewIncrementalVerifier(p, core.Options{ConflictBudget: 1})
+	rep1, _ := iv.Run()
+	unknown := len(rep1.Unknowns())
+	if unknown == 0 {
+		t.Fatal("stress problem decided under a 1-conflict budget; expected unknowns")
+	}
+	rep2, reused := iv.Run()
+	if len(rep2.Unknowns()) != unknown {
+		t.Fatalf("second run unknowns = %d, want %d", len(rep2.Unknowns()), unknown)
+	}
+	if reused > rep2.NumChecks()-unknown {
+		t.Fatalf("reused %d of %d checks; the %d unknowns must not be served from cache",
+			reused, rep2.NumChecks(), unknown)
+	}
+}

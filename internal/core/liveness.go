@@ -134,7 +134,7 @@ func (p *LivenessProblem) Checks(opts Options) ([]Check, error) {
 				PropagationCheck, cur.Loc,
 				fmt.Sprintf("propagation: import at %s accepts %q and yields %q", e.To, cur.Constraint, next.Constraint),
 				u, n.Import(e), ghostImportActions(p.Ghosts, e),
-				cur.Constraint, next.Constraint, true, opts.ConflictBudget,
+				cur.Constraint, next.Constraint, true, opts,
 			))
 		} else {
 			// ℓ_i = R, ℓ_{i+1} = R→N edge: export must accept and preserve.
@@ -143,7 +143,7 @@ func (p *LivenessProblem) Checks(opts Options) ([]Check, error) {
 				PropagationCheck, next.Loc,
 				fmt.Sprintf("propagation: export at %s to %s accepts %q and yields %q", e.From, e.To, cur.Constraint, next.Constraint),
 				u, n.Export(e), ghostExportActions(p.Ghosts, e),
-				cur.Constraint, next.Constraint, true, opts.ConflictBudget,
+				cur.Constraint, next.Constraint, true, opts,
 			))
 		}
 	}
@@ -152,7 +152,7 @@ func (p *LivenessProblem) Checks(opts Options) ([]Check, error) {
 	checks = append(checks, implicationCheck(
 		p.Property.Loc,
 		"final path constraint implies liveness property",
-		u, lastStep.Constraint, p.Property.Pred, opts.ConflictBudget,
+		u, lastStep.Constraint, p.Property.Pred, opts,
 	))
 
 	if !p.SkipInterference {
@@ -175,37 +175,29 @@ func (p *LivenessProblem) Checks(opts Options) ([]Check, error) {
 				Ghosts:     p.Ghosts,
 			}
 			for _, c := range sub.Checks(opts) {
-				checks = append(checks, relabel(c, InterferenceCheck, s.Loc))
+				checks = append(checks, relabel(c, InterferenceCheck, s.Loc, opts))
 			}
 		}
 	}
 	return checks, nil
 }
 
-// relabel wraps a sub-check so it reports as a no-interference obligation of
-// the liveness proof while keeping its own location in the description.
-func relabel(c Check, kind CheckKind, at Location) Check {
-	inner := c.run
+// relabel re-identifies a sub-check as a no-interference obligation of the
+// liveness proof while keeping its own location in the description. The
+// relabeled check shares the inner check's obligation content — it decides
+// the same formula — but reports a different identity, so it caches under a
+// key derived from (kind, path location, inner key) rather than the inner
+// key itself. With declarative obligations this is a pure identity rewrite:
+// no wrapping closure is needed.
+func relabel(c Check, kind CheckKind, at Location, opts Options) Check {
 	desc := fmt.Sprintf("[for %s] %s", at, c.Desc)
-	// The relabeled check decides the same formula as the inner check but
-	// reports a different identity, so it caches under a key derived from
-	// (kind, path location, inner key) rather than the inner key itself.
 	key := ""
 	if c.key != "" {
 		key = checkKey("relabel", fmt.Sprint(int(kind)), at.String(), c.key)
 	}
-	return Check{
-		Kind: kind,
-		Loc:  c.Loc,
-		Desc: desc,
-		key:  key,
-		run: func() CheckResult {
-			r := inner()
-			r.Kind = kind
-			r.Desc = desc
-			return r
-		},
-	}
+	ob := *c.ob // shallow copy: content pointers shared, identity rewritten
+	ob.Kind, ob.Desc, ob.key = kind, desc, key
+	return newCheck(&ob, opts)
 }
 
 // VerifyLiveness runs all liveness checks. If the report is OK, then for

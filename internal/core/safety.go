@@ -49,7 +49,7 @@ func (p *SafetyProblem) Checks(opts Options) []Check {
 				ImportCheck, AtEdge(e),
 				fmt.Sprintf("import at %s from %s: %q ⇒ %q", e.To, e.From, edgeInv, post),
 				u, n.Import(e), ghostImportActions(p.Ghosts, e),
-				edgeInv, post, false, opts.ConflictBudget,
+				edgeInv, post, false, opts,
 			))
 		}
 		if !n.IsExternal(e.From) {
@@ -58,12 +58,12 @@ func (p *SafetyProblem) Checks(opts Options) []Check {
 				ExportCheck, AtEdge(e),
 				fmt.Sprintf("export at %s to %s: %q ⇒ %q", e.From, e.To, pre, edgeInv),
 				u, n.Export(e), ghostExportActions(p.Ghosts, e),
-				pre, edgeInv, false, opts.ConflictBudget,
+				pre, edgeInv, false, opts,
 			))
 			if routes := n.Originate(e); len(routes) > 0 {
 				checks = append(checks, originateCheck(
 					e, fmt.Sprintf("originated routes on %s satisfy %q", e, edgeInv),
-					routes, p.Ghosts, edgeInv,
+					routes, p.Ghosts, edgeInv, opts,
 				))
 			}
 		}
@@ -74,7 +74,7 @@ func (p *SafetyProblem) Checks(opts Options) []Check {
 		u,
 		p.Invariants.At(n, p.Property.Loc),
 		p.Property.Pred,
-		opts.ConflictBudget,
+		opts,
 	))
 	return checks
 }

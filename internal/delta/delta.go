@@ -71,9 +71,11 @@ type Result struct {
 	ChangedRouters []topology.NodeID     `json:"changed_routers,omitempty"`
 
 	TotalChecks   int  `json:"total_checks"`
-	DirtyChecks   int  `json:"dirty_checks"`   // submitted to the engine
-	ReusedResults int  `json:"reused_results"` // served from the session's retained results
-	Solved        int  `json:"solved"`         // actually executed (after engine cache/dedup)
+	DirtyChecks   int  `json:"dirty_checks"`       // submitted to the engine
+	ReusedResults int  `json:"reused_results"`     // served from the session's retained results
+	Solved        int  `json:"solved"`             // actually executed (after engine cache/dedup)
+	Failures      int  `json:"failures,omitempty"` // proven violations (+ unsubmittable problems)
+	Unknown       int  `json:"unknown,omitempty"`  // undecided checks (budget exhausted)
 	OK            bool `json:"ok"`
 
 	ElapsedNanos int64            `json:"elapsed_ns"`
@@ -132,6 +134,7 @@ func SuiteSource(suite netgen.Suite, params netgen.SuiteParams) ProblemSource {
 type Verifier struct {
 	eng    *engine.Engine
 	source ProblemSource
+	submit engine.SubmitOptions
 
 	runMu sync.Mutex // serializes Baseline/Update
 
@@ -153,6 +156,11 @@ func NewVerifier(eng *engine.Engine, suite netgen.Suite, params netgen.SuitePara
 func NewVerifierFor(eng *engine.Engine, source ProblemSource) *Verifier {
 	return &Verifier{eng: eng, source: source}
 }
+
+// SetSubmitOptions sets the per-job engine overrides (e.g. the solver
+// backend a plan request selected) applied to every dirty-subset submission
+// this verifier makes. Call before the first Baseline.
+func (v *Verifier) SetSubmitOptions(opts engine.SubmitOptions) { v.submit = opts }
 
 // Fingerprint returns the fingerprint of the pinned network state ("" before
 // Baseline).
@@ -249,6 +257,7 @@ func (v *Verifier) run(prev *topology.Network, prevResults map[string]core.Check
 			} else {
 				pr.outcome.Failed = true
 				res.OK = false
+				res.Failures++
 			}
 			pr.outcome.SkipReason = err.Error()
 			continue
@@ -269,7 +278,7 @@ func (v *Verifier) run(prev *topology.Network, prevResults map[string]core.Check
 		res.TotalChecks += len(pr.checks)
 		res.DirtyChecks += len(dirty)
 		res.ReusedResults += len(pr.reused)
-		pr.job = v.eng.SubmitChecks(pr.prop, dirty)
+		pr.job = v.eng.SubmitChecksWith(pr.prop, dirty, v.submit)
 	}
 
 	// Collect, merge reused + fresh, and re-index the retained results
@@ -287,6 +296,8 @@ func (v *Verifier) run(prev *topology.Network, prevResults map[string]core.Check
 		merged := append(append([]core.CheckResult(nil), pr.reused...), fresh.Results...)
 		pr.outcome.Report = core.NewReport(pr.prop, merged, time.Since(pr.start))
 		pr.outcome.OK = pr.outcome.Report.OK()
+		res.Failures += len(pr.outcome.Report.HardFailures())
+		res.Unknown += len(pr.outcome.Report.Unknowns())
 		if !pr.outcome.OK {
 			res.OK = false
 		}
@@ -298,7 +309,9 @@ func (v *Verifier) run(prev *topology.Network, prevResults map[string]core.Check
 			if c.Key() == "" {
 				continue
 			}
-			if r, ok := byIdentity[core.CheckIdentity(c.Kind, c.Loc, c.Desc)]; ok {
+			// Unknown is not a verdict: retaining it would freeze
+			// "insufficient budget" as the key's answer across updates.
+			if r, ok := byIdentity[core.CheckIdentity(c.Kind, c.Loc, c.Desc)]; ok && r.Status != core.StatusUnknown {
 				retained[c.Key()] = r
 			}
 		}

@@ -22,12 +22,15 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lightyear/internal/core"
+	"lightyear/internal/solver"
 )
 
 // DefaultCacheSize is the LRU result-cache capacity used when
@@ -51,6 +54,10 @@ type Options struct {
 	// ConflictBudget bounds SAT effort per check when the engine generates
 	// checks from a problem; 0 means unlimited.
 	ConflictBudget int64
+	// Backend is the default solver backend obligations are routed to;
+	// nil means solver.Native. Jobs may override it per submission
+	// (SubmitOptions.Backend).
+	Backend solver.Backend
 }
 
 func (o Options) workers() int {
@@ -58,6 +65,29 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// BackendStats aggregates the work one solver backend performed: how many
+// obligations it decided, how many it left Unknown, portfolio racing and
+// tiered escalation volume, and time inside the solver.
+type BackendStats struct {
+	Solved     uint64 `json:"solved"`              // obligations routed to this backend
+	Unknown    uint64 `json:"unknown,omitempty"`   // of those, left undecided
+	Raced      uint64 `json:"raced,omitempty"`     // solver variants raced (portfolio)
+	Escalated  uint64 `json:"escalated,omitempty"` // quick-tier escalations (tiered)
+	SolveNanos int64  `json:"solve_ns"`            // summed solver time
+}
+
+func (b *BackendStats) add(out solver.Outcome) {
+	b.Solved++
+	if out.Status == core.StatusUnknown {
+		b.Unknown++
+	}
+	b.Raced += uint64(out.Raced)
+	if out.Escalated {
+		b.Escalated++
+	}
+	b.SolveNanos += out.SolveTime.Nanoseconds()
 }
 
 // Stats is a snapshot of engine counters.
@@ -70,15 +100,19 @@ type Stats struct {
 	DedupHits       uint64 `json:"dedup_hits"`       // results shared via in-flight dedup
 	CacheLen        int    `json:"cache_len"`
 	CacheCap        int    `json:"cache_cap"`
+	// Backends breaks ChecksSolved down by the solver backend that executed
+	// them, keyed by backend name.
+	Backends map[string]BackendStats `json:"backends,omitempty"`
 }
 
 // Engine schedules verification checks on a bounded worker pool with a
 // shared result cache. It is safe for concurrent use; create one per
 // process (or per tenant) and submit all jobs to it.
 type Engine struct {
-	opts  Options
-	tasks chan task
-	cache ResultCache // nil when caching is disabled
+	opts    Options
+	tasks   chan task
+	cache   ResultCache    // nil when caching is disabled
+	backend solver.Backend // default backend (Options.Backend or native)
 
 	workers    sync.WaitGroup
 	submitters sync.WaitGroup
@@ -86,6 +120,9 @@ type Engine struct {
 	mu       sync.Mutex
 	inflight map[string]*flight
 	closed   bool
+
+	statsMu      sync.Mutex
+	backendStats map[string]BackendStats
 
 	nextID          atomic.Uint64
 	jobsSubmitted   atomic.Uint64
@@ -112,9 +149,14 @@ type flight struct {
 // New starts an engine with its worker pool.
 func New(opts Options) *Engine {
 	e := &Engine{
-		opts:     opts,
-		tasks:    make(chan task, 4*opts.workers()),
-		inflight: make(map[string]*flight),
+		opts:         opts,
+		tasks:        make(chan task, 4*opts.workers()),
+		inflight:     make(map[string]*flight),
+		backend:      opts.Backend,
+		backendStats: make(map[string]BackendStats),
+	}
+	if e.backend == nil {
+		e.backend = solver.Native(0)
 	}
 	switch {
 	case opts.Cache != nil:
@@ -166,6 +208,14 @@ func (e *Engine) Stats() Stats {
 	if e.cache != nil {
 		s.CacheLen, s.CacheCap = e.cache.Len(), cacheCap(e.cache)
 	}
+	e.statsMu.Lock()
+	if len(e.backendStats) > 0 {
+		s.Backends = make(map[string]BackendStats, len(e.backendStats))
+		for name, bs := range e.backendStats {
+			s.Backends[name] = bs
+		}
+	}
+	e.statsMu.Unlock()
 	return s
 }
 
@@ -179,20 +229,48 @@ func (e *Engine) checkOptions() core.Options {
 	return core.Options{ConflictBudget: e.opts.ConflictBudget}
 }
 
+// effectiveBudget resolves a check's conflict budget: its generation-time
+// budget when it has one (raw-submitted batches keep their producer's
+// bound), falling back to the engine's.
+func (e *Engine) effectiveBudget(c core.Check) int64 {
+	if b := c.Budget(); b != 0 {
+		return b
+	}
+	return e.opts.ConflictBudget
+}
+
+// SubmitOptions are per-job execution overrides.
+type SubmitOptions struct {
+	// Backend routes this job's obligations to a specific solver backend
+	// instead of the engine default — the hook plan requests use to select
+	// portfolio or tiered solving per request on a shared engine.
+	Backend solver.Backend
+}
+
 // SubmitSafety generates the local checks of a safety problem and schedules
 // them, returning the running job immediately.
 func (e *Engine) SubmitSafety(p *core.SafetyProblem) *Job {
-	return e.submit(p.Property, p.Checks(e.checkOptions()))
+	return e.SubmitSafetyWith(p, SubmitOptions{})
+}
+
+// SubmitSafetyWith is SubmitSafety with per-job overrides.
+func (e *Engine) SubmitSafetyWith(p *core.SafetyProblem, opts SubmitOptions) *Job {
+	return e.submit(p.Property, p.Checks(e.checkOptions()), opts)
 }
 
 // SubmitLiveness generates the checks of a liveness problem and schedules
 // them. It fails fast if the problem's path is invalid.
 func (e *Engine) SubmitLiveness(p *core.LivenessProblem) (*Job, error) {
+	return e.SubmitLivenessWith(p, SubmitOptions{})
+}
+
+// SubmitLivenessWith is SubmitLiveness with per-job overrides.
+func (e *Engine) SubmitLivenessWith(p *core.LivenessProblem, opts SubmitOptions) (*Job, error) {
 	checks, err := p.Checks(e.checkOptions())
 	if err != nil {
 		return nil, err
 	}
-	return e.submit(p.Property, checks), nil
+	return e.submit(p.Property, checks, opts), nil
 }
 
 // VerifySafety is the synchronous convenience wrapper: submit and wait.
@@ -213,7 +291,7 @@ func (e *Engine) VerifyLiveness(p *core.LivenessProblem) (*core.Report, error) {
 // (or any other producer of raw checks) execute on the shared pool and
 // benefit from the process-wide cache.
 func (e *Engine) RunChecks(prop core.Property, checks []core.Check) *core.Report {
-	return e.submit(prop, checks).Wait()
+	return e.submit(prop, checks, SubmitOptions{}).Wait()
 }
 
 // SubmitChecks schedules a raw batch of checks as one asynchronous job —
@@ -221,7 +299,12 @@ func (e *Engine) RunChecks(prop core.Property, checks []core.Check) *core.Report
 // problem's checks while letting jobs from several problems interleave on
 // the pool.
 func (e *Engine) SubmitChecks(prop core.Property, checks []core.Check) *Job {
-	return e.submit(prop, checks)
+	return e.submit(prop, checks, SubmitOptions{})
+}
+
+// SubmitChecksWith is SubmitChecks with per-job overrides.
+func (e *Engine) SubmitChecksWith(prop core.Property, checks []core.Check, opts SubmitOptions) *Job {
+	return e.submit(prop, checks, opts)
 }
 
 // CheckOptions returns the core.Options the engine uses when generating
@@ -232,8 +315,12 @@ func (e *Engine) CheckOptions() core.Options {
 }
 
 // submit enqueues a batch of checks as one job.
-func (e *Engine) submit(prop core.Property, checks []core.Check) *Job {
-	j := newJob(e, e.nextID.Add(1), prop, len(checks))
+func (e *Engine) submit(prop core.Property, checks []core.Check, opts SubmitOptions) *Job {
+	backend := opts.Backend
+	if backend == nil {
+		backend = e.backend
+	}
+	j := newJob(e, e.nextID.Add(1), prop, len(checks), backend)
 	e.jobsSubmitted.Add(1)
 	e.checksSubmitted.Add(uint64(len(checks)))
 
@@ -267,14 +354,14 @@ func (e *Engine) execute(t task) {
 	key := t.check.Key()
 	if key == "" {
 		// Uncacheable check: always solve.
-		e.checksSolved.Add(1)
-		t.job.deliver(t.idx, t.check.Run(), false, false)
+		out := e.solve(t)
+		t.job.deliver(t.idx, out.CheckResult, false, false, &out)
 		return
 	}
 	if e.cache != nil {
 		if r, ok := e.cache.Get(key); ok {
 			e.cacheHits.Add(1)
-			t.job.deliver(t.idx, adapt(r, t.check), true, false)
+			t.job.deliver(t.idx, adapt(r, t.check), true, false, nil)
 			return
 		}
 	}
@@ -293,7 +380,7 @@ func (e *Engine) execute(t task) {
 		if r, ok := e.cache.Get(key); ok {
 			e.mu.Unlock()
 			e.cacheHits.Add(1)
-			t.job.deliver(t.idx, adapt(r, t.check), true, false)
+			t.job.deliver(t.idx, adapt(r, t.check), true, false, nil)
 			return
 		}
 	}
@@ -301,11 +388,13 @@ func (e *Engine) execute(t task) {
 	e.inflight[key] = f
 	e.mu.Unlock()
 
-	r := t.check.Run()
-	e.checksSolved.Add(1)
-	if e.cache != nil {
+	out := e.solve(t)
+	r := out.CheckResult
+	if e.cache != nil && r.Status != core.StatusUnknown {
 		// Fill the cache before retiring the flight so a concurrent
 		// identical task either joins the flight or hits the cache.
+		// Unknown is not a verdict, so it is never cached: a later job with
+		// a bigger budget (or a stronger backend) must get to re-solve.
 		e.cache.Add(key, r)
 	}
 	e.mu.Lock()
@@ -314,11 +403,101 @@ func (e *Engine) execute(t task) {
 	f.waiters = nil
 	e.mu.Unlock()
 
-	t.job.deliver(t.idx, r, false, false)
-	for _, w := range waiters {
-		e.dedupHits.Add(1)
-		w.job.deliver(w.idx, adapt(r, w.check), false, true)
+	t.job.deliver(t.idx, r, false, false, &out)
+	e.deliverWaiters(key, r, t, waiters)
+}
+
+// deliverWaiters hands a completed solve's result to the tasks that
+// coalesced onto its flight. A decided result is shared with everyone. An
+// Unknown is not a verdict: it is shared only with waiters whose solve
+// would be configured identically — same backend configuration AND same
+// effective conflict budget (the budget lives on the check, not the
+// backend) — since an identical attempt would only reproduce the give-up.
+// Any other waiter re-solves under its own backend/budget, once per
+// distinct configuration, with the first decided re-solve cached and
+// shared with every remaining waiter.
+func (e *Engine) deliverWaiters(key string, r core.CheckResult, t task, waiters []task) {
+	// Outcomes of re-solves so far: the first decided one, plus per-config
+	// Unknowns so identically-configured waiters do not repeat a failed
+	// attempt.
+	var decided *core.CheckResult
+	type gaveUp struct {
+		backend solver.Backend
+		budget  int64
+		result  core.CheckResult
 	}
+	var unknowns []gaveUp
+	sameSolve := func(b solver.Backend, budget int64, w task) bool {
+		return e.effectiveBudget(w.check) == budget && solver.SameConfig(w.job.backend, b)
+	}
+	for _, w := range waiters {
+		if r.Status != core.StatusUnknown || decided != nil {
+			shared := r
+			if decided != nil {
+				shared = *decided
+			}
+			e.dedupHits.Add(1)
+			w.job.deliver(w.idx, adapt(shared, w.check), false, true, nil)
+			continue
+		}
+		if sameSolve(t.job.backend, e.effectiveBudget(t.check), w) {
+			e.dedupHits.Add(1)
+			w.job.deliver(w.idx, adapt(r, w.check), false, true, nil)
+			continue
+		}
+		prior := -1
+		for i := range unknowns {
+			if sameSolve(unknowns[i].backend, unknowns[i].budget, w) {
+				prior = i
+				break
+			}
+		}
+		if prior >= 0 {
+			e.dedupHits.Add(1)
+			w.job.deliver(w.idx, adapt(unknowns[prior].result, w.check), false, true, nil)
+			continue
+		}
+		wout := e.solve(w)
+		if wout.Status != core.StatusUnknown {
+			if e.cache != nil {
+				e.cache.Add(key, wout.CheckResult)
+			}
+			decided = &wout.CheckResult
+		} else {
+			unknowns = append(unknowns, gaveUp{
+				backend: w.job.backend,
+				budget:  e.effectiveBudget(w.check),
+				result:  wout.CheckResult,
+			})
+		}
+		w.job.deliver(w.idx, wout.CheckResult, false, false, &wout)
+	}
+}
+
+// solve routes one task's obligation to its job's solver backend and
+// records per-backend accounting. Results are stamped with the running
+// check's identity (relabeled checks share obligations with rewritten
+// identities, and the backend reports the obligation's own). The conflict
+// budget is the check's own generation-time budget when it has one —
+// checks the engine generated itself carry the engine's budget, and
+// raw-submitted batches (SubmitChecks, core.NewIncrementalVerifierOn)
+// keep the budget their producer chose — falling back to the engine's.
+func (e *Engine) solve(t task) solver.Outcome {
+	e.checksSolved.Add(1)
+	backend := t.job.backend
+	t0 := time.Now()
+	out := backend.Solve(context.Background(), t.check.Obligation(), solver.Budget{Conflicts: e.effectiveBudget(t.check)})
+	if out.TotalTime == 0 {
+		out.TotalTime = time.Since(t0)
+	}
+	out.Kind, out.Loc, out.Desc = t.check.Kind, t.check.Loc, t.check.Desc
+
+	e.statsMu.Lock()
+	bs := e.backendStats[backend.Name()]
+	bs.add(out)
+	e.backendStats[backend.Name()] = bs
+	e.statsMu.Unlock()
+	return out
 }
 
 // adapt relabels a shared result with the identity of the receiving check.

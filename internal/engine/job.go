@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"lightyear/internal/core"
+	"lightyear/internal/solver"
 )
 
 // Progress is one per-check progress event streamed while a job runs.
@@ -17,12 +18,29 @@ type Progress struct {
 	Result    core.CheckResult
 }
 
-// JobStats summarizes how a job's checks were satisfied.
+// JobStats summarizes how a job's checks were satisfied: cache/dedup reuse,
+// and — for checks this job actually solved — the per-backend accounting of
+// the solver backend the job was routed to.
 type JobStats struct {
 	Checks    int `json:"checks"`
 	Completed int `json:"completed"`
 	CacheHits int `json:"cache_hits"`
 	DedupHits int `json:"dedup_hits"`
+
+	// Backend names the solver backend this job's solved checks ran on.
+	Backend string `json:"backend,omitempty"`
+	// Solved counts checks this job executed itself (not served from cache
+	// or coalesced with another job's in-flight solve).
+	Solved int `json:"solved"`
+	// Unknown counts results left undecided (budget exhausted/cancelled),
+	// whether solved here or adapted from another job.
+	Unknown int `json:"unknown,omitempty"`
+	// Raced sums the portfolio variants raced across this job's solves.
+	Raced int `json:"raced,omitempty"`
+	// Escalated counts tiered quick-budget escalations.
+	Escalated int `json:"escalated,omitempty"`
+	// SolveNanos sums solver time across this job's own solves.
+	SolveNanos int64 `json:"solve_ns,omitempty"`
 }
 
 // Job is one verification problem running on the engine. Obtain the final
@@ -31,15 +49,21 @@ type Job struct {
 	ID       uint64
 	Property core.Property
 
-	engine *Engine
-	total  int
-	start  time.Time
+	engine  *Engine
+	total   int
+	start   time.Time
+	backend solver.Backend
 
 	mu        sync.Mutex
 	results   []core.CheckResult
 	completed int
 	cacheHits int
 	dedupHits int
+	solved    int
+	unknown   int
+	raced     int
+	escalated int
+	solveNS   int64
 
 	// progress is buffered to total, so workers never block on a caller
 	// that does not drain it; it is closed when the job completes.
@@ -48,13 +72,14 @@ type Job struct {
 	report   *core.Report
 }
 
-func newJob(e *Engine, id uint64, prop core.Property, total int) *Job {
+func newJob(e *Engine, id uint64, prop core.Property, total int, backend solver.Backend) *Job {
 	return &Job{
 		ID:       id,
 		Property: prop,
 		engine:   e,
 		total:    total,
 		start:    time.Now(),
+		backend:  backend,
 		results:  make([]core.CheckResult, total),
 		progress: make(chan Progress, total),
 		done:     make(chan struct{}),
@@ -82,12 +107,19 @@ func (j *Job) Wait() *core.Report {
 func (j *Job) Stats() JobStats {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobStats{Checks: j.total, Completed: j.completed, CacheHits: j.cacheHits, DedupHits: j.dedupHits}
+	return JobStats{
+		Checks: j.total, Completed: j.completed,
+		CacheHits: j.cacheHits, DedupHits: j.dedupHits,
+		Backend: j.backend.Name(),
+		Solved:  j.solved, Unknown: j.unknown,
+		Raced: j.raced, Escalated: j.escalated, SolveNanos: j.solveNS,
+	}
 }
 
 // deliver records one completed check and finishes the job when it is the
-// last one. Called from engine workers.
-func (j *Job) deliver(idx int, r core.CheckResult, cached, deduped bool) {
+// last one. out carries the solver outcome when this job executed the check
+// itself (nil for cache/dedup deliveries). Called from engine workers.
+func (j *Job) deliver(idx int, r core.CheckResult, cached, deduped bool, out *solver.Outcome) {
 	j.mu.Lock()
 	j.results[idx] = r
 	j.completed++
@@ -96,6 +128,17 @@ func (j *Job) deliver(idx int, r core.CheckResult, cached, deduped bool) {
 	}
 	if deduped {
 		j.dedupHits++
+	}
+	if r.Status == core.StatusUnknown {
+		j.unknown++
+	}
+	if out != nil {
+		j.solved++
+		j.raced += out.Raced
+		if out.Escalated {
+			j.escalated++
+		}
+		j.solveNS += out.SolveTime.Nanoseconds()
 	}
 	completed := j.completed
 	// Send under the mutex: the channel is buffered to total so this never

@@ -18,10 +18,16 @@ type CounterexampleJSON struct {
 
 // CheckResultJSON is the JSON form of one core.CheckResult.
 type CheckResultJSON struct {
-	Kind           string              `json:"kind"`
-	Loc            string              `json:"loc"`
-	Desc           string              `json:"desc"`
-	OK             bool                `json:"ok"`
+	Kind string `json:"kind"`
+	Loc  string `json:"loc"`
+	Desc string `json:"desc"`
+	OK   bool   `json:"ok"`
+	// Status is "ok", "fail", or "unknown" — unknown means the solver gave
+	// up (budget exhausted) without refuting the check.
+	Status string `json:"status"`
+	// Backend labels the solver path that decided the check (e.g. "native",
+	// "portfolio/pos-phase", "tiered/full"); empty for replayed results.
+	Backend        string              `json:"backend,omitempty"`
 	NumVars        int                 `json:"num_vars"`
 	NumCons        int                 `json:"num_cons"`
 	SolveNanos     int64               `json:"solve_ns"`
@@ -29,12 +35,14 @@ type CheckResultJSON struct {
 	Counterexample *CounterexampleJSON `json:"counterexample,omitempty"`
 }
 
-// ReportJSON is the JSON form of a core.Report.
+// ReportJSON is the JSON form of a core.Report. NumFailed counts proven
+// violations only; NumUnknown counts undecided checks separately.
 type ReportJSON struct {
 	Property   string            `json:"property"`
 	OK         bool              `json:"ok"`
 	NumChecks  int               `json:"num_checks"`
 	NumFailed  int               `json:"num_failed"`
+	NumUnknown int               `json:"num_unknown,omitempty"`
 	MaxVars    int               `json:"max_vars"`
 	MaxCons    int               `json:"max_cons"`
 	SolveNanos int64             `json:"solve_ns"`
@@ -48,7 +56,8 @@ func EncodeReport(r *core.Report) ReportJSON {
 		Property:   r.Property.String(),
 		OK:         r.OK(),
 		NumChecks:  r.NumChecks(),
-		NumFailed:  len(r.Failures()),
+		NumFailed:  len(r.HardFailures()),
+		NumUnknown: len(r.Unknowns()),
 		MaxVars:    r.MaxVars(),
 		MaxCons:    r.MaxCons(),
 		SolveNanos: r.SolveTime().Nanoseconds(),
@@ -67,6 +76,8 @@ func encodeCheckResult(r *core.CheckResult) CheckResultJSON {
 		Loc:        r.Loc.String(),
 		Desc:       r.Desc,
 		OK:         r.OK,
+		Status:     r.Status.String(),
+		Backend:    r.Backend,
 		NumVars:    r.NumVars,
 		NumCons:    r.NumCons,
 		SolveNanos: r.SolveTime.Nanoseconds(),

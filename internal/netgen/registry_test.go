@@ -11,7 +11,7 @@ import (
 
 func TestSuiteNamesStable(t *testing.T) {
 	want := []string{
-		"fig1-liveness", "fig1-no-transit", "fullmesh",
+		"fig1-liveness", "fig1-no-transit", "fullmesh", "sat-stress",
 		"wan-ip-liveness", "wan-ip-reuse", "wan-peering",
 	}
 	got := netgen.SuiteNames()
@@ -152,5 +152,28 @@ func TestWANPeeringSuiteShape(t *testing.T) {
 		if !pr.Optional || pr.Liveness == nil {
 			t.Fatalf("wan-ip-liveness problems must be optional liveness problems, got %+v", pr)
 		}
+	}
+}
+
+// TestSatStressScopeAnchorsRouter: a router-scoped sat-stress property pins
+// its pigeonhole load at an in-scope router instead of silently ignoring
+// the scope.
+func TestSatStressScopeAnchorsRouter(t *testing.T) {
+	n := netgen.Fig1(netgen.Fig1Options{})
+	s, ok := netgen.Lookup("sat-stress")
+	if !ok {
+		t.Fatal("sat-stress not registered")
+	}
+	problems := s.Problems(n, netgen.SuiteParams{}, netgen.Scope{Routers: []topology.NodeID{"R2"}})
+	if len(problems) == 0 {
+		t.Fatal("scoped sat-stress built no problems")
+	}
+	for _, p := range problems {
+		if loc := p.Safety.Property.Loc; loc.IsEdge() || loc.Router() != "R2" {
+			t.Fatalf("problem %s anchored at %s, want R2", p.Name, loc)
+		}
+	}
+	if got := s.Problems(n, netgen.SuiteParams{}, netgen.Scope{}); len(got) != len(problems) {
+		t.Fatalf("unscoped build produced %d problems, scoped %d", len(got), len(problems))
 	}
 }

@@ -40,7 +40,9 @@ import (
 
 	"lightyear/internal/config"
 	"lightyear/internal/delta"
+	"lightyear/internal/engine"
 	"lightyear/internal/netgen"
+	"lightyear/internal/solver"
 	"lightyear/internal/topology"
 )
 
@@ -95,6 +97,12 @@ type Options struct {
 	// WANRegions is the region count WAN suites assume (0 = the generator's
 	// region count, or the netgen default of 3).
 	WANRegions int `json:"wan_regions,omitempty"`
+	// Solver selects the solver backend the request's checks are routed to
+	// ({"backend": "native"|"portfolio"|"tiered", "budget": N}); nil means
+	// the engine default. Honored by every host, including lyserve's shared
+	// engine (the backend is a per-job routing decision, not an engine
+	// rebuild).
+	Solver *solver.Spec `json:"solver,omitempty"`
 	// Baseline, when set, runs the request incrementally: the baseline
 	// network is verified first, then the request's network is
 	// delta-verified against it, re-solving only dirtied checks.
@@ -138,6 +146,15 @@ func (r Request) Validate() error {
 		if _, ok := netgen.Lookup(p.Name); !ok {
 			return requestErrorf("plan: unknown property %q (have: %s)",
 				p.Name, strings.Join(netgen.SuiteNames(), ", "))
+		}
+	}
+	if s := r.Options.Solver; s != nil {
+		if !solver.Known(s.Backend) {
+			return requestErrorf("plan: unknown solver backend %q (have: %s)",
+				s.Backend, strings.Join(solver.Names(), ", "))
+		}
+		if s.Budget < 0 {
+			return requestErrorf("plan: solver budget must be >= 0, got %d", s.Budget)
 		}
 	}
 	if b := r.Options.Baseline; b != nil {
@@ -219,6 +236,22 @@ type Compiled struct {
 	Baseline *topology.Network // non-nil in delta-vs-baseline mode
 	Params   netgen.SuiteParams
 	Units    []Unit
+
+	// backend is the resolved solver backend (nil when the request defers
+	// to the engine default).
+	backend solver.Backend
+}
+
+// Backend returns the solver backend the request selected, nil for the
+// engine default.
+func (c *Compiled) Backend() solver.Backend { return c.backend }
+
+// SubmitOptions returns the per-job engine overrides the compiled request
+// implies — hosts pass them to every submission the plan spawns (including
+// incremental session updates), so backend selection follows the request
+// end-to-end.
+func (c *Compiled) SubmitOptions() engine.SubmitOptions {
+	return engine.SubmitOptions{Backend: c.backend}
 }
 
 // Compile validates the request, materializes its network(s), and builds
@@ -237,6 +270,13 @@ func Compile(req Request, res Resolver) (*Compiled, error) {
 		regions = genRegions
 	}
 	c := &Compiled{Request: req, Network: n, Params: netgen.SuiteParams{Regions: regions}}
+	if s := req.Options.Solver; s != nil {
+		b, err := solver.New(*s)
+		if err != nil {
+			return nil, requestErrorf("plan: %v", err)
+		}
+		c.backend = b
+	}
 	for _, p := range req.Properties {
 		suite, _ := netgen.Lookup(p.Name) // Validate checked the names
 		if err := p.Scope().Validate(n, c.Params.EffectiveRegions()); err != nil {

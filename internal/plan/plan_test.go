@@ -110,6 +110,7 @@ func TestPlanMatchesLegacySuiteRun(t *testing.T) {
 		"fig1-no-transit": {Config: netgen.Fig1DSL(netgen.Fig1Options{})},
 		"fig1-liveness":   {Config: netgen.Fig1DSL(netgen.Fig1Options{})},
 		"fullmesh":        {Generator: &netgen.GeneratorSpec{Kind: "fullmesh", Size: 4}},
+		"sat-stress":      {Generator: &netgen.GeneratorSpec{Kind: "fig1"}},
 		"wan-peering":     {Generator: wanSpec(1)},
 		"wan-ip-reuse":    {Generator: wanSpec(1)},
 		"wan-ip-liveness": {Generator: wanSpec(1)},

@@ -33,11 +33,18 @@ type Event struct {
 	FromCache bool `json:"from_cache,omitempty"`
 	Deduped   bool `json:"deduped,omitempty"`
 
-	// Outcome (check, problem, property, and plan events).
+	// Outcome (check, problem, property, and plan events). Status is the
+	// check's explicit verdict ("ok" | "fail" | "unknown") on check events.
 	OK      *bool  `json:"ok,omitempty"`
+	Status  string `json:"status,omitempty"`
 	Skipped bool   `json:"skipped,omitempty"`
 	Failed  bool   `json:"failed,omitempty"`
 	Reason  string `json:"reason,omitempty"`
+
+	// Dropped is set on the synthetic "truncated" event an event-windowed
+	// host (lyserve -event-window) emits to late subscribers in place of
+	// evicted history.
+	Dropped int `json:"dropped,omitempty"`
 
 	// Aggregated problem stats (problem events).
 	Stats *engine.JobStats `json:"stats,omitempty"`
@@ -72,7 +79,13 @@ type PropertyResult struct {
 
 // Result is the outcome of one plan run.
 type Result struct {
-	OK         bool             `json:"ok"`
+	OK bool `json:"ok"`
+	// Failures counts proven violations plus problems that could not be
+	// submitted; Unknowns counts undecided (budget-exhausted) checks. A run
+	// with OK == false, Failures == 0, and Unknowns > 0 found no bug — it
+	// ran out of solver budget, the condition `lightyear` maps to exit 3.
+	Failures   int              `json:"failures,omitempty"`
+	Unknowns   int              `json:"unknowns,omitempty"`
 	Properties []PropertyResult `json:"properties"`
 	Engine     engine.Stats     `json:"engine"`
 	Store      *store.Stats     `json:"store,omitempty"`
@@ -136,9 +149,9 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 			var err error
 			switch {
 			case p.Safety != nil:
-				job = eng.SubmitSafety(p.Safety)
+				job = eng.SubmitSafetyWith(p.Safety, c.SubmitOptions())
 			case p.Liveness != nil:
-				job, err = eng.SubmitLiveness(p.Liveness)
+				job, err = eng.SubmitLivenessWith(p.Liveness, c.SubmitOptions())
 			default:
 				err = errEmptyProblem
 			}
@@ -150,6 +163,7 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 					out.Failed = true
 					pr.OK = false
 					res.OK = false
+					res.Failures++
 				}
 				continue
 			}
@@ -185,7 +199,8 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 				ok := ev.Result.OK
 				emit(Event{Type: "check", Prop: pd.prop, Property: propName, Idx: pd.idx, Problem: probName,
 					Completed: ev.Completed, Total: ev.Total,
-					FromCache: ev.FromCache, Deduped: ev.Deduped, OK: &ok})
+					FromCache: ev.FromCache, Deduped: ev.Deduped,
+					OK: &ok, Status: ev.Result.Status.String()})
 			}
 			rep := pd.job.Wait()
 			st := pd.job.Stats()
@@ -195,6 +210,8 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 			resMu.Lock()
 			out := &res.Properties[pd.prop].Problems[pd.idx]
 			out.Report, out.ReportJSON, out.Stats, out.OK = rep, &enc, &st, ok
+			res.Failures += len(rep.HardFailures())
+			res.Unknowns += len(rep.Unknowns())
 			if !ok {
 				res.Properties[pd.prop].OK = false
 				res.OK = false
@@ -217,6 +234,12 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 				pr.Stats.Completed += out.Stats.Completed
 				pr.Stats.CacheHits += out.Stats.CacheHits
 				pr.Stats.DedupHits += out.Stats.DedupHits
+				pr.Stats.Solved += out.Stats.Solved
+				pr.Stats.Unknown += out.Stats.Unknown
+				pr.Stats.Raced += out.Stats.Raced
+				pr.Stats.Escalated += out.Stats.Escalated
+				pr.Stats.SolveNanos += out.Stats.SolveNanos
+				pr.Stats.Backend = out.Stats.Backend // one backend per plan
 			}
 		}
 		ok := pr.OK
@@ -239,6 +262,7 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 func runDelta(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 	res := &Result{}
 	v := delta.NewVerifierFor(eng, c)
+	v.SetSubmitOptions(c.SubmitOptions())
 	if cfg.Store != nil {
 		cfg.Store.SetFingerprint(c.Baseline.Fingerprint())
 	}
@@ -255,6 +279,7 @@ func runDelta(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 	}
 	res.Baseline, res.Update = base, upd
 	res.OK = upd.OK
+	res.Failures, res.Unknowns = upd.Failures, upd.Unknown
 	res.Engine = eng.Stats()
 	if cfg.Store != nil {
 		st := cfg.Store.Stats()

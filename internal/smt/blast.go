@@ -105,6 +105,17 @@ func (s *Solver) SetConflictBudget(n int64) {
 // SetInterrupt installs a cooperative cancellation flag.
 func (s *Solver) SetInterrupt(flag *atomic.Bool) { s.sat.SetInterrupt(flag) }
 
+// SetDisableVSIDS switches the underlying SAT decision heuristic to a static
+// variable order — one of the heuristic axes portfolio solving races.
+func (s *Solver) SetDisableVSIDS(v bool) { s.sat.SetDisableVSIDS(v) }
+
+// SetDisableRestarts turns off Luby restarts in the underlying SAT solver.
+func (s *Solver) SetDisableRestarts(v bool) { s.sat.SetDisableRestarts(v) }
+
+// SetPositivePhase makes fresh SAT variables branch true-first. Must be set
+// before the first Assert to affect the whole formula.
+func (s *Solver) SetPositivePhase(v bool) { s.sat.SetPositivePhase(v) }
+
 // Assert adds a boolean term as a top-level constraint.
 func (s *Solver) Assert(t *Term) {
 	if !t.IsBool() {

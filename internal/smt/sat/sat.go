@@ -169,6 +169,7 @@ type Solver struct {
 	interrupted    *atomic.Bool // optional external interrupt flag
 	disableVSIDS   bool         // ablation: static variable order instead of VSIDS
 	disableRestart bool         // ablation: no Luby restarts
+	positivePhase  bool         // branch true-first on fresh variables
 
 	model []bool // last satisfying assignment (index by var)
 
@@ -205,7 +206,7 @@ func (s *Solver) NewVar() int {
 	s.nVars++
 	v := s.nVars
 	s.assigns = append(s.assigns, valUnassigned)
-	s.polarity = append(s.polarity, true) // default phase: false
+	s.polarity = append(s.polarity, !s.positivePhase) // default phase: false unless SetPositivePhase
 	s.level = append(s.level, -1)
 	s.reason = append(s.reason, -1)
 	s.activity = append(s.activity, 0)
@@ -240,6 +241,12 @@ func (s *Solver) SetDisableVSIDS(v bool) { s.disableVSIDS = v }
 // SetDisableRestarts turns off Luby restarts. Used by the ablation
 // benchmarks.
 func (s *Solver) SetDisableRestarts(v bool) { s.disableRestart = v }
+
+// SetPositivePhase flips the default branching phase for variables allocated
+// afterwards: decisions try true first instead of false. Phase saving still
+// overrides the default once a variable has been assigned. This is one of
+// the heuristic axes the portfolio solver backend races.
+func (s *Solver) SetPositivePhase(v bool) { s.positivePhase = v }
 
 // Stats returns a snapshot of the solver counters.
 func (s *Solver) Stats() Stats {

@@ -1,0 +1,33 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+
+	"lightyear/internal/core"
+)
+
+// native is the classic path: one in-process CDCL solve with the stock
+// heuristics.
+type native struct {
+	budget int64 // bound per-solve conflict budget; 0 defers to the caller's
+}
+
+// Native returns the default backend: one in-process solve per obligation.
+// budget, when positive, caps conflicts per solve regardless of the caller's
+// budget (the Spec.Budget binding); 0 defers to the caller.
+func Native(budget int64) Backend { return native{budget: budget} }
+
+func (native) Name() string { return "native" }
+
+// Fingerprint identifies the backend's configuration: equal fingerprints
+// behave identically, so an execution substrate may share results —
+// including Unknowns — between them.
+func (n native) Fingerprint() string { return fmt.Sprintf("native:%d", n.budget) }
+
+func (n native) Solve(ctx context.Context, ob *core.Obligation, b Budget) Outcome {
+	return Outcome{CheckResult: ob.Solve(ctx, core.SolveConfig{
+		ConflictBudget: effective(n.budget, b),
+		Backend:        "native",
+	})}
+}

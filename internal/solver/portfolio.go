@@ -1,0 +1,142 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"lightyear/internal/core"
+)
+
+// Variant is one heuristic configuration of the native solver raced by the
+// portfolio backend.
+type Variant struct {
+	// Name labels results solved by this variant ("portfolio/<name>").
+	Name string
+	// The heuristic axes, mirroring core.SolveConfig.
+	DisableVSIDS    bool
+	DisableRestarts bool
+	PositivePhase   bool
+}
+
+// DefaultVariants returns the stock portfolio: the default configuration
+// plus one variant per heuristic axis. SAT instances that stall one
+// branching or phase heuristic are usually easy for another, so the first
+// verdict tends to arrive much sooner than the worst variant would.
+func DefaultVariants() []Variant {
+	return []Variant{
+		{Name: "vsids"},                             // stock: VSIDS + Luby restarts + negative phase
+		{Name: "pos-phase", PositivePhase: true},    // branch true-first
+		{Name: "static", DisableVSIDS: true},        // static variable order
+		{Name: "no-restart", DisableRestarts: true}, // no Luby restarts
+	}
+}
+
+// portfolio races its variants and returns the first verdict, cancelling
+// the losers.
+type portfolio struct {
+	budget   int64
+	variants []Variant
+	// solve is the per-variant solve function — a seam so tests can observe
+	// loser cancellation deterministically; production uses Obligation.Solve.
+	solve func(ctx context.Context, ob *core.Obligation, cfg core.SolveConfig) core.CheckResult
+}
+
+// Portfolio returns the racing backend over DefaultVariants. budget, when
+// positive, caps conflicts per variant (the Spec.Budget binding); 0 defers
+// to the caller's budget.
+func Portfolio(budget int64) Backend { return newPortfolio(budget, DefaultVariants()) }
+
+// PortfolioOf returns a racing backend over explicit variants (at least
+// one).
+func PortfolioOf(budget int64, variants []Variant) Backend {
+	if len(variants) == 0 {
+		panic("solver: portfolio needs at least one variant")
+	}
+	return newPortfolio(budget, variants)
+}
+
+func newPortfolio(budget int64, variants []Variant) *portfolio {
+	return &portfolio{
+		budget:   budget,
+		variants: variants,
+		solve: func(ctx context.Context, ob *core.Obligation, cfg core.SolveConfig) core.CheckResult {
+			return ob.Solve(ctx, cfg)
+		},
+	}
+}
+
+func (*portfolio) Name() string { return "portfolio" }
+
+// Fingerprint identifies the backend's configuration (budget + the full
+// variant set, heuristic flags included): equal fingerprints behave
+// identically, so results may be shared.
+func (p *portfolio) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "portfolio:%d", p.budget)
+	for _, v := range p.variants {
+		fmt.Fprintf(&b, ":%+v", v)
+	}
+	return b.String()
+}
+
+// Solve races every variant in its own goroutine; the first decided result
+// (StatusOK or StatusFail) wins and the losers are cancelled via context.
+// All variant goroutines have returned by the time Solve returns — the
+// cancelled losers observe the interrupt flag at their next SAT-loop
+// iteration, so the race is bounded by one propagation round, not a full
+// solve. If every variant comes back Unknown (shared budget exhausted, or
+// the caller's ctx cancelled), the first variant's Unknown is returned.
+func (p *portfolio) Solve(ctx context.Context, ob *core.Obligation, b Budget) Outcome {
+	if ob.Concrete() || len(p.variants) == 1 {
+		// Concrete obligations are evaluated, not solved: racing buys
+		// nothing. A single-variant portfolio degenerates likewise.
+		v := p.variants[0]
+		r := p.solve(ctx, ob, p.config(v, b))
+		return Outcome{CheckResult: r, Raced: 1}
+	}
+
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]core.CheckResult, len(p.variants))
+	decided := make(chan int, len(p.variants))
+	var wg sync.WaitGroup
+	for i, v := range p.variants {
+		wg.Add(1)
+		go func(i int, v Variant) {
+			defer wg.Done()
+			results[i] = p.solve(raceCtx, ob, p.config(v, b))
+			if results[i].Status != core.StatusUnknown {
+				decided <- i
+			}
+		}(i, v)
+	}
+	// Close decided only after every variant returned, so the winner drain
+	// below terminates when all variants come back Unknown.
+	go func() {
+		wg.Wait()
+		close(decided)
+	}()
+
+	winner, ok := <-decided
+	cancel()
+	wg.Wait() // losers observe the cancel and return Unknown promptly
+
+	if !ok {
+		// No variant decided: surface the first variant's Unknown.
+		return Outcome{CheckResult: results[0], Raced: len(p.variants)}
+	}
+	return Outcome{CheckResult: results[winner], Raced: len(p.variants)}
+}
+
+func (p *portfolio) config(v Variant, b Budget) core.SolveConfig {
+	return core.SolveConfig{
+		ConflictBudget:  effective(p.budget, b),
+		DisableVSIDS:    v.DisableVSIDS,
+		DisableRestarts: v.DisableRestarts,
+		PositivePhase:   v.PositivePhase,
+		Backend:         "portfolio/" + v.Name,
+	}
+}

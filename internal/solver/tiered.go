@@ -1,0 +1,58 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+
+	"lightyear/internal/core"
+)
+
+// DefaultTierBudget is the quick tier's conflict budget when the spec does
+// not set one. The vast majority of Lightyear's local checks decide within a
+// handful of conflicts (each check covers one filter, the source of the
+// paper's scalability), so a small first tier keeps them on the fast path
+// while genuinely hard instances escalate.
+const DefaultTierBudget = 2048
+
+// tiered solves with a small conflict budget first and escalates to the
+// caller's (usually unlimited) budget on Unknown.
+type tiered struct {
+	quick int64 // quick-tier conflict budget
+}
+
+// Tiered returns the budget-escalation backend. quick, when positive, is the
+// first tier's conflict budget; 0 means DefaultTierBudget. The escalated
+// solve runs at the caller's budget (typically unlimited).
+func Tiered(quick int64) Backend {
+	if quick <= 0 {
+		quick = DefaultTierBudget
+	}
+	return tiered{quick: quick}
+}
+
+func (tiered) Name() string { return "tiered" }
+
+// Fingerprint identifies the backend's configuration: equal fingerprints
+// behave identically, so results may be shared.
+func (t tiered) Fingerprint() string { return fmt.Sprintf("tiered:%d", t.quick) }
+
+func (t tiered) Solve(ctx context.Context, ob *core.Obligation, b Budget) Outcome {
+	if ob.Concrete() {
+		return Outcome{CheckResult: ob.Solve(ctx, core.SolveConfig{Backend: "tiered/quick"})}
+	}
+	quick := t.quick
+	if b.Conflicts > 0 && b.Conflicts <= quick {
+		// The caller's own budget is no larger than the quick tier:
+		// escalation could not try harder, so solve once at that budget.
+		r := ob.Solve(ctx, core.SolveConfig{ConflictBudget: b.Conflicts, Backend: "tiered/quick"})
+		return Outcome{CheckResult: r}
+	}
+	first := ob.Solve(ctx, core.SolveConfig{ConflictBudget: quick, Backend: "tiered/quick"})
+	if first.Status != core.StatusUnknown || ctx.Err() != nil {
+		return Outcome{CheckResult: first}
+	}
+	full := ob.Solve(ctx, core.SolveConfig{ConflictBudget: b.Conflicts, Backend: "tiered/full"})
+	full.SolveTime += first.SolveTime
+	full.TotalTime += first.TotalTime
+	return Outcome{CheckResult: full, Escalated: true}
+}

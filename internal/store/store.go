@@ -33,6 +33,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -73,6 +74,14 @@ func encodeResult(r core.CheckResult) resultRecord {
 	return out
 }
 
+// legacyUnknown recognizes records journaled by pre-Status writers for
+// budget-exhausted checks: they were stored as plain failures whose witness
+// is the old explanatory note. Serving one would resurrect a give-up as a
+// proven violation, so Get treats them as misses.
+func (rr resultRecord) legacyUnknown() bool {
+	return !rr.OK && strings.Contains(rr.Witness, "solver budget exhausted (unknown)")
+}
+
 func (rr resultRecord) decode() core.CheckResult {
 	out := core.CheckResult{
 		OK:        rr.OK,
@@ -80,6 +89,13 @@ func (rr resultRecord) decode() core.CheckResult {
 		NumCons:   rr.NumCons,
 		SolveTime: time.Duration(rr.SolveNS),
 		TotalTime: time.Duration(rr.TotalNS),
+	}
+	// Only decided verdicts are ever journaled (Unknown results are not
+	// cacheable), so Status follows directly from OK.
+	if rr.OK {
+		out.Status = core.StatusOK
+	} else {
+		out.Status = core.StatusFail
 	}
 	if rr.Witness != "" {
 		out.Counterexample = &core.Counterexample{Note: rr.Witness}
@@ -223,7 +239,7 @@ func (s *Store) Get(key string) (core.CheckResult, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.mem[key]
-	if !ok {
+	if !ok || rec.Result.legacyUnknown() {
 		s.misses++
 		return core.CheckResult{}, false
 	}
@@ -236,7 +252,9 @@ func (s *Store) Get(key string) (core.CheckResult, bool) {
 // content-addressed, so the first verdict recorded for a key is the
 // verdict.
 func (s *Store) Add(key string, val core.CheckResult) {
-	if key == "" {
+	if key == "" || val.Status == core.StatusUnknown {
+		// Unknown is not a verdict: journaling it would pin "insufficient
+		// budget" as the key's answer forever.
 		return
 	}
 	s.mu.Lock()
@@ -244,9 +262,11 @@ func (s *Store) Add(key string, val core.CheckResult) {
 	if s.f == nil {
 		return // closed
 	}
-	if _, dup := s.mem[key]; dup {
+	if old, dup := s.mem[key]; dup && !old.Result.legacyUnknown() {
 		return
 	}
+	// A legacy budget-exhausted record is superseded by the real verdict:
+	// the appended line wins on replay, and compaction drops the old one.
 	rec := record{Key: key, Fingerprint: s.fp, Result: encodeResult(val)}
 	s.mem[key] = rec
 	s.puts++

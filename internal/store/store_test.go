@@ -172,3 +172,42 @@ func TestCompactOnOpen(t *testing.T) {
 
 func splitLines(s string) []string { return strings.Split(s, "\n") }
 func contains(s, sub string) bool  { return strings.Contains(s, sub) }
+
+// TestLegacyUnknownRecordsNotServed: journals written before results carried
+// a Status could record budget-exhausted checks as plain failures. Serving
+// one would resurrect a solver give-up as a proven violation forever, so Get
+// must miss on them and Add must let the real verdict supersede them.
+func TestLegacyUnknownRecordsNotServed(t *testing.T) {
+	dir := t.TempDir()
+	legacy := `{"key":"cafe01","result":{"ok":false,"witness":"note:   solver budget exhausted (unknown)"}}` + "\n" +
+		`{"key":"cafe02","result":{"ok":false,"witness":"note:   filter accepts but result violates \"p\""}}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "results.jsonl"), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, ok := s.Get("cafe01"); ok {
+		t.Fatal("legacy budget-exhausted record served as a verdict")
+	}
+	r, ok := s.Get("cafe02")
+	if !ok || r.Status != core.StatusFail {
+		t.Fatalf("real legacy failure not served as StatusFail: ok=%v r=%+v", ok, r)
+	}
+
+	// The real verdict supersedes the stale give-up.
+	s.Add("cafe01", core.CheckResult{OK: true, Status: core.StatusOK})
+	r, ok = s.Get("cafe01")
+	if !ok || r.Status != core.StatusOK {
+		t.Fatalf("verdict did not supersede legacy unknown: ok=%v r=%+v", ok, r)
+	}
+
+	// And an Unknown result is still never journaled.
+	s.Add("cafe03", core.CheckResult{Status: core.StatusUnknown})
+	if _, ok := s.Get("cafe03"); ok {
+		t.Fatal("unknown result was journaled")
+	}
+}
