@@ -11,6 +11,7 @@
 //	lightyear -config net.cfg -store DIR                               # persistent result store
 //	lightyear -config net.cfg -solver portfolio                        # race solver heuristics per check
 //	lightyear -config net.cfg -solver tiered:1000                      # small budget first, escalate on Unknown
+//	lightyear -config net.cfg -tenant ops -max-inflight 500            # tenancy + admission control
 //	lightyear -plan plan.json                                          # run a saved verification plan
 //	lightyear -list                                                    # print the property registry
 //
@@ -59,7 +60,15 @@
 // internal/store persistent journal in DIR: results recorded by earlier
 // runs (of any suite) are served without re-solving, so a rerun after a
 // process restart reports reused results. -cache is ignored when -store is
-// set.
+// set. -store-retain N keeps only the results of the N most recently
+// verified network fingerprints when the journal is compacted on open.
+//
+// -tenant names the principal the run's workloads are admitted and
+// accounted under (the plan document's "tenant" execution option; the same
+// identity lyserve reads from the X-Tenant header), and -max-inflight
+// bounds the engine's admitted in-flight checks: a plan whose compiled
+// check count exceeds the bound is rejected before any work starts, with
+// the same typed admission error lyserve maps to HTTP 429 + Retry-After.
 //
 // With -diff old.cfg the command runs incrementally via internal/delta: it
 // first verifies old.cfg as the baseline, then re-verifies -config against
@@ -111,18 +120,21 @@ import (
 // cliFlags carries the parsed command line into buildRequest, with Set
 // recording which flags were given explicitly (plan-file overrides).
 type cliFlags struct {
-	ConfigPath string
-	Properties string
-	Routers    string
-	Regions    string // property scope: comma-separated region indices
-	PlanPath   string
-	DiffPath   string
-	Workers    int
-	Cache      int
-	Store      string
-	Solver     string
-	WANRegions int
-	Set        map[string]bool
+	ConfigPath  string
+	Properties  string
+	Routers     string
+	Regions     string // property scope: comma-separated region indices
+	PlanPath    string
+	DiffPath    string
+	Workers     int
+	Cache       int
+	Store       string
+	StoreRetain int
+	Solver      string
+	WANRegions  int
+	Tenant      string
+	MaxInflight int // engine admission: max in-flight checks (0 = unlimited)
+	Set         map[string]bool
 }
 
 func (f cliFlags) set(name string) bool { return f.Set[name] }
@@ -222,8 +234,14 @@ func buildRequest(f cliFlags) (plan.Request, error) {
 	if f.PlanPath == "" || f.set("store") {
 		req.Options.Store = f.Store
 	}
+	if f.PlanPath == "" || f.set("store-retain") {
+		req.Options.StoreRetain = f.StoreRetain
+	}
 	if f.PlanPath == "" || f.set("wan-regions") {
 		req.Options.WANRegions = f.WANRegions
+	}
+	if f.PlanPath == "" || f.set("tenant") {
+		req.Options.Tenant = f.Tenant
 	}
 	if err := req.Validate(); err != nil {
 		var reqErr *plan.RequestError
@@ -250,8 +268,11 @@ func main() {
 	flag.IntVar(&f.Workers, "workers", 0, "parallel check workers (0 = GOMAXPROCS)")
 	flag.IntVar(&f.Cache, "cache", 0, "engine result-cache capacity (0 = default, <0 disables; ignored with -store)")
 	flag.StringVar(&f.Store, "store", "", "persistent result-store directory (replaces the in-memory cache)")
+	flag.IntVar(&f.StoreRetain, "store-retain", 0, "keep only the N most recently written network fingerprints in the store (0 = all)")
 	flag.StringVar(&f.Solver, "solver", "", "solver backend as backend[:budget]: native, portfolio, or tiered")
 	flag.IntVar(&f.WANRegions, "wan-regions", 3, "region count assumed for WAN properties")
+	flag.StringVar(&f.Tenant, "tenant", "", "tenant the run is admitted and accounted under")
+	flag.IntVar(&f.MaxInflight, "max-inflight", 0, "admission: max in-flight checks on the engine (0 = unlimited)")
 	list := flag.Bool("list", false, "print the registered property suites and exit")
 	jsonOut := flag.Bool("json", false, "emit the report as machine-readable JSON")
 	verbose := flag.Bool("verbose", false, "print every check result")
@@ -297,10 +318,14 @@ func main() {
 		}
 	}
 
-	engOpts := engine.Options{Workers: req.Options.Workers, CacheSize: req.Options.Cache}
+	engOpts := engine.Options{
+		Workers:   req.Options.Workers,
+		CacheSize: req.Options.Cache,
+		Admission: engine.Admission{MaxInFlightChecks: f.MaxInflight},
+	}
 	var resultStore *store.Store
 	if req.Options.Store != "" {
-		resultStore, err = store.Open(req.Options.Store)
+		resultStore, err = store.OpenOptions(req.Options.Store, store.Options{MaxFingerprints: req.Options.StoreRetain})
 		if err != nil {
 			fatal(err)
 		}
@@ -315,6 +340,13 @@ func main() {
 
 	res, err := plan.Run(eng, compiled, plan.RunConfig{Store: resultStore})
 	if err != nil {
+		var adm *engine.ErrAdmission
+		if errors.As(err, &adm) {
+			// The whole plan was shed before any check ran — the same
+			// backpressure lyserve answers as HTTP 429 + Retry-After.
+			fmt.Fprintf(os.Stderr, "lightyear: %v\n", adm)
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 

@@ -223,3 +223,55 @@ func TestExitCodeContract(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildRequestTenantFlags: -tenant and -store-retain flow into the
+// plan's execution options (and override a saved plan's values only when
+// set, like every other flag).
+func TestBuildRequestTenantFlags(t *testing.T) {
+	f := baseFlags()
+	f.ConfigPath = writeConfig(t)
+	f.Tenant = "netops"
+	f.StoreRetain = 3
+	req, err := buildRequest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Options.Tenant != "netops" {
+		t.Errorf("tenant = %q, want netops", req.Options.Tenant)
+	}
+	if req.Options.StoreRetain != 3 {
+		t.Errorf("store_retain = %d, want 3", req.Options.StoreRetain)
+	}
+
+	// A saved plan's tenant survives unless -tenant was set explicitly.
+	planPath := filepath.Join(t.TempDir(), "plan.json")
+	saved := plan.Request{
+		Network:    plan.Network{ConfigPath: f.ConfigPath},
+		Properties: []plan.Property{{Name: "fig1-no-transit"}},
+		Options:    plan.Options{Tenant: "saved-tenant"},
+	}
+	b, _ := json.Marshal(saved)
+	if err := os.WriteFile(planPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f2 := baseFlags()
+	f2.PlanPath = planPath
+	req2, err := buildRequest(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req2.Options.Tenant != "saved-tenant" {
+		t.Errorf("saved plan tenant = %q, want saved-tenant", req2.Options.Tenant)
+	}
+	f3 := baseFlags()
+	f3.PlanPath = planPath
+	f3.Tenant = "cli-tenant"
+	f3.Set["tenant"] = true
+	req3, err := buildRequest(f3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req3.Options.Tenant != "cli-tenant" {
+		t.Errorf("overridden tenant = %q, want cli-tenant", req3.Options.Tenant)
+	}
+}

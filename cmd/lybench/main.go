@@ -18,17 +18,23 @@
 //	-experiment solver    solver-backend comparison: the wan-peering suite run
 //	                      cold under the native, portfolio, and tiered backends,
 //	                      with per-backend solve-time and routing stats
+//	-experiment admission multi-tenant admission sweep: tenant count × per-tenant
+//	                      quota, reporting p50/p99 queue wait and the rejection
+//	                      rate under the engine's weighted-fair dispatcher
 //	-experiment faults    differential simulation under random failures (§4.5)
 //	-experiment all       everything above
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"lightyear/internal/core"
@@ -81,6 +87,8 @@ func main() {
 		deltaExperiment(*workers)
 	case "solver":
 		solverExperiment(*workers)
+	case "admission":
+		admissionExperiment(*workers)
 	case "faults":
 		faults()
 	case "all":
@@ -94,11 +102,30 @@ func main() {
 		wanExperiment(*wanScale, *workers)
 		deltaExperiment(*workers)
 		solverExperiment(*workers)
+		admissionExperiment(*workers)
 		faults()
 	default:
 		fmt.Fprintf(os.Stderr, "lybench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+}
+
+// verifySafety and verifyLiveness run one problem synchronously through the
+// unified engine.Submit path — the only submission API the bench exercises.
+func verifySafety(eng *engine.Engine, p *core.SafetyProblem) *core.Report {
+	j, err := eng.Submit(context.Background(), engine.Workload{Safety: p})
+	if err != nil {
+		fatal(err)
+	}
+	return j.Wait()
+}
+
+func verifyLiveness(eng *engine.Engine, p *core.LivenessProblem) (*core.Report, error) {
+	j, err := eng.Submit(context.Background(), engine.Workload{Liveness: p})
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(), nil
 }
 
 func parseSizes(s string) []int {
@@ -139,20 +166,20 @@ func table1() {
 func table2(eng *engine.Engine) {
 	header("Table 2: Figure-1 no-transit safety checks")
 	n := netgen.Fig1(netgen.Fig1Options{})
-	rep := eng.VerifySafety(netgen.Fig1NoTransitProblem(n))
+	rep := verifySafety(eng, netgen.Fig1NoTransitProblem(n))
 	printChecks(rep)
 	fmt.Printf("verdict: OK=%v, %d checks in %v (max %d vars / %d clauses per check)\n",
 		rep.OK(), rep.NumChecks(), rep.TotalTime, rep.MaxVars(), rep.MaxCons())
 
 	fmt.Println("\nwith the §2.1 bug (import at R1 does not tag 100:1):")
-	buggy := eng.VerifySafety(netgen.Fig1NoTransitProblem(netgen.Fig1(netgen.Fig1Options{OmitTransitTag: true})))
+	buggy := verifySafety(eng, netgen.Fig1NoTransitProblem(netgen.Fig1(netgen.Fig1Options{OmitTransitTag: true})))
 	fmt.Print(buggy.Summary())
 }
 
 func table3(eng *engine.Engine) {
 	header("Table 3: Figure-1 liveness checks")
 	n := netgen.Fig1(netgen.Fig1Options{})
-	rep, err := eng.VerifyLiveness(netgen.Fig1LivenessProblem(n))
+	rep, err := verifyLiveness(eng, netgen.Fig1LivenessProblem(n))
 	if err != nil {
 		fatal(err)
 	}
@@ -160,7 +187,7 @@ func table3(eng *engine.Engine) {
 	fmt.Printf("verdict: OK=%v, %d checks in %v\n", rep.OK(), rep.NumChecks(), rep.TotalTime)
 
 	fmt.Println("\nwith the §2.2 bug (R3 keeps incoming communities):")
-	buggy, err := eng.VerifyLiveness(netgen.Fig1LivenessProblem(netgen.Fig1(netgen.Fig1Options{ForgetStripAtR3: true})))
+	buggy, err := verifyLiveness(eng, netgen.Fig1LivenessProblem(netgen.Fig1(netgen.Fig1Options{ForgetStripAtR3: true})))
 	if err != nil {
 		fatal(err)
 	}
@@ -185,12 +212,12 @@ func table4a(eng *engine.Engine) {
 	at := netgen.RegionRouter(0, 0)
 	for _, prop := range netgen.PeeringProperties(p.Regions) {
 		t0 := time.Now()
-		rep := eng.VerifySafety(netgen.PeeringProblem(n, at, prop))
+		rep := verifySafety(eng, netgen.PeeringProblem(n, at, prop))
 		fmt.Printf("  %-26s OK=%v  checks=%d  time=%v\n", prop.Name, rep.OK(), rep.NumChecks(), time.Since(t0))
 	}
 	fmt.Println("\nwith an injected inconsistent edge filter (missing bogon clause):")
 	buggy := netgen.WAN(p, netgen.WANBugs{MissingBogonFilter: true})
-	rep := eng.VerifySafety(netgen.PeeringProblem(buggy, at, netgen.PeeringProperties(p.Regions)[0]))
+	rep := verifySafety(eng, netgen.PeeringProblem(buggy, at, netgen.PeeringProperties(p.Regions)[0]))
 	fmt.Print(rep.Summary())
 }
 
@@ -204,13 +231,13 @@ func table4b(eng *engine.Engine) {
 			outside = netgen.RegionRouter((r+1)%p.Regions, 0)
 		}
 		t0 := time.Now()
-		rep := eng.VerifySafety(netgen.IPReuseSafetyProblem(n, p, r, outside))
+		rep := verifySafety(eng, netgen.IPReuseSafetyProblem(n, p, r, outside))
 		fmt.Printf("  region %d (checked outside at %-10s) OK=%v checks=%d time=%v\n",
 			r, outside, rep.OK(), rep.NumChecks(), time.Since(t0))
 	}
 	fmt.Println("\nwith the metadata bug (region 0 tags with region 1's community):")
 	buggy := netgen.WAN(p, netgen.WANBugs{WrongRegionCommunity: true})
-	rep := eng.VerifySafety(netgen.IPReuseSafetyProblem(buggy, p, 0, netgen.RegionRouter(1, 0)))
+	rep := verifySafety(eng, netgen.IPReuseSafetyProblem(buggy, p, 0, netgen.RegionRouter(1, 0)))
 	fmt.Print(rep.Summary())
 }
 
@@ -220,7 +247,7 @@ func table4c(eng *engine.Engine) {
 	n := netgen.WAN(p, netgen.WANBugs{})
 	for r := 0; r < p.Regions; r++ {
 		t0 := time.Now()
-		rep, err := eng.VerifyLiveness(netgen.IPReuseLivenessProblem(n, p, r))
+		rep, err := verifyLiveness(eng, netgen.IPReuseLivenessProblem(n, p, r))
 		if err != nil {
 			fatal(err)
 		}
@@ -250,7 +277,7 @@ func fig3(sizes []int, msTimeout time.Duration, workers int) {
 			msSolve += "(!)"
 		}
 		sizeEng := engine.New(engine.Options{Workers: workers, CacheSize: -1})
-		rep := sizeEng.VerifySafety(netgen.FullMeshProblem(n))
+		rep := verifySafety(sizeEng, netgen.FullMeshProblem(n))
 		sizeEng.Close()
 		ok := ""
 		if !rep.OK() {
@@ -324,7 +351,7 @@ func wanExperiment(scale string, workers int) {
 	parEng := engine.New(engine.Options{Workers: workers, CacheSize: -1})
 	t0 = time.Now()
 	for _, prob := range problems {
-		rep := parEng.VerifySafety(prob.Safety)
+		rep := verifySafety(parEng, prob.Safety)
 		if !rep.OK() {
 			fmt.Printf("  unexpected failure: %s\n", prob.Name)
 		}
@@ -402,7 +429,7 @@ func deltaExperiment(workers int) {
 		}
 		eng := engine.New(engine.Options{Workers: workers})
 		v := delta.NewVerifierFor(eng, c)
-		v.SetSubmitOptions(c.SubmitOptions())
+		v.SetWorkload(c.Workload())
 		cold, err := v.Baseline(netgen.WAN(p, netgen.WANBugs{}))
 		if err != nil {
 			fatal(err)
@@ -474,6 +501,97 @@ func solverExperiment(workers int) {
 	fmt.Println("(tiered matches native when every check fits the quick tier — escalations")
 	fmt.Println(" would appear in 'escal'; portfolio trades CPU for per-check latency")
 	fmt.Println(" robustness, racing variants and cancelling the losers.)")
+}
+
+// admissionExperiment sweeps tenant count × per-tenant quota on one shared
+// engine: every tenant floods the engine with the same stream of peering
+// workloads through engine.Submit, and the table reports how the admission
+// layer (per-tenant token quotas, shed-before-queue) and the weighted-fair
+// dispatcher shape p50/p99 queue wait and the rejection rate. Quota 0 is
+// the unlimited baseline: nothing is rejected and every tenant's backlog
+// queues, so its tail wait is the cost of *not* shedding.
+func admissionExperiment(workers int) {
+	header("admission: tenant count × per-tenant quota sweep")
+	p := netgen.WANParams{Regions: 2, RoutersPerRegion: 1, EdgeRouters: 2, DCsPerRegion: 1, PeersPerEdge: 2}
+	n := netgen.WAN(p, netgen.WANBugs{})
+	suite, ok := netgen.Lookup("wan-peering")
+	if !ok {
+		fatal(fmt.Errorf("wan-peering suite not registered"))
+	}
+	problems := suite.Problems(n, netgen.SuiteParams{Regions: p.Regions}, netgen.Scope{})
+	const perTenant = 48 // workloads each tenant submits
+	unitCost := len(problems[0].Safety.Checks(core.Options{}))
+	fmt.Printf("workload: %d submissions/tenant, ~%d checks each (%d problems cycled)\n",
+		perTenant, unitCost, len(problems))
+	fmt.Printf("%-8s %-14s | %8s %8s %8s | %10s %10s\n",
+		"tenants", "quota", "admitted", "rejected", "rate", "p50 wait", "p99 wait")
+
+	for _, tenants := range []int{1, 2, 4} {
+		for _, quota := range []int{0, 8 * unitCost, 2 * unitCost} {
+			eng := engine.New(engine.Options{
+				Workers:   workers,
+				Admission: engine.Admission{PerTenantQuota: quota},
+			})
+			var (
+				mu       sync.Mutex
+				waits    []time.Duration
+				rejected int
+				jobs     []*engine.Job
+			)
+			var wg sync.WaitGroup
+			for t := 0; t < tenants; t++ {
+				wg.Add(1)
+				go func(t int) {
+					defer wg.Done()
+					tenant := fmt.Sprintf("tenant-%d", t)
+					for i := 0; i < perTenant; i++ {
+						prob := problems[i%len(problems)]
+						j, err := eng.Submit(context.Background(), engine.Workload{
+							Safety: prob.Safety,
+							Tenant: tenant,
+						})
+						mu.Lock()
+						if err != nil {
+							rejected++ // shed before queueing; no retry
+						} else {
+							jobs = append(jobs, j)
+						}
+						mu.Unlock()
+					}
+				}(t)
+			}
+			wg.Wait()
+			for _, j := range jobs {
+				j.Wait()
+				waits = append(waits, j.Stats().QueueWait())
+			}
+			eng.Close()
+
+			total := tenants * perTenant
+			label := "unlimited"
+			if quota > 0 {
+				label = fmt.Sprintf("%d checks", quota)
+			}
+			fmt.Printf("%-8d %-14s | %8d %8d %7.1f%% | %10v %10v\n",
+				tenants, label, len(jobs), rejected, 100*float64(rejected)/float64(total),
+				percentile(waits, 0.50).Round(time.Microsecond),
+				percentile(waits, 0.99).Round(time.Microsecond))
+		}
+	}
+	fmt.Println("(tight quotas trade rejections for bounded queue wait: admitted work")
+	fmt.Println(" starts sooner because excess load was shed at the door, and the fair")
+	fmt.Println(" dispatcher keeps the admitted tails balanced across tenants.)")
+}
+
+// percentile returns the p-th percentile (0..1) of the sorted copy of d.
+func percentile(d []time.Duration, p float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), d...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
 }
 
 // faults demonstrates §4.5: the verified no-transit property survives

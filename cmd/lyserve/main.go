@@ -5,17 +5,48 @@
 //
 // Usage:
 //
-//	lyserve [-addr :8080] [-workers N] [-cache N] [-store DIR] [-job-ttl 1h] [-event-window N]
+//	lyserve [-addr :8080] [-workers N] [-cache N] [-store DIR] [-store-retain N]
+//	        [-job-ttl 1h] [-session-ttl 24h] [-event-window N]
+//	        [-max-inflight N] [-tenant-quota N] [-max-queue N]
 //
 // With -store DIR the engine's result cache is the internal/store
 // persistent journal in DIR, so a redeployed lyserve serves previously
-// solved checks without re-solving them. Completed jobs are garbage-
-// collected -job-ttl after completion (default 1h); sessions are pinned
-// until DELETE /v{1,2}/sessions/{id} and are never GCed automatically.
+// solved checks without re-solving them; -store-retain N keeps only the
+// results of the N most recently verified network fingerprints when the
+// journal is compacted on startup. Completed jobs are garbage-collected
+// -job-ttl after completion (default 1h); sessions idle longer than
+// -session-ttl (default 24h; 0 disables) are expired and deleted — an
+// update to an expired session is 404, like an explicit DELETE.
 // -event-window N (default 4096) bounds the per-job event history retained
 // for GET /v2/jobs/{id}/events replay: when a large plan emits more events
 // than the window, the oldest are evicted and late subscribers receive a
 // single {"type":"truncated","dropped":K} marker in their place.
+//
+// # Tenancy and admission control
+//
+// Every request runs as a tenant: the X-Tenant header, the ?tenant= query
+// parameter, or the plan's {"options": {"tenant": ...}} field (in that
+// precedence), defaulting to "default". The engine accounts each tenant's
+// admitted, rejected, queued, and in-flight work (GET /v1/stats →
+// engine.tenants) and dispatches admitted workloads weighted-fair across
+// tenants, so one tenant flooding the service cannot starve another.
+//
+// -max-inflight bounds the total in-flight checks across tenants,
+// -tenant-quota the in-flight checks per tenant, and -max-queue the
+// backlog of workloads awaiting dispatch (each 0 = unlimited). A plan is
+// admitted as one unit — its compiled check count (plan.Compiled.Cost) is
+// reserved up front — and a rejected plan is answered synchronously with
+// HTTP 429, a Retry-After header (seconds), and a JSON body carrying the
+// tenant, cost, violated limit, and retry_after_ms; nothing of a rejected
+// plan is enqueued. A body with "permanent": true marks a plan whose cost
+// exceeds the limit outright — retrying at that size can never succeed;
+// split the plan or raise the limit. Session baselines and updates are admitted the same
+// way inside the session worker (an over-quota update fails the run with
+// the admission error in its status); session creation prechecks the
+// baseline cost and answers 429 early when it cannot be admitted. Session
+// updates and deletion require the caller's tenant to match the session's
+// (403 otherwise) — mutations run under, and are charged to, the session
+// tenant's quota.
 //
 // # v2 API — declarative verification plans
 //
@@ -106,6 +137,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -121,6 +153,10 @@ import (
 // defaultJobTTL is how long completed jobs stay queryable before GC.
 const defaultJobTTL = time.Hour
 
+// defaultSessionTTL is how long an idle session (no queued or running
+// work, no recent run) survives before GC.
+const defaultSessionTTL = 24 * time.Hour
+
 // defaultEventWindow is the per-job event-history bound (-event-window).
 const defaultEventWindow = 4096
 
@@ -129,25 +165,39 @@ const maxRequestBody = 1 << 20 // 1 MiB
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
-		cacheSize = flag.Int("cache", 0, "engine result-cache capacity (0 = default, <0 disables; ignored with -store)")
-		storeDir  = flag.String("store", "", "persistent result-store directory (replaces the in-memory cache)")
-		jobTTL    = flag.Duration("job-ttl", defaultJobTTL, "retention of completed jobs")
-		evWindow  = flag.Int("event-window", defaultEventWindow, "per-job event-history entries retained for /events replay (<=0 = unbounded)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+		cacheSize   = flag.Int("cache", 0, "engine result-cache capacity (0 = default, <0 disables; ignored with -store)")
+		storeDir    = flag.String("store", "", "persistent result-store directory (replaces the in-memory cache)")
+		storeRetain = flag.Int("store-retain", 0, "keep only the N most recently written network fingerprints in the store (0 = all)")
+		jobTTL      = flag.Duration("job-ttl", defaultJobTTL, "retention of completed jobs")
+		sessTTL     = flag.Duration("session-ttl", defaultSessionTTL, "expiry of idle sessions (0 = never)")
+		evWindow    = flag.Int("event-window", defaultEventWindow, "per-job event-history entries retained for /events replay (<=0 = unbounded)")
+		maxInflight = flag.Int("max-inflight", 0, "admission: max in-flight checks across all tenants (0 = unlimited)")
+		tenantQuota = flag.Int("tenant-quota", 0, "admission: max in-flight checks per tenant (0 = unlimited)")
+		maxQueue    = flag.Int("max-queue", 0, "admission: max workloads awaiting dispatch (0 = unlimited)")
 	)
 	flag.Parse()
 
-	opts := engine.Options{Workers: *workers, CacheSize: *cacheSize}
+	opts := engine.Options{
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		Admission: engine.Admission{
+			MaxInFlightChecks: *maxInflight,
+			PerTenantQuota:    *tenantQuota,
+			MaxQueueDepth:     *maxQueue,
+		},
+	}
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
-		st, err = store.Open(*storeDir)
+		st, err = store.OpenOptions(*storeDir, store.Options{MaxFingerprints: *storeRetain})
 		if err != nil {
 			log.Fatalf("lyserve: %v", err)
 		}
 		defer st.Close()
-		log.Printf("lyserve: store %s (%d results on disk)", *storeDir, st.Len())
+		log.Printf("lyserve: store %s (%d results on disk, %d evicted by retention)",
+			*storeDir, st.Len(), st.Stats().Evicted)
 		opts.Cache = st
 	}
 	eng := engine.New(opts)
@@ -155,6 +205,7 @@ func main() {
 	srv := newServer(eng)
 	srv.store = st
 	srv.ttl = *jobTTL
+	srv.sessionTTL = *sessTTL
 	srv.eventWindow = *evWindow
 	go srv.janitor()
 	log.Printf("lyserve: %s listening on %s (suites: %s)",
@@ -167,6 +218,7 @@ type server struct {
 	eng         *engine.Engine
 	store       *store.Store  // nil without -store; provenance tagging only
 	ttl         time.Duration // completed-job retention
+	sessionTTL  time.Duration // idle-session expiry (0 = never)
 	eventWindow int           // per-job event-history bound (<=0 = unbounded)
 
 	mu       sync.Mutex
@@ -180,10 +232,64 @@ func newServer(eng *engine.Engine) *server {
 	return &server{
 		eng:         eng,
 		ttl:         defaultJobTTL,
+		sessionTTL:  defaultSessionTTL,
 		eventWindow: defaultEventWindow,
 		jobs:        make(map[string]*serviceJob),
 		sessions:    make(map[string]*session),
 	}
+}
+
+// requestTenant resolves the tenant a request runs as: the X-Tenant
+// header, then the ?tenant= query parameter, then the tenant named in the
+// request body (a plan's options), then the engine default. The transport
+// identity wins over the body so a gateway-asserted header cannot be
+// overridden by request content.
+func requestTenant(r *http.Request, bodyTenant string) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	if bodyTenant != "" {
+		return bodyTenant
+	}
+	return engine.DefaultTenant
+}
+
+// admissionError answers an engine admission rejection as HTTP 429 with a
+// Retry-After header (whole seconds, rounded up) and a JSON body carrying
+// the typed fields, then reports true. Non-admission errors report false.
+func admissionError(w http.ResponseWriter, err error) bool {
+	var adm *engine.ErrAdmission
+	if !errors.As(err, &adm) {
+		return false
+	}
+	secs := int(adm.RetryAfter.Seconds())
+	if adm.RetryAfter > time.Duration(secs)*time.Second {
+		secs++ // round up so clients never retry early
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	body := map[string]any{
+		"error":          adm.Error(),
+		"tenant":         adm.Tenant,
+		"cost":           adm.Cost,
+		"limit":          adm.Limit,
+		"reason":         adm.Reason,
+		"retry_after_ms": adm.RetryAfter.Milliseconds(),
+	}
+	if adm.Permanent {
+		// The cost exceeds the limit outright: retrying at this cost can
+		// never succeed — clients should split the request, not back off.
+		body["permanent"] = true
+	}
+	json.NewEncoder(w).Encode(body)
+	return true
 }
 
 func (s *server) routes() http.Handler {
@@ -255,10 +361,15 @@ func (s *server) ResolveBaseline(ref string) (*topology.Network, int, error) {
 	return n, sess.plan.Params.Regions, nil
 }
 
-// janitor periodically drops completed jobs older than the TTL. It runs for
-// the life of the process.
+// janitor periodically drops completed jobs older than the job TTL and
+// sessions idle longer than the session TTL. It runs for the life of the
+// process; the sweep interval tracks the shorter of the two TTLs so a
+// tight -session-ttl is honored even under the default hour-long -job-ttl.
 func (s *server) janitor() {
 	interval := s.ttl / 10
+	if s.sessionTTL > 0 && s.sessionTTL/10 < interval {
+		interval = s.sessionTTL / 10
+	}
 	if interval < time.Second {
 		interval = time.Second
 	}
@@ -267,12 +378,13 @@ func (s *server) janitor() {
 	}
 }
 
-// gc removes jobs that completed before now-ttl. Running jobs and sessions
-// are never collected.
+// gc removes jobs that completed before now-jobTTL, and expires sessions
+// whose last activity (creation, queued update, or completed run) is older
+// than now-sessionTTL. Running jobs and sessions with queued or running
+// work are never collected. Returns jobs removed + sessions expired.
 func (s *server) gc(now time.Time) int {
 	cutoff := now.Add(-s.ttl)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	removed := 0
 	for id, j := range s.jobs {
 		if done, at := j.doneAt(); done && at.Before(cutoff) {
@@ -280,7 +392,26 @@ func (s *server) gc(now time.Time) int {
 			removed++
 		}
 	}
-	return removed
+	var expired []*session
+	if s.sessionTTL > 0 {
+		sessCutoff := now.Add(-s.sessionTTL)
+		for id, sess := range s.sessions {
+			// expireIfIdle marks the session closed atomically with the
+			// idleness check, so an update racing this sweep either lands
+			// before it (the session is no longer idle and survives) or is
+			// refused by launch() — never accepted and then dropped.
+			if sess.expireIfIdle(sessCutoff) {
+				delete(s.sessions, id)
+				expired = append(expired, sess)
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, sess := range expired {
+		sess.close() // releases the worker; closed was already set
+		log.Printf("lyserve: session %s expired (idle beyond %v)", sess.id, s.sessionTTL)
+	}
+	return removed + len(expired)
 }
 
 // serviceJob is one verification request running as a plan: per-property,
@@ -289,6 +420,8 @@ func (s *server) gc(now time.Time) int {
 type serviceJob struct {
 	id      string
 	label   string // v1 suite name, or the plan's property list
+	tenant  string // tenant the plan was admitted under
+	cost    int    // admission cost (the plan's compiled check count)
 	created time.Time
 	window  int // event-history bound (<=0 = unbounded)
 
@@ -299,6 +432,7 @@ type serviceJob struct {
 	notify   chan struct{} // closed and replaced whenever events/finished change
 	finished bool
 	done     time.Time
+	errMsg   string // run error (admission race); job reports failed
 	result   *plan.Result
 }
 
@@ -326,10 +460,18 @@ func (j *serviceJob) doneAt() (bool, time.Time) {
 	return j.finished, j.done
 }
 
-// launchPlan registers a job for the compiled plan and starts it on the
-// shared engine.
-func (s *server) launchPlan(c *plan.Compiled, label string) *serviceJob {
-	j := &serviceJob{label: label, created: time.Now(), window: s.eventWindow, notify: make(chan struct{})}
+// launchPlan registers a job for the compiled plan — already admitted via
+// resv, which the run takes ownership of — and starts it on the shared
+// engine.
+func (s *server) launchPlan(c *plan.Compiled, label string, resv *engine.Reservation) *serviceJob {
+	j := &serviceJob{
+		label:   label,
+		tenant:  engine.NormalizeTenant(c.Tenant()),
+		cost:    c.Cost(),
+		created: time.Now(),
+		window:  s.eventWindow,
+		notify:  make(chan struct{}),
+	}
 	for _, u := range c.Units {
 		ps := &propertyState{property: u.Property}
 		for _, p := range u.Problems {
@@ -344,15 +486,19 @@ func (s *server) launchPlan(c *plan.Compiled, label string) *serviceJob {
 	s.mu.Unlock()
 
 	go func() {
-		res, err := plan.Run(s.eng, c, plan.RunConfig{Sink: j.handleEvent, Store: s.store})
+		res, err := plan.Run(s.eng, c, plan.RunConfig{Sink: j.handleEvent, Store: s.store, Reservation: resv})
+		errMsg := ""
 		if err != nil {
-			// Only delta-mode plans can error, and jobs never run in delta
-			// mode; record defensively rather than wedge the job.
+			// The handler reserved admission for the whole plan, and only
+			// delta-mode plans error otherwise; record defensively rather
+			// than wedge the job.
 			log.Printf("lyserve: job %s: %v", j.id, err)
+			errMsg = err.Error()
 			res = &plan.Result{}
 		}
 		j.mu.Lock()
 		j.result = res
+		j.errMsg = errMsg
 		j.finished = true
 		j.done = time.Now()
 		close(j.notify)
@@ -425,6 +571,8 @@ type verifyRequest struct {
 	Regions   int                   `json:"regions,omitempty"`
 	Config    string                `json:"config,omitempty"`
 	Generator *netgen.GeneratorSpec `json:"generator,omitempty"`
+	Tenant    string                `json:"tenant,omitempty"`
+	Priority  int                   `json:"priority,omitempty"`
 }
 
 // planRequest compiles the v1 body into a single-property plan request.
@@ -432,7 +580,7 @@ func (r *verifyRequest) planRequest() plan.Request {
 	return plan.Request{
 		Network:    plan.Network{Config: r.Config, Generator: r.Generator},
 		Properties: []plan.Property{{Name: r.Suite}},
-		Options:    plan.Options{WANRegions: r.Regions},
+		Options:    plan.Options{WANRegions: r.Regions, Tenant: r.Tenant, Priority: r.Priority},
 	}
 }
 
@@ -451,16 +599,35 @@ func (s *server) compileV1(w http.ResponseWriter, req *verifyRequest) (*plan.Com
 	return c, true
 }
 
+// reservePlan admits the compiled plan as one unit against the engine,
+// answering 429 + Retry-After on rejection. The caller owns the returned
+// reservation (plan.Run releases it).
+func (s *server) reservePlan(w http.ResponseWriter, c *plan.Compiled) (*engine.Reservation, bool) {
+	resv, err := s.eng.Reserve(c.Tenant(), c.Cost())
+	if err != nil {
+		if !admissionError(w, err) {
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+		return nil, false
+	}
+	return resv, true
+}
+
 func (s *server) handleVerifyV1(w http.ResponseWriter, r *http.Request) {
 	var req verifyRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	req.Tenant = requestTenant(r, req.Tenant)
 	c, ok := s.compileV1(w, &req)
 	if !ok {
 		return
 	}
-	j := s.launchPlan(c, req.Suite)
+	resv, ok := s.reservePlan(w, c)
+	if !ok {
+		return
+	}
+	j := s.launchPlan(c, req.Suite, resv)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(map[string]string{
@@ -482,12 +649,17 @@ func (s *server) handleVerifyV2(w http.ResponseWriter, r *http.Request) {
 	if !rejectConfigPath(w, req.Network) {
 		return
 	}
+	req.Options.Tenant = requestTenant(r, req.Options.Tenant)
 	c, err := plan.Compile(req, s)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, strings.TrimPrefix(err.Error(), "plan: "))
 		return
 	}
-	j := s.launchPlan(c, c.Label())
+	resv, ok := s.reservePlan(w, c)
+	if !ok {
+		return
+	}
+	j := s.launchPlan(c, c.Label(), resv)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(map[string]string{
@@ -501,8 +673,11 @@ func (s *server) handleVerifyV2(w http.ResponseWriter, r *http.Request) {
 type jobJSON struct {
 	ID       string            `json:"id"`
 	Suite    string            `json:"suite"`
-	Status   string            `json:"status"` // running | done
+	Tenant   string            `json:"tenant,omitempty"`
+	Cost     int               `json:"cost,omitempty"` // admitted check count
+	Status   string            `json:"status"`         // running | done
 	OK       *bool             `json:"ok,omitempty"`
+	Error    string            `json:"error,omitempty"`
 	Created  time.Time         `json:"created"`
 	Problems []problemStatusJS `json:"problems"`
 }
@@ -543,7 +718,8 @@ func (j *serviceJob) snapshotV1() jobJSON {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.fillReports()
-	out := jobJSON{ID: j.id, Suite: j.label, Created: j.created, Status: "running"}
+	out := jobJSON{ID: j.id, Suite: j.label, Tenant: j.tenant, Cost: j.cost,
+		Error: j.errMsg, Created: j.created, Status: "running"}
 	allOK := true
 	for _, prop := range j.props {
 		for _, ps := range prop.problems {
@@ -569,8 +745,11 @@ func (j *serviceJob) snapshotV1() jobJSON {
 type jobV2JSON struct {
 	ID         string             `json:"id"`
 	Label      string             `json:"label"`
-	Status     string             `json:"status"` // running | done
+	Tenant     string             `json:"tenant,omitempty"`
+	Cost       int                `json:"cost,omitempty"` // admitted check count
+	Status     string             `json:"status"`         // running | done
 	OK         *bool              `json:"ok,omitempty"`
+	Error      string             `json:"error,omitempty"`
 	Created    time.Time          `json:"created"`
 	Properties []propertyStatusJS `json:"properties"`
 	Engine     *engine.Stats      `json:"engine,omitempty"`
@@ -587,7 +766,8 @@ func (j *serviceJob) snapshotV2() jobV2JSON {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.fillReports()
-	out := jobV2JSON{ID: j.id, Label: j.label, Created: j.created, Status: "running"}
+	out := jobV2JSON{ID: j.id, Label: j.label, Tenant: j.tenant, Cost: j.cost,
+		Error: j.errMsg, Created: j.created, Status: "running"}
 	for pi, prop := range j.props {
 		ps := propertyStatusJS{Property: prop.property}
 		for _, pb := range prop.problems {
@@ -700,6 +880,7 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 type session struct {
 	id      string
 	label   string         // suite name (v1) or plan property list (v2)
+	tenant  string         // tenant every run of this session is admitted under
 	plan    *plan.Compiled // the pinned plan; updates re-validate scopes against it
 	created time.Time
 
@@ -707,10 +888,29 @@ type session struct {
 	store    *store.Store // nil without -store; provenance tagging only
 	wake     chan struct{}
 
-	mu     sync.Mutex
-	runs   []*sessionRun
-	queue  []*queuedRun
-	closed bool // session deleted: worker exits, launches are refused
+	mu         sync.Mutex
+	runs       []*sessionRun
+	queue      []*queuedRun
+	running    int       // runs dequeued by the worker but not yet recorded
+	lastActive time.Time // last launch or run completion
+	closed     bool      // session deleted: worker exits, launches are refused
+}
+
+// expireIfIdle closes the session if it has been idle (no queued or
+// running work) since before cutoff, reporting whether it expired. The
+// close decision is made under sess.mu together with the idleness check,
+// so launch() can never enqueue a run into a session the GC is about to
+// drop — a racing update is either observed here (the session survives) or
+// refused with 404 by launch() seeing closed.
+func (sess *session) expireIfIdle(cutoff time.Time) bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed || len(sess.queue) > 0 || sess.running > 0 || !sess.lastActive.Before(cutoff) {
+		return false
+	}
+	sess.closed = true
+	sess.queue = nil
+	return true
 }
 
 // queuedRun is one pending run awaiting the session worker.
@@ -732,19 +932,33 @@ type sessionRun struct {
 }
 
 // createSession registers and starts a session whose problem source is the
-// compiled plan, pinning c.Network as the baseline.
+// compiled plan, pinning c.Network as the baseline. The baseline's cost is
+// prechecked against admission so a session that could never run is 429ed
+// here; the binding admission decision is the session worker's (each run
+// reserves its own dirty cost under the session's tenant).
 func (s *server) createSession(w http.ResponseWriter, c *plan.Compiled, statusPrefix string) {
-	sess := &session{
-		label:    c.Label(),
-		plan:     c,
-		created:  time.Now(),
-		verifier: delta.NewVerifierFor(s.eng, c),
-		store:    s.store,
-		wake:     make(chan struct{}, 1),
+	cost := c.Cost()
+	c.ReleasePrepared() // only the scalar is needed; the plan is pinned for the session's lifetime
+	if err := s.eng.AdmitProbe(c.Tenant(), cost); err != nil {
+		if !admissionError(w, err) {
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
 	}
-	// The request's solver backend follows the session: every incremental
-	// update's dirty subset solves on the backend the plan selected.
-	sess.verifier.SetSubmitOptions(c.SubmitOptions())
+	sess := &session{
+		label:      c.Label(),
+		tenant:     engine.NormalizeTenant(c.Tenant()),
+		plan:       c,
+		created:    time.Now(),
+		lastActive: time.Now(),
+		verifier:   delta.NewVerifierFor(s.eng, c),
+		store:      s.store,
+		wake:       make(chan struct{}, 1),
+	}
+	// The request's tenant, priority, and solver backend follow the
+	// session: every incremental update's dirty subset is admitted under
+	// the session's tenant and solves on the backend the plan selected.
+	sess.verifier.SetWorkload(c.Workload())
 	go sess.worker()
 	s.mu.Lock()
 	s.sseq++
@@ -767,6 +981,7 @@ func (s *server) handleSessionCreateV1(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	req.Tenant = requestTenant(r, req.Tenant)
 	c, ok := s.compileV1(w, &req)
 	if !ok {
 		return
@@ -787,6 +1002,7 @@ func (s *server) handleSessionCreateV2(w http.ResponseWriter, r *http.Request) {
 	if !rejectConfigPath(w, req.Network) {
 		return
 	}
+	req.Options.Tenant = requestTenant(r, req.Options.Tenant)
 	c, err := plan.Compile(req, s)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, strings.TrimPrefix(err.Error(), "plan: "))
@@ -804,6 +1020,22 @@ func (s *server) lookupSession(w http.ResponseWriter, r *http.Request) (*session
 		return nil, false
 	}
 	return sess, true
+}
+
+// sessionTenantAllowed enforces the session's tenant on mutating session
+// endpoints: updates run under — and are charged to — the session's
+// tenant, so a caller presenting a different identity may not consume that
+// quota (or delete the session). The identity is resolved through the same
+// channels as creation (X-Tenant header, ?tenant= query, then the request
+// body's tenant field), so a session created via the body's tenant option
+// remains mutable by its creator. Answers 403 and reports false on
+// mismatch.
+func sessionTenantAllowed(w http.ResponseWriter, r *http.Request, sess *session, bodyTenant string) bool {
+	if engine.NormalizeTenant(requestTenant(r, bodyTenant)) != sess.tenant {
+		httpError(w, http.StatusForbidden, "session belongs to a different tenant")
+		return false
+	}
+	return true
 }
 
 // launchUpdate queues a materialized network as a session update and
@@ -832,6 +1064,9 @@ func (s *server) handleSessionUpdateV1(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	if !sessionTenantAllowed(w, r, sess, req.Tenant) {
+		return
+	}
 	if req.Suite != "" && req.Suite != sess.label {
 		httpError(w, http.StatusBadRequest,
 			fmt.Sprintf("session is pinned to suite %q; updates cannot change it", sess.label))
@@ -850,9 +1085,11 @@ func (s *server) handleSessionUpdateV1(w http.ResponseWriter, r *http.Request) {
 }
 
 // sessionUpdateV2 is the POST /v2/sessions/{id}/update body: a new network
-// state for the session's pinned plan.
+// state for the session's pinned plan, plus (optionally) the caller's
+// tenant when it is not asserted via header or query.
 type sessionUpdateV2 struct {
 	Network plan.Network `json:"network"`
+	Tenant  string       `json:"tenant,omitempty"`
 }
 
 func (s *server) handleSessionUpdateV2(w http.ResponseWriter, r *http.Request) {
@@ -862,6 +1099,9 @@ func (s *server) handleSessionUpdateV2(w http.ResponseWriter, r *http.Request) {
 	}
 	var req sessionUpdateV2
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !sessionTenantAllowed(w, r, sess, req.Tenant) {
 		return
 	}
 	if !rejectConfigPath(w, req.Network) {
@@ -895,6 +1135,7 @@ func (sess *session) launch(n *topology.Network, baseline bool) *sessionRun {
 	run := &sessionRun{seq: len(sess.runs), submitted: time.Now(), baseline: baseline, status: "running"}
 	sess.runs = append(sess.runs, run)
 	sess.queue = append(sess.queue, &queuedRun{run: run, network: n, baseline: baseline})
+	sess.lastActive = time.Now()
 	sess.mu.Unlock()
 	select {
 	case sess.wake <- struct{}{}:
@@ -931,6 +1172,7 @@ func (sess *session) worker() {
 			}
 			q := sess.queue[0]
 			sess.queue = sess.queue[1:]
+			sess.running++
 			sess.mu.Unlock()
 
 			if sess.store != nil {
@@ -945,12 +1187,17 @@ func (sess *session) worker() {
 			}
 			sess.mu.Lock()
 			if err != nil {
+				// Includes admission rejections: the run's dirty subset was
+				// reserved under the session's tenant and refused. The error
+				// (with its retry hint) is the run's recorded status.
 				q.run.status = "failed"
 				q.run.errMsg = err.Error()
 			} else {
 				q.run.status = "done"
 				q.run.result = res
 			}
+			sess.running--
+			sess.lastActive = time.Now()
 			sess.mu.Unlock()
 		}
 	}
@@ -960,6 +1207,7 @@ func (sess *session) worker() {
 type sessionJSON struct {
 	ID          string           `json:"id"`
 	Suite       string           `json:"suite"`
+	Tenant      string           `json:"tenant,omitempty"`
 	Created     time.Time        `json:"created"`
 	Fingerprint string           `json:"fingerprint,omitempty"` // pinned network state
 	Results     int              `json:"retained_results"`
@@ -983,6 +1231,7 @@ func (s *server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	out := sessionJSON{
 		ID:          sess.id,
 		Suite:       sess.label,
+		Tenant:      sess.tenant,
 		Created:     sess.created,
 		Fingerprint: sess.verifier.Fingerprint(),
 		Results:     sess.verifier.ResultCount(),
@@ -1005,14 +1254,17 @@ func (s *server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	sess, ok := s.sessions[r.PathValue("id")]
-	if ok {
-		delete(s.sessions, sess.id)
-	}
 	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such session")
 		return
 	}
+	if !sessionTenantAllowed(w, r, sess, "") { // DELETE has no body: header or ?tenant=
+		return
+	}
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
 	sess.close()
 	writeJSON(w, map[string]string{"deleted": sess.id})
 }

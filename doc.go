@@ -16,11 +16,17 @@
 //
 // All verification runs on internal/engine, the shared execution substrate:
 // a process-wide bounded worker pool that schedules the local checks of all
-// submitted problems through the pipeline
+// submitted workloads through the pipeline
 //
-//	worker pool → in-flight dedup (singleflight) → LRU result cache → reports
+//	admission → per-tenant fair queue → in-flight dedup (singleflight) →
+//	LRU result cache → reports
 //
-// Checks are keyed by their semantic content (core.Check.Key — a truncated
+// Submission is one typed entry point: an engine.Workload names what to
+// verify (a safety problem, a liveness problem, or a raw check batch), the
+// Tenant submitting it, a Priority, and an admission Cost, and
+// engine.Submit(ctx, workload) returns the running job. The six legacy
+// Submit* methods remain only as deprecated shims over this path. Checks
+// are keyed by their semantic content (core.Check.Key — a truncated
 // SHA-256 over the filter policy, predicates, and ghost updates the verdict
 // depends on), so a WAN property sweep that re-issues byte-identical filter
 // checks for every router × property pair solves each distinct formula
@@ -28,6 +34,32 @@
 // in-flight solve. Both cmd/lightyear and cmd/lybench submit to an engine,
 // lyserve exposes one over HTTP, and core.IncrementalVerifier can run on
 // one via the core.CheckRunner seam.
+//
+// # Tenancy and admission control
+//
+// A production lyserve multiplexes many principals onto one engine, so
+// load is shed before it enters the shared queue, not after the workers
+// are saturated. engine.Options.Admission bounds the admitted, uncompleted
+// check cost globally (MaxInFlightChecks), per tenant (PerTenantQuota),
+// and the backlog of workloads awaiting dispatch (MaxQueueDepth); an
+// over-limit submission fails with the typed engine.ErrAdmission{Tenant,
+// Cost, Limit, RetryAfter}, where RetryAfter is estimated from the
+// engine's observed per-check solve time. Admitted workloads are
+// dispatched by deficit round-robin across tenants (weights via
+// Admission.Weights), so a tenant flooding the engine cannot starve the
+// others; Priority orders workloads within one tenant only.
+//
+// The admission unit is the request, not the check: a compiled plan
+// reports its total check count via plan.Compiled.Cost, and the whole plan
+// is admitted up front (engine.Reserve) or rejected untouched. Surfaces:
+// lyserve derives the tenant from the X-Tenant header / ?tenant= query /
+// plan "tenant" option, answers rejected plans with HTTP 429 plus a
+// Retry-After header, and reports per-tenant counters (admitted, rejected,
+// queued, in-flight cost) in GET /v1/stats; delta sessions admit each
+// baseline or update as one unit under the session's tenant; `lightyear
+// -tenant ops -max-inflight 500` exercises the same path in-process, and
+// `lybench -experiment admission` sweeps tenant count × quota and reports
+// p50/p99 queue wait and rejection rates.
 //
 // # Check obligations and solver backends
 //

@@ -59,12 +59,43 @@
 //	curl -s localhost:8080/v1/stats
 //	  => {"engine": {..., "backends": {"portfolio":
 //	      {"solved": 24, "raced": 87, "solve_ns": ...}}}, ...}
+//
+// # Tenancy and admission
+//
+// Every submission runs as a tenant, and the engine sheds load at the door
+// instead of queueing unboundedly. Over HTTP the tenant comes from the
+// X-Tenant header (or ?tenant=, or the plan's "tenant" option), and a
+// server started with admission limits —
+//
+//	lyserve -max-inflight 2000 -tenant-quota 800
+//
+// — admits each plan as one unit (its compiled check count): a request
+// that does not fit is answered 429 with a Retry-After header and a typed
+// body, nothing enqueued:
+//
+//	curl -s -D- -H 'X-Tenant: acme' localhost:8080/v2/verify -d @big-plan.json
+//	  => HTTP/1.1 429 Too Many Requests
+//	     Retry-After: 12
+//	     {"error": "admission rejected for tenant \"acme\": cost 5200 over
+//	      engine in-flight limit 2000 (retry after 12s)", "tenant": "acme",
+//	      "cost": 5200, "limit": 2000, "retry_after_ms": 12000}
+//
+// Retry after the hint (or with a smaller plan) and the request is
+// admitted; GET /v1/stats reports per-tenant admitted/rejected/queued/
+// in-flight counters, and admitted work is dispatched weighted-fair across
+// tenants, so one tenant flooding the service cannot starve another. In
+// the library the same contract is engine.Submit with a Workload (step 7
+// below): rejections are the typed *engine.ErrAdmission.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"lightyear/internal/core"
+	"lightyear/internal/engine"
 	"lightyear/internal/netgen"
 	"lightyear/internal/plan"
 	"lightyear/internal/policy"
@@ -166,4 +197,34 @@ func main() {
 	}
 	fmt.Printf("engine: %d checks submitted, %d solved\n",
 		res.Engine.ChecksSubmitted, res.Engine.ChecksSolved)
+
+	// 7. Tenancy and admission control: the engine's one submission entry
+	// point is a typed Workload — who is submitting (Tenant), how urgent
+	// (Priority), how big (Cost, defaulting to the check count) — and
+	// Options.Admission sheds over-limit work with a typed error carrying a
+	// retry hint, before anything enters the shared queue.
+	cost := len(problem.Checks(core.Options{}))
+	eng := engine.New(engine.Options{
+		// Room for exactly one copy of the problem per tenant.
+		Admission: engine.Admission{MaxInFlightChecks: 2 * cost, PerTenantQuota: cost},
+	})
+	defer eng.Close()
+	job, err := eng.Submit(context.Background(), engine.Workload{
+		Safety: problem, Tenant: "acme", Priority: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// A second workload while acme's first is still in flight would exceed
+	// the quota: the engine rejects it instead of queueing it.
+	_, err = eng.Submit(context.Background(), engine.Workload{Safety: problem, Tenant: "acme"})
+	var adm *engine.ErrAdmission
+	if errors.As(err, &adm) {
+		fmt.Printf("\nadmission: tenant %q cost %d rejected over limit %d (retry after %v)\n",
+			adm.Tenant, adm.Cost, adm.Limit, adm.RetryAfter.Round(time.Millisecond))
+	}
+	job.Wait()
+	ts := eng.Stats().Tenants["acme"]
+	fmt.Printf("tenant acme: %d admitted, %d rejected (lyserve maps this rejection to HTTP 429 + Retry-After)\n",
+		ts.Admitted, ts.Rejected)
 }

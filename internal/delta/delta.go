@@ -28,6 +28,7 @@
 package delta
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -134,7 +135,10 @@ func SuiteSource(suite netgen.Suite, params netgen.SuiteParams) ProblemSource {
 type Verifier struct {
 	eng    *engine.Engine
 	source ProblemSource
-	submit engine.SubmitOptions
+	// workload is the engine.Workload template (tenant, priority, solver
+	// backend) every dirty-subset submission inherits; its payload fields
+	// are filled per problem.
+	workload engine.Workload
 
 	runMu sync.Mutex // serializes Baseline/Update
 
@@ -157,10 +161,22 @@ func NewVerifierFor(eng *engine.Engine, source ProblemSource) *Verifier {
 	return &Verifier{eng: eng, source: source}
 }
 
-// SetSubmitOptions sets the per-job engine overrides (e.g. the solver
-// backend a plan request selected) applied to every dirty-subset submission
-// this verifier makes. Call before the first Baseline.
-func (v *Verifier) SetSubmitOptions(opts engine.SubmitOptions) { v.submit = opts }
+// SetWorkload sets the engine.Workload template — the tenant the session's
+// runs are admitted under, their priority, and per-job engine overrides
+// (e.g. the solver backend a plan request selected) — applied to every
+// dirty-subset submission this verifier makes; payload fields (Kind,
+// Safety, Liveness, Checks, Property) and any Reservation are cleared, the
+// verifier supplies its own per problem. Call before the first Baseline.
+// lyserve sessions set it from the pinned plan, so every incremental
+// update inherits the session's tenant.
+func (v *Verifier) SetWorkload(w engine.Workload) {
+	w.Kind, w.Safety, w.Liveness, w.Checks = "", nil, nil, nil
+	w.Property, w.Reservation = core.Property{}, nil
+	v.workload = w
+}
+
+// Tenant returns the tenant the session's runs are admitted under.
+func (v *Verifier) Tenant() string { return engine.NormalizeTenant(v.workload.Tenant) }
 
 // Fingerprint returns the fingerprint of the pinned network state ("" before
 // Baseline).
@@ -208,11 +224,13 @@ func (v *Verifier) Update(n *topology.Network) (*Result, error) {
 	return v.run(prev, prevResults, n, false)
 }
 
-// problemRun carries one problem through the submit → wait pipeline.
+// problemRun carries one problem through the prepare → submit → wait
+// pipeline.
 type problemRun struct {
 	outcome ProblemOutcome
 	prop    core.Property
 	checks  []core.Check
+	dirty   []core.Check
 	reused  []core.CheckResult
 	job     *engine.Job
 	start   time.Time
@@ -221,7 +239,10 @@ type problemRun struct {
 // run is the shared Baseline/Update body; v.runMu is held, so prev and
 // prevResults are stable. v.mu is only taken briefly at the end to publish
 // the new pinned state, keeping the state accessors responsive while the
-// run waits on the engine.
+// run waits on the engine. The whole run is admitted as one unit: the sum
+// of all problems' dirty checks is reserved against the session's tenant
+// before anything is submitted, so an over-quota incremental run fails
+// with engine.ErrAdmission instead of half-running.
 func (v *Verifier) run(prev *topology.Network, prevResults map[string]core.CheckResult,
 	n *topology.Network, baseline bool) (*Result, error) {
 	start := time.Now()
@@ -235,8 +256,10 @@ func (v *Verifier) run(prev *topology.Network, prevResults map[string]core.Check
 	runs := make([]*problemRun, len(problems))
 	opts := v.eng.CheckOptions()
 
-	// Submit the dirty subset of every problem before waiting on any, so
-	// the engine dedups identical dirty checks across the whole suite.
+	// Prepare every problem: generate its checks and split them into the
+	// reused and dirty subsets. The summed dirty cost is this run's
+	// admission unit.
+	dirtyCost := 0
 	for i, p := range problems {
 		pr := &problemRun{outcome: ProblemOutcome{Name: p.Name}, start: time.Now()}
 		runs[i] = pr
@@ -263,22 +286,49 @@ func (v *Verifier) run(prev *topology.Network, prevResults map[string]core.Check
 			continue
 		}
 
-		var dirty []core.Check
 		for _, c := range pr.checks {
 			if r, ok := prevResults[c.Key()]; ok && c.Key() != "" {
 				r.Kind, r.Loc, r.Desc = c.Kind, c.Loc, c.Desc
 				pr.reused = append(pr.reused, r)
 				continue
 			}
-			dirty = append(dirty, c)
+			pr.dirty = append(pr.dirty, c)
 		}
 		pr.outcome.Checks = len(pr.checks)
-		pr.outcome.Dirty = len(dirty)
+		pr.outcome.Dirty = len(pr.dirty)
 		pr.outcome.Reused = len(pr.reused)
 		res.TotalChecks += len(pr.checks)
-		res.DirtyChecks += len(dirty)
+		res.DirtyChecks += len(pr.dirty)
 		res.ReusedResults += len(pr.reused)
-		pr.job = v.eng.SubmitChecksWith(pr.prop, dirty, v.submit)
+		dirtyCost += len(pr.dirty)
+	}
+
+	resv, err := v.eng.Reserve(v.workload.Tenant, dirtyCost)
+	if err != nil {
+		return nil, err
+	}
+	defer resv.Release()
+
+	// Submit the dirty subset of every problem before waiting on any, so
+	// the engine dedups identical dirty checks across the whole suite.
+	for _, pr := range runs {
+		if pr.outcome.Skipped || pr.outcome.Failed {
+			continue
+		}
+		wl := v.workload
+		wl.Kind = engine.KindChecks
+		wl.Property = pr.prop
+		wl.Checks = pr.dirty
+		wl.Reservation = resv
+		job, err := v.eng.Submit(context.Background(), wl)
+		if err != nil {
+			pr.outcome.Failed = true
+			pr.outcome.SkipReason = err.Error()
+			res.OK = false
+			res.Failures++
+			continue
+		}
+		pr.job = job
 	}
 
 	// Collect, merge reused + fresh, and re-index the retained results

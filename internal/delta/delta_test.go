@@ -1,6 +1,7 @@
 package delta_test
 
 import (
+	"errors"
 	"testing"
 
 	"lightyear/internal/core"
@@ -233,5 +234,39 @@ func TestDirtyConsistent(t *testing.T) {
 	}
 	if err := delta.DirtyConsistent(d, clean); err == nil {
 		t.Fatal("DirtyConsistent should reject checks at untouched locations")
+	}
+}
+
+// TestVerifierRunsUnderWorkloadTenant: the workload template's tenant is
+// charged for every run, and an over-quota incremental run is rejected as
+// one unit with the engine's typed admission error.
+func TestVerifierRunsUnderWorkloadTenant(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	defer eng.Close()
+	v := delta.NewVerifier(eng, wanSuite(t), netgen.SuiteParams{Regions: testWANParams.Regions})
+	v.SetWorkload(engine.Workload{Tenant: "netops"})
+	if v.Tenant() != "netops" {
+		t.Fatalf("Tenant() = %q", v.Tenant())
+	}
+	if _, err := v.Baseline(netgen.WAN(testWANParams, netgen.WANBugs{})); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Tenants["netops"].Admitted != 1 || st.Tenants["netops"].InFlightCost != 0 {
+		t.Fatalf("tenant accounting after baseline: %+v", st.Tenants["netops"])
+	}
+
+	// A budget smaller than the cold baseline rejects the whole run.
+	eng2 := engine.New(engine.Options{Admission: engine.Admission{PerTenantQuota: 1}})
+	defer eng2.Close()
+	v2 := delta.NewVerifier(eng2, wanSuite(t), netgen.SuiteParams{Regions: testWANParams.Regions})
+	v2.SetWorkload(engine.Workload{Tenant: "netops"})
+	_, err := v2.Baseline(netgen.WAN(testWANParams, netgen.WANBugs{}))
+	var adm *engine.ErrAdmission
+	if !errors.As(err, &adm) || adm.Tenant != "netops" {
+		t.Fatalf("over-quota baseline: err=%v, want ErrAdmission for netops", err)
+	}
+	if st := eng2.Stats(); st.ChecksSubmitted != 0 {
+		t.Fatalf("rejected run submitted %d checks", st.ChecksSubmitted)
 	}
 }

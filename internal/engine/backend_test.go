@@ -3,6 +3,7 @@ package engine_test
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,7 +21,7 @@ func TestEngineBackendRoutingAndStats(t *testing.T) {
 	defer eng.Close()
 	n := netgen.Fig1(netgen.Fig1Options{})
 
-	j1 := eng.SubmitSafety(netgen.StressProblem(n, 3))
+	j1 := mustSubmit(t, eng, engine.Workload{Safety: netgen.StressProblem(n, 3)})
 	if rep := j1.Wait(); !rep.OK() {
 		t.Fatalf("native job failed:\n%s", rep.Summary())
 	}
@@ -31,7 +32,8 @@ func TestEngineBackendRoutingAndStats(t *testing.T) {
 
 	// A distinct problem (different pigeonhole size) so the override job is
 	// not served from the cache.
-	j2 := eng.SubmitSafetyWith(netgen.StressProblem(n, 4), engine.SubmitOptions{Backend: solver.Portfolio(0)})
+	j2 := mustSubmit(t, eng, engine.Workload{Safety: netgen.StressProblem(n, 4),
+		SubmitOptions: engine.SubmitOptions{Backend: solver.Portfolio(0)}})
 	if rep := j2.Wait(); !rep.OK() {
 		t.Fatalf("portfolio job failed:\n%s", rep.Summary())
 	}
@@ -60,7 +62,7 @@ func TestUnknownResultsAreNotCached(t *testing.T) {
 	defer eng.Close()
 	p := netgen.StressProblem(netgen.Fig1(netgen.Fig1Options{}), 3)
 
-	rep1 := eng.SubmitSafety(p).Wait()
+	rep1 := mustSubmit(t, eng, engine.Workload{Safety: p}).Wait()
 	unknown := len(rep1.Unknowns())
 	if unknown == 0 {
 		t.Fatal("stress problem decided under a 1-conflict budget; expected unknowns")
@@ -74,7 +76,7 @@ func TestUnknownResultsAreNotCached(t *testing.T) {
 		t.Fatalf("backend stats did not count unknowns: %+v", s1.Backends["native"])
 	}
 
-	j2 := eng.SubmitSafety(p)
+	j2 := mustSubmit(t, eng, engine.Workload{Safety: p})
 	rep2 := j2.Wait()
 	if got := len(rep2.Unknowns()); got != unknown {
 		t.Fatalf("second run unknowns = %d, want %d", got, unknown)
@@ -99,8 +101,8 @@ func TestStatusPropagatesThroughCacheAndDedup(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 4})
 	defer eng.Close()
 	p := netgen.Fig1NoTransitProblem(netgen.Fig1(netgen.Fig1Options{}))
-	eng.SubmitSafety(p).Wait()
-	rep := eng.SubmitSafety(p).Wait() // all cache hits
+	mustSubmit(t, eng, engine.Workload{Safety: p}).Wait()
+	rep := mustSubmit(t, eng, engine.Workload{Safety: p}).Wait() // all cache hits
 	for _, r := range rep.Results {
 		if r.Status != core.StatusOK || !r.OK {
 			t.Fatalf("cached result lost status: %+v", r)
@@ -138,14 +140,14 @@ func TestUnknownNotSharedAcrossBackends(t *testing.T) {
 	p := netgen.StressProblem(netgen.Fig1(netgen.Fig1Options{}), 4)
 
 	weak := &blockingUnknown{started: make(chan struct{}), release: make(chan struct{})}
-	jobA := eng.SubmitSafetyWith(p, engine.SubmitOptions{Backend: weak})
+	jobA := mustSubmit(t, eng, engine.Workload{Safety: p, SubmitOptions: engine.SubmitOptions{Backend: weak}})
 	<-weak.started // one worker now holds the pigeonhole check's in-flight slot
 
 	// The identical problem under the default (unlimited native) backend:
 	// its pigeonhole task must join that open flight as a waiter (the free
 	// worker processes it while the flight blocks; its other checks are
 	// cache hits from job A).
-	jobB := eng.SubmitSafety(p)
+	jobB := mustSubmit(t, eng, engine.Workload{Safety: p})
 	time.Sleep(100 * time.Millisecond)
 	close(weak.release)
 
@@ -164,14 +166,78 @@ func TestUnknownNotSharedAcrossBackends(t *testing.T) {
 // TestRawSubmittedChecksKeepGenerationBudget: a check batch generated with
 // a bounded budget keeps that bound when submitted raw to an engine whose
 // own budget is unlimited (the core.NewIncrementalVerifierOn /
-// SubmitChecks seam).
+// raw-checks Workload seam).
 func TestRawSubmittedChecksKeepGenerationBudget(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 2}) // unlimited engine budget
 	defer eng.Close()
 	p := netgen.StressProblem(netgen.Fig1(netgen.Fig1Options{}), 4)
 	checks := p.Checks(core.Options{ConflictBudget: 1})
-	rep := eng.SubmitChecks(p.Property, checks).Wait()
+	rep := mustSubmit(t, eng, engine.Workload{Kind: engine.KindChecks, Property: p.Property, Checks: checks}).Wait()
 	if len(rep.Unknowns()) == 0 {
 		t.Fatalf("generation-time budget ignored: the engine solved the pigeonhole check unbounded:\n%s", rep.Summary())
+	}
+}
+
+// cancelAware blocks the hard pigeonhole check like blockingUnknown, but
+// gives up (budget 1) only on its FIRST implication solve — the one the
+// cancelled job runs — and solves later calls in full, so a re-solving
+// waiter can decide the formula.
+type cancelAware struct {
+	started chan struct{}
+	release chan struct{}
+	calls   atomic.Int32
+	once    sync.Once
+}
+
+func (b *cancelAware) Name() string { return "cancel-aware" }
+func (b *cancelAware) Solve(ctx context.Context, ob *core.Obligation, _ solver.Budget) solver.Outcome {
+	if ob.Kind != core.ImplicationCheck {
+		return solver.Outcome{CheckResult: ob.Solve(ctx, core.SolveConfig{Backend: b.Name()})}
+	}
+	if b.calls.Add(1) == 1 {
+		b.once.Do(func() { close(b.started) })
+		<-b.release
+		r := ob.Solve(ctx, core.SolveConfig{ConflictBudget: 1, Backend: b.Name()})
+		return solver.Outcome{CheckResult: r}
+	}
+	return solver.Outcome{CheckResult: ob.Solve(ctx, core.SolveConfig{Backend: b.Name()})}
+}
+
+// TestCancelledUnknownNotSharedWithLiveWaiters: an Unknown produced under a
+// cancelled submission context says nothing about the formula, so a waiter
+// from a live job with the *same* backend configuration must re-solve
+// instead of inheriting the give-up.
+func TestCancelledUnknownNotSharedWithLiveWaiters(t *testing.T) {
+	bk := &cancelAware{started: make(chan struct{}), release: make(chan struct{})}
+	eng := engine.New(engine.Options{Workers: 2, Backend: bk})
+	defer eng.Close()
+	p := netgen.StressProblem(netgen.Fig1(netgen.Fig1Options{}), 4)
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	jobA, err := eng.Submit(ctxA, engine.Workload{Safety: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-bk.started // one worker holds the pigeonhole check's in-flight slot
+
+	// The identical problem, same backend, same budget, live context: its
+	// pigeonhole task joins the open flight as a waiter.
+	jobB, err := eng.Submit(context.Background(), engine.Workload{Safety: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	cancelA() // A is cancelled while its solve is still running
+	close(bk.release)
+
+	repA, repB := jobA.Wait(), jobB.Wait()
+	if len(repA.Unknowns()) == 0 {
+		t.Fatalf("cancelled job decided everything; test setup broken:\n%s", repA.Summary())
+	}
+	if !repB.OK() {
+		t.Fatalf("live job inherited a cancelled job's Unknown despite matching config:\n%s", repB.Summary())
+	}
+	if st := jobB.Stats(); st.Solved == 0 {
+		t.Fatalf("job B solved nothing itself; the re-solve path did not run: %+v", st)
 	}
 }

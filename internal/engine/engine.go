@@ -1,6 +1,6 @@
 // Package engine is the shared execution substrate for Lightyear
 // verification: one process-wide bounded worker pool that schedules the
-// local checks of all submitted verification problems, deduplicates
+// local checks of all submitted verification workloads, deduplicates
 // identical checks across concurrent jobs (singleflight), and serves
 // repeated checks from a capacity-bounded LRU result cache.
 //
@@ -11,14 +11,21 @@
 // router × property pair solves each distinct formula exactly once, no
 // matter how many jobs reference it.
 //
-// The pipeline per submitted check is
+// The pipeline per admitted check is
 //
-//	queue → LRU cache probe → in-flight dedup → solver → cache fill → report
+//	admission → per-tenant fair queue → LRU cache probe → in-flight dedup →
+//	solver → cache fill → report
 //
-// Entry points: New to start an engine, SubmitSafety/SubmitLiveness for
-// asynchronous jobs with streamed per-check progress, VerifySafety/
-// VerifyLiveness for synchronous convenience, and RunChecks which makes the
-// engine a core.CheckRunner so core.IncrementalVerifier can run on it.
+// Submission is one typed entry point: build a Workload — a safety or
+// liveness problem, or a raw check batch, plus the submitting Tenant, a
+// Priority, and an admission Cost — and call Submit. Options.Admission
+// bounds how much work may be in flight (globally and per tenant) and how
+// deep the backlog may grow; over-limit submissions are shed *before*
+// entering the shared queue with a typed ErrAdmission carrying a
+// RetryAfter hint, and admitted workloads are dispatched weighted-fair
+// across tenants so a flooding tenant cannot starve the others. Reserve
+// admits a multi-job unit (a compiled plan) as a whole. RunChecks makes
+// the engine a core.CheckRunner so core.IncrementalVerifier can run on it.
 package engine
 
 import (
@@ -56,8 +63,11 @@ type Options struct {
 	ConflictBudget int64
 	// Backend is the default solver backend obligations are routed to;
 	// nil means solver.Native. Jobs may override it per submission
-	// (SubmitOptions.Backend).
+	// (Workload.SubmitOptions.Backend).
 	Backend solver.Backend
+	// Admission is the load-shedding policy applied at Submit/Reserve; the
+	// zero value admits everything.
+	Admission Admission
 }
 
 func (o Options) workers() int {
@@ -100,26 +110,36 @@ type Stats struct {
 	DedupHits       uint64 `json:"dedup_hits"`       // results shared via in-flight dedup
 	CacheLen        int    `json:"cache_len"`
 	CacheCap        int    `json:"cache_cap"`
+	// QueuedWorkloads counts admitted workloads awaiting dispatch;
+	// InFlightCost is the admitted cost (checks) not yet released.
+	QueuedWorkloads int `json:"queued_workloads,omitempty"`
+	InFlightCost    int `json:"in_flight_cost,omitempty"`
 	// Backends breaks ChecksSolved down by the solver backend that executed
 	// them, keyed by backend name.
 	Backends map[string]BackendStats `json:"backends,omitempty"`
+	// Tenants is the per-tenant admission accounting (admitted, rejected,
+	// completed, queued workloads, in-flight cost), keyed by tenant. The
+	// map is bounded: under heavy tenant-name churn, fully idle tenants are
+	// evicted — counters included — to keep client-chosen names from
+	// growing it without limit.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
 
 // Engine schedules verification checks on a bounded worker pool with a
 // shared result cache. It is safe for concurrent use; create one per
-// process (or per tenant) and submit all jobs to it.
+// process and submit all tenants' workloads to it.
 type Engine struct {
 	opts    Options
 	tasks   chan task
 	cache   ResultCache    // nil when caching is disabled
 	backend solver.Backend // default backend (Options.Backend or native)
 
-	workers    sync.WaitGroup
-	submitters sync.WaitGroup
+	workers sync.WaitGroup
 
 	mu       sync.Mutex
 	inflight map[string]*flight
-	closed   bool
+
+	sched sched // admission + weighted-fair dispatch state (own mutex)
 
 	statsMu      sync.Mutex
 	backendStats map[string]BackendStats
@@ -131,6 +151,7 @@ type Engine struct {
 	checksSolved    atomic.Uint64
 	cacheHits       atomic.Uint64
 	dedupHits       atomic.Uint64
+	solveNanos      atomic.Int64
 }
 
 // task is one check of one job, scheduled on the pool.
@@ -146,7 +167,7 @@ type flight struct {
 	waiters []task
 }
 
-// New starts an engine with its worker pool.
+// New starts an engine with its worker pool and dispatcher.
 func New(opts Options) *Engine {
 	e := &Engine{
 		opts:         opts,
@@ -168,6 +189,10 @@ func New(opts Options) *Engine {
 		}
 		e.cache = newLRUCache(size)
 	}
+	e.sched.tenants = make(map[string]*tenantQueue)
+	e.sched.cond = sync.NewCond(&e.sched.mu)
+	e.sched.done = make(chan struct{})
+	go e.dispatch()
 	for i := 0; i < opts.workers(); i++ {
 		e.workers.Add(1)
 		go func() {
@@ -180,17 +205,19 @@ func New(opts Options) *Engine {
 	return e
 }
 
-// Close drains queued work and stops the workers. Jobs submitted before
-// Close still complete; submitting after Close panics.
+// Close drains queued work and stops the dispatcher and workers. Jobs
+// admitted before Close still complete; submitting after Close panics.
 func (e *Engine) Close() {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	s := &e.sched
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		return
 	}
-	e.closed = true
-	e.mu.Unlock()
-	e.submitters.Wait()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.done // dispatcher drains every queued workload, then exits
 	close(e.tasks)
 	e.workers.Wait()
 }
@@ -216,6 +243,23 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	e.statsMu.Unlock()
+	sc := &e.sched
+	sc.mu.Lock()
+	s.QueuedWorkloads = sc.queued
+	s.InFlightCost = sc.inflight
+	if len(sc.tenants) > 0 {
+		s.Tenants = make(map[string]TenantStats, len(sc.tenants))
+		for name, tq := range sc.tenants {
+			s.Tenants[name] = TenantStats{
+				Admitted:     tq.admitted,
+				Rejected:     tq.rejected,
+				Completed:    tq.completed,
+				Queued:       len(tq.entries),
+				InFlightCost: tq.inflight,
+			}
+		}
+	}
+	sc.mu.Unlock()
 	return s
 }
 
@@ -239,7 +283,7 @@ func (e *Engine) effectiveBudget(c core.Check) int64 {
 	return e.opts.ConflictBudget
 }
 
-// SubmitOptions are per-job execution overrides.
+// SubmitOptions are per-job execution overrides, embedded in Workload.
 type SubmitOptions struct {
 	// Backend routes this job's obligations to a specific solver backend
 	// instead of the engine default — the hook plan requests use to select
@@ -247,105 +291,143 @@ type SubmitOptions struct {
 	Backend solver.Backend
 }
 
+// Submit is the engine's single submission entry point: it validates the
+// workload, generates its checks (for problem payloads), admits it against
+// Options.Admission — returning a typed *ErrAdmission when the tenant's
+// quota, the engine's in-flight budget, or the queue depth refuses it —
+// and enqueues it for weighted-fair dispatch, returning the running job
+// immediately. ctx is attached to the job's solves: cancelling it makes
+// remaining checks finish as Unknown (never cached) instead of burning
+// solver budget. Submitting after Close panics.
+func (e *Engine) Submit(ctx context.Context, w Workload) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	prop, checks, err := w.resolve(e.checkOptions())
+	if err != nil {
+		return nil, err
+	}
+	backend := w.Backend
+	if backend == nil {
+		backend = e.backend
+	}
+	tenant := NormalizeTenant(w.Tenant)
+	cost := w.Cost
+	if cost < 0 {
+		// A negative cost would *credit* the quota accounting and disable
+		// load shedding for everyone sharing the engine.
+		return nil, fmt.Errorf("engine: workload cost must be >= 0, got %d", cost)
+	}
+	if cost == 0 {
+		cost = len(checks)
+	}
+	if w.Reservation != nil && w.Reservation.tenant != tenant {
+		return nil, fmt.Errorf("engine: workload tenant %q does not match reservation tenant %q",
+			tenant, w.Reservation.tenant)
+	}
+
+	s := &e.sched
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic("engine: submit after Close")
+	}
+	tq := s.tenant(tenant, e.opts.Admission)
+	if err := e.admitLocked(tq, cost, w.Reservation); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	j := newJob(e, e.nextID.Add(1), ctx, prop, checks, backend, tenant, w.Priority, cost, w.Reservation)
+	e.jobsSubmitted.Add(1)
+	e.checksSubmitted.Add(uint64(len(checks)))
+	if len(checks) == 0 {
+		s.mu.Unlock()
+		j.finish()
+		return j, nil
+	}
+	s.enqueueLocked(tq, &dispatchEntry{job: j, checks: checks, priority: w.Priority})
+	s.mu.Unlock()
+	return j, nil
+}
+
+// mustSubmit backs the deprecated shims, whose signatures predate
+// admission control: they panic on rejection, so they must only be used on
+// engines without admission limits.
+func (e *Engine) mustSubmit(w Workload) *Job {
+	j, err := e.Submit(context.Background(), w)
+	if err != nil {
+		panic(fmt.Sprintf("engine: legacy submit failed: %v (use Submit on engines with admission control)", err))
+	}
+	return j
+}
+
 // SubmitSafety generates the local checks of a safety problem and schedules
 // them, returning the running job immediately.
+//
+// Deprecated: build a Workload{Safety: p} and call Submit, which adds
+// tenancy, priority, and admission control.
 func (e *Engine) SubmitSafety(p *core.SafetyProblem) *Job {
-	return e.SubmitSafetyWith(p, SubmitOptions{})
+	return e.mustSubmit(Workload{Safety: p})
 }
 
 // SubmitSafetyWith is SubmitSafety with per-job overrides.
+//
+// Deprecated: build a Workload{Safety: p, SubmitOptions: opts} and call
+// Submit.
 func (e *Engine) SubmitSafetyWith(p *core.SafetyProblem, opts SubmitOptions) *Job {
-	return e.submit(p.Property, p.Checks(e.checkOptions()), opts)
+	return e.mustSubmit(Workload{Safety: p, SubmitOptions: opts})
 }
 
 // SubmitLiveness generates the checks of a liveness problem and schedules
 // them. It fails fast if the problem's path is invalid.
+//
+// Deprecated: build a Workload{Liveness: p} and call Submit.
 func (e *Engine) SubmitLiveness(p *core.LivenessProblem) (*Job, error) {
-	return e.SubmitLivenessWith(p, SubmitOptions{})
+	return e.Submit(context.Background(), Workload{Liveness: p})
 }
 
 // SubmitLivenessWith is SubmitLiveness with per-job overrides.
+//
+// Deprecated: build a Workload{Liveness: p, SubmitOptions: opts} and call
+// Submit.
 func (e *Engine) SubmitLivenessWith(p *core.LivenessProblem, opts SubmitOptions) (*Job, error) {
-	checks, err := p.Checks(e.checkOptions())
-	if err != nil {
-		return nil, err
-	}
-	return e.submit(p.Property, checks, opts), nil
+	return e.Submit(context.Background(), Workload{Liveness: p, SubmitOptions: opts})
 }
 
-// VerifySafety is the synchronous convenience wrapper: submit and wait.
-func (e *Engine) VerifySafety(p *core.SafetyProblem) *core.Report {
-	return e.SubmitSafety(p).Wait()
+// SubmitChecks schedules a raw batch of checks as one asynchronous job.
+//
+// Deprecated: build a Workload{Kind: KindChecks, Property: prop,
+// Checks: checks} and call Submit.
+func (e *Engine) SubmitChecks(prop core.Property, checks []core.Check) *Job {
+	return e.mustSubmit(Workload{Kind: KindChecks, Property: prop, Checks: checks})
 }
 
-// VerifyLiveness is the synchronous convenience wrapper: submit and wait.
-func (e *Engine) VerifyLiveness(p *core.LivenessProblem) (*core.Report, error) {
-	j, err := e.SubmitLiveness(p)
-	if err != nil {
-		return nil, err
-	}
-	return j.Wait(), nil
+// SubmitChecksWith is SubmitChecks with per-job overrides.
+//
+// Deprecated: build a Workload{Kind: KindChecks, Property: prop, Checks:
+// checks, SubmitOptions: opts} and call Submit.
+func (e *Engine) SubmitChecksWith(prop core.Property, checks []core.Check, opts SubmitOptions) *Job {
+	return e.mustSubmit(Workload{Kind: KindChecks, Property: prop, Checks: checks, SubmitOptions: opts})
 }
 
 // RunChecks implements core.CheckRunner, letting a core.IncrementalVerifier
 // (or any other producer of raw checks) execute on the shared pool and
-// benefit from the process-wide cache.
+// benefit from the process-wide cache. The batch runs as the default tenant;
+// like the deprecated shims, the CheckRunner seam predates admission
+// control and panics on rejection.
 func (e *Engine) RunChecks(prop core.Property, checks []core.Check) *core.Report {
-	return e.submit(prop, checks, SubmitOptions{}).Wait()
-}
-
-// SubmitChecks schedules a raw batch of checks as one asynchronous job —
-// the entry point internal/delta uses to run just the dirty subset of a
-// problem's checks while letting jobs from several problems interleave on
-// the pool.
-func (e *Engine) SubmitChecks(prop core.Property, checks []core.Check) *Job {
-	return e.submit(prop, checks, SubmitOptions{})
-}
-
-// SubmitChecksWith is SubmitChecks with per-job overrides.
-func (e *Engine) SubmitChecksWith(prop core.Property, checks []core.Check, opts SubmitOptions) *Job {
-	return e.submit(prop, checks, opts)
+	return e.mustSubmit(Workload{Kind: KindChecks, Property: prop, Checks: checks}).Wait()
 }
 
 // CheckOptions returns the core.Options the engine uses when generating
-// checks from a problem, so external check producers (internal/delta)
-// enumerate exactly the same checks SubmitSafety/SubmitLiveness would.
+// checks from a problem, so external check producers (internal/delta,
+// internal/plan) enumerate exactly the same checks a problem Workload
+// would.
 func (e *Engine) CheckOptions() core.Options {
 	return e.checkOptions()
-}
-
-// submit enqueues a batch of checks as one job.
-func (e *Engine) submit(prop core.Property, checks []core.Check, opts SubmitOptions) *Job {
-	backend := opts.Backend
-	if backend == nil {
-		backend = e.backend
-	}
-	j := newJob(e, e.nextID.Add(1), prop, len(checks), backend)
-	e.jobsSubmitted.Add(1)
-	e.checksSubmitted.Add(uint64(len(checks)))
-
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		panic("engine: submit after Close")
-	}
-	e.submitters.Add(1)
-	e.mu.Unlock()
-
-	if len(checks) == 0 {
-		j.finish()
-		e.submitters.Done()
-		return j
-	}
-	// Enqueue asynchronously so a job larger than the queue never blocks
-	// the submitter; workers interleave checks from all live jobs.
-	go func() {
-		defer e.submitters.Done()
-		for i, c := range checks {
-			e.tasks <- task{job: j, idx: i, check: c}
-		}
-	}()
-	return j
 }
 
 // execute runs one scheduled task through the cache → dedup → solve
@@ -412,10 +494,12 @@ func (e *Engine) execute(t task) {
 // Unknown is not a verdict: it is shared only with waiters whose solve
 // would be configured identically — same backend configuration AND same
 // effective conflict budget (the budget lives on the check, not the
-// backend) — since an identical attempt would only reproduce the give-up.
-// Any other waiter re-solves under its own backend/budget, once per
-// distinct configuration, with the first decided re-solve cached and
-// shared with every remaining waiter.
+// backend), AND only when the solve ran under a live context — since only
+// then would an identical attempt reproduce the give-up. An Unknown caused
+// by the solving job's cancelled submission context says nothing about the
+// formula, so waiters from live jobs always re-solve it. Re-solves happen
+// once per distinct configuration, with the first decided re-solve cached
+// and shared with every remaining waiter.
 func (e *Engine) deliverWaiters(key string, r core.CheckResult, t task, waiters []task) {
 	// Outcomes of re-solves so far: the first decided one, plus per-config
 	// Unknowns so identically-configured waiters do not repeat a failed
@@ -440,7 +524,7 @@ func (e *Engine) deliverWaiters(key string, r core.CheckResult, t task, waiters 
 			w.job.deliver(w.idx, adapt(shared, w.check), false, true, nil)
 			continue
 		}
-		if sameSolve(t.job.backend, e.effectiveBudget(t.check), w) {
+		if t.job.ctx.Err() == nil && sameSolve(t.job.backend, e.effectiveBudget(t.check), w) {
 			e.dedupHits.Add(1)
 			w.job.deliver(w.idx, adapt(r, w.check), false, true, nil)
 			continue
@@ -463,7 +547,10 @@ func (e *Engine) deliverWaiters(key string, r core.CheckResult, t task, waiters 
 				e.cache.Add(key, wout.CheckResult)
 			}
 			decided = &wout.CheckResult
-		} else {
+		} else if w.job.ctx.Err() == nil {
+			// Only a live job's give-up is representative of the
+			// configuration; a cancelled job's Unknown is not replayed to
+			// later waiters.
 			unknowns = append(unknowns, gaveUp{
 				backend: w.job.backend,
 				budget:  e.effectiveBudget(w.check),
@@ -480,17 +567,20 @@ func (e *Engine) deliverWaiters(key string, r core.CheckResult, t task, waiters 
 // identities, and the backend reports the obligation's own). The conflict
 // budget is the check's own generation-time budget when it has one —
 // checks the engine generated itself carry the engine's budget, and
-// raw-submitted batches (SubmitChecks, core.NewIncrementalVerifierOn)
-// keep the budget their producer chose — falling back to the engine's.
+// raw-submitted batches (KindChecks workloads, core.NewIncrementalVerifierOn)
+// keep the budget their producer chose — falling back to the engine's. The
+// solve runs under the job's submission context, so cancelling it turns
+// the job's remaining checks into Unknowns.
 func (e *Engine) solve(t task) solver.Outcome {
 	e.checksSolved.Add(1)
 	backend := t.job.backend
 	t0 := time.Now()
-	out := backend.Solve(context.Background(), t.check.Obligation(), solver.Budget{Conflicts: e.effectiveBudget(t.check)})
+	out := backend.Solve(t.job.ctx, t.check.Obligation(), solver.Budget{Conflicts: e.effectiveBudget(t.check)})
 	if out.TotalTime == 0 {
 		out.TotalTime = time.Since(t0)
 	}
 	out.Kind, out.Loc, out.Desc = t.check.Kind, t.check.Loc, t.check.Desc
+	e.solveNanos.Add(out.SolveTime.Nanoseconds())
 
 	e.statsMu.Lock()
 	bs := e.backendStats[backend.Name()]

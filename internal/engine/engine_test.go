@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -11,6 +12,17 @@ import (
 	"lightyear/internal/policy"
 	"lightyear/internal/topology"
 )
+
+// mustSubmit submits a workload through the unified entry point, failing
+// the test on rejection.
+func mustSubmit(t *testing.T, eng *engine.Engine, w engine.Workload) *engine.Job {
+	t.Helper()
+	j, err := eng.Submit(context.Background(), w)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	return j
+}
 
 // testWAN returns a small WAN and an overlapping peering workload: several
 // properties checked at every router, the shape of the §6.1 sweep.
@@ -76,7 +88,12 @@ func TestEngineMatchesSequentialBaseline(t *testing.T) {
 		wg.Add(1)
 		go func(i int, p *core.SafetyProblem) {
 			defer wg.Done()
-			jobs[i] = eng.SubmitSafety(p)
+			j, err := eng.Submit(context.Background(), engine.Workload{Safety: p})
+			if err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			jobs[i] = j
 		}(i, p)
 	}
 	wg.Wait()
@@ -123,10 +140,7 @@ func TestEngineLivenessMatchesBaseline(t *testing.T) {
 
 	eng := engine.New(engine.Options{Workers: 4})
 	defer eng.Close()
-	rep, err := eng.VerifyLiveness(netgen.Fig1LivenessProblem(n))
-	if err != nil {
-		t.Fatal(err)
-	}
+	rep := mustSubmit(t, eng, engine.Workload{Liveness: netgen.Fig1LivenessProblem(n)}).Wait()
 	got, want := signature(rep), signature(base)
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Errorf("engine liveness report differs from baseline:\n  engine   %v\n  baseline %v", got, want)
@@ -135,8 +149,8 @@ func TestEngineLivenessMatchesBaseline(t *testing.T) {
 	// An invalid path must fail fast, not enqueue.
 	bad := netgen.Fig1LivenessProblem(n)
 	bad.Steps = bad.Steps[:1]
-	if _, err := eng.SubmitLiveness(bad); err == nil {
-		t.Error("SubmitLiveness accepted an invalid path")
+	if _, err := eng.Submit(context.Background(), engine.Workload{Liveness: bad}); err == nil {
+		t.Error("Submit accepted an invalid liveness path")
 	}
 }
 
@@ -147,7 +161,7 @@ func TestJobProgressStreams(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 2})
 	defer eng.Close()
 
-	job := eng.SubmitSafety(netgen.Fig1NoTransitProblem(n))
+	job := mustSubmit(t, eng, engine.Workload{Safety: netgen.Fig1NoTransitProblem(n)})
 	events := 0
 	last := 0
 	for ev := range job.Progress() {
@@ -180,9 +194,9 @@ func TestRepeatedJobIsAllCacheHits(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 4})
 	defer eng.Close()
 
-	first := eng.SubmitSafety(netgen.Fig1NoTransitProblem(n))
+	first := mustSubmit(t, eng, engine.Workload{Safety: netgen.Fig1NoTransitProblem(n)})
 	first.Wait()
-	second := eng.SubmitSafety(netgen.Fig1NoTransitProblem(n))
+	second := mustSubmit(t, eng, engine.Workload{Safety: netgen.Fig1NoTransitProblem(n)})
 	rep := second.Wait()
 
 	st := second.Stats()
@@ -205,7 +219,7 @@ func TestEngineDetectsBugsLikeBaseline(t *testing.T) {
 
 	eng := engine.New(engine.Options{Workers: 4})
 	defer eng.Close()
-	rep := eng.VerifySafety(netgen.Fig1NoTransitProblem(buggy))
+	rep := mustSubmit(t, eng, engine.Workload{Safety: netgen.Fig1NoTransitProblem(buggy)}).Wait()
 	if rep.OK() {
 		t.Fatal("engine must reproduce the failure")
 	}
@@ -253,8 +267,8 @@ func TestEngineCacheDisabled(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 2, CacheSize: -1})
 	defer eng.Close()
 
-	eng.SubmitSafety(netgen.Fig1NoTransitProblem(n)).Wait()
-	second := eng.SubmitSafety(netgen.Fig1NoTransitProblem(n))
+	mustSubmit(t, eng, engine.Workload{Safety: netgen.Fig1NoTransitProblem(n)}).Wait()
+	second := mustSubmit(t, eng, engine.Workload{Safety: netgen.Fig1NoTransitProblem(n)})
 	second.Wait()
 	if st := second.Stats(); st.CacheHits != 0 {
 		t.Errorf("cache disabled but second run had %d cache hits", st.CacheHits)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -19,13 +20,21 @@ type Progress struct {
 }
 
 // JobStats summarizes how a job's checks were satisfied: cache/dedup reuse,
-// and — for checks this job actually solved — the per-backend accounting of
-// the solver backend the job was routed to.
+// admission accounting (tenant, cost, time spent queued behind the fair
+// dispatcher), and — for checks this job actually solved — the per-backend
+// accounting of the solver backend the job was routed to.
 type JobStats struct {
 	Checks    int `json:"checks"`
 	Completed int `json:"completed"`
 	CacheHits int `json:"cache_hits"`
 	DedupHits int `json:"dedup_hits"`
+
+	// Tenant is the principal the job was admitted under; Cost its admission
+	// cost; QueueWaitNanos the time between admission and the dispatch of
+	// its first check (0 for empty jobs).
+	Tenant         string `json:"tenant,omitempty"`
+	Cost           int    `json:"cost,omitempty"`
+	QueueWaitNanos int64  `json:"queue_wait_ns,omitempty"`
 
 	// Backend names the solver backend this job's solved checks ran on.
 	Backend string `json:"backend,omitempty"`
@@ -43,27 +52,38 @@ type JobStats struct {
 	SolveNanos int64 `json:"solve_ns,omitempty"`
 }
 
-// Job is one verification problem running on the engine. Obtain the final
+// QueueWait returns the job's time-in-queue as a duration.
+func (s JobStats) QueueWait() time.Duration { return time.Duration(s.QueueWaitNanos) }
+
+// Job is one admitted workload running on the engine. Obtain the final
 // report with Wait, or watch per-check completion with Progress.
 type Job struct {
 	ID       uint64
 	Property core.Property
+	// Tenant, Priority, and Cost mirror the submitted Workload's admission
+	// identity.
+	Tenant   string
+	Priority int
+	Cost     int
 
-	engine  *Engine
-	total   int
-	start   time.Time
-	backend solver.Backend
+	engine      *Engine
+	ctx         context.Context
+	total       int
+	start       time.Time
+	backend     solver.Backend
+	reservation *Reservation
 
-	mu        sync.Mutex
-	results   []core.CheckResult
-	completed int
-	cacheHits int
-	dedupHits int
-	solved    int
-	unknown   int
-	raced     int
-	escalated int
-	solveNS   int64
+	mu         sync.Mutex
+	results    []core.CheckResult
+	completed  int
+	cacheHits  int
+	dedupHits  int
+	solved     int
+	unknown    int
+	raced      int
+	escalated  int
+	solveNS    int64
+	dispatched time.Time // when the dispatcher sent the first check
 
 	// progress is buffered to total, so workers never block on a caller
 	// that does not drain it; it is closed when the job completes.
@@ -72,17 +92,24 @@ type Job struct {
 	report   *core.Report
 }
 
-func newJob(e *Engine, id uint64, prop core.Property, total int, backend solver.Backend) *Job {
+func newJob(e *Engine, id uint64, ctx context.Context, prop core.Property, checks []core.Check,
+	backend solver.Backend, tenant string, priority, cost int, resv *Reservation) *Job {
+	total := len(checks)
 	return &Job{
-		ID:       id,
-		Property: prop,
-		engine:   e,
-		total:    total,
-		start:    time.Now(),
-		backend:  backend,
-		results:  make([]core.CheckResult, total),
-		progress: make(chan Progress, total),
-		done:     make(chan struct{}),
+		ID:          id,
+		Property:    prop,
+		Tenant:      tenant,
+		Priority:    priority,
+		Cost:        cost,
+		engine:      e,
+		ctx:         ctx,
+		total:       total,
+		start:       time.Now(),
+		backend:     backend,
+		reservation: resv,
+		results:     make([]core.CheckResult, total),
+		progress:    make(chan Progress, total),
+		done:        make(chan struct{}),
 	}
 }
 
@@ -103,13 +130,28 @@ func (j *Job) Wait() *core.Report {
 	return j.report
 }
 
+// markDispatched records when the fair dispatcher released the job's first
+// check to the worker pool — the end of its queue wait.
+func (j *Job) markDispatched(t time.Time) {
+	j.mu.Lock()
+	if j.dispatched.IsZero() {
+		j.dispatched = t
+	}
+	j.mu.Unlock()
+}
+
 // Stats returns a snapshot of the job's check accounting.
 func (j *Job) Stats() JobStats {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	var wait int64
+	if !j.dispatched.IsZero() {
+		wait = j.dispatched.Sub(j.start).Nanoseconds()
+	}
 	return JobStats{
 		Checks: j.total, Completed: j.completed,
 		CacheHits: j.cacheHits, DedupHits: j.dedupHits,
+		Tenant: j.Tenant, Cost: j.Cost, QueueWaitNanos: wait,
 		Backend: j.backend.Name(),
 		Solved:  j.solved, Unknown: j.unknown,
 		Raced: j.raced, Escalated: j.escalated, SolveNanos: j.solveNS,
@@ -159,12 +201,14 @@ func (j *Job) deliver(idx int, r core.CheckResult, cached, deduped bool, out *so
 	}
 }
 
-// finish assembles the deterministic report and releases waiters.
+// finish assembles the deterministic report, releases the job's admission
+// cost, and releases waiters.
 func (j *Job) finish() {
 	results := make([]core.CheckResult, len(j.results))
 	copy(results, j.results)
 	j.report = core.NewReport(j.Property, results, time.Since(j.start))
 	j.engine.jobsCompleted.Add(1)
+	j.engine.jobDone(j)
 	close(j.progress)
 	close(j.done)
 }

@@ -37,8 +37,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"lightyear/internal/config"
+	"lightyear/internal/core"
 	"lightyear/internal/delta"
 	"lightyear/internal/engine"
 	"lightyear/internal/netgen"
@@ -103,6 +105,17 @@ type Options struct {
 	// engine (the backend is a per-job routing decision, not an engine
 	// rebuild).
 	Solver *solver.Spec `json:"solver,omitempty"`
+	// Tenant is the principal the request's workloads are admitted and
+	// accounted under (engine.DefaultTenant when empty). Hosts with their
+	// own identity channel (lyserve's X-Tenant header / ?tenant= query)
+	// overwrite it before compiling.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders this request's workloads within the tenant's queue
+	// (higher first); it never preempts other tenants.
+	Priority int `json:"priority,omitempty"`
+	// StoreRetain bounds Store retention: on open, only results from the N
+	// most recently written network fingerprints are kept (0 = keep all).
+	StoreRetain int `json:"store_retain,omitempty"`
 	// Baseline, when set, runs the request incrementally: the baseline
 	// network is verified first, then the request's network is
 	// delta-verified against it, re-solving only dirtied checks.
@@ -156,6 +169,9 @@ func (r Request) Validate() error {
 		if s.Budget < 0 {
 			return requestErrorf("plan: solver budget must be >= 0, got %d", s.Budget)
 		}
+	}
+	if r.Options.StoreRetain < 0 {
+		return requestErrorf("plan: store_retain must be >= 0, got %d", r.Options.StoreRetain)
 	}
 	if b := r.Options.Baseline; b != nil {
 		if err := b.validate(); err != nil {
@@ -240,18 +256,110 @@ type Compiled struct {
 	// backend is the resolved solver backend (nil when the request defers
 	// to the engine default).
 	backend solver.Backend
+
+	prepMu   sync.Mutex
+	prepared [][]PreparedProblem
+	costDone bool
+	cost     int
+}
+
+// PreparedProblem is one problem's generated check batch (or the error
+// that prevented generation), cached on the Compiled plan so cost
+// estimation and execution share one generation pass.
+type PreparedProblem struct {
+	Property core.Property
+	Checks   []core.Check
+	Err      error
+}
+
+// Prepared returns the per-unit, per-problem generated check batches,
+// generating (and caching) them if needed. Checks carry no generation-time
+// conflict budget, so the engine's own budget applies when they run
+// (engine check budgets fall back to the engine's) — the same resolution a
+// problem Workload gets. Call ReleasePrepared once the batches have been
+// consumed; a long-pinned Compiled (an lyserve session) should not retain
+// every generated check for its lifetime.
+func (c *Compiled) Prepared() [][]PreparedProblem {
+	c.prepMu.Lock()
+	defer c.prepMu.Unlock()
+	if c.prepared == nil {
+		c.generateLocked()
+	}
+	return c.prepared
+}
+
+// ReleasePrepared drops the cached check batches (the computed Cost is
+// kept). plan.Run releases them once every workload is submitted, and
+// hosts that only needed Cost (lyserve session admission prechecks)
+// release them immediately.
+func (c *Compiled) ReleasePrepared() {
+	c.prepMu.Lock()
+	c.prepared = nil
+	c.prepMu.Unlock()
+}
+
+// generateLocked builds the prepared batches and, on first run, the cost
+// sum; prepMu is held.
+func (c *Compiled) generateLocked() {
+	c.prepared = make([][]PreparedProblem, len(c.Units))
+	cost := 0
+	for pi, u := range c.Units {
+		c.prepared[pi] = make([]PreparedProblem, len(u.Problems))
+		for i, p := range u.Problems {
+			pp := &c.prepared[pi][i]
+			switch {
+			case p.Safety != nil:
+				pp.Property, pp.Checks = p.Safety.Property, p.Safety.Checks(core.Options{})
+			case p.Liveness != nil:
+				pp.Property = p.Liveness.Property
+				pp.Checks, pp.Err = p.Liveness.Checks(core.Options{})
+			default:
+				pp.Err = errEmptyProblem
+			}
+			if pp.Err == nil {
+				cost += len(pp.Checks)
+			}
+		}
+	}
+	if !c.costDone {
+		c.cost, c.costDone = cost, true
+	}
 }
 
 // Backend returns the solver backend the request selected, nil for the
 // engine default.
 func (c *Compiled) Backend() solver.Backend { return c.backend }
 
-// SubmitOptions returns the per-job engine overrides the compiled request
-// implies — hosts pass them to every submission the plan spawns (including
-// incremental session updates), so backend selection follows the request
-// end-to-end.
-func (c *Compiled) SubmitOptions() engine.SubmitOptions {
-	return engine.SubmitOptions{Backend: c.backend}
+// Tenant returns the principal the request runs as ("" = engine default).
+func (c *Compiled) Tenant() string { return c.Request.Options.Tenant }
+
+// Cost returns the plan's admission cost: the total number of local checks
+// its scoped problems generate on the compiled network (generated once and
+// shared with Run). Hosts admit the whole plan as one unit —
+// engine.Reserve(plan.Tenant(), plan.Cost()) — so a request is either
+// fully admitted or rejected up front (HTTP 429) rather than half-run.
+// Problems whose checks cannot be generated (an invalid liveness path)
+// contribute nothing; they fail at submission regardless of admission.
+func (c *Compiled) Cost() int {
+	c.prepMu.Lock()
+	defer c.prepMu.Unlock()
+	if !c.costDone {
+		c.generateLocked()
+	}
+	return c.cost
+}
+
+// Workload returns the engine.Workload template the compiled request
+// implies — tenant, priority, and solver-backend overrides, with the
+// payload left for the caller to fill. Hosts apply it to every submission
+// the plan spawns (including incremental session updates), so tenancy and
+// backend selection follow the request end-to-end.
+func (c *Compiled) Workload() engine.Workload {
+	return engine.Workload{
+		Tenant:        c.Request.Options.Tenant,
+		Priority:      c.Request.Options.Priority,
+		SubmitOptions: engine.SubmitOptions{Backend: c.backend},
+	}
 }
 
 // Compile validates the request, materializes its network(s), and builds

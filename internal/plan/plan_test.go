@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -155,17 +156,21 @@ func TestPlanMatchesLegacySuiteRun(t *testing.T) {
 				var legacy *engine.ReportJSON
 				switch {
 				case p.Safety != nil:
-					enc := engine.EncodeReport(eng.VerifySafety(p.Safety))
+					j, err := eng.Submit(context.Background(), engine.Workload{Safety: p.Safety})
+					if err != nil {
+						t.Fatal(err)
+					}
+					enc := engine.EncodeReport(j.Wait())
 					legacy = &enc
 				case p.Liveness != nil:
-					rep, err := eng.VerifyLiveness(p.Liveness)
+					j, err := eng.Submit(context.Background(), engine.Workload{Liveness: p.Liveness})
 					if err != nil {
 						if !out.Skipped {
 							t.Fatalf("problem %s: legacy skipped (%v), plan did not", p.Name, err)
 						}
 						continue
 					}
-					enc := engine.EncodeReport(rep)
+					enc := engine.EncodeReport(j.Wait())
 					legacy = &enc
 				}
 				if out.Skipped || out.ReportJSON == nil {
@@ -462,5 +467,137 @@ func TestBaselineReference(t *testing.T) {
 	// The resolver's region count is inherited when the request sets none.
 	if c.Params.Regions != 2 {
 		t.Fatalf("baseline regions not inherited: params %+v", c.Params)
+	}
+}
+
+// TestPlanAdmittedAsOneUnit: the compiled plan's check count is its
+// admission cost, a too-small engine budget rejects the whole request with
+// the typed admission error before any check is submitted, and a budget
+// that fits admits and runs it under the request's tenant.
+func TestPlanAdmittedAsOneUnit(t *testing.T) {
+	req := Request{
+		Network:    Network{Generator: wanSpec(1)},
+		Properties: []Property{{Name: "wan-peering"}},
+		Options:    Options{Tenant: "acme", Priority: 2},
+	}
+	c, err := Compile(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := c.Cost()
+	if cost == 0 {
+		t.Fatal("compiled plan reports zero cost")
+	}
+	if c.Tenant() != "acme" {
+		t.Fatalf("Tenant() = %q", c.Tenant())
+	}
+
+	// One check short of the plan: rejected as a unit, nothing submitted.
+	eng := engine.New(engine.Options{Admission: engine.Admission{MaxInFlightChecks: cost - 1}})
+	defer eng.Close()
+	_, err = Run(eng, c, RunConfig{})
+	var adm *engine.ErrAdmission
+	if !errors.As(err, &adm) {
+		t.Fatalf("under-budget run: got %v, want ErrAdmission", err)
+	}
+	if adm.Tenant != "acme" || adm.Cost != cost {
+		t.Fatalf("ErrAdmission fields: %+v", adm)
+	}
+	st := eng.Stats()
+	if st.ChecksSubmitted != 0 {
+		t.Fatalf("rejected plan still submitted %d checks", st.ChecksSubmitted)
+	}
+	if st.Tenants["acme"].Rejected != 1 {
+		t.Fatalf("tenant stats after rejection: %+v", st.Tenants["acme"])
+	}
+
+	// An exact-fit budget admits the plan; the reservation is released when
+	// the run completes, and the per-job stats carry the tenant.
+	eng2 := engine.New(engine.Options{Admission: engine.Admission{MaxInFlightChecks: cost}})
+	defer eng2.Close()
+	c2, err := Compile(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(eng2, c2, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatal("plan failed under an exact-fit budget")
+	}
+	if got := res.Properties[0].Stats.Tenant; got != "acme" {
+		t.Fatalf("property stats tenant = %q, want acme", got)
+	}
+	st2 := eng2.Stats()
+	if st2.Tenants["acme"].Admitted != 1 || st2.InFlightCost != 0 {
+		t.Fatalf("post-run tenant accounting: %+v (in-flight %d)", st2.Tenants["acme"], st2.InFlightCost)
+	}
+	// Capacity was returned: the same plan fits again.
+	c3, err := Compile(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(eng2, c3, RunConfig{}); err != nil {
+		t.Fatalf("rerun after release rejected: %v", err)
+	}
+}
+
+// TestPlanHostReservation: a host-provided reservation (the lyserve 429
+// path) is used instead of re-reserving, and Run releases it.
+func TestPlanHostReservation(t *testing.T) {
+	c, err := Compile(Request{
+		Network:    Network{Generator: wanSpec(1)},
+		Properties: []Property{{Name: "wan-peering"}},
+		Options:    Options{Tenant: "acme"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Options{Admission: engine.Admission{MaxInFlightChecks: c.Cost()}})
+	defer eng.Close()
+	resv, err := eng.Reserve(c.Tenant(), c.Cost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(eng, c, RunConfig{Reservation: resv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatal("run under host reservation failed")
+	}
+	if st := eng.Stats(); st.InFlightCost != 0 {
+		t.Fatalf("Run did not release the host reservation: in-flight %d", st.InFlightCost)
+	}
+}
+
+// TestDeltaPlanReleasesHostReservation: a host-made reservation handed to a
+// delta-mode run (Options.Baseline) is returned up front — the delta
+// verifier admits each of its runs as its own unit — never leaked.
+func TestDeltaPlanReleasesHostReservation(t *testing.T) {
+	c, err := Compile(Request{
+		Network:    Network{Generator: wanSpec(1)},
+		Properties: []Property{{Name: "wan-peering"}},
+		Options:    Options{Tenant: "acme", Baseline: &Network{Generator: wanSpec(1)}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Options{})
+	defer eng.Close()
+	resv, err := eng.Reserve(c.Tenant(), c.Cost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(eng, c, RunConfig{Reservation: resv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Update == nil {
+		t.Fatalf("delta run: ok=%v update=%v", res.OK, res.Update)
+	}
+	if st := eng.Stats(); st.InFlightCost != 0 {
+		t.Fatalf("delta run leaked %d in-flight cost from the host reservation", st.InFlightCost)
 	}
 }

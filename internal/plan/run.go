@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -106,13 +107,31 @@ type RunConfig struct {
 	// the run verifies (provenance on journaled results); the store itself
 	// must already be plugged into the engine by the caller.
 	Store *store.Store
+	// Reservation, when non-nil, is the admission grant the host already
+	// obtained for this plan (engine.Reserve with the compiled Cost) —
+	// lyserve reserves in the HTTP handler so rejection is a synchronous
+	// 429, then hands the grant to the asynchronous run. Run submits every
+	// workload under it and releases it when the run completes. When nil,
+	// Run reserves for itself and a rejection aborts the run before any
+	// work is submitted (the error is a *engine.ErrAdmission). Delta-mode
+	// plans (Options.Baseline) are the exception: the delta verifier admits
+	// each of its runs — whose cost is the baseline's, then the update's
+	// dirty subset, not the compiled plan's — so Run returns a host grant
+	// immediately and either run may still fail with ErrAdmission. Hosts
+	// wanting a synchronous admission answer should not pre-reserve
+	// delta-mode plans (lyserve does not serve them asynchronously at all).
+	Reservation *engine.Reservation
 }
 
-// Run executes a compiled plan on the engine: every problem of every
-// property is submitted before any is awaited, so the engine dedups
-// identical checks across the whole request. In delta mode
-// (Options.Baseline) the run goes through an internal/delta verifier
-// instead, re-solving only the checks the baseline→network change dirtied.
+// Run executes a compiled plan on the engine through the unified
+// engine.Submit path: every problem's checks are generated first so the
+// whole request can be admitted as one unit (the plan's check count is its
+// admission cost), then every problem of every property is submitted
+// before any is awaited, so the engine dedups identical checks across the
+// whole request. A rejected plan returns *engine.ErrAdmission with no work
+// submitted. In delta mode (Options.Baseline) the run goes through an
+// internal/delta verifier instead, re-solving only the checks the
+// baseline→network change dirtied.
 func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 	if c.Baseline != nil {
 		return runDelta(eng, c, cfg)
@@ -131,10 +150,28 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 		cfg.Store.SetFingerprint(c.Network.Fingerprint())
 	}
 
+	// The compiled plan's prepared check batches: generated once, shared
+	// with Cost(), so the admission cost and the submitted work are the
+	// same enumeration. Released once every workload has been handed to
+	// the engine, so a Compiled pinned beyond the run does not retain them.
+	preps := c.Prepared()
+	defer c.ReleasePrepared()
+
+	resv := cfg.Reservation
+	if resv == nil {
+		var err error
+		resv, err = eng.Reserve(c.Tenant(), c.Cost())
+		if err != nil {
+			return nil, err
+		}
+	}
+	defer resv.Release()
+
 	res := &Result{OK: true}
 	var resMu sync.Mutex // guards ProblemResult fields written by watchers
 
 	// Submit every problem of every property before collecting any.
+	template := c.Workload()
 	type pending struct {
 		prop, idx int
 		job       *engine.Job
@@ -146,14 +183,14 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 			out := &pr.Problems[i]
 			out.Name = p.Name
 			var job *engine.Job
-			var err error
-			switch {
-			case p.Safety != nil:
-				job = eng.SubmitSafetyWith(p.Safety, c.SubmitOptions())
-			case p.Liveness != nil:
-				job, err = eng.SubmitLivenessWith(p.Liveness, c.SubmitOptions())
-			default:
-				err = errEmptyProblem
+			err := preps[pi][i].Err
+			if err == nil {
+				wl := template
+				wl.Kind = engine.KindChecks
+				wl.Property = preps[pi][i].Property
+				wl.Checks = preps[pi][i].Checks
+				wl.Reservation = resv
+				job, err = eng.Submit(context.Background(), wl)
 			}
 			if err != nil {
 				out.SkipReason = err.Error()
@@ -234,12 +271,17 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 				pr.Stats.Completed += out.Stats.Completed
 				pr.Stats.CacheHits += out.Stats.CacheHits
 				pr.Stats.DedupHits += out.Stats.DedupHits
+				pr.Stats.Cost += out.Stats.Cost
 				pr.Stats.Solved += out.Stats.Solved
 				pr.Stats.Unknown += out.Stats.Unknown
 				pr.Stats.Raced += out.Stats.Raced
 				pr.Stats.Escalated += out.Stats.Escalated
 				pr.Stats.SolveNanos += out.Stats.SolveNanos
 				pr.Stats.Backend = out.Stats.Backend // one backend per plan
+				pr.Stats.Tenant = out.Stats.Tenant   // one tenant per plan
+				if out.Stats.QueueWaitNanos > pr.Stats.QueueWaitNanos {
+					pr.Stats.QueueWaitNanos = out.Stats.QueueWaitNanos // worst per-problem wait
+				}
 			}
 		}
 		ok := pr.OK
@@ -260,9 +302,14 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 // events are not streamed in this mode (the delta verifier batches dirty
 // subsets internally); the property and plan events still are.
 func runDelta(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
+	// The delta verifier admits each of its runs (baseline, then update) as
+	// its own unit under the plan's tenant, so a host-made whole-plan grant
+	// is returned up front rather than held — or leaked — alongside them.
+	cfg.Reservation.Release()
+
 	res := &Result{}
 	v := delta.NewVerifierFor(eng, c)
-	v.SetSubmitOptions(c.SubmitOptions())
+	v.SetWorkload(c.Workload())
 	if cfg.Store != nil {
 		cfg.Store.SetFingerprint(c.Baseline.Fingerprint())
 	}
@@ -303,7 +350,7 @@ func Execute(req Request, res Resolver) (*Result, error) {
 	opts := engine.Options{Workers: req.Options.Workers, CacheSize: req.Options.Cache}
 	var st *store.Store
 	if req.Options.Store != "" {
-		st, err = store.Open(req.Options.Store)
+		st, err = store.OpenOptions(req.Options.Store, store.Options{MaxFingerprints: req.Options.StoreRetain})
 		if err != nil {
 			return nil, err
 		}

@@ -10,8 +10,9 @@
 // states, processes, and suites — the same property the engine's in-memory
 // cache and cross-job dedup rest on. Each record additionally carries the
 // fingerprint of the network state that produced it (topology.Fingerprint)
-// as provenance, which Compact and future sharded/remote stores can use to
-// scope retention without affecting lookup correctness.
+// as provenance, which retention (Options.MaxFingerprints) and future
+// sharded/remote stores use to scope what is kept without affecting lookup
+// correctness.
 //
 // Persisted results deliberately drop the per-check identity
 // (Kind/Loc/Desc): the engine relabels shared results for the receiving
@@ -110,6 +111,21 @@ type Stats struct {
 	Misses    int `json:"misses"`              // Get calls not served
 	Puts      int `json:"puts"`                // new results appended to the journal
 	Compacted int `json:"compacted,omitempty"` // superseded journal lines dropped on Open
+	Evicted   int `json:"evicted,omitempty"`   // results dropped by fingerprint retention on Open
+}
+
+// Options configure Open's replay and compaction behavior.
+type Options struct {
+	// MaxFingerprints, when positive, bounds retention by provenance: on
+	// Open only results recorded under the N most recently written network
+	// fingerprints are kept, and the journal is compacted to match — the
+	// knob that stops a long-lived store directory from accumulating
+	// results for network states that no longer exist. Recency is write
+	// order, which survives compaction: the journal is rewritten with the
+	// oldest fingerprint's records first and the newest last. Results
+	// recorded without a fingerprint carry no provenance and are always
+	// kept. 0 keeps everything.
+	MaxFingerprints int
 }
 
 // Store is a disk-backed ResultCache. It is safe for concurrent use by one
@@ -122,26 +138,34 @@ type Store struct {
 	mem       map[string]record // full records, so compaction keeps provenance
 	f         *os.File
 	w         *bufio.Writer
-	fp        string // provenance fingerprint attached to subsequent Puts
+	fp        string         // provenance fingerprint attached to subsequent Puts
+	fpSeq     map[string]int // fingerprint → last write tick, for retention recency
+	fpTick    int
 	loaded    int
 	hits      int
 	misses    int
 	puts      int
 	compacted int
+	evicted   int
 }
 
-// Open creates the directory if needed, replays the journal — compacting it
-// in place when it carries superseded duplicate keys, so long-lived store
-// directories stop growing unboundedly — and returns a store ready to serve
-// Gets from memory and append Puts to disk.
-func Open(dir string) (*Store, error) {
+// Open opens dir with default options (no fingerprint retention bound).
+func Open(dir string) (*Store, error) { return OpenOptions(dir, Options{}) }
+
+// OpenOptions creates the directory if needed, replays the journal —
+// applying the fingerprint retention bound and compacting the file in
+// place when it carries superseded duplicate keys or evicted results, so
+// long-lived store directories stop growing unboundedly — and returns a
+// store ready to serve Gets from memory and append Puts to disk.
+func OpenOptions(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	path := filepath.Join(dir, journalName)
-	s := &Store{path: path, mem: make(map[string]record)}
+	s := &Store{path: path, mem: make(map[string]record), fpSeq: make(map[string]int)}
 
 	lines := 0
+	fpSeq := s.fpSeq // fingerprint → last journal line it was written on
 	if f, err := os.Open(path); err == nil {
 		sc := bufio.NewScanner(f)
 		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
@@ -158,6 +182,9 @@ func Open(dir string) (*Store, error) {
 				continue
 			}
 			s.mem[rec.Key] = rec // last record for a key wins, as in Get
+			if rec.Fingerprint != "" {
+				fpSeq[rec.Fingerprint] = lines
+			}
 		}
 		err := sc.Err()
 		f.Close()
@@ -167,16 +194,20 @@ func Open(dir string) (*Store, error) {
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	s.fpTick = lines
+	s.evicted = s.retain(opts.MaxFingerprints, fpSeq)
 	s.loaded = len(s.mem)
 
 	if lines > len(s.mem) {
-		// The journal carries superseded duplicates (or torn lines):
-		// rewrite it with exactly one record per key. Best-effort — a
-		// failed compaction leaves the original journal in place.
+		// The journal carries superseded duplicates, torn lines, or
+		// retention-evicted results: rewrite it with exactly one record per
+		// retained key. Best-effort — a failed compaction leaves the
+		// original journal in place (evicted results stay dropped from
+		// memory either way).
 		if err := s.compact(); err != nil {
 			fmt.Fprintf(os.Stderr, "store: compact: %v\n", err)
 		} else {
-			s.compacted = lines - len(s.mem)
+			s.compacted = lines - len(s.mem) - s.evicted
 		}
 	}
 
@@ -188,15 +219,58 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
+// retain applies the MaxFingerprints bound to the replayed records: only
+// results whose provenance is among the max most recently written
+// fingerprints (by last journal appearance) survive; fingerprint-less
+// records always do. Evicted fingerprints are dropped from the recency
+// index too. Returns the number of evicted results.
+func (s *Store) retain(max int, fpSeq map[string]int) int {
+	if max <= 0 || len(fpSeq) <= max {
+		return 0
+	}
+	fps := make([]string, 0, len(fpSeq))
+	for fp := range fpSeq {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fpSeq[fps[i]] > fpSeq[fps[j]] })
+	keep := make(map[string]bool, max)
+	for _, fp := range fps[:max] {
+		keep[fp] = true
+	}
+	evicted := 0
+	for key, rec := range s.mem {
+		if rec.Fingerprint != "" && !keep[rec.Fingerprint] {
+			delete(s.mem, key)
+			evicted++
+		}
+	}
+	for fp := range fpSeq {
+		if !keep[fp] {
+			delete(fpSeq, fp)
+		}
+	}
+	return evicted
+}
+
 // compact atomically rewrites the journal from memory: one record per key,
-// sorted for determinism, written to a temp file and renamed over the
-// original. Called before the append handle is opened.
+// written to a temp file and renamed over the original. Records are
+// ordered by their fingerprint's write recency (oldest first,
+// provenance-less records before all), then by key for determinism — so
+// the rewritten journal preserves the write-order recency that
+// fingerprint retention (Options.MaxFingerprints) reads back on the next
+// Open. Called before the append handle is opened.
 func (s *Store) compact() error {
 	keys := make([]string, 0, len(s.mem))
 	for k := range s.mem {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool {
+		si, sj := s.fpSeq[s.mem[keys[i]].Fingerprint], s.fpSeq[s.mem[keys[j]].Fingerprint]
+		if si != sj {
+			return si < sj
+		}
+		return keys[i] < keys[j]
+	})
 
 	tmp, err := os.CreateTemp(filepath.Dir(s.path), journalName+".compact-*")
 	if err != nil {
@@ -269,6 +343,10 @@ func (s *Store) Add(key string, val core.CheckResult) {
 	// the appended line wins on replay, and compaction drops the old one.
 	rec := record{Key: key, Fingerprint: s.fp, Result: encodeResult(val)}
 	s.mem[key] = rec
+	if s.fp != "" {
+		s.fpTick++
+		s.fpSeq[s.fp] = s.fpTick // recency for retention on a later Open
+	}
 	s.puts++
 	if err := s.append(rec); err != nil {
 		// Disk trouble degrades the store to in-memory; verification
@@ -299,7 +377,8 @@ func (s *Store) Len() int {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{Loaded: s.loaded, Hits: s.hits, Misses: s.misses, Puts: s.puts, Compacted: s.compacted}
+	return Stats{Loaded: s.loaded, Hits: s.hits, Misses: s.misses, Puts: s.puts,
+		Compacted: s.compacted, Evicted: s.evicted}
 }
 
 // Close flushes and closes the journal. The store must not be used after

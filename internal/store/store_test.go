@@ -211,3 +211,91 @@ func TestLegacyUnknownRecordsNotServed(t *testing.T) {
 		t.Fatal("unknown result was journaled")
 	}
 }
+
+// TestRetentionByFingerprint: OpenOptions with MaxFingerprints keeps only
+// the results of the N most recently written network fingerprints, drops
+// the rest from memory and (via compaction) from the journal, and always
+// keeps provenance-less records. Keys deliberately sort lexicographically
+// *against* write order (z, m, a), so the test also proves recency is
+// write order — not accidental key order — and survives compaction.
+func TestRetentionByFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three fingerprint generations plus one provenance-less record, in
+	// write order fp-1, fp-2, fp-3 — with keys sorting in reverse.
+	keys := map[string]string{"fp-1": "key-z1", "fp-2": "key-m2", "fp-3": "key-a3"}
+	for i, fp := range []string{"fp-1", "fp-2", "fp-3"} {
+		s.SetFingerprint(fp)
+		s.Add(keys[fp], core.CheckResult{OK: true, NumVars: i})
+	}
+	s.SetFingerprint("")
+	s.Add("key-nofp", core.CheckResult{OK: true})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenOptions(dir, Options{MaxFingerprints: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(keys["fp-1"]); ok {
+		t.Error("oldest fingerprint's result survived retention")
+	}
+	for _, key := range []string{keys["fp-2"], keys["fp-3"], "key-nofp"} {
+		if _, ok := s2.Get(key); !ok {
+			t.Errorf("%s should survive retention", key)
+		}
+	}
+	if st := s2.Stats(); st.Evicted != 1 || st.Loaded != 3 {
+		t.Errorf("stats = %+v, want 1 evicted, 3 loaded", st)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The eviction was compacted out of the journal: an unbounded reopen
+	// must not resurrect fp-1.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s3.Get(keys["fp-1"]); ok {
+		t.Error("evicted result resurrected after reopen — journal not compacted")
+	}
+	if s3.Len() != 3 {
+		t.Errorf("Len = %d after retention+compaction, want 3", s3.Len())
+	}
+	if err := s3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recency must survive the compaction above: tightening to 1
+	// fingerprint must keep fp-3 (the most recently written), not whichever
+	// record happens to sort last in the rewritten file.
+	s4, err := OpenOptions(dir, Options{MaxFingerprints: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s4.Get(keys["fp-3"]); !ok {
+		t.Error("newest fingerprint evicted after compaction — recency lost in the rewrite")
+	}
+	if _, ok := s4.Get(keys["fp-2"]); ok {
+		t.Error("older fingerprint survived a 1-fingerprint bound")
+	}
+	if err := s4.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A bound wider than the journal keeps everything.
+	s5, err := OpenOptions(t.TempDir(), Options{MaxFingerprints: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s5.Close()
+	if st := s5.Stats(); st.Evicted != 0 {
+		t.Errorf("empty store evicted %d", st.Evicted)
+	}
+}
