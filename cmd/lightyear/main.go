@@ -69,6 +69,13 @@
 // bounds the engine's admitted in-flight checks: a plan whose compiled
 // check count exceeds the bound is rejected before any work starts, with
 // the same typed admission error lyserve maps to HTTP 429 + Retry-After.
+// -tenant-weights t1=3,t2=1 sets per-tenant weighted-fair dispatch weights
+// (unlisted tenants weigh 1), matching lyserve's flag of the same name.
+//
+// With -trace the run records an end-to-end telemetry trace — compile,
+// admit, queue, dispatch, solve:<backend>, cache, store spans with
+// per-span durations and attributes — and prints the span tree to stderr
+// after the report. The same span tree lyserve serves at /v1/traces/{id}.
 //
 // With -diff old.cfg the command runs incrementally via internal/delta: it
 // first verifies old.cfg as the baseline, then re-verifies -config against
@@ -114,6 +121,7 @@ import (
 	"lightyear/internal/plan"
 	"lightyear/internal/solver"
 	"lightyear/internal/store"
+	"lightyear/internal/telemetry"
 	"lightyear/internal/topology"
 )
 
@@ -133,7 +141,8 @@ type cliFlags struct {
 	Solver      string
 	WANRegions  int
 	Tenant      string
-	MaxInflight int // engine admission: max in-flight checks (0 = unlimited)
+	MaxInflight int    // engine admission: max in-flight checks (0 = unlimited)
+	Weights     string // per-tenant dispatch weights, e.g. t1=3,t2=1
 	Set         map[string]bool
 }
 
@@ -273,9 +282,11 @@ func main() {
 	flag.IntVar(&f.WANRegions, "wan-regions", 3, "region count assumed for WAN properties")
 	flag.StringVar(&f.Tenant, "tenant", "", "tenant the run is admitted and accounted under")
 	flag.IntVar(&f.MaxInflight, "max-inflight", 0, "admission: max in-flight checks on the engine (0 = unlimited)")
+	flag.StringVar(&f.Weights, "tenant-weights", "", "per-tenant dispatch weights, e.g. t1=3,t2=1 (unlisted tenants weigh 1)")
 	list := flag.Bool("list", false, "print the registered property suites and exit")
 	jsonOut := flag.Bool("json", false, "emit the report as machine-readable JSON")
 	verbose := flag.Bool("verbose", false, "print every check result")
+	traceOut := flag.Bool("trace", false, "record an end-to-end telemetry trace and print its span tree to stderr")
 	flag.Parse()
 	f.Set = map[string]bool{}
 	flag.Visit(func(fl *flag.Flag) { f.Set[fl.Name] = true })
@@ -295,8 +306,23 @@ func main() {
 		}
 		os.Exit(1)
 	}
+	weights, err := engine.ParseWeights(f.Weights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lightyear: -tenant-weights:", err)
+		os.Exit(2)
+	}
 
+	// -trace records the whole run — compilation included — into a local
+	// recorder whose span tree is printed once the run completes.
+	var rec *telemetry.Recorder
+	var tr *telemetry.Trace
+	if *traceOut {
+		rec = telemetry.New(0)
+		tr = rec.StartTrace("cli", req.Options.Tenant)
+	}
+	cs := tr.StartSpan("compile")
 	compiled, err := plan.Compile(req, nil)
+	cs.End()
 	if err != nil {
 		var reqErr *plan.RequestError
 		if errors.As(err, &reqErr) { // e.g. an invalid -routers scope
@@ -305,6 +331,7 @@ func main() {
 		}
 		fatal(err)
 	}
+	tr.SetLabel(compiled.Label())
 	if !*jsonOut {
 		if path := req.Network.ConfigPath; path != "" {
 			n := compiled.Network
@@ -321,7 +348,8 @@ func main() {
 	engOpts := engine.Options{
 		Workers:   req.Options.Workers,
 		CacheSize: req.Options.Cache,
-		Admission: engine.Admission{MaxInFlightChecks: f.MaxInflight},
+		Telemetry: rec,
+		Admission: engine.Admission{MaxInFlightChecks: f.MaxInflight, Weights: weights},
 	}
 	var resultStore *store.Store
 	if req.Options.Store != "" {
@@ -330,6 +358,7 @@ func main() {
 			fatal(err)
 		}
 		defer resultStore.Close()
+		resultStore.SetTelemetry(rec)
 		if !*jsonOut {
 			fmt.Printf("store: %s (%d results on disk)\n", req.Options.Store, resultStore.Len())
 		}
@@ -338,7 +367,7 @@ func main() {
 	eng := engine.New(engOpts)
 	defer eng.Close()
 
-	res, err := plan.Run(eng, compiled, plan.RunConfig{Store: resultStore})
+	res, err := plan.Run(eng, compiled, plan.RunConfig{Store: resultStore, Trace: tr})
 	if err != nil {
 		var adm *engine.ErrAdmission
 		if errors.As(err, &adm) {
@@ -357,6 +386,12 @@ func main() {
 		printJSON(res, compiled)
 	default:
 		printHuman(res, compiled, *verbose, resultStore)
+	}
+	if rec != nil {
+		// plan.Run finished the trace, landing it in the recorder's ring.
+		if snap, ok := rec.Trace(tr.ID()); ok {
+			snap.WriteTree(os.Stderr)
+		}
 	}
 	os.Exit(exitCode(res))
 }

@@ -23,14 +23,23 @@
 //	                      rate under the engine's weighted-fair dispatcher
 //	-experiment faults    differential simulation under random failures (§4.5)
 //	-experiment all       everything above
+//
+// With -out FILE the wan and solver experiments additionally write a JSON
+// benchmark document (BENCH_wan.json / BENCH_solver.json in this repo's
+// committed trajectory): completed checks per second, allocations per
+// check, and p50/p99 solve-time and queue-wait quantiles derived from the
+// same internal/telemetry histograms lyserve exposes at /metrics — so the
+// committed numbers and the production metrics come from one code path.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -46,6 +55,7 @@ import (
 	"lightyear/internal/routemodel"
 	"lightyear/internal/sim"
 	"lightyear/internal/solver"
+	"lightyear/internal/telemetry"
 	"lightyear/internal/topology"
 )
 
@@ -56,8 +66,13 @@ func main() {
 		msTimeout  = flag.Duration("ms-timeout", 2*time.Minute, "fig3: Minesweeper per-size timeout (paper used 2h)")
 		wanScale   = flag.String("wan-scale", "small", "wan: small|medium|large")
 		workers    = flag.Int("workers", 0, "parallel check workers (0 = GOMAXPROCS)")
+		out        = flag.String("out", "", "write a JSON benchmark document (wan and solver experiments)")
 	)
 	flag.Parse()
+	if *out != "" && *experiment != "wan" && *experiment != "solver" {
+		fmt.Fprintf(os.Stderr, "lybench: -out is supported by the wan and solver experiments, not %q\n", *experiment)
+		os.Exit(2)
+	}
 
 	// All experiments share one verification engine, so identical checks
 	// re-issued across tables are solved once. The wan experiment builds
@@ -82,11 +97,11 @@ func main() {
 	case "fig3":
 		fig3(parseSizes(*sizes), *msTimeout, *workers)
 	case "wan":
-		wanExperiment(*wanScale, *workers)
+		wanExperiment(*wanScale, *workers, *out)
 	case "delta":
 		deltaExperiment(*workers)
 	case "solver":
-		solverExperiment(*workers)
+		solverExperiment(*workers, *out)
 	case "admission":
 		admissionExperiment(*workers)
 	case "faults":
@@ -99,9 +114,9 @@ func main() {
 		table4b(eng)
 		table4c(eng)
 		fig3(parseSizes(*sizes), *msTimeout, *workers)
-		wanExperiment(*wanScale, *workers)
+		wanExperiment(*wanScale, *workers, "")
 		deltaExperiment(*workers)
-		solverExperiment(*workers)
+		solverExperiment(*workers, "")
 		admissionExperiment(*workers)
 		faults()
 	default:
@@ -293,6 +308,79 @@ func fig3(sizes []int, msTimeout time.Duration, workers int) {
 	fmt.Println(" LY per-check size is constant and total time linear in edges.)")
 }
 
+// benchRow is one measured run in a -out document. The quantiles come from
+// the internal/telemetry histograms the engine fills — the same series
+// lyserve exposes at /metrics — not from ad-hoc stopwatches.
+type benchRow struct {
+	Name            string  `json:"name,omitempty"`
+	Checks          uint64  `json:"checks"`
+	ElapsedSeconds  float64 `json:"elapsed_seconds"`
+	ChecksPerSec    float64 `json:"checks_per_sec"`
+	AllocsPerCheck  float64 `json:"allocs_per_check,omitempty"`
+	SolveP50Seconds float64 `json:"solve_p50_seconds,omitempty"`
+	SolveP99Seconds float64 `json:"solve_p99_seconds,omitempty"`
+	QueueP50Seconds float64 `json:"queue_wait_p50_seconds,omitempty"`
+	QueueP99Seconds float64 `json:"queue_wait_p99_seconds,omitempty"`
+}
+
+// benchDoc is the -out JSON document: the experiment's headline measurement
+// (inlined benchRow fields) plus optional per-backend rows.
+type benchDoc struct {
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale,omitempty"`
+	Workers    int    `json:"workers"`
+	benchRow
+	Rows []benchRow `json:"rows,omitempty"`
+}
+
+// benchQuantiles fills a row's solve and queue-wait quantiles from the
+// recorder's histograms. backend narrows the solve histogram to one
+// backend's series ("" aggregates all).
+func benchQuantiles(rec *telemetry.Recorder, backend string, row *benchRow) {
+	solve := rec.Histogram("lightyear_solve_seconds", "", nil, "backend")
+	queue := rec.Histogram("lightyear_queue_wait_seconds", "", nil).With()
+	if backend != "" {
+		h := solve.With(backend)
+		row.SolveP50Seconds, row.SolveP99Seconds = h.Quantile(0.50), h.Quantile(0.99)
+		return
+	}
+	row.SolveP50Seconds, row.SolveP99Seconds = solve.Quantile(0.50), solve.Quantile(0.99)
+	row.QueueP50Seconds, row.QueueP99Seconds = queue.Quantile(0.50), queue.Quantile(0.99)
+}
+
+// benchRate derives the throughput fields once checks and elapsed are set.
+func (r *benchRow) benchRate(allocs uint64) {
+	if r.ElapsedSeconds > 0 {
+		r.ChecksPerSec = float64(r.Checks) / r.ElapsedSeconds
+	}
+	if r.Checks > 0 {
+		r.AllocsPerCheck = float64(allocs) / float64(r.Checks)
+	}
+}
+
+// mallocs reads the process's cumulative allocation count; deltas around a
+// run give allocations attributable to it (single-experiment runs only —
+// the bench is not otherwise concurrent).
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+func writeBench(path string, doc benchDoc) {
+	if doc.Workers == 0 {
+		doc.Workers = runtime.GOMAXPROCS(0)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmark written to %s\n", path)
+}
+
 // wanSpec renders WAN parameters as the serializable generator spec compiled
 // plans carry, so the bench's networks are built by the exact registry path
 // the CLI and lyserve use.
@@ -307,7 +395,7 @@ func wanSpec(p netgen.WANParams) *netgen.GeneratorSpec {
 	}
 }
 
-func wanExperiment(scale string, workers int) {
+func wanExperiment(scale string, workers int, out string) {
 	header("§6.1 WAN scale run")
 	var p netgen.WANParams
 	switch scale {
@@ -372,10 +460,13 @@ func wanExperiment(scale string, workers int) {
 	if err != nil {
 		fatal(err)
 	}
-	eng := engine.New(engine.Options{Workers: workers})
+	rec := telemetry.New(0)
+	eng := engine.New(engine.Options{Workers: workers, Telemetry: rec})
+	alloc0 := mallocs()
 	t0 = time.Now()
 	res, err := plan.Run(eng, c, plan.RunConfig{})
 	deduped := time.Since(t0)
+	allocs := mallocs() - alloc0
 	st := eng.Stats()
 	eng.Close()
 	if err != nil {
@@ -393,6 +484,18 @@ func wanExperiment(scale string, workers int) {
 	fmt.Println("(paper §6.1: 16 minutes sequential for a 4-property subset across hundreds of")
 	fmt.Println(" edge routers; this run sweeps the full 11-property suite, so compare modes")
 	fmt.Println(" against each other, not against the paper's absolute figure)")
+
+	if out != "" {
+		// The headline measurement is the production path (mode 3): checks
+		// completed per second on the plan run, allocations attributable to
+		// it, and the latency quantiles from the engine's histograms.
+		doc := benchDoc{Experiment: "wan", Scale: scale, Workers: workers}
+		doc.Checks = uint64(st.ChecksSubmitted)
+		doc.ElapsedSeconds = deduped.Seconds()
+		doc.benchRate(allocs)
+		benchQuantiles(rec, "", &doc.benchRow)
+		writeBench(out, doc)
+	}
 }
 
 // deltaExperiment measures the paper's incremental claim (§2): after a
@@ -465,7 +568,7 @@ func deltaExperiment(workers int) {
 // row pays identical check-generation work and the rows differ only in how
 // obligations are decided — one native solve, a heuristic-variant race
 // (portfolio), or budget-tiered escalation (tiered).
-func solverExperiment(workers int) {
+func solverExperiment(workers int, out string) {
 	header("solver: backend comparison on wan-peering")
 	p := netgen.WANParams{Regions: 3, RoutersPerRegion: 2, EdgeRouters: 6, DCsPerRegion: 1, PeersPerEdge: 2}
 	req := plan.Request{
@@ -473,6 +576,13 @@ func solverExperiment(workers int) {
 		Properties: []plan.Property{{Name: "wan-peering"}},
 		Options:    plan.Options{WANRegions: p.Regions},
 	}
+	// One recorder across the per-backend engines: the solve histogram is
+	// partitioned by backend label, so per-row quantiles stay exact while
+	// the queue-wait histogram aggregates the whole experiment.
+	rec := telemetry.New(0)
+	var rows []benchRow
+	var doc benchDoc
+	var totalAllocs uint64
 	fmt.Printf("%-10s | %8s %8s %8s %8s %8s | %10s %10s\n",
 		"backend", "checks", "solved", "unknown", "raced", "escal", "solve", "wall")
 	for _, name := range solver.Names() {
@@ -482,10 +592,12 @@ func solverExperiment(workers int) {
 		if err != nil {
 			fatal(err)
 		}
-		eng := engine.New(engine.Options{Workers: workers})
+		eng := engine.New(engine.Options{Workers: workers, Telemetry: rec})
+		alloc0 := mallocs()
 		t0 := time.Now()
 		res, err := plan.Run(eng, c, plan.RunConfig{})
 		wall := time.Since(t0)
+		allocs := mallocs() - alloc0
 		eng.Close()
 		if err != nil {
 			fatal(err)
@@ -497,6 +609,19 @@ func solverExperiment(workers int) {
 		fmt.Printf("%-10s | %8d %8d %8d %8d %8d | %10v %10v\n",
 			name, st.Checks, st.Solved, st.Unknown, st.Raced, st.Escalated,
 			time.Duration(st.SolveNanos).Round(time.Microsecond), wall.Round(time.Millisecond))
+		row := benchRow{Name: name, Checks: uint64(st.Checks), ElapsedSeconds: wall.Seconds()}
+		row.benchRate(allocs)
+		benchQuantiles(rec, name, &row)
+		rows = append(rows, row)
+		doc.Checks += row.Checks
+		doc.ElapsedSeconds += row.ElapsedSeconds
+		totalAllocs += allocs
+	}
+	if out != "" {
+		doc.Experiment, doc.Workers, doc.Rows = "solver", workers, rows
+		doc.benchRate(totalAllocs)
+		benchQuantiles(rec, "", &doc.benchRow)
+		writeBench(out, doc)
 	}
 	fmt.Println("(tiered matches native when every check fits the quick tier — escalations")
 	fmt.Println(" would appear in 'escal'; portfolio trades CPU for per-check latency")

@@ -8,6 +8,7 @@
 //	lyserve [-addr :8080] [-workers N] [-cache N] [-store DIR] [-store-retain N]
 //	        [-job-ttl 1h] [-session-ttl 24h] [-event-window N]
 //	        [-max-inflight N] [-tenant-quota N] [-max-queue N]
+//	        [-tenant-weights t1=3,t2=1] [-trace-cap N] [-pprof]
 //
 // With -store DIR the engine's result cache is the internal/store
 // persistent journal in DIR, so a redeployed lyserve serves previously
@@ -128,6 +129,38 @@
 //	POST /v1/sessions, POST /v1/sessions/{id}/update,
 //	GET /v1/sessions/{id}, DELETE /v1/sessions/{id}
 //	    Incremental sessions pinned to one suite, as before.
+//
+// # Observability
+//
+// The service always runs with an internal/telemetry recorder: the engine,
+// admission layer, solver backends, result cache, and persistent store all
+// emit into it.
+//
+//	GET /metrics
+//	    Prometheus text exposition (version 0.0.4): lightyear_* counters,
+//	    histograms (solve time per backend, queue wait), and gauges
+//	    (in-flight cost, queue depth, cache occupancy and hit ratio, store
+//	    journal size).
+//
+//	GET /v1/traces[?limit=N]
+//	    The most recent completed workload traces, newest first, from the
+//	    recorder's bounded ring (-trace-cap entries).
+//
+//	GET /v1/traces/{id}
+//	    One completed trace as a span tree (compile, admit, queue,
+//	    dispatch, solve:<backend>, cache, store), with per-span offsets,
+//	    durations, and attributes.
+//
+// Every verification request is traced end to end: POST /v1/verify and
+// POST /v2/verify answer with an X-Trace-Id header (and a trace_id field
+// in the 202 body and job snapshots), every NDJSON event of the run
+// carries the same trace_id, and once the run completes the trace is
+// retrievable at /v1/traces/{id}.
+//
+// -tenant-weights t1=3,t2=1 sets per-tenant weighted-fair dispatch weights
+// (unlisted tenants weigh 1). -pprof additionally mounts the standard
+// net/http/pprof handlers under /debug/pprof/ — off by default since the
+// profiles can leak operational detail.
 package main
 
 import (
@@ -137,6 +170,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -147,6 +181,7 @@ import (
 	"lightyear/internal/netgen"
 	"lightyear/internal/plan"
 	"lightyear/internal/store"
+	"lightyear/internal/telemetry"
 	"lightyear/internal/topology"
 )
 
@@ -176,26 +211,36 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "admission: max in-flight checks across all tenants (0 = unlimited)")
 		tenantQuota = flag.Int("tenant-quota", 0, "admission: max in-flight checks per tenant (0 = unlimited)")
 		maxQueue    = flag.Int("max-queue", 0, "admission: max workloads awaiting dispatch (0 = unlimited)")
+		weightsSpec = flag.String("tenant-weights", "", "per-tenant dispatch weights, e.g. t1=3,t2=1 (unlisted tenants weigh 1)")
+		traceCap    = flag.Int("trace-cap", 0, "completed traces retained for /v1/traces (0 = default)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
+	weights, err := engine.ParseWeights(*weightsSpec)
+	if err != nil {
+		log.Fatalf("lyserve: -tenant-weights: %v", err)
+	}
+	rec := telemetry.New(*traceCap)
 	opts := engine.Options{
 		Workers:   *workers,
 		CacheSize: *cacheSize,
+		Telemetry: rec,
 		Admission: engine.Admission{
 			MaxInFlightChecks: *maxInflight,
 			PerTenantQuota:    *tenantQuota,
 			MaxQueueDepth:     *maxQueue,
+			Weights:           weights,
 		},
 	}
 	var st *store.Store
 	if *storeDir != "" {
-		var err error
 		st, err = store.OpenOptions(*storeDir, store.Options{MaxFingerprints: *storeRetain})
 		if err != nil {
 			log.Fatalf("lyserve: %v", err)
 		}
 		defer st.Close()
+		st.SetTelemetry(rec)
 		log.Printf("lyserve: store %s (%d results on disk, %d evicted by retention)",
 			*storeDir, st.Len(), st.Stats().Evicted)
 		opts.Cache = st
@@ -207,6 +252,7 @@ func main() {
 	srv.ttl = *jobTTL
 	srv.sessionTTL = *sessTTL
 	srv.eventWindow = *evWindow
+	srv.pprof = *pprofOn
 	go srv.janitor()
 	log.Printf("lyserve: %s listening on %s (suites: %s)",
 		eng, *addr, strings.Join(netgen.SuiteNames(), ", "))
@@ -216,10 +262,12 @@ func main() {
 // server owns the engine and the in-memory job and session tables.
 type server struct {
 	eng         *engine.Engine
-	store       *store.Store  // nil without -store; provenance tagging only
-	ttl         time.Duration // completed-job retention
-	sessionTTL  time.Duration // idle-session expiry (0 = never)
-	eventWindow int           // per-job event-history bound (<=0 = unbounded)
+	rec         *telemetry.Recorder // the engine's recorder; nil disables /metrics and traces
+	store       *store.Store        // nil without -store; provenance tagging only
+	ttl         time.Duration       // completed-job retention
+	sessionTTL  time.Duration       // idle-session expiry (0 = never)
+	eventWindow int                 // per-job event-history bound (<=0 = unbounded)
+	pprof       bool                // mount /debug/pprof/ handlers
 
 	mu       sync.Mutex
 	seq      int
@@ -231,6 +279,7 @@ type server struct {
 func newServer(eng *engine.Engine) *server {
 	return &server{
 		eng:         eng,
+		rec:         eng.Telemetry(),
 		ttl:         defaultJobTTL,
 		sessionTTL:  defaultSessionTTL,
 		eventWindow: defaultEventWindow,
@@ -302,6 +351,10 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
+
 	mux.HandleFunc("POST /v2/verify", s.handleVerifyV2)
 	mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobV2)
 	mux.HandleFunc("GET /v2/jobs/{id}/events", s.handleJobEvents)
@@ -309,7 +362,65 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /v2/sessions/{id}/update", s.handleSessionUpdateV2)
 	mux.HandleFunc("GET /v2/sessions/{id}", s.handleSessionGet)
 	mux.HandleFunc("DELETE /v2/sessions/{id}", s.handleSessionDelete)
+
+	if s.pprof {
+		// Opt-in: profiles expose operational detail, so the handlers are
+		// mounted only under -pprof.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleMetrics serves the Prometheus text exposition of the process
+// recorder.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		httpError(w, http.StatusNotFound, "telemetry disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.rec.WriteMetrics(w); err != nil {
+		log.Printf("lyserve: write metrics: %v", err)
+	}
+}
+
+// handleTraces serves the recorder's retained completed traces, newest
+// first; ?limit=N caps the count.
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		httpError(w, http.StatusNotFound, "telemetry disabled")
+		return
+	}
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	traces := s.rec.Traces(limit)
+	writeJSON(w, map[string]any{"count": len(traces), "traces": traces})
+}
+
+// handleTrace serves one completed trace by ID (the X-Trace-Id a verify
+// request answered with).
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		httpError(w, http.StatusNotFound, "telemetry disabled")
+		return
+	}
+	snap, ok := s.rec.Trace(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such trace (not finished yet, or evicted from the ring)")
+		return
+	}
+	writeJSON(w, snap)
 }
 
 // decodeBody decodes a JSON request body capped at maxRequestBody,
@@ -422,6 +533,7 @@ type serviceJob struct {
 	label   string // v1 suite name, or the plan's property list
 	tenant  string // tenant the plan was admitted under
 	cost    int    // admission cost (the plan's compiled check count)
+	traceID string // the run's telemetry trace ("" without a recorder)
 	created time.Time
 	window  int // event-history bound (<=0 = unbounded)
 
@@ -462,12 +574,14 @@ func (j *serviceJob) doneAt() (bool, time.Time) {
 
 // launchPlan registers a job for the compiled plan — already admitted via
 // resv, which the run takes ownership of — and starts it on the shared
-// engine.
-func (s *server) launchPlan(c *plan.Compiled, label string, resv *engine.Reservation) *serviceJob {
+// engine. tr is the trace the handler opened for the request (nil without
+// a recorder); the run records into it and finishes it.
+func (s *server) launchPlan(c *plan.Compiled, label string, resv *engine.Reservation, tr *telemetry.Trace) *serviceJob {
 	j := &serviceJob{
 		label:   label,
 		tenant:  engine.NormalizeTenant(c.Tenant()),
 		cost:    c.Cost(),
+		traceID: tr.ID(),
 		created: time.Now(),
 		window:  s.eventWindow,
 		notify:  make(chan struct{}),
@@ -486,7 +600,7 @@ func (s *server) launchPlan(c *plan.Compiled, label string, resv *engine.Reserva
 	s.mu.Unlock()
 
 	go func() {
-		res, err := plan.Run(s.eng, c, plan.RunConfig{Sink: j.handleEvent, Store: s.store, Reservation: resv})
+		res, err := plan.Run(s.eng, c, plan.RunConfig{Sink: j.handleEvent, Store: s.store, Reservation: resv, Trace: tr})
 		errMsg := ""
 		if err != nil {
 			// The handler reserved admission for the whole plan, and only
@@ -613,27 +727,77 @@ func (s *server) reservePlan(w http.ResponseWriter, c *plan.Compiled) (*engine.R
 	return resv, true
 }
 
+// startRequestTrace opens the request's end-to-end trace on the process
+// recorder (nil without one) and runs fn — the compilation step — under a
+// "compile" span. The trace ID is handed back to the client before the
+// asynchronous run starts.
+func (s *server) startRequestTrace(label, tenant string, fn func() bool) (*telemetry.Trace, bool) {
+	tr := s.rec.StartTrace(label, engine.NormalizeTenant(tenant))
+	cs := tr.StartSpan("compile")
+	ok := fn()
+	if !ok {
+		cs.SetAttr("error", "true")
+	}
+	cs.End()
+	if !ok {
+		tr.Finish()
+	}
+	return tr, ok
+}
+
+// admitTraced wraps the plan reservation in an "admit" span; a rejected
+// plan's trace is finished here with the rejection recorded.
+func (s *server) admitTraced(w http.ResponseWriter, c *plan.Compiled, tr *telemetry.Trace) (*engine.Reservation, bool) {
+	as := tr.StartSpan("admit")
+	as.SetAttrInt("cost", int64(c.Cost()))
+	resv, ok := s.reservePlan(w, c)
+	if !ok {
+		as.SetAttr("rejected", "true")
+	}
+	as.End()
+	if !ok {
+		tr.Finish()
+	}
+	return resv, ok
+}
+
+// accepted answers 202 with the job's URLs and trace ID, echoing the trace
+// in an X-Trace-Id header.
+func accepted(w http.ResponseWriter, j *serviceJob, urls map[string]string) {
+	body := map[string]string{"id": j.id}
+	for k, v := range urls {
+		body[k] = v
+	}
+	if j.traceID != "" {
+		body["trace_id"] = j.traceID
+		w.Header().Set("X-Trace-Id", j.traceID)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(body)
+}
+
 func (s *server) handleVerifyV1(w http.ResponseWriter, r *http.Request) {
 	var req verifyRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
 	req.Tenant = requestTenant(r, req.Tenant)
-	c, ok := s.compileV1(w, &req)
-	if !ok {
-		return
-	}
-	resv, ok := s.reservePlan(w, c)
-	if !ok {
-		return
-	}
-	j := s.launchPlan(c, req.Suite, resv)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(map[string]string{
-		"id":         j.id,
-		"status_url": "/v1/jobs/" + j.id,
+	var c *plan.Compiled
+	var ok bool
+	tr, ok := s.startRequestTrace("v1:"+req.Suite, req.Tenant, func() bool {
+		c, ok = s.compileV1(w, &req)
+		return ok
 	})
+	if !ok {
+		return
+	}
+	resv, ok := s.admitTraced(w, c, tr)
+	if !ok {
+		return
+	}
+	j := s.launchPlan(c, req.Suite, resv, tr)
+	accepted(w, j, map[string]string{"status_url": "/v1/jobs/" + j.id})
 }
 
 func (s *server) handleVerifyV2(w http.ResponseWriter, r *http.Request) {
@@ -650,20 +814,26 @@ func (s *server) handleVerifyV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Options.Tenant = requestTenant(r, req.Options.Tenant)
-	c, err := plan.Compile(req, s)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, strings.TrimPrefix(err.Error(), "plan: "))
-		return
-	}
-	resv, ok := s.reservePlan(w, c)
+	var c *plan.Compiled
+	tr, ok := s.startRequestTrace("plan", req.Options.Tenant, func() bool {
+		var err error
+		c, err = plan.Compile(req, s)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, strings.TrimPrefix(err.Error(), "plan: "))
+			return false
+		}
+		return true
+	})
 	if !ok {
 		return
 	}
-	j := s.launchPlan(c, c.Label(), resv)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(map[string]string{
-		"id":         j.id,
+	tr.SetLabel(c.Label())
+	resv, ok := s.admitTraced(w, c, tr)
+	if !ok {
+		return
+	}
+	j := s.launchPlan(c, c.Label(), resv, tr)
+	accepted(w, j, map[string]string{
 		"status_url": "/v2/jobs/" + j.id,
 		"events_url": "/v2/jobs/" + j.id + "/events",
 	})
@@ -674,6 +844,7 @@ type jobJSON struct {
 	ID       string            `json:"id"`
 	Suite    string            `json:"suite"`
 	Tenant   string            `json:"tenant,omitempty"`
+	TraceID  string            `json:"trace_id,omitempty"`
 	Cost     int               `json:"cost,omitempty"` // admitted check count
 	Status   string            `json:"status"`         // running | done
 	OK       *bool             `json:"ok,omitempty"`
@@ -718,8 +889,8 @@ func (j *serviceJob) snapshotV1() jobJSON {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.fillReports()
-	out := jobJSON{ID: j.id, Suite: j.label, Tenant: j.tenant, Cost: j.cost,
-		Error: j.errMsg, Created: j.created, Status: "running"}
+	out := jobJSON{ID: j.id, Suite: j.label, Tenant: j.tenant, TraceID: j.traceID,
+		Cost: j.cost, Error: j.errMsg, Created: j.created, Status: "running"}
 	allOK := true
 	for _, prop := range j.props {
 		for _, ps := range prop.problems {
@@ -746,6 +917,7 @@ type jobV2JSON struct {
 	ID         string             `json:"id"`
 	Label      string             `json:"label"`
 	Tenant     string             `json:"tenant,omitempty"`
+	TraceID    string             `json:"trace_id,omitempty"`
 	Cost       int                `json:"cost,omitempty"` // admitted check count
 	Status     string             `json:"status"`         // running | done
 	OK         *bool              `json:"ok,omitempty"`
@@ -766,8 +938,8 @@ func (j *serviceJob) snapshotV2() jobV2JSON {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.fillReports()
-	out := jobV2JSON{ID: j.id, Label: j.label, Tenant: j.tenant, Cost: j.cost,
-		Error: j.errMsg, Created: j.created, Status: "running"}
+	out := jobV2JSON{ID: j.id, Label: j.label, Tenant: j.tenant, TraceID: j.traceID,
+		Cost: j.cost, Error: j.errMsg, Created: j.created, Status: "running"}
 	for pi, prop := range j.props {
 		ps := propertyStatusJS{Property: prop.property}
 		for _, pb := range prop.problems {

@@ -149,6 +149,37 @@
 //   - Library: plan.Execute (one-stop) or plan.Compile + plan.Run on a
 //     long-lived engine; a Compiled plan is also a delta.ProblemSource.
 //
+// # Observability
+//
+// internal/telemetry is the dependency-free telemetry plane the whole stack
+// emits into: a telemetry.Recorder holds named counters, gauges, and
+// fixed-bucket histograms (with label support) plus a bounded ring of
+// finished workload traces, and every layer — engine submit/dispatch,
+// admission, solver backends, the result caches, internal/store, and the
+// delta verifier — records into the recorder passed via
+// engine.Options.Telemetry (a nil recorder is a no-op, so the
+// instrumentation costs nothing when unused). Metric names are stable and
+// Prometheus-conventional: lightyear_jobs_submitted_total,
+// lightyear_checks_solved_total{backend,status}, lightyear_solve_seconds
+// and lightyear_queue_wait_seconds histograms,
+// lightyear_admission_rejections_total{tenant,reason}, cache and store
+// series, and inflight/queue-depth gauges.
+//
+// A trace follows one workload through the pipeline as a span tree —
+// compile, admit, then one problem span per verification problem with
+// child spans for enumeration, solving, and cache interaction — and is
+// pushed into the recorder's ring when the run finishes. Surfaces: lyserve
+// serves GET /metrics in the Prometheus text exposition format, lists
+// finished traces at GET /v1/traces, serves one at GET /v1/traces/{id},
+// stamps every v2 job with its trace (X-Trace-Id response header,
+// "trace_id" in the accept body, the job snapshot, and every NDJSON
+// event), and mounts net/http/pprof under /debug/pprof/ behind the -pprof
+// flag; `lightyear -trace` prints the run's span tree to stderr; `lybench
+// -out FILE.json` writes the experiment's throughput plus solve-time and
+// queue-wait quantiles (from the same histograms) to a JSON document — the
+// committed BENCH_*.json files at the repo root are that trajectory, and
+// CI regenerates one per run as an artifact.
+//
 // # Property registry
 //
 // Built-in property suites are registered by name in internal/netgen

@@ -86,12 +86,32 @@
 // tenants, so one tenant flooding the service cannot starve another. In
 // the library the same contract is engine.Submit with a Workload (step 7
 // below): rejections are the typed *engine.ErrAdmission.
+//
+// # Observability
+//
+// Wire a telemetry.Recorder into engine.Options and every layer records
+// into it: counters and histograms for the Prometheus exposition, and a
+// span tree per workload (step 8 below). Against a running lyserve the
+// same data is one curl away:
+//
+//	curl -s localhost:8080/metrics | grep lightyear_checks_solved
+//	  => lightyear_checks_solved_total{backend="native",status="ok"} 1643
+//	TRACE=$(curl -sD- localhost:8080/v2/verify -d @plan.json \
+//	          | sed -n 's/^X-Trace-Id: //Ip' | tr -d '\r')
+//	curl -s localhost:8080/v1/traces/$TRACE     # span tree, JSON
+//
+// Every NDJSON event of the run carries the same "trace_id", so a slow
+// property in a stream is one GET away from its per-problem timing
+// breakdown. The CLI equivalent is `lightyear -trace` (tree on stderr);
+// `lybench -out FILE.json` persists throughput and latency quantiles —
+// the committed BENCH_*.json files track that trajectory.
 package main
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"time"
 
 	"lightyear/internal/core"
@@ -101,6 +121,7 @@ import (
 	"lightyear/internal/policy"
 	"lightyear/internal/routemodel"
 	"lightyear/internal/spec"
+	"lightyear/internal/telemetry"
 	"lightyear/internal/topology"
 )
 
@@ -227,4 +248,33 @@ func main() {
 	ts := eng.Stats().Tenants["acme"]
 	fmt.Printf("tenant acme: %d admitted, %d rejected (lyserve maps this rejection to HTTP 429 + Retry-After)\n",
 		ts.Admitted, ts.Rejected)
+
+	// 8. Observability: thread a telemetry.Recorder through engine.Options
+	// (nil costs nothing) and the run leaves behind Prometheus-style series
+	// plus a span tree. Re-registering a metric by name returns the live
+	// family, so reading a counter back is the same call that created it;
+	// lyserve serves the whole recorder at GET /metrics and GET /v1/traces.
+	rec := telemetry.New(0)
+	teng := engine.New(engine.Options{Telemetry: rec})
+	defer teng.Close()
+	compiled, err := plan.Compile(plan.Request{
+		Network: plan.Network{Generator: &netgen.GeneratorSpec{Kind: "wan", Regions: 2,
+			RoutersPerRegion: 1, EdgeRouters: 1, PeersPerEdge: 2}},
+		Properties: []plan.Property{{Name: "wan-peering", Routers: []topology.NodeID{netgen.EdgeRouter(0)}}},
+		Options:    plan.Options{WANRegions: 2},
+	}, nil)
+	if err != nil {
+		panic(err)
+	}
+	tres, err := plan.Run(teng, compiled, plan.RunConfig{})
+	if err != nil {
+		panic(err)
+	}
+	solved := rec.Counter("lightyear_checks_solved_total", "", "backend", "status").With("native", "ok")
+	solveP99 := rec.Histogram("lightyear_solve_seconds", "", nil, "backend").Quantile(0.99)
+	fmt.Printf("\ntelemetry: %d checks solved ok, solve p99 %.2gs, trace %s:\n",
+		solved.Value(), solveP99, tres.TraceID)
+	if snap, ok := rec.Trace(tres.TraceID); ok {
+		snap.WriteTree(os.Stdout)
+	}
 }

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,6 +42,38 @@ type Admission struct {
 	// Weights are per-tenant weighted-fair dispatch weights (default 1): a
 	// tenant with weight 2 dequeues twice the checks per round-robin turn.
 	Weights map[string]int
+}
+
+// ParseWeights parses the -tenant-weights command-line form shared by
+// lyserve and lightyear — "t1=3,t2=1" — into an Admission.Weights map.
+// Weights must be positive integers; an empty spec yields a nil map
+// (every tenant weighs 1).
+func ParseWeights(spec string) (map[string]int, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad weight %q, want tenant=N", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad weight %q: want a positive integer, got %q", part, val)
+		}
+		weights[name] = w
+	}
+	if len(weights) == 0 {
+		return nil, nil
+	}
+	return weights, nil
 }
 
 // ErrAdmission is the typed rejection the admission layer returns: the
@@ -122,6 +156,9 @@ func (e *Engine) Reserve(tenant string, cost int) (*Reservation, error) {
 	tq := s.tenant(t, e.opts.Admission)
 	if err := e.checkLimitsLocked(tq, cost); err != nil {
 		tq.rejected++
+		if ea, ok := err.(*ErrAdmission); ok {
+			e.met.rejected(ea.Tenant, ea.Reason)
+		}
 		return nil, err
 	}
 	tq.inflight += cost
@@ -148,6 +185,9 @@ func (e *Engine) AdmitProbe(tenant string, cost int) error {
 	tq := s.tenant(t, e.opts.Admission)
 	if err := e.checkLimitsLocked(tq, cost); err != nil {
 		tq.rejected++
+		if ea, ok := err.(*ErrAdmission); ok {
+			e.met.rejected(ea.Tenant, ea.Reason)
+		}
 		return err
 	}
 	return nil
@@ -191,8 +231,13 @@ func (e *Engine) admitLocked(tq *tenantQueue, cost int, resv *Reservation) error
 }
 
 // admissionErrorLocked builds the typed rejection, estimating RetryAfter
-// from the engine's observed mean per-check solve time: roughly how long
-// the worker pool needs to drain the capacity deficit.
+// as the time the worker pool needs to work off everything standing
+// between the rejected request and admission: the capacity deficit plus
+// the cost already admitted but still queued ahead of the dispatcher
+// (sched.queuedCost). A freshly admitted burst holds capacity long before
+// any of it solves, so ignoring queued-ahead cost — as the estimate did
+// before — told clients to retry while the backlog was still untouched.
+// The per-check time is the engine's observed mean solve time.
 func (e *Engine) admissionErrorLocked(tenant string, cost, limit int, reason string, deficit int) *ErrAdmission {
 	avg := 50 * time.Millisecond
 	if solved := e.checksSolved.Load(); solved > 0 {
@@ -203,7 +248,8 @@ func (e *Engine) admissionErrorLocked(tenant string, cost, limit int, reason str
 	if deficit < 1 {
 		deficit = 1
 	}
-	retry := avg * time.Duration(deficit) / time.Duration(e.opts.workers())
+	backlog := deficit + e.sched.queuedCost
+	retry := avg * time.Duration(backlog) / time.Duration(e.opts.workers())
 	if retry < 100*time.Millisecond {
 		retry = 100 * time.Millisecond
 	}
@@ -274,9 +320,10 @@ type sched struct {
 	closed   bool
 	tenants  map[string]*tenantQueue
 	active   []*tenantQueue // tenants with pending entries, round-robin order
-	rr       int
-	queued   int // entries not yet fully dispatched
-	inflight int // admitted cost not yet released, across tenants
+	rr         int
+	queued     int // entries not yet fully dispatched
+	queuedCost int // checks admitted but not yet handed to the worker pool
+	inflight   int // admitted cost not yet released, across tenants
 	done     chan struct{}
 }
 
@@ -315,6 +362,7 @@ func (s *sched) enqueueLocked(tq *tenantQueue, ent *dispatchEntry) {
 	copy(tq.entries[i+1:], tq.entries[i:])
 	tq.entries[i] = ent
 	s.queued++
+	s.queuedCost += len(ent.checks)
 	if !tq.active {
 		tq.active = true
 		s.active = append(s.active, tq)
@@ -356,11 +404,15 @@ func (e *Engine) dispatch() {
 				s.queued--
 			}
 			tq.deficit--
+			s.queuedCost--
 			s.mu.Unlock()
 			if idx == 0 {
 				ent.job.markDispatched(time.Now())
 			}
 			e.tasks <- task{job: ent.job, idx: idx, check: c}
+			if idx == len(ent.checks)-1 {
+				ent.job.spanDrained()
+			}
 			s.mu.Lock()
 		}
 		if len(tq.entries) == 0 {

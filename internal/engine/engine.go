@@ -38,6 +38,7 @@ import (
 
 	"lightyear/internal/core"
 	"lightyear/internal/solver"
+	"lightyear/internal/telemetry"
 )
 
 // DefaultCacheSize is the LRU result-cache capacity used when
@@ -68,6 +69,10 @@ type Options struct {
 	// Admission is the load-shedding policy applied at Submit/Reserve; the
 	// zero value admits everything.
 	Admission Admission
+	// Telemetry, when non-nil, receives the engine's metrics (counters,
+	// latency histograms, scheduler gauges) and per-workload traces. Nil
+	// disables all emission at zero cost on the hot paths.
+	Telemetry *telemetry.Recorder
 }
 
 func (o Options) workers() int {
@@ -141,6 +146,8 @@ type Engine struct {
 
 	sched sched // admission + weighted-fair dispatch state (own mutex)
 
+	met *engineMetrics // pre-resolved telemetry handles; emission is nil-safe
+
 	statsMu      sync.Mutex
 	backendStats map[string]BackendStats
 
@@ -192,6 +199,7 @@ func New(opts Options) *Engine {
 	e.sched.tenants = make(map[string]*tenantQueue)
 	e.sched.cond = sync.NewCond(&e.sched.mu)
 	e.sched.done = make(chan struct{})
+	e.met = newEngineMetrics(opts.Telemetry, e)
 	go e.dispatch()
 	for i := 0; i < opts.workers(); i++ {
 		e.workers.Add(1)
@@ -338,11 +346,17 @@ func (e *Engine) Submit(ctx context.Context, w Workload) (*Job, error) {
 	tq := s.tenant(tenant, e.opts.Admission)
 	if err := e.admitLocked(tq, cost, w.Reservation); err != nil {
 		s.mu.Unlock()
+		if ea, ok := err.(*ErrAdmission); ok {
+			e.met.rejected(ea.Tenant, ea.Reason)
+		}
 		return nil, err
 	}
 	j := newJob(e, e.nextID.Add(1), ctx, prop, checks, backend, tenant, w.Priority, cost, w.Reservation)
+	j.startJobTelemetry(w.TraceSpan)
 	e.jobsSubmitted.Add(1)
+	e.met.jobsSubmitted.Inc()
 	e.checksSubmitted.Add(uint64(len(checks)))
+	e.met.checksSubmitted.Add(uint64(len(checks)))
 	if len(checks) == 0 {
 		s.mu.Unlock()
 		j.finish()
@@ -443,6 +457,7 @@ func (e *Engine) execute(t task) {
 	if e.cache != nil {
 		if r, ok := e.cache.Get(key); ok {
 			e.cacheHits.Add(1)
+			e.met.cacheHit.Inc()
 			t.job.deliver(t.idx, adapt(r, t.check), true, false, nil)
 			return
 		}
@@ -462,6 +477,7 @@ func (e *Engine) execute(t task) {
 		if r, ok := e.cache.Get(key); ok {
 			e.mu.Unlock()
 			e.cacheHits.Add(1)
+			e.met.cacheHit.Inc()
 			t.job.deliver(t.idx, adapt(r, t.check), true, false, nil)
 			return
 		}
@@ -521,11 +537,13 @@ func (e *Engine) deliverWaiters(key string, r core.CheckResult, t task, waiters 
 				shared = *decided
 			}
 			e.dedupHits.Add(1)
+			e.met.dedupHit.Inc()
 			w.job.deliver(w.idx, adapt(shared, w.check), false, true, nil)
 			continue
 		}
 		if t.job.ctx.Err() == nil && sameSolve(t.job.backend, e.effectiveBudget(t.check), w) {
 			e.dedupHits.Add(1)
+			e.met.dedupHit.Inc()
 			w.job.deliver(w.idx, adapt(r, w.check), false, true, nil)
 			continue
 		}
@@ -538,6 +556,7 @@ func (e *Engine) deliverWaiters(key string, r core.CheckResult, t task, waiters 
 		}
 		if prior >= 0 {
 			e.dedupHits.Add(1)
+			e.met.dedupHit.Inc()
 			w.job.deliver(w.idx, adapt(unknowns[prior].result, w.check), false, true, nil)
 			continue
 		}
@@ -574,6 +593,7 @@ func (e *Engine) deliverWaiters(key string, r core.CheckResult, t task, waiters 
 func (e *Engine) solve(t task) solver.Outcome {
 	e.checksSolved.Add(1)
 	backend := t.job.backend
+	t.job.ensureSolveSpan(backend.Name())
 	t0 := time.Now()
 	out := backend.Solve(t.job.ctx, t.check.Obligation(), solver.Budget{Conflicts: e.effectiveBudget(t.check)})
 	if out.TotalTime == 0 {
@@ -587,6 +607,7 @@ func (e *Engine) solve(t task) solver.Outcome {
 	bs.add(out)
 	e.backendStats[backend.Name()] = bs
 	e.statsMu.Unlock()
+	e.met.solveDone(backend.Name(), out)
 	return out
 }
 

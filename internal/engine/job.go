@@ -7,6 +7,7 @@ import (
 
 	"lightyear/internal/core"
 	"lightyear/internal/solver"
+	"lightyear/internal/telemetry"
 )
 
 // Progress is one per-check progress event streamed while a job runs.
@@ -85,6 +86,16 @@ type Job struct {
 	solveNS    int64
 	dispatched time.Time // when the dispatcher sent the first check
 
+	// Tracing state (see telemetry.go): span is the caller-provided parent
+	// (a plan run's per-problem span), trace an engine-owned trace when no
+	// parent was given; the pipeline spans record under whichever is set.
+	trace        *telemetry.Trace
+	span         *telemetry.Span
+	queueSpan    *telemetry.Span
+	dispatchSpan *telemetry.Span
+	solveSpan    *telemetry.Span
+	solveSpanSet bool
+
 	// progress is buffered to total, so workers never block on a caller
 	// that does not drain it; it is closed when the job completes.
 	progress chan Progress
@@ -134,10 +145,15 @@ func (j *Job) Wait() *core.Report {
 // check to the worker pool — the end of its queue wait.
 func (j *Job) markDispatched(t time.Time) {
 	j.mu.Lock()
-	if j.dispatched.IsZero() {
+	first := j.dispatched.IsZero()
+	if first {
 		j.dispatched = t
 	}
 	j.mu.Unlock()
+	if first {
+		j.engine.met.queueWait.Observe(t.Sub(j.start).Seconds())
+		j.spanDispatched()
+	}
 }
 
 // Stats returns a snapshot of the job's check accounting.
@@ -208,6 +224,8 @@ func (j *Job) finish() {
 	copy(results, j.results)
 	j.report = core.NewReport(j.Property, results, time.Since(j.start))
 	j.engine.jobsCompleted.Add(1)
+	j.engine.met.jobsCompleted.Inc()
+	j.finishJobTelemetry()
 	j.engine.jobDone(j)
 	close(j.progress)
 	close(j.done)

@@ -9,6 +9,7 @@ import (
 	"lightyear/internal/delta"
 	"lightyear/internal/engine"
 	"lightyear/internal/store"
+	"lightyear/internal/telemetry"
 )
 
 // Event is one progress event of a running plan, in the order emitted: one
@@ -19,6 +20,11 @@ import (
 // event. lyserve streams these as NDJSON on GET /v2/jobs/{id}/events.
 type Event struct {
 	Type string `json:"type"` // start | check | problem | property | plan
+
+	// TraceID identifies the run's telemetry trace — the same ID lyserve
+	// returns in the X-Trace-Id header and serves at /v1/traces/{id}.
+	// Empty when the engine has no telemetry recorder.
+	TraceID string `json:"trace_id,omitempty"`
 
 	// Prop indexes the request's property list; Property is its suite name.
 	Prop     int    `json:"prop"`
@@ -81,6 +87,8 @@ type PropertyResult struct {
 // Result is the outcome of one plan run.
 type Result struct {
 	OK bool `json:"ok"`
+	// TraceID identifies the run's telemetry trace ("" without a recorder).
+	TraceID string `json:"trace_id,omitempty"`
 	// Failures counts proven violations plus problems that could not be
 	// submitted; Unknowns counts undecided (budget-exhausted) checks. A run
 	// with OK == false, Failures == 0, and Unknowns > 0 found no bug — it
@@ -121,6 +129,13 @@ type RunConfig struct {
 	// wanting a synchronous admission answer should not pre-reserve
 	// delta-mode plans (lyserve does not serve them asynchronously at all).
 	Reservation *engine.Reservation
+	// Trace, when non-nil, is the telemetry trace the run records into —
+	// lyserve opens it in the HTTP handler (with a "compile" span) so the
+	// trace ID can be returned before the asynchronous run starts. When
+	// nil, Run opens one on the engine's recorder (no-op without one).
+	// Either way Run finishes the trace when it returns, landing it in the
+	// recorder's ring.
+	Trace *telemetry.Trace
 }
 
 // Run executes a compiled plan on the engine through the unified
@@ -137,11 +152,19 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 		return runDelta(eng, c, cfg)
 	}
 
+	tr := cfg.Trace
+	if tr == nil {
+		tr = eng.Telemetry().StartTrace(c.Label(), c.Tenant())
+	}
+	defer tr.Finish()
+	traceID := tr.ID()
+
 	var sinkMu sync.Mutex
 	emit := func(ev Event) {
 		if cfg.Sink == nil {
 			return
 		}
+		ev.TraceID = traceID
 		sinkMu.Lock()
 		cfg.Sink(ev)
 		sinkMu.Unlock()
@@ -159,15 +182,20 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 
 	resv := cfg.Reservation
 	if resv == nil {
+		adm := tr.StartSpan("admit")
+		adm.SetAttrInt("cost", int64(c.Cost()))
 		var err error
 		resv, err = eng.Reserve(c.Tenant(), c.Cost())
 		if err != nil {
+			adm.SetAttr("rejected", err.Error())
+			adm.End()
 			return nil, err
 		}
+		adm.End()
 	}
 	defer resv.Release()
 
-	res := &Result{OK: true}
+	res := &Result{OK: true, TraceID: traceID}
 	var resMu sync.Mutex // guards ProblemResult fields written by watchers
 
 	// Submit every problem of every property before collecting any.
@@ -175,6 +203,7 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 	type pending struct {
 		prop, idx int
 		job       *engine.Job
+		span      *telemetry.Span
 	}
 	var jobs []pending
 	for pi, u := range c.Units {
@@ -183,6 +212,7 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 			out := &pr.Problems[i]
 			out.Name = p.Name
 			var job *engine.Job
+			ps := tr.StartSpan("problem:" + p.Name)
 			err := preps[pi][i].Err
 			if err == nil {
 				wl := template
@@ -190,9 +220,12 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 				wl.Property = preps[pi][i].Property
 				wl.Checks = preps[pi][i].Checks
 				wl.Reservation = resv
+				wl.TraceSpan = ps
 				job, err = eng.Submit(context.Background(), wl)
 			}
 			if err != nil {
+				ps.SetAttr("error", err.Error())
+				ps.End()
 				out.SkipReason = err.Error()
 				if p.Optional {
 					out.Skipped, out.OK = true, true
@@ -204,7 +237,7 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 				}
 				continue
 			}
-			jobs = append(jobs, pending{prop: pi, idx: i, job: job})
+			jobs = append(jobs, pending{prop: pi, idx: i, job: job, span: ps})
 			emit(Event{Type: "start", Prop: pi, Property: u.Property.Name, Idx: i,
 				Problem: p.Name, Total: job.NumChecks()})
 		}
@@ -243,6 +276,11 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 			st := pd.job.Stats()
 			enc := engine.EncodeReport(rep)
 			ok := rep.OK()
+			pd.span.SetAttrInt("checks", int64(st.Checks))
+			if !ok {
+				pd.span.SetAttr("ok", "false")
+			}
+			pd.span.End()
 
 			resMu.Lock()
 			out := &res.Properties[pd.prop].Problems[pd.idx]
@@ -289,8 +327,12 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 	}
 	res.Engine = eng.Stats()
 	if cfg.Store != nil {
+		ss := tr.StartSpan("store")
 		st := cfg.Store.Stats()
 		res.Store = &st
+		ss.SetAttrInt("puts", int64(st.Puts))
+		ss.SetAttrInt("hits", int64(st.Hits))
+		ss.End()
 	}
 	ok := res.OK
 	emit(Event{Type: "plan", OK: &ok})
@@ -307,23 +349,44 @@ func runDelta(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 	// is returned up front rather than held — or leaked — alongside them.
 	cfg.Reservation.Release()
 
-	res := &Result{}
+	tr := cfg.Trace
+	if tr == nil {
+		tr = eng.Telemetry().StartTrace(c.Label(), c.Tenant())
+	}
+	defer tr.Finish()
+
+	res := &Result{TraceID: tr.ID()}
 	v := delta.NewVerifierFor(eng, c)
-	v.SetWorkload(c.Workload())
+	wl := c.Workload()
+	// Both delta runs' engine spans nest under one "delta" span of this
+	// run's trace rather than opening per-workload traces of their own.
+	del := tr.StartSpan("delta")
+	defer del.End()
+	wl.TraceSpan = del
+	v.SetWorkload(wl)
 	if cfg.Store != nil {
 		cfg.Store.SetFingerprint(c.Baseline.Fingerprint())
 	}
+	bs := tr.StartSpan("baseline")
 	base, err := v.Baseline(c.Baseline)
 	if err != nil {
+		bs.End()
 		return nil, err
 	}
+	bs.SetAttrInt("solved", int64(base.Solved))
+	bs.End()
 	if cfg.Store != nil {
 		cfg.Store.SetFingerprint(c.Network.Fingerprint())
 	}
+	us := tr.StartSpan("update")
 	upd, err := v.Update(c.Network)
 	if err != nil {
+		us.End()
 		return nil, err
 	}
+	us.SetAttrInt("solved", int64(upd.Solved))
+	us.SetAttrInt("reused", int64(upd.ReusedResults))
+	us.End()
 	res.Baseline, res.Update = base, upd
 	res.OK = upd.OK
 	res.Failures, res.Unknowns = upd.Failures, upd.Unknown
@@ -334,7 +397,7 @@ func runDelta(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 	}
 	if cfg.Sink != nil {
 		ok := res.OK
-		cfg.Sink(Event{Type: "plan", OK: &ok})
+		cfg.Sink(Event{Type: "plan", OK: &ok, TraceID: res.TraceID})
 	}
 	return res, nil
 }

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"lightyear/internal/core"
+	"lightyear/internal/telemetry"
 )
 
 // journalName is the journal file created inside the store directory.
@@ -147,6 +148,33 @@ type Store struct {
 	puts      int
 	compacted int
 	evicted   int
+
+	// Telemetry handles (nil without SetTelemetry; emission is nil-safe).
+	metHits   *telemetry.Counter
+	metMisses *telemetry.Counter
+	metPuts   *telemetry.Counter
+}
+
+// SetTelemetry points the store's traffic counters at a recorder and
+// registers a journal-size gauge. Call once, before the store serves
+// traffic (lyserve does so right after Open).
+func (s *Store) SetTelemetry(rec *telemetry.Recorder) {
+	if rec == nil {
+		return
+	}
+	s.mu.Lock()
+	s.metHits = rec.Counter("lightyear_store_hits_total",
+		"Store lookups served from the journal-backed cache.").With()
+	s.metMisses = rec.Counter("lightyear_store_misses_total",
+		"Store lookups not present in the journal-backed cache.").With()
+	s.metPuts = rec.Counter("lightyear_store_puts_total",
+		"New results appended to the store journal.").With()
+	s.mu.Unlock()
+	rec.GaugeFunc("lightyear_store_journal_results",
+		"Distinct check results retained in the store journal.", nil,
+		func() []telemetry.Sample {
+			return []telemetry.Sample{{Value: float64(s.Len())}}
+		})
 }
 
 // Open opens dir with default options (no fingerprint retention bound).
@@ -315,9 +343,11 @@ func (s *Store) Get(key string) (core.CheckResult, bool) {
 	rec, ok := s.mem[key]
 	if !ok || rec.Result.legacyUnknown() {
 		s.misses++
+		s.metMisses.Inc()
 		return core.CheckResult{}, false
 	}
 	s.hits++
+	s.metHits.Inc()
 	return rec.Result.decode(), true
 }
 
@@ -348,6 +378,7 @@ func (s *Store) Add(key string, val core.CheckResult) {
 		s.fpSeq[s.fp] = s.fpTick // recency for retention on a later Open
 	}
 	s.puts++
+	s.metPuts.Inc()
 	if err := s.append(rec); err != nil {
 		// Disk trouble degrades the store to in-memory; verification
 		// results are reproducible, so losing persistence is not fatal.

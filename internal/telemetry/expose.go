@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteMetrics renders every registered family in Prometheus text
+// exposition format (version 0.0.4): `# HELP` / `# TYPE` headers, one line
+// per series, histograms as cumulative `_bucket{le=...}` series plus
+// `_sum` and `_count`. Families and series are emitted in sorted order so
+// output is deterministic and diff-friendly.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, m := range r.snapshotOrder() {
+		if err := m.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *metric) write(w io.Writer) error {
+	typ := "counter"
+	switch m.kind {
+	case kindHistogram:
+		typ = "histogram"
+	case kindGauge:
+		typ = "gauge"
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, escapeHelp(m.help), m.name, typ); err != nil {
+		return err
+	}
+
+	if m.kind == kindGauge {
+		m.mu.RLock()
+		fn := m.gauge
+		m.mu.RUnlock()
+		if fn == nil {
+			return nil
+		}
+		for _, s := range fn() {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, renderLabels(m.labelNames, s.Labels, "", 0), formatFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	m.mu.RLock()
+	keys := make([]string, 0, len(m.series))
+	for k := range m.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sers := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		sers = append(sers, m.series[k])
+	}
+	m.mu.RUnlock()
+
+	for _, s := range sers {
+		switch m.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, renderLabels(m.labelNames, s.labels, "", 0), s.count.Load()); err != nil {
+				return err
+			}
+		case kindHistogram:
+			var cum uint64
+			for i, bound := range m.buckets {
+				cum += s.bucketCounts[i].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, renderLabels(m.labelNames, s.labels, "le", bound), cum); err != nil {
+					return err
+				}
+			}
+			cum += s.infCount.Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, renderLabels(m.labelNames, s.labels, "le", math.Inf(1)), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, renderLabels(m.labelNames, s.labels, "", 0), formatFloat(math.Float64frombits(s.sumBits.Load()))); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, renderLabels(m.labelNames, s.labels, "", 0), s.count.Load()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderLabels formats the label set `{a="x",b="y"}` (empty string when no
+// labels), appending an `le` label when leName is non-empty.
+func renderLabels(names, values []string, leName string, le float64) string {
+	if len(names) == 0 && leName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	if leName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leName)
+		b.WriteString(`="`)
+		b.WriteString(formatLe(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatLe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

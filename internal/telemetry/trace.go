@@ -1,0 +1,358 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is the timing record for one workload's journey through the stack:
+// a tree of named spans (compile, admit, queue, dispatch, solve:<backend>,
+// cache, store) hung off a root. Traces are mutable until Finish, after
+// which a snapshot lands in the Recorder's bounded ring.
+//
+// A nil *Trace (from a nil Recorder) is a valid no-op; so is every *Span it
+// hands out — instrumented code never checks whether tracing is enabled.
+type Trace struct {
+	rec    *Recorder
+	id     string
+	label  string
+	tenant string
+	start  time.Time
+
+	mu       sync.Mutex
+	root     []*Span
+	end      time.Time
+	finished bool
+}
+
+// Span is one timed region inside a trace, with optional key=value
+// attributes and child spans. End is idempotent; spans still open when the
+// trace finishes inherit the trace's end time.
+type Span struct {
+	t        *Trace
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    map[string]string
+	children []*Span
+}
+
+// idCounter backs trace IDs when crypto/rand fails (it effectively never
+// does, but instrumentation must not).
+var idCounter atomic.Uint64
+
+// newTraceID returns a 16-hex-char random identifier.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%015x", idCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// StartTrace opens a trace. label names the workload (a plan label or
+// property name); tenant is the submitting tenant, if any.
+func (r *Recorder) StartTrace(label, tenant string) *Trace {
+	if r == nil {
+		return nil
+	}
+	return &Trace{
+		rec:    r,
+		id:     newTraceID(),
+		label:  label,
+		tenant: tenant,
+		start:  time.Now(),
+	}
+}
+
+// ID returns the trace identifier ("" for a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SetLabel renames the trace. Hosts that open a trace before the
+// workload's label exists (lyserve's compile span precedes compilation)
+// set the real label once it is known.
+func (t *Trace) SetLabel(label string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.label = label
+	t.mu.Unlock()
+}
+
+// StartSpan opens a root-level span.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{t: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	if !t.finished {
+		t.root = append(t.root, s)
+	}
+	t.mu.Unlock()
+	return s
+}
+
+// StartSpan opens a child span.
+func (s *Span) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{t: s.t, name: name, start: time.Now()}
+	s.t.mu.Lock()
+	s.children = append(s.children, c)
+	s.t.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches a key=value attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+	s.t.mu.Unlock()
+}
+
+// SetAttrInt attaches an integer attribute.
+func (s *Span) SetAttrInt(key string, value int64) {
+	s.SetAttr(key, fmt.Sprintf("%d", value))
+}
+
+// End closes the span. Idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.t.mu.Lock()
+	if s.end.IsZero() {
+		s.end = now
+	}
+	s.t.mu.Unlock()
+}
+
+// Finish closes the trace (closing any still-open spans at the trace end
+// time) and pushes its snapshot into the Recorder's ring. Idempotent.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return
+	}
+	t.finished = true
+	t.end = now
+	snap := t.snapshotLocked()
+	t.mu.Unlock()
+	t.rec.traces.push(snap)
+}
+
+// Snapshot returns the trace's current state, closing nothing. For a
+// finished trace this equals the ring entry.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.snapshotLocked()
+}
+
+func (t *Trace) snapshotLocked() TraceSnapshot {
+	end := t.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	snap := TraceSnapshot{
+		ID:         t.id,
+		Label:      t.label,
+		Tenant:     t.tenant,
+		Start:      t.start,
+		DurationNS: end.Sub(t.start).Nanoseconds(),
+	}
+	for _, s := range t.root {
+		snap.Spans = append(snap.Spans, s.snapshotLocked(t.start, end))
+	}
+	return snap
+}
+
+func (s *Span) snapshotLocked(traceStart, traceEnd time.Time) SpanSnapshot {
+	end := s.end
+	if end.IsZero() {
+		end = traceEnd
+		if end.Before(s.start) {
+			end = s.start
+		}
+	}
+	snap := SpanSnapshot{
+		Name:       s.name,
+		StartNS:    s.start.Sub(traceStart).Nanoseconds(),
+		DurationNS: end.Sub(s.start).Nanoseconds(),
+	}
+	if len(s.attrs) > 0 {
+		snap.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			snap.Attrs[k] = v
+		}
+	}
+	for _, c := range s.children {
+		snap.Children = append(snap.Children, c.snapshotLocked(traceStart, traceEnd))
+	}
+	return snap
+}
+
+// TraceSnapshot is an immutable completed (or in-progress) trace.
+type TraceSnapshot struct {
+	ID         string         `json:"id"`
+	Label      string         `json:"label,omitempty"`
+	Tenant     string         `json:"tenant,omitempty"`
+	Start      time.Time      `json:"start"`
+	DurationNS int64          `json:"duration_ns"`
+	Spans      []SpanSnapshot `json:"spans,omitempty"`
+}
+
+// SpanSnapshot is one span in a TraceSnapshot; StartNS is the offset from
+// the trace start.
+type SpanSnapshot struct {
+	Name       string            `json:"name"`
+	StartNS    int64             `json:"start_ns"`
+	DurationNS int64             `json:"duration_ns"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []SpanSnapshot    `json:"children,omitempty"`
+}
+
+// WriteTree renders the span tree as indented text — the lightyear -trace
+// output:
+//
+//	trace 1f0c… label=wan-policy tenant=t1 total=12.3ms
+//	  compile 1.1ms
+//	  admit 0.0ms
+//	  queue 2.0ms
+//	  solve:portfolio 9.0ms solved=12 raced=4
+func (ts TraceSnapshot) WriteTree(w io.Writer) {
+	fmt.Fprintf(w, "trace %s", ts.ID)
+	if ts.Label != "" {
+		fmt.Fprintf(w, " label=%s", ts.Label)
+	}
+	if ts.Tenant != "" {
+		fmt.Fprintf(w, " tenant=%s", ts.Tenant)
+	}
+	fmt.Fprintf(w, " total=%s\n", time.Duration(ts.DurationNS).Round(time.Microsecond))
+	for _, s := range ts.Spans {
+		s.writeTree(w, 1)
+	}
+}
+
+func (ss SpanSnapshot) writeTree(w io.Writer, depth int) {
+	fmt.Fprintf(w, "%s%s %s", strings.Repeat("  ", depth), ss.Name,
+		time.Duration(ss.DurationNS).Round(time.Microsecond))
+	if len(ss.Attrs) > 0 {
+		keys := make([]string, 0, len(ss.Attrs))
+		for k := range ss.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%s", k, ss.Attrs[k])
+		}
+	}
+	fmt.Fprintln(w)
+	for _, c := range ss.Children {
+		c.writeTree(w, depth+1)
+	}
+}
+
+// traceRing is the bounded buffer of completed traces, newest last.
+type traceRing struct {
+	mu   sync.Mutex
+	cap  int
+	buf  []TraceSnapshot
+	next int // insertion index once the ring is full
+	full bool
+}
+
+func (tr *traceRing) push(snap TraceSnapshot) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.cap < 1 {
+		return
+	}
+	if !tr.full {
+		tr.buf = append(tr.buf, snap)
+		if len(tr.buf) == tr.cap {
+			tr.full = true
+		}
+		return
+	}
+	tr.buf[tr.next] = snap
+	tr.next = (tr.next + 1) % tr.cap
+}
+
+// list returns up to limit snapshots, newest first (limit < 1 = all).
+func (tr *traceRing) list(limit int) []TraceSnapshot {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := len(tr.buf)
+	out := make([]TraceSnapshot, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the newest entry.
+		idx := (tr.next + n - 1 - i) % n
+		if !tr.full {
+			idx = n - 1 - i
+		}
+		out = append(out, tr.buf[idx])
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+func (tr *traceRing) find(id string) (TraceSnapshot, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for i := range tr.buf {
+		if tr.buf[i].ID == id {
+			return tr.buf[i], true
+		}
+	}
+	return TraceSnapshot{}, false
+}
+
+// Traces returns up to limit completed traces, newest first (limit < 1
+// returns all retained).
+func (r *Recorder) Traces(limit int) []TraceSnapshot {
+	if r == nil {
+		return nil
+	}
+	return r.traces.list(limit)
+}
+
+// Trace returns the completed trace with the given ID, if still retained.
+func (r *Recorder) Trace(id string) (TraceSnapshot, bool) {
+	if r == nil {
+		return TraceSnapshot{}, false
+	}
+	return r.traces.find(id)
+}
