@@ -76,6 +76,16 @@
 // admit, queue, dispatch, solve:<backend>, cache, store spans with
 // per-span durations and attributes — and prints the span tree to stderr
 // after the report. The same span tree lyserve serves at /v1/traces/{id}.
+// Solve spans carry the per-job solver-depth attributes (conflicts,
+// decisions, restarts, learned), the same provenance every CheckResult now
+// records (see -json's per-check "solver" object and -verbose's depth
+// column).
+//
+// -log-level and -log-format configure the structured logger every
+// component (engine, store) emits through: levels debug|info|warn|error,
+// formats text (default for this CLI) or json. Slow or undecided checks
+// are logged with their full solver provenance; see cmd/lyserve's
+// -slow-conflicts/-slow-solve for the threshold knobs on the service.
 //
 // With -diff old.cfg the command runs incrementally via internal/delta: it
 // first verifies old.cfg as the baseline, then re-verifies -config against
@@ -108,6 +118,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strconv"
@@ -117,6 +128,7 @@ import (
 	"lightyear/internal/core"
 	"lightyear/internal/delta"
 	"lightyear/internal/engine"
+	"lightyear/internal/logging"
 	"lightyear/internal/netgen"
 	"lightyear/internal/plan"
 	"lightyear/internal/solver"
@@ -287,9 +299,18 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the report as machine-readable JSON")
 	verbose := flag.Bool("verbose", false, "print every check result")
 	traceOut := flag.Bool("trace", false, "record an end-to-end telemetry trace and print its span tree to stderr")
+	var logCfg logging.Config
+	logCfg.RegisterFlags(flag.CommandLine, "text")
 	flag.Parse()
 	f.Set = map[string]bool{}
 	flag.Visit(func(fl *flag.Flag) { f.Set[fl.Name] = true })
+
+	logger, err := logCfg.Build(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lightyear:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	if *list {
 		for _, s := range netgen.Suites() {
@@ -349,6 +370,7 @@ func main() {
 		Workers:   req.Options.Workers,
 		CacheSize: req.Options.Cache,
 		Telemetry: rec,
+		Logger:    logger,
 		Admission: engine.Admission{MaxInFlightChecks: f.MaxInflight, Weights: weights},
 	}
 	var resultStore *store.Store
@@ -359,6 +381,7 @@ func main() {
 		}
 		defer resultStore.Close()
 		resultStore.SetTelemetry(rec)
+		resultStore.SetLogger(logger)
 		if !*jsonOut {
 			fmt.Printf("store: %s (%d results on disk)\n", req.Options.Store, resultStore.Len())
 		}
@@ -479,6 +502,9 @@ func printEngineSummary(est engine.Stats) {
 		if bs.Unknown > 0 {
 			extra += fmt.Sprintf(", %d unknown", bs.Unknown)
 		}
+		if bs.Solver.Depth() {
+			extra += fmt.Sprintf(", %d conflicts / %d decisions", bs.Solver.Conflicts, bs.Solver.Decisions)
+		}
 		fmt.Printf("  backend %s: %d solved in %v%s\n",
 			name, bs.Solved, time.Duration(bs.SolveNanos).Round(time.Microsecond), extra)
 	}
@@ -491,8 +517,12 @@ func printReport(rep *core.Report, verbose bool) {
 			if !r.OK {
 				status = "FAIL"
 			}
-			fmt.Printf("  %s [%s] %s (%d vars, %d clauses, solve %v)\n",
-				status, r.Kind, r.Desc, r.NumVars, r.NumCons, r.SolveTime)
+			depth := ""
+			if r.Solver.Conflicts != 0 || r.Solver.Decisions != 0 {
+				depth = fmt.Sprintf(", %d conflicts, %d decisions", r.Solver.Conflicts, r.Solver.Decisions)
+			}
+			fmt.Printf("  %s [%s] %s (%d vars, %d clauses, solve %v%s)\n",
+				status, r.Kind, r.Desc, r.NumVars, r.NumCons, r.SolveTime, depth)
 		}
 	}
 	fmt.Print(rep.Summary())

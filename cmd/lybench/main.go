@@ -27,8 +27,10 @@
 // With -out FILE the wan and solver experiments additionally write a JSON
 // benchmark document (BENCH_wan.json / BENCH_solver.json in this repo's
 // committed trajectory): completed checks per second, allocations per
-// check, and p50/p99 solve-time and queue-wait quantiles derived from the
-// same internal/telemetry histograms lyserve exposes at /metrics — so the
+// check, p50/p99 solve-time and queue-wait quantiles derived from the
+// same internal/telemetry histograms lyserve exposes at /metrics, and the
+// solver-depth dimensions (mean CDCL conflicts and learned clauses per
+// solved check) from the engine's per-backend provenance — so the
 // committed numbers and the production metrics come from one code path.
 package main
 
@@ -321,6 +323,13 @@ type benchRow struct {
 	SolveP99Seconds float64 `json:"solve_p99_seconds,omitempty"`
 	QueueP50Seconds float64 `json:"queue_wait_p50_seconds,omitempty"`
 	QueueP99Seconds float64 `json:"queue_wait_p99_seconds,omitempty"`
+	// Solver-depth dimensions: mean CDCL conflicts and learned clauses per
+	// solved check, from the same core.SolveStats provenance every
+	// CheckResult carries. Deliberately not omitempty — a recorded 0 means
+	// "decided without search", which the committed trajectory should state
+	// explicitly rather than omit.
+	ConflictsPerCheck float64 `json:"conflicts_per_check"`
+	LearnedPerCheck   float64 `json:"learned_clauses_per_check"`
 }
 
 // benchDoc is the -out JSON document: the experiment's headline measurement
@@ -346,6 +355,17 @@ func benchQuantiles(rec *telemetry.Recorder, backend string, row *benchRow) {
 	}
 	row.SolveP50Seconds, row.SolveP99Seconds = solve.Quantile(0.50), solve.Quantile(0.99)
 	row.QueueP50Seconds, row.QueueP99Seconds = queue.Quantile(0.50), queue.Quantile(0.99)
+}
+
+// benchDepth fills the solver-depth dimensions from aggregated CDCL
+// provenance. Zero solved checks (everything served from cache) leaves the
+// per-check means at 0.
+func (r *benchRow) benchDepth(depth core.SolveStats, solved uint64) {
+	if solved == 0 {
+		return
+	}
+	r.ConflictsPerCheck = float64(depth.Conflicts) / float64(solved)
+	r.LearnedPerCheck = float64(depth.Learned) / float64(solved)
 }
 
 // benchRate derives the throughput fields once checks and elapsed are set.
@@ -493,6 +513,11 @@ func wanExperiment(scale string, workers int, out string) {
 		doc.Checks = uint64(st.ChecksSubmitted)
 		doc.ElapsedSeconds = deduped.Seconds()
 		doc.benchRate(allocs)
+		var depth core.SolveStats
+		for _, bs := range st.Backends {
+			depth.Add(bs.Solver)
+		}
+		doc.benchDepth(depth, st.ChecksSolved)
 		benchQuantiles(rec, "", &doc.benchRow)
 		writeBench(out, doc)
 	}
@@ -583,6 +608,8 @@ func solverExperiment(workers int, out string) {
 	var rows []benchRow
 	var doc benchDoc
 	var totalAllocs uint64
+	var totalDepth core.SolveStats
+	var totalSolved uint64
 	fmt.Printf("%-10s | %8s %8s %8s %8s %8s | %10s %10s\n",
 		"backend", "checks", "solved", "unknown", "raced", "escal", "solve", "wall")
 	for _, name := range solver.Names() {
@@ -611,15 +638,19 @@ func solverExperiment(workers int, out string) {
 			time.Duration(st.SolveNanos).Round(time.Microsecond), wall.Round(time.Millisecond))
 		row := benchRow{Name: name, Checks: uint64(st.Checks), ElapsedSeconds: wall.Seconds()}
 		row.benchRate(allocs)
+		row.benchDepth(st.Solver, uint64(st.Solved))
 		benchQuantiles(rec, name, &row)
 		rows = append(rows, row)
 		doc.Checks += row.Checks
 		doc.ElapsedSeconds += row.ElapsedSeconds
 		totalAllocs += allocs
+		totalDepth.Add(st.Solver)
+		totalSolved += uint64(st.Solved)
 	}
 	if out != "" {
 		doc.Experiment, doc.Workers, doc.Rows = "solver", workers, rows
 		doc.benchRate(totalAllocs)
+		doc.benchDepth(totalDepth, totalSolved)
 		benchQuantiles(rec, "", &doc.benchRow)
 		writeBench(out, doc)
 	}

@@ -164,26 +164,36 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"lightyear/internal/delta"
 	"lightyear/internal/engine"
+	"lightyear/internal/logging"
 	"lightyear/internal/netgen"
 	"lightyear/internal/plan"
 	"lightyear/internal/store"
 	"lightyear/internal/telemetry"
 	"lightyear/internal/topology"
 )
+
+// srvLog is the service's structured logger; main replaces it with the one
+// -log-level/-log-format configure. The default routes through slog's
+// process default so in-test servers still log somewhere sensible.
+var srvLog = logging.Component(slog.Default(), "lyserve")
 
 // defaultJobTTL is how long completed jobs stay queryable before GC.
 const defaultJobTTL = time.Hour
@@ -197,6 +207,10 @@ const defaultEventWindow = 4096
 
 // maxRequestBody caps every JSON request body read by the service.
 const maxRequestBody = 1 << 20 // 1 MiB
+
+// defaultShutdownGrace bounds how long a SIGINT/SIGTERM shutdown waits for
+// in-flight requests (including NDJSON event streams) to drain.
+const defaultShutdownGrace = 15 * time.Second
 
 func main() {
 	var (
@@ -214,18 +228,34 @@ func main() {
 		weightsSpec = flag.String("tenant-weights", "", "per-tenant dispatch weights, e.g. t1=3,t2=1 (unlisted tenants weigh 1)")
 		traceCap    = flag.Int("trace-cap", 0, "completed traces retained for /v1/traces (0 = default)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		slowConf    = flag.Int64("slow-conflicts", 0, "log any check burning at least this many CDCL conflicts (0 = default, <0 disables)")
+		slowTime    = flag.Duration("slow-solve", 0, "log any check spending at least this long in the solver (0 = default, <0 disables)")
+		grace       = flag.Duration("shutdown-grace", defaultShutdownGrace, "max wait for in-flight requests to drain on SIGINT/SIGTERM")
 	)
+	var logCfg logging.Config
+	logCfg.RegisterFlags(flag.CommandLine, "json")
 	flag.Parse()
+
+	logger, err := logCfg.Build(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lyserve: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+	srvLog = logging.Component(logger, "lyserve")
 
 	weights, err := engine.ParseWeights(*weightsSpec)
 	if err != nil {
-		log.Fatalf("lyserve: -tenant-weights: %v", err)
+		srvLog.Error("bad -tenant-weights", slog.Any("error", err))
+		os.Exit(1)
 	}
 	rec := telemetry.New(*traceCap)
 	opts := engine.Options{
 		Workers:   *workers,
 		CacheSize: *cacheSize,
 		Telemetry: rec,
+		Logger:    logger,
+		SlowCheck: engine.SlowCheckPolicy{Conflicts: *slowConf, SolveTime: *slowTime},
 		Admission: engine.Admission{
 			MaxInFlightChecks: *maxInflight,
 			PerTenantQuota:    *tenantQuota,
@@ -237,16 +267,18 @@ func main() {
 	if *storeDir != "" {
 		st, err = store.OpenOptions(*storeDir, store.Options{MaxFingerprints: *storeRetain})
 		if err != nil {
-			log.Fatalf("lyserve: %v", err)
+			srvLog.Error("store open failed", slog.String("dir", *storeDir), slog.Any("error", err))
+			os.Exit(1)
 		}
-		defer st.Close()
 		st.SetTelemetry(rec)
-		log.Printf("lyserve: store %s (%d results on disk, %d evicted by retention)",
-			*storeDir, st.Len(), st.Stats().Evicted)
+		st.SetLogger(logger)
+		srvLog.Info("store opened",
+			slog.String("dir", *storeDir),
+			slog.Int("results", st.Len()),
+			slog.Int("evicted", st.Stats().Evicted))
 		opts.Cache = st
 	}
 	eng := engine.New(opts)
-	defer eng.Close()
 	srv := newServer(eng)
 	srv.store = st
 	srv.ttl = *jobTTL
@@ -254,9 +286,42 @@ func main() {
 	srv.eventWindow = *evWindow
 	srv.pprof = *pprofOn
 	go srv.janitor()
-	log.Printf("lyserve: %s listening on %s (suites: %s)",
-		eng, *addr, strings.Join(netgen.SuiteNames(), ", "))
-	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	srvLog.Info("listening",
+		slog.String("addr", *addr),
+		slog.String("engine", eng.String()),
+		slog.String("suites", strings.Join(netgen.SuiteNames(), ", ")))
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections, wake
+	// every NDJSON event stream so it flushes and closes, wait up to the
+	// grace period for in-flight requests, then close the engine (draining
+	// admitted jobs) and flush the store journal.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		srvLog.Error("server failed", slog.Any("error", err))
+		os.Exit(1)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		srvLog.Info("shutdown signal received", slog.Duration("grace", *grace))
+	}
+	srv.beginShutdown()
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		srvLog.Warn("shutdown grace period expired with requests in flight", slog.Any("error", err))
+	}
+	eng.Close()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			srvLog.Warn("store close failed", slog.Any("error", err))
+		}
+	}
+	srvLog.Info("shutdown complete")
 }
 
 // server owns the engine and the in-memory job and session tables.
@@ -268,6 +333,13 @@ type server struct {
 	sessionTTL  time.Duration       // idle-session expiry (0 = never)
 	eventWindow int                 // per-job event-history bound (<=0 = unbounded)
 	pprof       bool                // mount /debug/pprof/ handlers
+
+	started time.Time // process start, for /v1/status uptime
+
+	// shutdown is closed once when graceful shutdown begins: NDJSON event
+	// streams flush and close, and the janitor exits.
+	shutdown     chan struct{}
+	shutdownOnce sync.Once
 
 	mu       sync.Mutex
 	seq      int
@@ -283,9 +355,17 @@ func newServer(eng *engine.Engine) *server {
 		ttl:         defaultJobTTL,
 		sessionTTL:  defaultSessionTTL,
 		eventWindow: defaultEventWindow,
+		started:     time.Now(),
+		shutdown:    make(chan struct{}),
 		jobs:        make(map[string]*serviceJob),
 		sessions:    make(map[string]*session),
 	}
+}
+
+// beginShutdown signals every long-lived handler and the janitor that the
+// process is draining. Safe to call more than once.
+func (s *server) beginShutdown() {
+	s.shutdownOnce.Do(func() { close(s.shutdown) })
 }
 
 // requestTenant resolves the tenant a request runs as: the X-Tenant
@@ -355,6 +435,10 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+
 	mux.HandleFunc("POST /v2/verify", s.handleVerifyV2)
 	mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobV2)
 	mux.HandleFunc("GET /v2/jobs/{id}/events", s.handleJobEvents)
@@ -384,7 +468,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.rec.WriteMetrics(w); err != nil {
-		log.Printf("lyserve: write metrics: %v", err)
+		srvLog.Warn("write metrics failed", slog.Any("error", err))
 	}
 }
 
@@ -484,8 +568,15 @@ func (s *server) janitor() {
 	if interval < time.Second {
 		interval = time.Second
 	}
-	for range time.Tick(interval) {
-		s.gc(time.Now())
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case now := <-tick.C:
+			s.gc(now)
+		case <-s.shutdown:
+			return
+		}
 	}
 }
 
@@ -520,7 +611,10 @@ func (s *server) gc(now time.Time) int {
 	s.mu.Unlock()
 	for _, sess := range expired {
 		sess.close() // releases the worker; closed was already set
-		log.Printf("lyserve: session %s expired (idle beyond %v)", sess.id, s.sessionTTL)
+		srvLog.Info("session expired",
+			slog.String("session", sess.id),
+			slog.String(logging.KeyTenant, sess.tenant),
+			slog.Duration("idle_beyond", s.sessionTTL))
 	}
 	return removed + len(expired)
 }
@@ -606,7 +700,11 @@ func (s *server) launchPlan(c *plan.Compiled, label string, resv *engine.Reserva
 			// The handler reserved admission for the whole plan, and only
 			// delta-mode plans error otherwise; record defensively rather
 			// than wedge the job.
-			log.Printf("lyserve: job %s: %v", j.id, err)
+			srvLog.Error("plan run failed",
+				slog.String(logging.KeyJob, j.id),
+				slog.String(logging.KeyTenant, j.tenant),
+				slog.String(logging.KeyTraceID, j.traceID),
+				slog.Any("error", err))
 			errMsg = err.Error()
 			res = &plan.Result{}
 		}
@@ -1041,6 +1139,11 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		case <-notify:
 		case <-r.Context().Done():
 			return
+		case <-s.shutdown:
+			// Graceful shutdown: everything retained so far has been
+			// delivered and flushed above; close the stream so
+			// http.Server.Shutdown can finish draining connections.
+			return
 		}
 	}
 }
@@ -1464,7 +1567,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("lyserve: encode response: %v", err)
+		srvLog.Warn("encode response failed", slog.Any("error", err))
 	}
 }
 

@@ -180,6 +180,49 @@
 // committed BENCH_*.json files at the repo root are that trajectory, and
 // CI regenerates one per run as an artifact.
 //
+// # Reading solver provenance
+//
+// Every solved check reports not just its verdict and wall time but how
+// hard the underlying CDCL search worked: core.CheckResult carries the
+// encoding size (NumVars, NumCons, NumTerms) and a core.SolveStats
+// {conflicts, decisions, propagations, restarts, learned clauses} snapshot
+// taken from the SAT core at the end of the solve. The same counters
+// aggregate at every level — per job (engine.JobStats.Solver), per backend
+// (engine.Stats.Backends[name].Solver, also in lyserve's /v1/stats and
+// /v1/status), on the job's solve span as trace attributes, in the
+// lightyear_conflicts_per_check and lightyear_clauses_per_check histograms
+// on /metrics, and as conflicts_per_check / learned_clauses_per_check in
+// `lybench -out` documents — so "this run was slow" can be split into "the
+// formulas got bigger" vs "the search got deeper" at whichever granularity
+// the investigation needs. Checks that cross a slow-check policy threshold
+// (engine.Options.SlowCheck; -slow-conflicts / -slow-solve on lyserve), and
+// every check left Unknown, are additionally logged with the full counter
+// set.
+//
+// # Structured logging
+//
+// internal/logging builds the log/slog loggers every component shares:
+// `-log-level` (debug|info|warn|error) and `-log-format` (text|json) on
+// both cmd/lightyear (text default) and cmd/lyserve (json default), with a
+// common attribute vocabulary (component, tenant, job, trace_id) so a JSON
+// log pipeline can join log lines against traces and job snapshots. The
+// engine logs slow/undecided checks, the store logs journal append and
+// compaction failures, and lyserve logs lifecycle, session expiry, and
+// request-failure events — all through the one configured logger.
+//
+// # Health and status endpoints
+//
+// lyserve exposes a Kubernetes-style health plane: GET /healthz is pure
+// liveness (the process serves HTTP); GET /readyz runs component probes —
+// store journal writable, engine dispatcher live, admission queue not
+// saturated, suites registered — and answers 503 naming every failing
+// component; GET /v1/status is the one-document rollup a dashboard polls:
+// uptime and build identity, the readiness probes, engine/tenant/backend
+// stats including solver depth, job and session counts, and trace-ring
+// occupancy. lyserve also shuts down gracefully on SIGINT/SIGTERM:
+// in-flight requests get -shutdown-grace to finish while event streams
+// flush, then the engine drains and the store journal closes.
+//
 // # Property registry
 //
 // Built-in property suites are registered by name in internal/netgen

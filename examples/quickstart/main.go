@@ -105,6 +105,52 @@
 // breakdown. The CLI equivalent is `lightyear -trace` (tree on stderr);
 // `lybench -out FILE.json` persists throughput and latency quantiles —
 // the committed BENCH_*.json files track that trajectory.
+//
+// Both binaries log through one structured logger: `-log-level
+// debug|info|warn|error` and `-log-format text|json` (lightyear defaults
+// to text, lyserve to json), every line tagged with its component and,
+// where it applies, tenant, job, and trace_id — so `lyserve -log-format
+// json` yields a stream a log pipeline can join against traces.
+//
+// # Reading solver provenance
+//
+// Every solved check records how hard the CDCL search worked, not just how
+// long it took. A check's JSON (v1/v2 reports, `lightyear -json`) carries a
+// "solver" object whenever genuine search ran:
+//
+//	{"kind": "implication", "status": "ok", "num_vars": 72, "num_cons": 310,
+//	 "num_terms": 913,
+//	 "solver": {"conflicts": 57, "decisions": 71, "propagations": 812,
+//	            "restarts": 0, "learned": 49}}
+//
+// The same counters aggregate per job ("stats":{"solver":...}), per backend
+// (GET /v1/stats and /v1/status), on the job's solve span as trace
+// attributes, and as the lightyear_conflicts_per_check /
+// lightyear_clauses_per_check histograms on /metrics. Checks exceeding the
+// server's -slow-conflicts / -slow-solve thresholds — and every check left
+// "unknown" — are logged with the full counter set (step 9 below reads the
+// provenance in the library).
+//
+// # Health and status endpoints
+//
+// lyserve answers the three probes an orchestrator or dashboard needs:
+//
+//	curl -s localhost:8080/healthz    # liveness: process serves HTTP
+//	  => {"status":"ok"}
+//	curl -s localhost:8080/readyz     # readiness: component probes
+//	  => {"ready":true,"components":{"store":{"ok":true},
+//	      "dispatcher":{"ok":true},"admission":{"ok":true},
+//	      "suites":{"ok":true}}}
+//	curl -s localhost:8080/v1/status  # the one-document rollup
+//
+// /readyz probes the store journal's directory for writability (with
+// -store), the engine dispatcher, admission-queue saturation, and the suite
+// registry; any failure answers 503 naming the failing components.
+// /v1/status rolls up uptime, build identity, the same readiness probes,
+// engine/tenant/backend stats (solver depth included), job and session
+// counts, and trace-ring occupancy. On SIGINT/SIGTERM the server drains
+// gracefully: in-flight requests get -shutdown-grace, event streams flush,
+// the engine drains, and the store journal closes.
 package main
 
 import (
@@ -276,5 +322,26 @@ func main() {
 		solved.Value(), solveP99, tres.TraceID)
 	if snap, ok := rec.Trace(tres.TraceID); ok {
 		snap.WriteTree(os.Stdout)
+	}
+
+	// 9. Solver provenance: every CheckResult records the depth of the CDCL
+	// search that decided it. Route-map checks are decided by propagation
+	// alone (all-zero SolveStats); the sat-stress pigeonhole obligations
+	// force genuine search, so their implication check shows non-zero depth
+	// — the same counters /v1/status, the /metrics histograms, and the
+	// slow-check log surface in production.
+	sj, err := teng.Submit(context.Background(), engine.Workload{
+		Safety: netgen.StressProblem(netgen.Fig1(netgen.Fig1Options{}), 4),
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range sj.Wait().Results {
+		if r.Solver.Conflicts == 0 {
+			continue // decided by unit propagation alone
+		}
+		fmt.Printf("\nprovenance %q:\n  %d conflicts, %d decisions, %d learned clauses, %d restarts (%d vars, %d clauses, %d terms)\n",
+			r.Desc, r.Solver.Conflicts, r.Solver.Decisions, r.Solver.Learned,
+			r.Solver.Restarts, r.NumVars, r.NumCons, r.NumTerms)
 	}
 }

@@ -171,8 +171,39 @@ type CheckResult struct {
 
 	NumVars   int           // SAT variables in this check's formula
 	NumCons   int           // CNF clauses in this check's formula
+	NumTerms  int           // term-graph nodes built while encoding
 	SolveTime time.Duration // time inside the solver
 	TotalTime time.Duration // encode + solve
+
+	// Solver is the CDCL search provenance behind the verdict. Zero for
+	// results decided without search (concrete evaluation, cache replay).
+	Solver SolveStats
+}
+
+// SolveStats is the CDCL search provenance of one check: how hard the
+// solver worked, not just how long it took. For escalating backends
+// (tiered) the fields accumulate across tiers, mirroring SolveTime.
+type SolveStats struct {
+	Conflicts    int64 `json:"conflicts"`
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Restarts     int64 `json:"restarts"`
+	Learned      int64 `json:"learned"` // clauses learned during search
+}
+
+// Add accumulates o into s (used by escalating/aggregating consumers).
+func (s *SolveStats) Add(o SolveStats) {
+	s.Conflicts += o.Conflicts
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Restarts += o.Restarts
+	s.Learned += o.Learned
+}
+
+// Depth reports whether any real search happened (any counter non-zero).
+func (s SolveStats) Depth() bool {
+	return s.Conflicts != 0 || s.Decisions != 0 || s.Propagations != 0 ||
+		s.Restarts != 0 || s.Learned != 0
 }
 
 // Report aggregates the results of all local checks for one verification

@@ -312,6 +312,14 @@ func (ob *Obligation) Solve(ctx context.Context, cfg SolveConfig) CheckResult {
 	cr.SolveTime = time.Since(ts)
 	cr.NumVars = res.NumVars
 	cr.NumCons = res.NumCons
+	cr.NumTerms = res.NumTerms
+	cr.Solver = SolveStats{
+		Conflicts:    res.Stats.Conflicts,
+		Decisions:    res.Stats.Decisions,
+		Propagations: res.Stats.Propagations,
+		Restarts:     res.Stats.Restarts,
+		Learned:      res.Stats.LearnedTotal,
+	}
 
 	switch res.Status {
 	case smt.Unsat:

@@ -31,12 +31,14 @@ package engine
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"lightyear/internal/core"
+	"lightyear/internal/logging"
 	"lightyear/internal/solver"
 	"lightyear/internal/telemetry"
 )
@@ -44,6 +46,42 @@ import (
 // DefaultCacheSize is the LRU result-cache capacity used when
 // Options.CacheSize is zero.
 const DefaultCacheSize = 1 << 16
+
+// Default slow-check thresholds (SlowCheckPolicy zero values). A check
+// burning 10k conflicts or 2s of wall clock is far outside Lightyear's
+// modular fast path and worth a structured explanation in the log.
+const (
+	DefaultSlowCheckConflicts int64 = 10000
+	DefaultSlowCheckTime            = 2 * time.Second
+)
+
+// SlowCheckPolicy decides which executed checks get a structured log line
+// carrying their full solve provenance (conflicts, decisions, restarts,
+// encoding size). Unknown results are always logged — an undecided check is
+// precisely the event an operator must be able to explain. Zero fields
+// select the defaults; negative fields disable that threshold.
+type SlowCheckPolicy struct {
+	// Conflicts logs any check whose CDCL search hit at least this many
+	// conflicts. 0 means DefaultSlowCheckConflicts; < 0 disables.
+	Conflicts int64
+	// SolveTime logs any check that spent at least this long in the solver.
+	// 0 means DefaultSlowCheckTime; < 0 disables.
+	SolveTime time.Duration
+}
+
+func (p SlowCheckPolicy) conflicts() int64 {
+	if p.Conflicts == 0 {
+		return DefaultSlowCheckConflicts
+	}
+	return p.Conflicts
+}
+
+func (p SlowCheckPolicy) solveTime() time.Duration {
+	if p.SolveTime == 0 {
+		return DefaultSlowCheckTime
+	}
+	return p.SolveTime
+}
 
 // Options configures an Engine.
 type Options struct {
@@ -73,6 +111,13 @@ type Options struct {
 	// latency histograms, scheduler gauges) and per-workload traces. Nil
 	// disables all emission at zero cost on the hot paths.
 	Telemetry *telemetry.Recorder
+	// Logger, when non-nil, receives the engine's structured log events —
+	// most importantly the slow/Unknown-check lines carrying full solve
+	// provenance. Nil disables logging.
+	Logger *slog.Logger
+	// SlowCheck tunes which checks earn a provenance log line; the zero
+	// value applies the package defaults.
+	SlowCheck SlowCheckPolicy
 }
 
 func (o Options) workers() int {
@@ -91,6 +136,10 @@ type BackendStats struct {
 	Raced      uint64 `json:"raced,omitempty"`     // solver variants raced (portfolio)
 	Escalated  uint64 `json:"escalated,omitempty"` // quick-tier escalations (tiered)
 	SolveNanos int64  `json:"solve_ns"`            // summed solver time
+	// Solver sums the CDCL search provenance (conflicts, decisions,
+	// propagations, restarts, learned clauses) across this backend's solves
+	// — the depth dimension behind SolveNanos.
+	Solver core.SolveStats `json:"solver"`
 }
 
 func (b *BackendStats) add(out solver.Outcome) {
@@ -103,6 +152,7 @@ func (b *BackendStats) add(out solver.Outcome) {
 		b.Escalated++
 	}
 	b.SolveNanos += out.SolveTime.Nanoseconds()
+	b.Solver.Add(out.Solver)
 }
 
 // Stats is a snapshot of engine counters.
@@ -148,6 +198,10 @@ type Engine struct {
 
 	met *engineMetrics // pre-resolved telemetry handles; emission is nil-safe
 
+	log           *slog.Logger // nil disables logging
+	slowConflicts int64        // resolved SlowCheckPolicy thresholds
+	slowSolve     time.Duration
+
 	statsMu      sync.Mutex
 	backendStats map[string]BackendStats
 
@@ -183,6 +237,9 @@ func New(opts Options) *Engine {
 		backend:      opts.Backend,
 		backendStats: make(map[string]BackendStats),
 	}
+	e.log = logging.Component(opts.Logger, "engine")
+	e.slowConflicts = opts.SlowCheck.conflicts()
+	e.slowSolve = opts.SlowCheck.solveTime()
 	if e.backend == nil {
 		e.backend = solver.Native(0)
 	}
@@ -608,7 +665,66 @@ func (e *Engine) solve(t task) solver.Outcome {
 	e.backendStats[backend.Name()] = bs
 	e.statsMu.Unlock()
 	e.met.solveDone(backend.Name(), out)
+	e.logSlowCheck(t, out)
 	return out
+}
+
+// logSlowCheck emits the structured provenance line for checks that were
+// slow, search-heavy, or undecided. Unknowns always log (at warn); slow but
+// decided checks log at info. The line carries the identical counters the
+// check's CheckResult, the solve span's attrs, and /v1/status report, so an
+// operator can pivot between the three by job and check identity.
+func (e *Engine) logSlowCheck(t task, out solver.Outcome) {
+	if e.log == nil {
+		return
+	}
+	unknown := out.Status == core.StatusUnknown
+	slow := (e.slowConflicts > 0 && out.Solver.Conflicts >= e.slowConflicts) ||
+		(e.slowSolve > 0 && out.SolveTime >= e.slowSolve)
+	if !unknown && !slow {
+		return
+	}
+	msg, level := "slow check", slog.LevelInfo
+	if unknown {
+		msg, level = "check undecided", slog.LevelWarn
+	}
+	e.log.LogAttrs(t.job.ctx, level, msg,
+		slog.Uint64(logging.KeyJob, t.job.ID),
+		slog.String(logging.KeyTenant, t.job.Tenant),
+		slog.String(logging.KeyTraceID, t.job.TraceID()),
+		slog.String("backend", out.Backend),
+		slog.String("kind", t.check.Kind.String()),
+		slog.String("loc", t.check.Loc.String()),
+		slog.String("desc", t.check.Desc),
+		slog.String("status", out.Status.String()),
+		slog.Int64("conflicts", out.Solver.Conflicts),
+		slog.Int64("decisions", out.Solver.Decisions),
+		slog.Int64("propagations", out.Solver.Propagations),
+		slog.Int64("restarts", out.Solver.Restarts),
+		slog.Int64("learned", out.Solver.Learned),
+		slog.Int("vars", out.NumVars),
+		slog.Int("clauses", out.NumCons),
+		slog.Int("terms", out.NumTerms),
+		slog.Duration("solve_time", out.SolveTime),
+	)
+}
+
+// Live reports whether the engine's dispatcher is still accepting and
+// draining work — false once Close has begun. Readiness probes use it.
+func (e *Engine) Live() bool {
+	e.sched.mu.Lock()
+	defer e.sched.mu.Unlock()
+	return !e.sched.closed
+}
+
+// QueueSaturation reports the admitted-workload backlog against the
+// admission queue-depth limit (limit 0 = unbounded). Readiness probes call
+// the engine not-ready when queued == limit: every further submission is
+// being shed at the door.
+func (e *Engine) QueueSaturation() (queued, limit int) {
+	e.sched.mu.Lock()
+	defer e.sched.mu.Unlock()
+	return e.sched.queued, e.opts.Admission.MaxQueueDepth
 }
 
 // adapt relabels a shared result with the identity of the receiving check.

@@ -51,6 +51,9 @@ type JobStats struct {
 	Escalated int `json:"escalated,omitempty"`
 	// SolveNanos sums solver time across this job's own solves.
 	SolveNanos int64 `json:"solve_ns,omitempty"`
+	// Solver sums the CDCL search provenance across this job's own solves —
+	// the same counters each CheckResult carries per check.
+	Solver core.SolveStats `json:"solver"`
 }
 
 // QueueWait returns the job's time-in-queue as a duration.
@@ -84,7 +87,8 @@ type Job struct {
 	raced      int
 	escalated  int
 	solveNS    int64
-	dispatched time.Time // when the dispatcher sent the first check
+	depth      core.SolveStats // summed provenance of this job's own solves
+	dispatched time.Time       // when the dispatcher sent the first check
 
 	// Tracing state (see telemetry.go): span is the caller-provided parent
 	// (a plan run's per-problem span), trace an engine-owned trace when no
@@ -171,6 +175,7 @@ func (j *Job) Stats() JobStats {
 		Backend: j.backend.Name(),
 		Solved:  j.solved, Unknown: j.unknown,
 		Raced: j.raced, Escalated: j.escalated, SolveNanos: j.solveNS,
+		Solver: j.depth,
 	}
 }
 
@@ -197,6 +202,7 @@ func (j *Job) deliver(idx int, r core.CheckResult, cached, deduped bool, out *so
 			j.escalated++
 		}
 		j.solveNS += out.SolveTime.Nanoseconds()
+		j.depth.Add(out.Solver)
 	}
 	completed := j.completed
 	// Send under the mutex: the channel is buffered to total so this never

@@ -27,9 +27,13 @@ type CheckResultJSON struct {
 	Status string `json:"status"`
 	// Backend labels the solver path that decided the check (e.g. "native",
 	// "portfolio/pos-phase", "tiered/full"); empty for replayed results.
-	Backend        string              `json:"backend,omitempty"`
-	NumVars        int                 `json:"num_vars"`
-	NumCons        int                 `json:"num_cons"`
+	Backend  string `json:"backend,omitempty"`
+	NumVars  int    `json:"num_vars"`
+	NumCons  int    `json:"num_cons"`
+	NumTerms int    `json:"num_terms,omitempty"`
+	// Solver is the per-check CDCL search provenance; nil for checks decided
+	// without search (concrete evaluation, replayed results).
+	Solver         *core.SolveStats    `json:"solver,omitempty"`
 	SolveNanos     int64               `json:"solve_ns"`
 	TotalNanos     int64               `json:"total_ns"`
 	Counterexample *CounterexampleJSON `json:"counterexample,omitempty"`
@@ -80,8 +84,13 @@ func encodeCheckResult(r *core.CheckResult) CheckResultJSON {
 		Backend:    r.Backend,
 		NumVars:    r.NumVars,
 		NumCons:    r.NumCons,
+		NumTerms:   r.NumTerms,
 		SolveNanos: r.SolveTime.Nanoseconds(),
 		TotalNanos: r.TotalTime.Nanoseconds(),
+	}
+	if r.Solver.Depth() {
+		s := r.Solver
+		out.Solver = &s
 	}
 	if ce := r.Counterexample; ce != nil {
 		j := &CounterexampleJSON{Note: ce.Note}

@@ -22,6 +22,8 @@ type engineMetrics struct {
 
 	solved       *telemetry.CounterVec   // backend, status
 	solveSeconds *telemetry.HistogramVec // backend
+	conflicts    *telemetry.HistogramVec // backend; CDCL conflicts per check
+	clauses      *telemetry.HistogramVec // backend; CNF clauses per check
 	queueWait    *telemetry.Histogram
 	cacheHits    *telemetry.CounterVec // kind = cache | dedup
 	cacheHit     *telemetry.Counter    // pre-resolved kind=cache
@@ -48,6 +50,12 @@ func newEngineMetrics(rec *telemetry.Recorder, e *Engine) *engineMetrics {
 	m.solveSeconds = rec.Histogram("lightyear_solve_seconds",
 		"Wall-clock time per executed check, by solver backend.",
 		nil, "backend")
+	m.conflicts = rec.Histogram("lightyear_conflicts_per_check",
+		"CDCL conflicts per executed check, by solver backend.",
+		telemetry.CountBuckets, "backend")
+	m.clauses = rec.Histogram("lightyear_clauses_per_check",
+		"CNF clauses per executed check's formula, by solver backend.",
+		telemetry.CountBuckets, "backend")
 	m.queueWait = rec.Histogram("lightyear_queue_wait_seconds",
 		"Time between a workload's admission and the dispatch of its first check.",
 		nil).With()
@@ -114,6 +122,8 @@ func (m *engineMetrics) rejected(tenant, reason string) {
 func (m *engineMetrics) solveDone(backend string, out solver.Outcome) {
 	m.solved.With(backend, out.Status.String()).Inc()
 	m.solveSeconds.With(backend).Observe(out.TotalTime.Seconds())
+	m.conflicts.With(backend).Observe(float64(out.Solver.Conflicts))
+	m.clauses.With(backend).Observe(float64(out.NumCons))
 	if out.Raced > 0 {
 		m.raced.With(backend).Add(uint64(out.Raced))
 	}
@@ -196,7 +206,7 @@ func (j *Job) finishJobTelemetry() {
 	j.mu.Lock()
 	queue, dispatch, solve := j.queueSpan, j.dispatchSpan, j.solveSpan
 	cacheHits, dedupHits, solved, unknown := j.cacheHits, j.dedupHits, j.solved, j.unknown
-	solveNS := j.solveNS
+	solveNS, depth := j.solveNS, j.depth
 	j.mu.Unlock()
 	queue.End()
 	dispatch.End()
@@ -204,6 +214,12 @@ func (j *Job) finishJobTelemetry() {
 		solve.SetAttrInt("solved", int64(solved))
 		solve.SetAttrInt("unknown", int64(unknown))
 		solve.SetAttr("solve_time", attrDuration(time.Duration(solveNS)))
+		// The solve span carries the job's summed CDCL provenance, matching
+		// the per-check CheckResult fields and the engine's BackendStats.
+		solve.SetAttrInt("conflicts", depth.Conflicts)
+		solve.SetAttrInt("decisions", depth.Decisions)
+		solve.SetAttrInt("restarts", depth.Restarts)
+		solve.SetAttrInt("learned", depth.Learned)
 		solve.End()
 	}
 	if cacheHits+dedupHits > 0 {

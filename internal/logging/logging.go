@@ -1,0 +1,83 @@
+// Package logging builds the structured loggers shared by the lightyear
+// binaries. Every component logs through log/slog with a common attribute
+// vocabulary (component, tenant, job, trace_id), so one `-log-format json`
+// run yields machine-parseable lines end to end, and `-log-level` gates
+// verbosity uniformly across cmd/lyserve, cmd/lightyear, internal/engine
+// and internal/store.
+package logging
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Attribute keys shared across components. Emitters use these constants so
+// downstream pipelines can rely on one vocabulary.
+const (
+	KeyComponent = "component"
+	KeyTenant    = "tenant"
+	KeyJob       = "job"
+	KeyTraceID   = "trace_id"
+)
+
+// Config selects the level and output encoding of a logger. The zero value
+// means info-level text — the friendliest default for a terminal.
+type Config struct {
+	Level  string // debug | info | warn | error
+	Format string // text | json
+}
+
+// RegisterFlags installs -log-level and -log-format on fs, defaulting to
+// the given format ("text" for CLIs, "json" for services).
+func (c *Config) RegisterFlags(fs *flag.FlagSet, defaultFormat string) {
+	fs.StringVar(&c.Level, "log-level", "info", "log level: debug, info, warn, or error")
+	fs.StringVar(&c.Format, "log-format", defaultFormat, "log encoding: text or json")
+}
+
+// ParseLevel maps a level name onto slog's leveler. Empty means info.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("logging: unknown level %q (want debug, info, warn, or error)", s)
+	}
+}
+
+// Build constructs the logger described by c, writing to w (conventionally
+// stderr, keeping stdout free for the actual program output).
+func (c Config) Build(w io.Writer) (*slog.Logger, error) {
+	level, err := ParseLevel(c.Level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(strings.TrimSpace(c.Format)) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("logging: unknown format %q (want text or json)", c.Format)
+	}
+	return slog.New(h), nil
+}
+
+// Component returns l annotated with the component attribute, or nil if l
+// is nil (callers treat a nil logger as "discard").
+func Component(l *slog.Logger, name string) *slog.Logger {
+	if l == nil {
+		return nil
+	}
+	return l.With(slog.String(KeyComponent, name))
+}

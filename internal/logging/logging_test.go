@@ -1,0 +1,72 @@
+package logging
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBuildJSONLinesParse(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := Config{Level: "debug", Format: "json"}.Build(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log = Component(log, "test")
+	log.Debug("starting", "tenant", "acme")
+	log.Info("solved", "job", "j1", "conflicts", int64(42))
+	log.Warn("slow check", "trace_id", "abc123")
+
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		n++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", n, err, sc.Text())
+		}
+		if rec[KeyComponent] != "test" {
+			t.Errorf("line %d: component = %v, want test", n, rec[KeyComponent])
+		}
+		if rec["msg"] == nil || rec["level"] == nil {
+			t.Errorf("line %d missing msg/level: %v", n, rec)
+		}
+	}
+	if n != 3 {
+		t.Fatalf("got %d log lines, want 3", n)
+	}
+}
+
+func TestLevelFilters(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := Config{Level: "warn", Format: "text"}.Build(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("visible")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info line leaked through warn level: %q", out)
+	}
+	if !strings.Contains(out, "visible") {
+		t.Errorf("warn line missing: %q", out)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	if _, err := (Config{Level: "loud"}).Build(&bytes.Buffer{}); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := (Config{Format: "xml"}).Build(&bytes.Buffer{}); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestComponentNilSafe(t *testing.T) {
+	if Component(nil, "x") != nil {
+		t.Error("Component(nil) should stay nil")
+	}
+}

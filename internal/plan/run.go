@@ -315,6 +315,7 @@ func Run(eng *engine.Engine, c *Compiled, cfg RunConfig) (*Result, error) {
 				pr.Stats.Raced += out.Stats.Raced
 				pr.Stats.Escalated += out.Stats.Escalated
 				pr.Stats.SolveNanos += out.Stats.SolveNanos
+				pr.Stats.Solver.Add(out.Stats.Solver)
 				pr.Stats.Backend = out.Stats.Backend // one backend per plan
 				pr.Stats.Tenant = out.Stats.Tenant   // one tenant per plan
 				if out.Stats.QueueWaitNanos > pr.Stats.QueueWaitNanos {

@@ -58,10 +58,15 @@ func (m *Model) HasBV(name string) bool {
 // used by the scaling experiments (Figure 3 reports variable and constraint
 // counts and solve times).
 type Result struct {
-	Status  Status
-	Model   *Model // non-nil iff Status == Sat
-	NumVars int    // SAT variables created by bit-blasting
-	NumCons int    // CNF clauses generated
+	Status   Status
+	Model    *Model // non-nil iff Status == Sat
+	NumVars  int    // SAT variables created by bit-blasting
+	NumCons  int    // CNF clauses generated
+	NumTerms int    // term-graph nodes in the solver's Context
+	// Stats is the CDCL search provenance of this check (conflicts,
+	// decisions, propagations, restarts, learned clauses) — why the solver
+	// took as long as it did, not just how long.
+	Stats sat.Stats
 }
 
 // Solver lowers formulas to CNF and decides them. A Solver wraps one SAT
@@ -129,8 +134,10 @@ func (s *Solver) Assert(t *Term) {
 func (s *Solver) Check() Result {
 	st := s.sat.Solve()
 	res := Result{
-		NumVars: s.sat.NumVars(),
-		NumCons: s.sat.NumClauses(),
+		NumVars:  s.sat.NumVars(),
+		NumCons:  s.sat.NumClauses(),
+		NumTerms: s.ctx.NumTerms(),
+		Stats:    s.sat.Stats(),
 	}
 	switch st {
 	case sat.Sat:

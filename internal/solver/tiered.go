@@ -54,5 +54,8 @@ func (t tiered) Solve(ctx context.Context, ob *core.Obligation, b Budget) Outcom
 	full := ob.Solve(ctx, core.SolveConfig{ConflictBudget: b.Conflicts, Backend: "tiered/full"})
 	full.SolveTime += first.SolveTime
 	full.TotalTime += first.TotalTime
+	// Provenance accumulates across tiers, mirroring SolveTime: the quick
+	// tier's burned conflicts are part of why this check cost what it did.
+	full.Solver.Add(first.Solver)
 	return Outcome{CheckResult: full, Escalated: true}
 }

@@ -31,6 +31,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"lightyear/internal/core"
+	"lightyear/internal/logging"
 	"lightyear/internal/telemetry"
 )
 
@@ -57,18 +59,28 @@ type resultRecord struct {
 	OK      bool   `json:"ok"`
 	NumVars int    `json:"vars,omitempty"`
 	NumCons int    `json:"cons,omitempty"`
-	SolveNS int64  `json:"solve_ns,omitempty"`
-	TotalNS int64  `json:"total_ns,omitempty"`
-	Witness string `json:"witness,omitempty"` // rendered counterexample, failures only
+	// NumTerms and Solver persist the encoding size and CDCL search
+	// provenance of the solve that produced the verdict, so replayed
+	// results still explain what the original solve cost.
+	NumTerms int              `json:"terms,omitempty"`
+	Solver   *core.SolveStats `json:"solver,omitempty"`
+	SolveNS  int64            `json:"solve_ns,omitempty"`
+	TotalNS  int64            `json:"total_ns,omitempty"`
+	Witness  string           `json:"witness,omitempty"` // rendered counterexample, failures only
 }
 
 func encodeResult(r core.CheckResult) resultRecord {
 	out := resultRecord{
-		OK:      r.OK,
-		NumVars: r.NumVars,
-		NumCons: r.NumCons,
-		SolveNS: r.SolveTime.Nanoseconds(),
-		TotalNS: r.TotalTime.Nanoseconds(),
+		OK:       r.OK,
+		NumVars:  r.NumVars,
+		NumCons:  r.NumCons,
+		NumTerms: r.NumTerms,
+		SolveNS:  r.SolveTime.Nanoseconds(),
+		TotalNS:  r.TotalTime.Nanoseconds(),
+	}
+	if r.Solver.Depth() {
+		s := r.Solver
+		out.Solver = &s
 	}
 	if r.Counterexample != nil {
 		out.Witness = r.Counterexample.String()
@@ -89,8 +101,12 @@ func (rr resultRecord) decode() core.CheckResult {
 		OK:        rr.OK,
 		NumVars:   rr.NumVars,
 		NumCons:   rr.NumCons,
+		NumTerms:  rr.NumTerms,
 		SolveTime: time.Duration(rr.SolveNS),
 		TotalTime: time.Duration(rr.TotalNS),
+	}
+	if rr.Solver != nil {
+		out.Solver = *rr.Solver
 	}
 	// Only decided verdicts are ever journaled (Unknown results are not
 	// cacheable), so Status follows directly from OK.
@@ -153,6 +169,43 @@ type Store struct {
 	metHits   *telemetry.Counter
 	metMisses *telemetry.Counter
 	metPuts   *telemetry.Counter
+
+	log *slog.Logger // nil until SetLogger; warnings fall back to slog.Default
+}
+
+// SetLogger routes the store's warnings (journal append/compact failures)
+// through a structured logger. Call alongside SetTelemetry, right after
+// Open; without one, warnings go to slog's process default.
+func (s *Store) SetLogger(l *slog.Logger) {
+	s.mu.Lock()
+	s.log = logging.Component(l, "store")
+	s.mu.Unlock()
+}
+
+// warn emits one structured warning. Callers hold s.mu or are pre-serve
+// (Open-time compaction).
+func (s *Store) warn(msg string, err error) {
+	l := s.log
+	if l == nil {
+		l = logging.Component(slog.Default(), "store")
+	}
+	l.Warn(msg, slog.String("path", s.path), slog.Any("error", err))
+}
+
+// ProbeWritable verifies the journal's directory still accepts new files —
+// the readiness signal lyserve's /readyz reports for the store component.
+// It probes the directory rather than the open append handle deliberately:
+// an already-open descriptor keeps accepting writes after its directory is
+// made read-only, which is exactly the failure this probe must surface.
+func (s *Store) ProbeWritable() error {
+	f, err := os.CreateTemp(filepath.Dir(s.path), ".writable-probe-*")
+	if err != nil {
+		return fmt.Errorf("store: journal directory not writable: %w", err)
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	return nil
 }
 
 // SetTelemetry points the store's traffic counters at a recorder and
@@ -233,7 +286,7 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 		// original journal in place (evicted results stay dropped from
 		// memory either way).
 		if err := s.compact(); err != nil {
-			fmt.Fprintf(os.Stderr, "store: compact: %v\n", err)
+			s.warn("journal compaction failed", err)
 		} else {
 			s.compacted = lines - len(s.mem) - s.evicted
 		}
@@ -382,7 +435,7 @@ func (s *Store) Add(key string, val core.CheckResult) {
 	if err := s.append(rec); err != nil {
 		// Disk trouble degrades the store to in-memory; verification
 		// results are reproducible, so losing persistence is not fatal.
-		fmt.Fprintf(os.Stderr, "store: append: %v\n", err)
+		s.warn("journal append failed", err)
 	}
 }
 

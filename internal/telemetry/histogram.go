@@ -19,6 +19,16 @@ var TimeBuckets = []float64{
 	10, 30, 60,
 }
 
+// CountBuckets is the default ladder for count-valued observations
+// (conflicts per check, clauses per check): powers of four from 1 to ~4M.
+// Most Lightyear checks decide with zero conflicts, so the ladder spends
+// its resolution on the heavy tail where the interesting solves live.
+var CountBuckets = []float64{
+	1, 4, 16, 64, 256,
+	1024, 4096, 16384, 65536,
+	262144, 1048576, 4194304,
+}
+
 // ExponentialBuckets returns n bucket upper bounds starting at start and
 // multiplying by factor, for callers that need a custom ladder.
 func ExponentialBuckets(start, factor float64, n int) []float64 {

@@ -356,3 +356,16 @@ func (r *Recorder) Trace(id string) (TraceSnapshot, bool) {
 	}
 	return r.traces.find(id)
 }
+
+// TraceStats reports the trace ring's occupancy: how many completed traces
+// are retained and the ring's capacity. Health/status surfaces use it to
+// show how far back trace history reaches.
+func (r *Recorder) TraceStats() (retained, capacity int) {
+	if r == nil {
+		return 0, 0
+	}
+	tr := &r.traces
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.buf), tr.cap
+}
