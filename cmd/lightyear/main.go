@@ -11,6 +11,7 @@
 //	lightyear -config net.cfg -store DIR                               # persistent result store
 //	lightyear -config net.cfg -solver portfolio                        # race solver heuristics per check
 //	lightyear -config net.cfg -solver tiered:1000                      # small budget first, escalate on Unknown
+//	lightyear -config net.cfg -solver remote:h1:9101,h2:9101           # ship checks to a lyworker fleet
 //	lightyear -config net.cfg -tenant ops -max-inflight 500            # tenancy + admission control
 //	lightyear -plan plan.json                                          # run a saved verification plan
 //	lightyear -list                                                    # print the property registry
@@ -128,6 +129,7 @@ import (
 	"lightyear/internal/core"
 	"lightyear/internal/delta"
 	"lightyear/internal/engine"
+	"lightyear/internal/fabric"
 	"lightyear/internal/logging"
 	"lightyear/internal/netgen"
 	"lightyear/internal/plan"
@@ -290,7 +292,7 @@ func main() {
 	flag.IntVar(&f.Cache, "cache", 0, "engine result-cache capacity (0 = default, <0 disables; ignored with -store)")
 	flag.StringVar(&f.Store, "store", "", "persistent result-store directory (replaces the in-memory cache)")
 	flag.IntVar(&f.StoreRetain, "store-retain", 0, "keep only the N most recently written network fingerprints in the store (0 = all)")
-	flag.StringVar(&f.Solver, "solver", "", "solver backend as backend[:budget]: native, portfolio, or tiered")
+	flag.StringVar(&f.Solver, "solver", "", "solver backend: native, portfolio, or tiered as backend[:budget], or remote:host1,host2 for a worker fleet")
 	flag.IntVar(&f.WANRegions, "wan-regions", 3, "region count assumed for WAN properties")
 	flag.StringVar(&f.Tenant, "tenant", "", "tenant the run is admitted and accounted under")
 	flag.IntVar(&f.MaxInflight, "max-inflight", 0, "admission: max in-flight checks on the engine (0 = unlimited)")
@@ -341,6 +343,11 @@ func main() {
 		rec = telemetry.New(0)
 		tr = rec.StartTrace("cli", req.Options.Tenant)
 	}
+	// Remote solver backends (-solver remote:…) are constructed inside
+	// plan.Compile; point the fabric at the run's sinks first.
+	fabric.SetTelemetry(rec)
+	fabric.SetLogger(logger)
+
 	cs := tr.StartSpan("compile")
 	compiled, err := plan.Compile(req, nil)
 	cs.End()

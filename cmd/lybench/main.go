@@ -21,10 +21,15 @@
 //	-experiment admission multi-tenant admission sweep: tenant count × per-tenant
 //	                      quota, reporting p50/p99 queue wait and the rejection
 //	                      rate under the engine's weighted-fair dispatcher
+//	-experiment shard     distributed solver fabric scaling: the sat-stress
+//	                      obligations shipped to an in-process lyworker fleet
+//	                      of 1..N capacity-capped workers over real HTTP,
+//	                      reporting checks/sec, rpc latency quantiles, and the
+//	                      per-worker shard counters
 //	-experiment faults    differential simulation under random failures (§4.5)
 //	-experiment all       everything above
 //
-// With -out FILE the wan and solver experiments additionally write a JSON
+// With -out FILE the wan, solver, and shard experiments additionally write a JSON
 // benchmark document (BENCH_wan.json / BENCH_solver.json in this repo's
 // committed trajectory): completed checks per second, allocations per
 // check, p50/p99 solve-time and queue-wait quantiles derived from the
@@ -40,6 +45,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -51,6 +58,7 @@ import (
 	"lightyear/internal/core"
 	"lightyear/internal/delta"
 	"lightyear/internal/engine"
+	"lightyear/internal/fabric"
 	"lightyear/internal/minesweeper"
 	"lightyear/internal/netgen"
 	"lightyear/internal/plan"
@@ -71,8 +79,8 @@ func main() {
 		out        = flag.String("out", "", "write a JSON benchmark document (wan and solver experiments)")
 	)
 	flag.Parse()
-	if *out != "" && *experiment != "wan" && *experiment != "solver" {
-		fmt.Fprintf(os.Stderr, "lybench: -out is supported by the wan and solver experiments, not %q\n", *experiment)
+	if *out != "" && *experiment != "wan" && *experiment != "solver" && *experiment != "shard" {
+		fmt.Fprintf(os.Stderr, "lybench: -out is supported by the wan, solver, and shard experiments, not %q\n", *experiment)
 		os.Exit(2)
 	}
 
@@ -106,6 +114,8 @@ func main() {
 		solverExperiment(*workers, *out)
 	case "admission":
 		admissionExperiment(*workers)
+	case "shard":
+		shardExperiment(*out)
 	case "faults":
 		faults()
 	case "all":
@@ -120,6 +130,7 @@ func main() {
 		deltaExperiment(*workers)
 		solverExperiment(*workers, "")
 		admissionExperiment(*workers)
+		shardExperiment("")
 		faults()
 	default:
 		fmt.Fprintf(os.Stderr, "lybench: unknown experiment %q\n", *experiment)
@@ -391,6 +402,10 @@ func writeBench(path string, doc benchDoc) {
 	if doc.Workers == 0 {
 		doc.Workers = runtime.GOMAXPROCS(0)
 	}
+	writeDoc(path, doc)
+}
+
+func writeDoc(path string, doc any) {
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -788,4 +803,184 @@ func faults() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "lybench:", err)
 	os.Exit(1)
+}
+
+// pacedBackend holds a worker slot for at least floor of wall clock per
+// solve on top of the real solve, emulating a worker machine's per-check
+// service time. The shard sweep runs every fleet size on one benchmark
+// host, so the fleets cannot differ in CPU — the floor makes worker
+// capacity (slots × fleet size) the resource that binds, the same way
+// dedicated per-worker cores would in a deployment.
+type pacedBackend struct {
+	inner solver.Backend
+	floor time.Duration
+}
+
+func (p pacedBackend) Name() string { return p.inner.Name() }
+
+func (p pacedBackend) Solve(ctx context.Context, ob *core.Obligation, b solver.Budget) solver.Outcome {
+	t0 := time.Now()
+	out := p.inner.Solve(ctx, ob, b)
+	if d := p.floor - time.Since(t0); d > 0 {
+		select {
+		case <-ctx.Done():
+		case <-time.After(d):
+		}
+	}
+	return out
+}
+
+// shardRow is one fleet size in the shard experiment's -out document: the
+// usual throughput fields plus the fabric-side accounting that shows where
+// the checks actually ran.
+type shardRow struct {
+	benchRow
+	FleetSize     int                  `json:"fleet_size"`
+	RemoteSolves  int64                `json:"remote_solves"`
+	Failovers     int64                `json:"failovers"`
+	Fallbacks     int64                `json:"fallbacks"`
+	RPCP50Seconds float64              `json:"rpc_p50_seconds"`
+	RPCP99Seconds float64              `json:"rpc_p99_seconds"`
+	PerWorker     []fabric.WorkerStats `json:"per_worker"`
+}
+
+// shardExperiment measures how sat-stress throughput scales with the size
+// of the distributed solver fleet. Each row starts a fresh in-process fleet
+// of fabric workers on loopback listeners — real HTTP, real wire
+// serialization, the same Server lyworker runs — and pushes one hard
+// pigeonhole obligation per (router, holes) pair through a remote-backed
+// engine with caching disabled, so every hard check pays a genuine remote
+// solve. Workers are capped at slotsPerWorker concurrent solves and pace
+// each solve to a wall-clock service floor (pacedBackend), modeling
+// fixed-size worker machines: every in-process "worker" shares the bench
+// host's cores, so raw CPU scaling is not observable here — what the sweep
+// measures is the coordinator's side of the fabric (sharding, pipelining,
+// slot admission) as fleet capacity slots×workers grows, which is exactly
+// the resource a real deployment adds with each machine. The engine's own
+// worker pool matches the fleet's total slot count, so coordinator-side
+// concurrency grows with the fleet the way a deployment's would.
+func shardExperiment(out string) {
+	header("shard: solver fabric scaling on sat-stress")
+	const (
+		slotsPerWorker = 2
+		serviceFloor   = 10 * time.Millisecond
+	)
+	// A deliberately small network: the sweep measures solver sharding, so
+	// the per-edge trivial filter checks (pure RPC overhead) must not drown
+	// the hard pigeonhole obligations that carry the search load.
+	p := netgen.WANParams{Regions: 2, RoutersPerRegion: 1, EdgeRouters: 2, DCsPerRegion: 1, PeersPerEdge: 2}
+	n := netgen.WAN(p, netgen.WANBugs{})
+	// One hard obligation per (router, holes) pair: the anchor location is
+	// part of the check key, so the fleet's consistent-hash ring spreads
+	// the load across shards instead of pinning it to one worker.
+	var problems []*core.SafetyProblem
+	for _, r := range n.Routers() {
+		for _, holes := range []int{3, 4, 5} {
+			problems = append(problems, netgen.StressProblemAt(n, r, holes))
+		}
+	}
+	fmt.Printf("workload: %d pigeonhole obligations across %d routers, %d solve slots/worker\n",
+		len(problems), len(n.Routers()), slotsPerWorker)
+	fmt.Printf("%-6s | %8s %8s %8s %8s | %10s %10s | %s\n",
+		"fleet", "checks", "remote", "failover", "fallback", "rpc p50", "wall", "per-worker solves")
+
+	var rows []shardRow
+	for _, fleet := range []int{1, 2, 4} {
+		rec := telemetry.New(0)
+		addrs := make([]string, 0, fleet)
+		servers := make([]*http.Server, 0, fleet)
+		for i := 0; i < fleet; i++ {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fatal(err)
+			}
+			srv := &http.Server{Handler: fabric.NewServer(fabric.ServerOptions{
+				Backend: pacedBackend{inner: solver.Native(0), floor: serviceFloor},
+				Name:    fmt.Sprintf("bench-w%d", i),
+				// Headroom over the modeled slot count absorbs the bursts
+				// consistent hashing sends at a popular shard; the engine's
+				// worker pool (slots × fleet) is what binds capacity.
+				MaxConcurrent: 2 * slotsPerWorker,
+			})}
+			go srv.Serve(l)
+			addrs = append(addrs, l.Addr().String())
+			servers = append(servers, srv)
+		}
+		remote, err := fabric.New(fabric.Config{
+			Workers:      addrs,
+			MaxAttempts:  fleet,
+			RetryBackoff: time.Millisecond,
+			Recorder:     rec,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		eng := engine.New(engine.Options{
+			Workers:   slotsPerWorker * fleet,
+			CacheSize: -1,
+			Backend:   remote,
+			Telemetry: rec,
+		})
+		t0 := time.Now()
+		jobs := make([]*engine.Job, 0, len(problems))
+		for _, prob := range problems {
+			j, err := eng.Submit(context.Background(), engine.Workload{Safety: prob})
+			if err != nil {
+				fatal(err)
+			}
+			jobs = append(jobs, j)
+		}
+		var checks uint64
+		for _, j := range jobs {
+			if rep := j.Wait(); !rep.OK() {
+				fmt.Printf("  unexpected failure under fleet size %d\n", fleet)
+			}
+			checks += uint64(j.NumChecks())
+		}
+		wall := time.Since(t0)
+		st := remote.Stats()
+		eng.Close()
+		remote.Close()
+		for _, srv := range servers {
+			srv.Close()
+		}
+
+		row := shardRow{FleetSize: fleet, Failovers: st.Failovers, Fallbacks: st.Fallbacks, PerWorker: st.Workers}
+		row.Name = fmt.Sprintf("%d-worker fleet", fleet)
+		row.Checks = checks
+		row.ElapsedSeconds = wall.Seconds()
+		row.benchRate(0)
+		rpc := rec.Histogram("lightyear_fabric_rpc_seconds", "", nil, "worker")
+		row.RPCP50Seconds, row.RPCP99Seconds = rpc.Quantile(0.50), rpc.Quantile(0.99)
+		perWorker := ""
+		for i, w := range st.Workers {
+			row.RemoteSolves += w.Solved
+			if i > 0 {
+				perWorker += " "
+			}
+			perWorker += fmt.Sprintf("w%d:%d", i, w.Solved)
+		}
+		rows = append(rows, row)
+		fmt.Printf("%-6d | %8d %8d %8d %8d | %10v %10v | %s\n",
+			fleet, checks, row.RemoteSolves, st.Failovers, st.Fallbacks,
+			time.Duration(row.RPCP50Seconds*float64(time.Second)).Round(time.Microsecond),
+			wall.Round(time.Millisecond), perWorker)
+	}
+	if out != "" {
+		doc := struct {
+			Experiment       string     `json:"experiment"`
+			SlotsPerWorker   int        `json:"slots_per_worker"`
+			ServiceFloorSecs float64    `json:"service_floor_seconds"`
+			Obligations      int        `json:"obligations"`
+			Speedup          float64    `json:"speedup_vs_one_worker"`
+			Rows             []shardRow `json:"rows"`
+		}{Experiment: "shard", SlotsPerWorker: slotsPerWorker, ServiceFloorSecs: serviceFloor.Seconds(), Obligations: len(problems), Rows: rows}
+		if len(rows) > 1 && rows[0].ChecksPerSec > 0 {
+			doc.Speedup = rows[len(rows)-1].ChecksPerSec / rows[0].ChecksPerSec
+		}
+		writeDoc(out, doc)
+	}
+	fmt.Println("(expected shape: wall time shrinks as workers join the ring — fleet")
+	fmt.Println(" capacity, not the bench host, is the binding resource; 'fallback'")
+	fmt.Println(" counts checks that exhausted every shard and solved locally.)")
 }

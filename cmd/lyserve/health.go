@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"lightyear/internal/engine"
+	"lightyear/internal/fabric"
 	"lightyear/internal/netgen"
 	"lightyear/internal/store"
 )
@@ -143,6 +144,7 @@ type statusJSONV1 struct {
 	Jobs          int            `json:"jobs"`
 	Sessions      int            `json:"sessions"`
 	Store         *store.Stats   `json:"store,omitempty"`
+	Fabric        *fabric.Stats  `json:"fabric,omitempty"`
 	Suites        []string       `json:"suites"`
 	Traces        *traceRingJSON `json:"traces,omitempty"`
 }
@@ -160,6 +162,7 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Engine:        s.eng.Stats(),
 		Jobs:          jobs,
 		Sessions:      sessions,
+		Fabric:        fabric.Snapshot(),
 		Suites:        netgen.SuiteNames(),
 	}
 	if !out.Ready.Ready {

@@ -9,6 +9,7 @@
 //	        [-job-ttl 1h] [-session-ttl 24h] [-event-window N]
 //	        [-max-inflight N] [-tenant-quota N] [-max-queue N]
 //	        [-tenant-weights t1=3,t2=1] [-trace-cap N] [-pprof]
+//	        [-solver remote:host1:9101,host2:9101]
 //
 // With -store DIR the engine's result cache is the internal/store
 // persistent journal in DIR, so a redeployed lyserve serves previously
@@ -180,11 +181,14 @@ import (
 	"syscall"
 	"time"
 
+	"lightyear/internal/config"
 	"lightyear/internal/delta"
 	"lightyear/internal/engine"
+	"lightyear/internal/fabric"
 	"lightyear/internal/logging"
 	"lightyear/internal/netgen"
 	"lightyear/internal/plan"
+	"lightyear/internal/solver"
 	"lightyear/internal/store"
 	"lightyear/internal/telemetry"
 	"lightyear/internal/topology"
@@ -228,6 +232,7 @@ func main() {
 		weightsSpec = flag.String("tenant-weights", "", "per-tenant dispatch weights, e.g. t1=3,t2=1 (unlisted tenants weigh 1)")
 		traceCap    = flag.Int("trace-cap", 0, "completed traces retained for /v1/traces (0 = default)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		solverSpec  = flag.String("solver", "", "default solver backend: native, portfolio, or tiered as backend[:budget], or remote:host1,host2 for a worker fleet")
 		slowConf    = flag.Int64("slow-conflicts", 0, "log any check burning at least this many CDCL conflicts (0 = default, <0 disables)")
 		slowTime    = flag.Duration("slow-solve", 0, "log any check spending at least this long in the solver (0 = default, <0 disables)")
 		grace       = flag.Duration("shutdown-grace", defaultShutdownGrace, "max wait for in-flight requests to drain on SIGINT/SIGTERM")
@@ -250,6 +255,10 @@ func main() {
 		os.Exit(1)
 	}
 	rec := telemetry.New(*traceCap)
+	// Remote solver backends (the -solver flag or per-request solver specs)
+	// report into the same sinks as the engine.
+	fabric.SetTelemetry(rec)
+	fabric.SetLogger(logger)
 	opts := engine.Options{
 		Workers:   *workers,
 		CacheSize: *cacheSize,
@@ -262,6 +271,20 @@ func main() {
 			MaxQueueDepth:     *maxQueue,
 			Weights:           weights,
 		},
+	}
+	if *solverSpec != "" {
+		spec, err := solver.ParseSpec(*solverSpec)
+		if err != nil {
+			srvLog.Error("bad -solver", slog.Any("error", err))
+			os.Exit(1)
+		}
+		b, err := solver.New(spec)
+		if err != nil {
+			srvLog.Error("bad -solver", slog.Any("error", err))
+			os.Exit(1)
+		}
+		opts.Backend = b
+		srvLog.Info("default solver backend", slog.String("solver", spec.String()))
 	}
 	var st *store.Store
 	if *storeDir != "" {
@@ -1169,6 +1192,7 @@ type session struct {
 	running    int       // runs dequeued by the worker but not yet recorded
 	lastActive time.Time // last launch or run completion
 	closed     bool      // session deleted: worker exits, launches are refused
+	srcFP      string    // config.SourceFingerprint of the last inline-config network; "" when generator-sourced
 }
 
 // expireIfIdle closes the session if it has been idle (no queued or
@@ -1229,6 +1253,9 @@ func (s *server) createSession(w http.ResponseWriter, c *plan.Compiled, statusPr
 		verifier:   delta.NewVerifierFor(s.eng, c),
 		store:      s.store,
 		wake:       make(chan struct{}, 1),
+	}
+	if cfg := c.Request.Network.Config; cfg != "" {
+		sess.srcFP = config.SourceFingerprint(cfg)
 	}
 	// The request's tenant, priority, and solver backend follow the
 	// session: every incremental update's dirty subset is admitted under
@@ -1330,6 +1357,50 @@ func launchUpdate(w http.ResponseWriter, sess *session, n *topology.Network, sta
 	})
 }
 
+// sameConfigSource reports whether an inline-config update normalizes to
+// the session's pinned source — a comment- or whitespace-only diff — and,
+// when it does, returns the pinned network so the handler can skip the
+// parse and scope re-validation entirely; the queued update then hits the
+// delta verifier's unchanged fast path and republishes the pinned verdicts
+// (Result.Unchanged) without re-solving anything. A genuinely new source
+// re-pins the session's fingerprint and materializes normally. cfg == ""
+// (generator-sourced update) never matches.
+func (sess *session) sameConfigSource(cfg string) (*topology.Network, bool) {
+	if cfg == "" {
+		return nil, false
+	}
+	fp := config.SourceFingerprint(cfg)
+	sess.mu.Lock()
+	same := sess.srcFP != "" && fp == sess.srcFP
+	sess.mu.Unlock()
+	if !same {
+		return nil, false
+	}
+	// Before the baseline run completes there is no pinned state to reuse;
+	// fall through to a normal materialized update (it queues behind the
+	// baseline anyway).
+	n := sess.verifier.PinnedNetwork()
+	return n, n != nil
+}
+
+// pinSourceFP records the source identity of the network an update
+// successfully materialized from: the normalized config fingerprint for
+// inline-config updates, or "" for generator-sourced ones (the pinned
+// state no longer corresponds to any stored config source, so nothing may
+// match it). Deliberately called only after Materialize succeeds — a
+// source the parser rejects must never become the comparison base, or
+// resubmitting the same broken source would silently "match" and skip the
+// error.
+func (sess *session) pinSourceFP(cfg string) {
+	fp := ""
+	if cfg != "" {
+		fp = config.SourceFingerprint(cfg)
+	}
+	sess.mu.Lock()
+	sess.srcFP = fp
+	sess.mu.Unlock()
+}
+
 func (s *server) handleSessionUpdateV1(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.lookupSession(w, r)
 	if !ok {
@@ -1347,6 +1418,10 @@ func (s *server) handleSessionUpdateV1(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("session is pinned to suite %q; updates cannot change it", sess.label))
 		return
 	}
+	if n, ok := sess.sameConfigSource(req.Config); ok {
+		launchUpdate(w, sess, n, "/v1/sessions/")
+		return
+	}
 	n, _, err := plan.Network{Config: req.Config, Generator: req.Generator}.Materialize(s)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -1356,6 +1431,7 @@ func (s *server) handleSessionUpdateV1(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, strings.TrimPrefix(err.Error(), "plan: "))
 		return
 	}
+	sess.pinSourceFP(req.Config)
 	launchUpdate(w, sess, n, "/v1/sessions/")
 }
 
@@ -1382,6 +1458,10 @@ func (s *server) handleSessionUpdateV2(w http.ResponseWriter, r *http.Request) {
 	if !rejectConfigPath(w, req.Network) {
 		return
 	}
+	if n, ok := sess.sameConfigSource(req.Network.Config); ok {
+		launchUpdate(w, sess, n, "/v2/sessions/")
+		return
+	}
 	n, _, err := req.Network.Materialize(s)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -1394,6 +1474,7 @@ func (s *server) handleSessionUpdateV2(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, strings.TrimPrefix(err.Error(), "plan: "))
 		return
 	}
+	sess.pinSourceFP(req.Network.Config)
 	launchUpdate(w, sess, n, "/v2/sessions/")
 }
 
@@ -1550,13 +1631,16 @@ type statsJSON struct {
 	Jobs     int          `json:"jobs"`
 	Sessions int          `json:"sessions"`
 	Store    *store.Stats `json:"store,omitempty"`
+	// Fabric aggregates the distributed solver pools' per-worker counters;
+	// present whenever a remote backend has been constructed.
+	Fabric *fabric.Stats `json:"fabric,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	jobs, sessions := len(s.jobs), len(s.sessions)
 	s.mu.Unlock()
-	out := statsJSON{Engine: s.eng.Stats(), Jobs: jobs, Sessions: sessions}
+	out := statsJSON{Engine: s.eng.Stats(), Jobs: jobs, Sessions: sessions, Fabric: fabric.Snapshot()}
 	if st, ok := s.eng.Cache().(*store.Store); ok {
 		stats := st.Stats()
 		out.Store = &stats

@@ -1,0 +1,57 @@
+package config_test
+
+import (
+	"strings"
+	"testing"
+
+	"lightyear/internal/config"
+)
+
+// TestNormalizeCosmeticInvariance: comments, blank lines, and whitespace
+// layout do not survive normalization, so a cosmetic-only edit keeps the
+// source fingerprint — the property delta sessions use to treat such edits
+// as no change at all.
+func TestNormalizeCosmeticInvariance(t *testing.T) {
+	edited := "# audit header\n\n" + strings.ReplaceAll(fig1DSL, "route-map r1-import-isp1 {", "route-map    r1-import-isp1 {  # reviewed") + "\n\n# trailing note\n"
+	if config.Normalize(edited) != config.Normalize(fig1DSL) {
+		t.Fatalf("cosmetic edit changed normalized form:\n%q\nvs\n%q",
+			config.Normalize(edited), config.Normalize(fig1DSL))
+	}
+	if config.SourceFingerprint(edited) != config.SourceFingerprint(fig1DSL) {
+		t.Fatal("cosmetic edit changed the source fingerprint")
+	}
+	if strings.Contains(config.Normalize(edited), "#") {
+		t.Fatal("normalized form retains a comment")
+	}
+}
+
+// TestNormalizeSemanticSensitivity: an edit that changes any token changes
+// the fingerprint — normalization must never conflate distinct configs.
+func TestNormalizeSemanticSensitivity(t *testing.T) {
+	for _, edit := range []struct{ old, new string }{
+		{"lp 100", "lp 200"},
+		{"set community add 100:1", "set community add 100:2"},
+		{"term 10 deny", "term 10 permit"},
+	} {
+		changed := strings.Replace(fig1DSL, edit.old, edit.new, 1)
+		if changed == fig1DSL {
+			t.Fatalf("edit %q not applied", edit.old)
+		}
+		if config.SourceFingerprint(changed) == config.SourceFingerprint(fig1DSL) {
+			t.Fatalf("semantic edit %q -> %q kept the fingerprint", edit.old, edit.new)
+		}
+	}
+}
+
+// TestNormalizeRejectedSourcePassesThrough: a source the lexer rejects is
+// returned verbatim — normalization must not hide a syntax error behind a
+// stale canonical form.
+func TestNormalizeRejectedSourcePassesThrough(t *testing.T) {
+	bad := "node R1 { as 65000 } @@@"
+	if config.Normalize(bad) != bad {
+		t.Fatalf("rejected source was rewritten: %q", config.Normalize(bad))
+	}
+	if config.SourceFingerprint(bad) == config.SourceFingerprint("node R1 { as 65000 }") {
+		t.Fatal("broken source fingerprints like its valid prefix")
+	}
+}

@@ -315,16 +315,16 @@ type dispatchEntry struct {
 // flooding the engine cannot starve another — the fairness half of the
 // admission story (shedding is the other half).
 type sched struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	closed   bool
-	tenants  map[string]*tenantQueue
-	active   []*tenantQueue // tenants with pending entries, round-robin order
+	mu         sync.Mutex
+	cond       *sync.Cond
+	closed     bool
+	tenants    map[string]*tenantQueue
+	active     []*tenantQueue // tenants with pending entries, round-robin order
 	rr         int
 	queued     int // entries not yet fully dispatched
 	queuedCost int // checks admitted but not yet handed to the worker pool
 	inflight   int // admitted cost not yet released, across tenants
-	done     chan struct{}
+	done       chan struct{}
 }
 
 // tenant returns (creating if needed) the tenant's queue; sched.mu is held.

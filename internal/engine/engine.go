@@ -435,60 +435,10 @@ func (e *Engine) mustSubmit(w Workload) *Job {
 	return j
 }
 
-// SubmitSafety generates the local checks of a safety problem and schedules
-// them, returning the running job immediately.
-//
-// Deprecated: build a Workload{Safety: p} and call Submit, which adds
-// tenancy, priority, and admission control.
-func (e *Engine) SubmitSafety(p *core.SafetyProblem) *Job {
-	return e.mustSubmit(Workload{Safety: p})
-}
-
-// SubmitSafetyWith is SubmitSafety with per-job overrides.
-//
-// Deprecated: build a Workload{Safety: p, SubmitOptions: opts} and call
-// Submit.
-func (e *Engine) SubmitSafetyWith(p *core.SafetyProblem, opts SubmitOptions) *Job {
-	return e.mustSubmit(Workload{Safety: p, SubmitOptions: opts})
-}
-
-// SubmitLiveness generates the checks of a liveness problem and schedules
-// them. It fails fast if the problem's path is invalid.
-//
-// Deprecated: build a Workload{Liveness: p} and call Submit.
-func (e *Engine) SubmitLiveness(p *core.LivenessProblem) (*Job, error) {
-	return e.Submit(context.Background(), Workload{Liveness: p})
-}
-
-// SubmitLivenessWith is SubmitLiveness with per-job overrides.
-//
-// Deprecated: build a Workload{Liveness: p, SubmitOptions: opts} and call
-// Submit.
-func (e *Engine) SubmitLivenessWith(p *core.LivenessProblem, opts SubmitOptions) (*Job, error) {
-	return e.Submit(context.Background(), Workload{Liveness: p, SubmitOptions: opts})
-}
-
-// SubmitChecks schedules a raw batch of checks as one asynchronous job.
-//
-// Deprecated: build a Workload{Kind: KindChecks, Property: prop,
-// Checks: checks} and call Submit.
-func (e *Engine) SubmitChecks(prop core.Property, checks []core.Check) *Job {
-	return e.mustSubmit(Workload{Kind: KindChecks, Property: prop, Checks: checks})
-}
-
-// SubmitChecksWith is SubmitChecks with per-job overrides.
-//
-// Deprecated: build a Workload{Kind: KindChecks, Property: prop, Checks:
-// checks, SubmitOptions: opts} and call Submit.
-func (e *Engine) SubmitChecksWith(prop core.Property, checks []core.Check, opts SubmitOptions) *Job {
-	return e.mustSubmit(Workload{Kind: KindChecks, Property: prop, Checks: checks, SubmitOptions: opts})
-}
-
 // RunChecks implements core.CheckRunner, letting a core.IncrementalVerifier
 // (or any other producer of raw checks) execute on the shared pool and
 // benefit from the process-wide cache. The batch runs as the default tenant;
-// like the deprecated shims, the CheckRunner seam predates admission
-// control and panics on rejection.
+// the CheckRunner seam predates admission control and panics on rejection.
 func (e *Engine) RunChecks(prop core.Property, checks []core.Check) *core.Report {
 	return e.mustSubmit(Workload{Kind: KindChecks, Property: prop, Checks: checks}).Wait()
 }
@@ -650,9 +600,11 @@ func (e *Engine) deliverWaiters(key string, r core.CheckResult, t task, waiters 
 func (e *Engine) solve(t task) solver.Outcome {
 	e.checksSolved.Add(1)
 	backend := t.job.backend
-	t.job.ensureSolveSpan(backend.Name())
+	span := t.job.ensureSolveSpan(backend.Name())
 	t0 := time.Now()
-	out := backend.Solve(t.job.ctx, t.check.Obligation(), solver.Budget{Conflicts: e.effectiveBudget(t.check)})
+	// The solve span rides the context so distributed backends (the fabric's
+	// rpc leg) can hang child spans off the job's trace.
+	out := backend.Solve(telemetry.WithSpan(t.job.ctx, span), t.check.Obligation(), solver.Budget{Conflicts: e.effectiveBudget(t.check)})
 	if out.TotalTime == 0 {
 		out.TotalTime = time.Since(t0)
 	}

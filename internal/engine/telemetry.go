@@ -190,14 +190,15 @@ func (j *Job) spanDrained() {
 }
 
 // ensureSolveSpan opens the job's solve:<backend> span on its first
-// executed check.
-func (j *Job) ensureSolveSpan(backend string) {
+// executed check and returns it for context propagation into the backend.
+func (j *Job) ensureSolveSpan(backend string) *telemetry.Span {
 	j.mu.Lock()
+	defer j.mu.Unlock()
 	if !j.solveSpanSet {
 		j.solveSpanSet = true
 		j.solveSpan = j.startSpan("solve:" + backend)
 	}
-	j.mu.Unlock()
+	return j.solveSpan
 }
 
 // finishJobTelemetry closes the job's spans with their summary attributes

@@ -26,27 +26,25 @@ import (
 // conflicts — a 1-conflict budget always returns Unknown on them.
 var stressHoles = []int{3, 4, 5}
 
-// namedPred wraps a predicate with a compact rendering: the pigeonhole
-// conjunction is quadratically large, and printing it raw drowns reports
-// and summaries. The name is also what check keys hash, so it must be
-// unique per formula — it encodes both pigeonhole dimensions.
-type namedPred struct {
-	spec.Pred
-	name string
-}
-
-func (p namedPred) String() string { return p.name }
-
 // pigeonholePred builds the propositional pigeonhole principle PHP(pigeons,
 // holes) over community atoms: every pigeon sits in some hole, and no two
 // pigeons share a hole. With pigeons > holes the conjunction is
 // unsatisfiable, but refuting it requires genuine search — unit propagation
-// derives nothing from the initial clauses.
+// derives nothing from the initial clauses. The spec.Named wrapper gives the
+// quadratically large conjunction a compact rendering — the name is what
+// check keys hash, so it encodes both pigeonhole dimensions — and keeps the
+// predicate wire-encodable for remote solves.
 func pigeonholePred(pigeons, holes int) spec.Pred {
-	return namedPred{
-		Pred: rawPigeonhole(pigeons, holes),
-		name: fmt.Sprintf("pigeonhole(%d pigeons, %d holes)", pigeons, holes),
-	}
+	return spec.Named(
+		fmt.Sprintf("pigeonhole(%d pigeons, %d holes)", pigeons, holes),
+		rawPigeonhole(pigeons, holes),
+	)
+}
+
+// StressPigeonholePred exposes the pigeonhole predicate for benchmarks and
+// wire-codec tests that need a genuinely hard, remotable formula.
+func StressPigeonholePred(pigeons, holes int) spec.Pred {
+	return pigeonholePred(pigeons, holes)
 }
 
 func rawPigeonhole(pigeons, holes int) spec.Pred {

@@ -1,0 +1,176 @@
+package policy
+
+import (
+	"fmt"
+
+	"lightyear/internal/routemodel"
+	"lightyear/internal/spec"
+)
+
+// ActionWire is the serializable form of an Action: a tagged union keyed by
+// Op, mirroring the closed set of action types in this package. Together
+// with spec.PredWire it lets route maps travel to remote solver workers.
+type ActionWire struct {
+	// Op tags the action: "set_lp", "set_med", "set_nh", "add_comm",
+	// "del_comm", "clear_comms", "prepend_as", "set_ghost".
+	Op string `json:"op"`
+	// U32 carries the scalar operand (local-pref, MED, next-hop, community
+	// bits, or ASN).
+	U32 uint32 `json:"u32,omitempty"`
+	// Count is the prepend repetition for prepend_as.
+	Count int `json:"count,omitempty"`
+	// Name is the ghost name for set_ghost.
+	Name string `json:"name,omitempty"`
+	// Value is the ghost value for set_ghost.
+	Value bool `json:"value,omitempty"`
+}
+
+// EncodeAction converts an action to its wire form. Actions defined outside
+// this package have no wire tag and fail; callers treat that as "not
+// remotable".
+func EncodeAction(a Action) (*ActionWire, error) {
+	switch q := a.(type) {
+	case SetLocalPref:
+		return &ActionWire{Op: "set_lp", U32: q.Value}, nil
+	case SetMED:
+		return &ActionWire{Op: "set_med", U32: q.Value}, nil
+	case SetNextHop:
+		return &ActionWire{Op: "set_nh", U32: q.Value}, nil
+	case AddCommunity:
+		return &ActionWire{Op: "add_comm", U32: uint32(q.Comm)}, nil
+	case DeleteCommunity:
+		return &ActionWire{Op: "del_comm", U32: uint32(q.Comm)}, nil
+	case ClearCommunities:
+		return &ActionWire{Op: "clear_comms"}, nil
+	case PrependAS:
+		return &ActionWire{Op: "prepend_as", U32: q.AS, Count: q.Count}, nil
+	case SetGhost:
+		return &ActionWire{Op: "set_ghost", Name: q.Name, Value: q.Value}, nil
+	default:
+		return nil, fmt.Errorf("policy: action %T has no wire form", a)
+	}
+}
+
+// Action reconstructs the action a wire node describes.
+func (w *ActionWire) Action() (Action, error) {
+	if w == nil {
+		return nil, fmt.Errorf("policy: nil action wire node")
+	}
+	switch w.Op {
+	case "set_lp":
+		return SetLocalPref{Value: w.U32}, nil
+	case "set_med":
+		return SetMED{Value: w.U32}, nil
+	case "set_nh":
+		return SetNextHop{Value: w.U32}, nil
+	case "add_comm":
+		return AddCommunity{Comm: routemodel.Community(w.U32)}, nil
+	case "del_comm":
+		return DeleteCommunity{Comm: routemodel.Community(w.U32)}, nil
+	case "clear_comms":
+		return ClearCommunities{}, nil
+	case "prepend_as":
+		return PrependAS{AS: w.U32, Count: w.Count}, nil
+	case "set_ghost":
+		return SetGhost{Name: w.Name, Value: w.Value}, nil
+	default:
+		return nil, fmt.Errorf("policy: unknown action op %q", w.Op)
+	}
+}
+
+// EncodeActions converts a slice of actions to wire form.
+func EncodeActions(as []Action) ([]*ActionWire, error) {
+	out := make([]*ActionWire, len(as))
+	for i, a := range as {
+		w, err := EncodeAction(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// DecodeActions reconstructs a slice of actions from wire form.
+func DecodeActions(ws []*ActionWire) ([]Action, error) {
+	if len(ws) == 0 {
+		return nil, nil
+	}
+	out := make([]Action, len(ws))
+	for i, w := range ws {
+		a, err := w.Action()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// ClauseWire is the serializable form of one route-map clause.
+type ClauseWire struct {
+	Seq     int              `json:"seq"`
+	Matches []*spec.PredWire `json:"matches,omitempty"`
+	Actions []*ActionWire    `json:"actions,omitempty"`
+	Permit  bool             `json:"permit"`
+}
+
+// RouteMapWire is the serializable form of a RouteMap.
+type RouteMapWire struct {
+	Name          string       `json:"name"`
+	Clauses       []ClauseWire `json:"clauses,omitempty"`
+	DefaultPermit bool         `json:"default_permit"`
+}
+
+// EncodeRouteMap converts a route map to wire form; nil encodes to nil
+// (permit-all semantics are preserved by the nil map).
+func EncodeRouteMap(m *RouteMap) (*RouteMapWire, error) {
+	if m == nil {
+		return nil, nil
+	}
+	w := &RouteMapWire{Name: m.Name, DefaultPermit: m.DefaultPermit}
+	for i := range m.Clauses {
+		c := &m.Clauses[i]
+		cw := ClauseWire{Seq: c.Seq, Permit: c.Permit}
+		for _, p := range c.Matches {
+			pw, err := spec.EncodePred(p)
+			if err != nil {
+				return nil, fmt.Errorf("policy: route map %q clause %d: %w", m.Name, c.Seq, err)
+			}
+			cw.Matches = append(cw.Matches, pw)
+		}
+		acts, err := EncodeActions(c.Actions)
+		if err != nil {
+			return nil, fmt.Errorf("policy: route map %q clause %d: %w", m.Name, c.Seq, err)
+		}
+		cw.Actions = acts
+		w.Clauses = append(w.Clauses, cw)
+	}
+	return w, nil
+}
+
+// RouteMap reconstructs the route map a wire form describes; nil decodes to
+// nil.
+func (w *RouteMapWire) RouteMap() (*RouteMap, error) {
+	if w == nil {
+		return nil, nil
+	}
+	m := &RouteMap{Name: w.Name, DefaultPermit: w.DefaultPermit}
+	for _, cw := range w.Clauses {
+		c := Clause{Seq: cw.Seq, Permit: cw.Permit}
+		for _, pw := range cw.Matches {
+			p, err := pw.Pred()
+			if err != nil {
+				return nil, fmt.Errorf("policy: route map %q clause %d: %w", w.Name, cw.Seq, err)
+			}
+			c.Matches = append(c.Matches, p)
+		}
+		acts, err := DecodeActions(cw.Actions)
+		if err != nil {
+			return nil, fmt.Errorf("policy: route map %q clause %d: %w", w.Name, cw.Seq, err)
+		}
+		c.Actions = acts
+		m.Clauses = append(m.Clauses, c)
+	}
+	return m, nil
+}

@@ -1,0 +1,71 @@
+package routemodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RouteWire is the serializable form of a Route, used when obligations
+// travel to remote solver workers. Communities and ghosts are rendered as
+// sorted lists so the encoding is deterministic.
+type RouteWire struct {
+	Prefix      string   `json:"prefix"`
+	ASPath      []uint32 `json:"as_path,omitempty"`
+	NextHop     uint32   `json:"next_hop,omitempty"`
+	LocalPref   uint32   `json:"local_pref,omitempty"`
+	MED         uint32   `json:"med,omitempty"`
+	Communities []uint32 `json:"communities,omitempty"`
+	// Ghosts lists ghost attributes that are true on the route; false
+	// entries are indistinguishable from absent ones (GhostValue semantics).
+	Ghosts []string `json:"ghosts,omitempty"`
+}
+
+// EncodeRoute converts a route to wire form; nil encodes to nil.
+func EncodeRoute(r *Route) *RouteWire {
+	if r == nil {
+		return nil
+	}
+	w := &RouteWire{
+		Prefix:    r.Prefix.String(),
+		ASPath:    append([]uint32(nil), r.ASPath...),
+		NextHop:   r.NextHop,
+		LocalPref: r.LocalPref,
+		MED:       r.MED,
+	}
+	for c, on := range r.Communities {
+		if on {
+			w.Communities = append(w.Communities, uint32(c))
+		}
+	}
+	sort.Slice(w.Communities, func(i, j int) bool { return w.Communities[i] < w.Communities[j] })
+	for g, on := range r.Ghost {
+		if on {
+			w.Ghosts = append(w.Ghosts, g)
+		}
+	}
+	sort.Strings(w.Ghosts)
+	return w
+}
+
+// Route reconstructs the route a wire form describes; nil decodes to nil.
+func (w *RouteWire) Route() (*Route, error) {
+	if w == nil {
+		return nil, nil
+	}
+	p, err := ParsePrefix(w.Prefix)
+	if err != nil {
+		return nil, fmt.Errorf("routemodel: route wire: %w", err)
+	}
+	r := NewRoute(p)
+	r.ASPath = append([]uint32(nil), w.ASPath...)
+	r.NextHop = w.NextHop
+	r.LocalPref = w.LocalPref
+	r.MED = w.MED
+	for _, c := range w.Communities {
+		r.AddCommunity(Community(c))
+	}
+	for _, g := range w.Ghosts {
+		r.SetGhost(g, true)
+	}
+	return r, nil
+}

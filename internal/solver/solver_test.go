@@ -2,9 +2,11 @@ package solver_test
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"lightyear/internal/core"
+	_ "lightyear/internal/fabric" // registers the remote backend
 	"lightyear/internal/netgen"
 	"lightyear/internal/solver"
 	"lightyear/internal/topology"
@@ -59,7 +61,13 @@ func backends(t *testing.T) map[string]solver.Backend {
 	t.Helper()
 	out := map[string]solver.Backend{}
 	for _, name := range solver.Names() {
-		b, err := solver.New(solver.Spec{Backend: name})
+		spec := solver.Spec{Backend: name}
+		if name == solver.RemoteName {
+			// No live workers in unit tests: an unreachable pool exercises
+			// the local-fallback path, so parity must still hold.
+			spec.Workers = []string{"127.0.0.1:1"}
+		}
+		b, err := solver.New(spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,6 +195,10 @@ func TestParseSpec(t *testing.T) {
 		{in: "native", want: solver.Spec{Backend: "native"}},
 		{in: "portfolio", want: solver.Spec{Backend: "portfolio"}},
 		{in: "tiered:1000", want: solver.Spec{Backend: "tiered", Budget: 1000}},
+		{in: "remote:h1:9001,h2:9001", want: solver.Spec{Backend: "remote", Workers: []string{"h1:9001", "h2:9001"}}},
+		{in: "remote: h1:9001 ,, h2:9001 ", want: solver.Spec{Backend: "remote", Workers: []string{"h1:9001", "h2:9001"}}},
+		{in: "remote", wantErr: true},
+		{in: "remote:", wantErr: true},
 		{in: "bogus", wantErr: true},
 		{in: "tiered:x", wantErr: true},
 		{in: "tiered:-5", wantErr: true},
@@ -199,7 +211,7 @@ func TestParseSpec(t *testing.T) {
 			t.Errorf("ParseSpec(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
 			continue
 		}
-		if err == nil && got != c.want {
+		if err == nil && !reflect.DeepEqual(got, c.want) {
 			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
 		}
 	}
@@ -219,12 +231,19 @@ func TestSameConfig(t *testing.T) {
 		return b
 	}
 	for _, name := range solver.Names() {
-		a := mk(solver.Spec{Backend: name})
-		b := mk(solver.Spec{Backend: name})
+		spec := solver.Spec{Backend: name}
+		if name == solver.RemoteName {
+			// The remote backend (registered by the fabric import) needs a
+			// worker list; nothing is contacted at construction time.
+			spec.Workers = []string{"127.0.0.1:1"}
+		}
+		a := mk(spec)
+		b := mk(spec)
 		if !solver.SameConfig(a, b) {
 			t.Errorf("two default %s backends not recognized as same config", name)
 		}
-		c := mk(solver.Spec{Backend: name, Budget: 7})
+		spec.Budget = 7
+		c := mk(spec)
 		if solver.SameConfig(a, c) {
 			t.Errorf("%s backends with different budgets reported as same config", name)
 		}

@@ -1,0 +1,309 @@
+package spec
+
+import (
+	"fmt"
+
+	"lightyear/internal/routemodel"
+	"lightyear/internal/smt"
+)
+
+// Named wraps a predicate with a compact rendering: String returns the given
+// name instead of the (possibly huge) structural form. Check keys and reports
+// use Pred.String, so naming a large predicate keeps keys short and stable
+// while leaving Eval/Compile untouched. Named predicates survive wire
+// encoding with their name, so remote solves produce identical check keys.
+func Named(name string, p Pred) Pred { return namedPred{p: p, name: name} }
+
+type namedPred struct {
+	p    Pred
+	name string
+}
+
+func (n namedPred) Eval(r *routemodel.Route) bool  { return n.p.Eval(r) }
+func (n namedPred) Compile(sr *SymRoute) *smt.Term { return n.p.Compile(sr) }
+func (n namedPred) String() string                 { return n.name }
+func (n namedPred) AddToUniverse(u *Universe)      { n.p.AddToUniverse(u) }
+
+// PredWire is the serializable form of a Pred: a tagged union keyed by Op,
+// mirroring the closed set of predicate constructors in this package. It is
+// the JSON shape shipped to remote solver workers; EncodePred and
+// (*PredWire).Pred round-trip every predicate built from exported
+// constructors, preserving String() (and therefore check keys) exactly.
+type PredWire struct {
+	// Op tags the node: "true", "false", "not", "and", "or", "implies",
+	// "named", "comm", "prefix_in", "prefix_eq", "plen_le", "plen_ge",
+	// "lp", "med", "ghost", "path_contains", "pathlen_le", "nh".
+	Op string `json:"op"`
+
+	// Args holds sub-predicates for not/and/or/implies/named.
+	Args []*PredWire `json:"args,omitempty"`
+	// Name carries the ghost name ("ghost") or display name ("named").
+	Name string `json:"name,omitempty"`
+	// U32 carries the scalar operand: community bits, local-pref, MED,
+	// next-hop, ASN, or path-length bound.
+	U32 uint32 `json:"u32,omitempty"`
+	// U8 carries prefix-length bounds for plen_le / plen_ge.
+	U8 uint8 `json:"u8,omitempty"`
+	// Cmp is the comparison mode for lp/med: "eq", "ge", or "le".
+	Cmp string `json:"cmp,omitempty"`
+	// Prefix carries the prefix operand for prefix_eq ("a.b.c.d/len").
+	Prefix string `json:"prefix,omitempty"`
+	// Entries carries prefix-set entries for prefix_in.
+	Entries []PrefixRangeWire `json:"entries,omitempty"`
+}
+
+// PrefixRangeWire is the serializable form of one prefix-set entry.
+type PrefixRangeWire struct {
+	Prefix string `json:"prefix"`
+	Ge     uint8  `json:"ge"`
+	Le     uint8  `json:"le"`
+}
+
+// EncodePred converts a predicate to its wire form. It fails on predicate
+// implementations defined outside this package, which have no wire tag;
+// callers should treat that as "not remotable" and solve locally.
+func EncodePred(p Pred) (*PredWire, error) {
+	switch q := p.(type) {
+	case truePred:
+		return &PredWire{Op: "true"}, nil
+	case falsePred:
+		return &PredWire{Op: "false"}, nil
+	case notPred:
+		arg, err := EncodePred(q.p)
+		if err != nil {
+			return nil, err
+		}
+		return &PredWire{Op: "not", Args: []*PredWire{arg}}, nil
+	case andPred:
+		args, err := encodePreds([]Pred(q))
+		if err != nil {
+			return nil, err
+		}
+		return &PredWire{Op: "and", Args: args}, nil
+	case orPred:
+		args, err := encodePreds([]Pred(q))
+		if err != nil {
+			return nil, err
+		}
+		return &PredWire{Op: "or", Args: args}, nil
+	case impliesPred:
+		args, err := encodePreds([]Pred{q.a, q.b})
+		if err != nil {
+			return nil, err
+		}
+		return &PredWire{Op: "implies", Args: args}, nil
+	case namedPred:
+		arg, err := EncodePred(q.p)
+		if err != nil {
+			return nil, err
+		}
+		return &PredWire{Op: "named", Name: q.name, Args: []*PredWire{arg}}, nil
+	case hasCommPred:
+		return &PredWire{Op: "comm", U32: uint32(q.c)}, nil
+	case prefixInPred:
+		entries := make([]PrefixRangeWire, 0, len(q.s.Entries()))
+		for _, e := range q.s.Entries() {
+			entries = append(entries, PrefixRangeWire{Prefix: e.Prefix.String(), Ge: e.Ge, Le: e.Le})
+		}
+		return &PredWire{Op: "prefix_in", Entries: entries}, nil
+	case prefixEqPred:
+		return &PredWire{Op: "prefix_eq", Prefix: q.p.String()}, nil
+	case plenCmpPred:
+		if q.atMost {
+			return &PredWire{Op: "plen_le", U8: q.n}, nil
+		}
+		return &PredWire{Op: "plen_ge", U8: q.n}, nil
+	case lpPred:
+		return &PredWire{Op: "lp", U32: q.v, Cmp: q.mode.wire()}, nil
+	case medPred:
+		return &PredWire{Op: "med", U32: q.v, Cmp: q.mode.wire()}, nil
+	case ghostPred:
+		return &PredWire{Op: "ghost", Name: q.name}, nil
+	case pathContainsPred:
+		return &PredWire{Op: "path_contains", U32: q.as}, nil
+	case pathLenPred:
+		return &PredWire{Op: "pathlen_le", U32: uint32(q.n)}, nil
+	case nhPred:
+		return &PredWire{Op: "nh", U32: q.v}, nil
+	default:
+		return nil, fmt.Errorf("spec: predicate %T has no wire form", p)
+	}
+}
+
+func encodePreds(ps []Pred) ([]*PredWire, error) {
+	out := make([]*PredWire, len(ps))
+	for i, p := range ps {
+		w, err := EncodePred(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+func (m cmpMode) wire() string {
+	switch m {
+	case cmpEq:
+		return "eq"
+	case cmpGe:
+		return "ge"
+	default:
+		return "le"
+	}
+}
+
+func cmpModeFromWire(s string) (cmpMode, error) {
+	switch s {
+	case "eq":
+		return cmpEq, nil
+	case "ge":
+		return cmpGe, nil
+	case "le":
+		return cmpLe, nil
+	default:
+		return cmpEq, fmt.Errorf("spec: bad comparison mode %q", s)
+	}
+}
+
+// Pred reconstructs the predicate a wire node describes.
+func (w *PredWire) Pred() (Pred, error) {
+	if w == nil {
+		return nil, fmt.Errorf("spec: nil predicate wire node")
+	}
+	switch w.Op {
+	case "true":
+		return True(), nil
+	case "false":
+		return False(), nil
+	case "not":
+		args, err := w.decodeArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return Not(args[0]), nil
+	case "and":
+		args, err := w.decodeArgs(-1)
+		if err != nil {
+			return nil, err
+		}
+		return And(args...), nil
+	case "or":
+		args, err := w.decodeArgs(-1)
+		if err != nil {
+			return nil, err
+		}
+		return Or(args...), nil
+	case "implies":
+		args, err := w.decodeArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		return Implies(args[0], args[1]), nil
+	case "named":
+		args, err := w.decodeArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return Named(w.Name, args[0]), nil
+	case "comm":
+		return HasCommunity(routemodel.Community(w.U32)), nil
+	case "prefix_in":
+		set := routemodel.NewPrefixSet()
+		for _, e := range w.Entries {
+			p, err := routemodel.ParsePrefix(e.Prefix)
+			if err != nil {
+				return nil, fmt.Errorf("spec: prefix_in entry: %w", err)
+			}
+			set.AddRange(p, e.Ge, e.Le)
+		}
+		return PrefixIn(set), nil
+	case "prefix_eq":
+		p, err := routemodel.ParsePrefix(w.Prefix)
+		if err != nil {
+			return nil, fmt.Errorf("spec: prefix_eq: %w", err)
+		}
+		return PrefixEquals(p), nil
+	case "plen_le":
+		return PrefixLenAtMost(w.U8), nil
+	case "plen_ge":
+		return PrefixLenAtLeast(w.U8), nil
+	case "lp":
+		mode, err := cmpModeFromWire(w.Cmp)
+		if err != nil {
+			return nil, err
+		}
+		return lpPred{v: w.U32, mode: mode}, nil
+	case "med":
+		mode, err := cmpModeFromWire(w.Cmp)
+		if err != nil {
+			return nil, err
+		}
+		return medPred{v: w.U32, mode: mode}, nil
+	case "ghost":
+		return Ghost(w.Name), nil
+	case "path_contains":
+		return PathContains(w.U32), nil
+	case "pathlen_le":
+		return PathLenAtMost(int(w.U32)), nil
+	case "nh":
+		return NextHopEquals(w.U32), nil
+	default:
+		return nil, fmt.Errorf("spec: unknown predicate op %q", w.Op)
+	}
+}
+
+func (w *PredWire) decodeArgs(want int) ([]Pred, error) {
+	if want >= 0 && len(w.Args) != want {
+		return nil, fmt.Errorf("spec: op %q wants %d args, got %d", w.Op, want, len(w.Args))
+	}
+	out := make([]Pred, len(w.Args))
+	for i, a := range w.Args {
+		p, err := a.Pred()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// UniverseWire is the serializable form of a Universe: the sorted attribute
+// vocabularies that size the symbolic route encoding. Shipping it verbatim
+// keeps worker-side encodings (and their variable counts) identical to the
+// coordinator's.
+type UniverseWire struct {
+	Communities []uint32 `json:"communities,omitempty"`
+	ASNs        []uint32 `json:"asns,omitempty"`
+	Ghosts      []string `json:"ghosts,omitempty"`
+}
+
+// EncodeUniverse converts a universe to its wire form.
+func EncodeUniverse(u *Universe) *UniverseWire {
+	if u == nil {
+		return nil
+	}
+	w := &UniverseWire{ASNs: u.ASNs(), Ghosts: u.Ghosts()}
+	for _, c := range u.Communities() {
+		w.Communities = append(w.Communities, uint32(c))
+	}
+	return w
+}
+
+// Universe reconstructs the universe a wire form describes.
+func (w *UniverseWire) Universe() *Universe {
+	u := NewUniverse()
+	if w == nil {
+		return u
+	}
+	for _, c := range w.Communities {
+		u.AddCommunity(routemodel.Community(c))
+	}
+	for _, a := range w.ASNs {
+		u.AddASN(a)
+	}
+	for _, g := range w.Ghosts {
+		u.AddGhost(g)
+	}
+	return u
+}

@@ -56,9 +56,9 @@ type record struct {
 
 // resultRecord is the persisted portion of a core.CheckResult.
 type resultRecord struct {
-	OK      bool   `json:"ok"`
-	NumVars int    `json:"vars,omitempty"`
-	NumCons int    `json:"cons,omitempty"`
+	OK      bool `json:"ok"`
+	NumVars int  `json:"vars,omitempty"`
+	NumCons int  `json:"cons,omitempty"`
 	// NumTerms and Solver persist the encoding size and CDCL search
 	// provenance of the solve that produced the verdict, so replayed
 	// results still explain what the original solve cost.

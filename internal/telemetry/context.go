@@ -1,0 +1,27 @@
+package telemetry
+
+import "context"
+
+// spanKey is the context key under which an active span travels.
+type spanKey struct{}
+
+// WithSpan returns a context carrying the span, so instrumentation deep in
+// the stack (solver backends, the rpc leg of the distributed fabric) can
+// attach child spans to the caller's trace without threading a *Span through
+// every interface. A nil span returns ctx unchanged.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the span the context carries, or nil. The nil
+// *Span is a valid no-op receiver, so callers use the result unconditionally.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
