@@ -14,6 +14,7 @@
 //	lightyear -config net.cfg -solver remote:h1:9101,h2:9101           # ship checks to a lyworker fleet
 //	lightyear -config net.cfg -tenant ops -max-inflight 500            # tenancy + admission control
 //	lightyear -plan plan.json                                          # run a saved verification plan
+//	lightyear -migrate steps.json                                      # verify a migration plan step by step
 //	lightyear -list                                                    # print the property registry
 //
 // Every invocation is compiled into an internal/plan Request — the same
@@ -103,18 +104,40 @@
 // emit the plan result encoding {ok, properties: [...], engine} that
 // lyserve's v2 API serves.
 //
+// With -migrate steps.json the command verifies a migration plan instead of
+// a single state: the file is a migrate.Plan JSON document — a baseline
+// network source, a property list, and an ordered list of steps, each either
+// a full replacement config ("config") or a named route-map edit
+// ("mutation": {"kind": "insert-export-deny", "from": "R2", "to": "ISP2",
+// "seq": 5, "match": "community:100:1"}). Every intermediate state is
+// re-verified incrementally against the previous one (internal/delta), so a
+// step re-solves only the checks its own change dirtied, and the first
+// violating step is reported with its failing checks and witnesses. With
+// "unordered": true the steps are treated as an unordered change set and the
+// command searches for a safe ordering ("search_budget" bounds how many
+// intermediate states the search may verify). -config, -tenant, -solver,
+// -workers, -cache, -store, -store-retain, and -wan-regions override the
+// corresponding plan fields, as with -plan.
+//
 // Exit status contract:
 //
-//	0  every problem of every property verified (skipped optional problems allowed)
+//	0  every problem of every property verified (skipped optional problems
+//	   allowed); for -migrate: every step of the walked (or found) order
 //	1  at least one local check failed, or verification could not run
-//	   (unreadable or unparsable configuration, invalid liveness path)
-//	2  usage error (missing network source, unknown -property or -solver)
+//	   (unreadable or unparsable configuration, invalid liveness path);
+//	   for -migrate: the plan violated at some step k (see the output)
+//	2  usage error (missing network source, unknown -property or -solver,
+//	   malformed steps.json)
 //	3  no check failed, but at least one check was left UNKNOWN (solver
 //	   budget exhausted) — the properties are neither proven nor refuted;
-//	   raise the budget or switch -solver to decide them
+//	   raise the budget or switch -solver to decide them; for -migrate:
+//	   the walk stopped on an undecided step
+//	4  -migrate only: no safe order exists for the unordered change set
+//	   (or the search budget was exhausted before one was found)
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -131,6 +154,7 @@ import (
 	"lightyear/internal/engine"
 	"lightyear/internal/fabric"
 	"lightyear/internal/logging"
+	"lightyear/internal/migrate"
 	"lightyear/internal/netgen"
 	"lightyear/internal/plan"
 	"lightyear/internal/solver"
@@ -147,6 +171,7 @@ type cliFlags struct {
 	Routers     string
 	Regions     string // property scope: comma-separated region indices
 	PlanPath    string
+	MigratePath string // migration plan (migrate.Plan JSON)
 	DiffPath    string
 	Workers     int
 	Cache       int
@@ -287,6 +312,7 @@ func main() {
 	flag.StringVar(&f.Routers, "routers", "", "comma-separated router subset scoping per-router properties")
 	flag.StringVar(&f.Regions, "regions", "", "comma-separated 0-based region indices scoping regional properties")
 	flag.StringVar(&f.PlanPath, "plan", "", "run a saved plan.Request JSON file")
+	flag.StringVar(&f.MigratePath, "migrate", "", "verify a migration plan (migrate.Plan JSON: baseline, properties, ordered steps)")
 	flag.StringVar(&f.DiffPath, "diff", "", "baseline configuration: verify -config incrementally against it")
 	flag.IntVar(&f.Workers, "workers", 0, "parallel check workers (0 = GOMAXPROCS)")
 	flag.IntVar(&f.Cache, "cache", 0, "engine result-cache capacity (0 = default, <0 disables; ignored with -store)")
@@ -319,6 +345,10 @@ func main() {
 			fmt.Printf("%-17s %s\n", s.Name, s.Desc)
 		}
 		return
+	}
+
+	if f.MigratePath != "" {
+		os.Exit(runMigrate(f, *jsonOut, *traceOut, logger))
 	}
 
 	req, err := buildRequest(f)
@@ -668,4 +698,222 @@ func joinIDs(ids []topology.NodeID) string {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "lightyear:", err)
 	os.Exit(1)
+}
+
+// runMigrate is the -migrate entry point: read the migration plan, apply
+// flag overrides, and walk (or search) it on a private engine. Returns the
+// process exit code.
+func runMigrate(f cliFlags, jsonOut, traceOut bool, logger *slog.Logger) int {
+	src, err := os.ReadFile(f.MigratePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lightyear:", err)
+		return 1
+	}
+	var p migrate.Plan
+	if err := json.Unmarshal(src, &p); err != nil {
+		fmt.Fprintf(os.Stderr, "lightyear: %s: %v\n", f.MigratePath, err)
+		return 2
+	}
+	if f.set("config") {
+		p.Network = &plan.Network{ConfigPath: f.ConfigPath}
+	}
+	if f.set("solver") {
+		p.Options.Solver = nil
+		if f.Solver != "" {
+			spec, err := solver.ParseSpec(f.Solver)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lightyear:", err)
+				return 2
+			}
+			p.Options.Solver = &spec
+		}
+	}
+	if f.set("workers") {
+		p.Options.Workers = f.Workers
+	}
+	if f.set("cache") {
+		p.Options.Cache = f.Cache
+	}
+	if f.set("store") {
+		p.Options.Store = f.Store
+	}
+	if f.set("store-retain") {
+		p.Options.StoreRetain = f.StoreRetain
+	}
+	if f.set("wan-regions") {
+		p.Options.WANRegions = f.WANRegions
+	}
+	if f.set("tenant") {
+		p.Options.Tenant = f.Tenant
+	}
+	weights, err := engine.ParseWeights(f.Weights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lightyear: -tenant-weights:", err)
+		return 2
+	}
+
+	var rec *telemetry.Recorder
+	var tr *telemetry.Trace
+	if traceOut {
+		rec = telemetry.New(0)
+		tr = rec.StartTrace("cli-migrate", p.Options.Tenant)
+	}
+	fabric.SetTelemetry(rec)
+	fabric.SetLogger(logger)
+
+	c, err := migrate.Compile(p, nil)
+	if err != nil {
+		var reqErr *plan.RequestError
+		if errors.As(err, &reqErr) {
+			fmt.Fprintln(os.Stderr, "lightyear:", strings.TrimPrefix(reqErr.Error(), "plan: "))
+			return 2
+		}
+		fmt.Fprintln(os.Stderr, "lightyear:", err)
+		return 1
+	}
+	tr.SetLabel("migrate:" + c.Inner.Label())
+	if !jsonOut {
+		n := c.Inner.Network
+		mode := "ordered"
+		if c.Plan.Unordered {
+			mode = "unordered (searching for a safe order)"
+		}
+		fmt.Printf("migration plan: %d steps (%s) over %d routers, %d sessions\n",
+			c.NumSteps(), mode, len(n.Routers()), n.NumEdges())
+	}
+
+	engOpts := engine.Options{
+		Workers:   c.Plan.Options.Workers,
+		CacheSize: c.Plan.Options.Cache,
+		Telemetry: rec,
+		Logger:    logger,
+		Admission: engine.Admission{MaxInFlightChecks: f.MaxInflight, Weights: weights},
+	}
+	var resultStore *store.Store
+	if dir := c.Plan.Options.Store; dir != "" {
+		resultStore, err = store.OpenOptions(dir, store.Options{MaxFingerprints: c.Plan.Options.StoreRetain})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lightyear:", err)
+			return 1
+		}
+		defer resultStore.Close()
+		resultStore.SetTelemetry(rec)
+		resultStore.SetLogger(logger)
+		engOpts.Cache = resultStore
+	}
+	eng := engine.New(engOpts)
+	defer eng.Close()
+
+	sink := func(migrate.Event) {}
+	if !jsonOut {
+		sink = printMigrateEvent
+	}
+	res, err := migrate.Run(context.Background(), eng, c, migrate.RunConfig{
+		Sink: sink, Store: resultStore, Recorder: rec, Trace: tr,
+	})
+	if err != nil {
+		var adm *engine.ErrAdmission
+		if errors.As(err, &adm) {
+			fmt.Fprintf(os.Stderr, "lightyear: %v\n", adm)
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "lightyear:", err)
+		return 1
+	}
+	if jsonOut {
+		emitJSON(res)
+	} else {
+		printMigrateSummary(res)
+		printEngineSummary(eng.Stats())
+		printStoreSummary(resultStore)
+	}
+	if rec != nil {
+		if snap, ok := rec.Trace(tr.ID()); ok {
+			snap.WriteTree(os.Stderr)
+		}
+	}
+	return migrateExitCode(res)
+}
+
+// migrateExitCode maps a migration result onto the exit contract: 0 the
+// plan (or found order) is safe end to end, 4 no safe order exists for the
+// change set, 3 the walk stopped on an undecided step, 1 it violated.
+func migrateExitCode(res *migrate.Result) int {
+	switch {
+	case res.OK:
+		return 0
+	case res.Infeasible:
+		return 4
+	case res.Undecided:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// printMigrateEvent renders the progress stream in human mode, one line per
+// verified state plus the failing checks of violated ones.
+func printMigrateEvent(ev migrate.Event) {
+	prefix := ""
+	if ev.Search {
+		prefix = "search: "
+	}
+	switch ev.Type {
+	case migrate.EvBaseline:
+		if ev.Checks > 0 {
+			fmt.Printf("baseline: %d checks, %d solved, ok=%v\n", ev.Checks, ev.Solved, ev.OK)
+		} else {
+			fmt.Printf("baseline: pinned session state (%d retained results)\n", ev.Reused)
+		}
+	case migrate.EvStepOK:
+		if ev.Unchanged {
+			fmt.Printf("%sstep %d (%s): ok [no-op: source unchanged]\n", prefix, ev.Step, ev.Label)
+			return
+		}
+		fmt.Printf("%sstep %d (%s): ok — %d checks, %d dirty, %d reused, %d solved\n",
+			prefix, ev.Step, ev.Label, ev.Checks, ev.Dirty, ev.Reused, ev.Solved)
+	case migrate.EvStepViolated:
+		reason := ev.Reason
+		if reason == "" {
+			reason = fmt.Sprintf("%d failing checks", ev.Checks)
+		}
+		fmt.Printf("%sstep %d (%s): VIOLATED — %s\n", prefix, ev.Step, ev.Label, reason)
+	case migrate.EvCheck:
+		fmt.Printf("%s  %s [%s] %s\n", prefix, strings.ToUpper(ev.Status), ev.Problem, ev.Check)
+		if ev.Witness != "" {
+			for _, line := range strings.Split(ev.Witness, "\n") {
+				fmt.Printf("%s    %s\n", prefix, line)
+			}
+		}
+	case migrate.EvOrderFound:
+		fmt.Printf("safe order found after %d states: %s\n", ev.States, strings.Join(ev.Labels, " -> "))
+	case migrate.EvOrderInfeasible:
+		fmt.Printf("no safe order (%d states explored): %s\n", ev.States, ev.Reason)
+	}
+}
+
+// printMigrateSummary renders the final verdict and the per-step delta-reuse
+// accounting.
+func printMigrateSummary(res *migrate.Result) {
+	switch {
+	case res.OK && !res.Ordered:
+		fmt.Printf("migration plan verified: safe order %s (%d states verified, %d memo hits, %d orders pruned)\n",
+			strings.Join(res.OrderLabels, " -> "), res.SearchStates, res.MemoHits, res.PrunedOrders)
+	case res.OK:
+		fmt.Printf("migration plan verified: %d steps, every intermediate state holds\n", len(res.Steps))
+	case res.Infeasible:
+		fmt.Printf("migration plan INFEASIBLE: %s\n", res.Reason)
+		if ex := res.Explanation; ex != nil {
+			if len(ex.SafePrefix) > 0 {
+				fmt.Printf("  longest safe prefix: %s\n", strings.Join(ex.PrefixLabels, " -> "))
+			}
+			for _, b := range ex.Blocked {
+				fmt.Printf("  blocked: %s — %s\n", b.Label, b.Reason)
+			}
+		}
+	case res.Undecided:
+		fmt.Printf("migration plan UNDECIDED at step %d (%s): %s\n", res.ViolatedStep, res.ViolatedLabel, res.Reason)
+	default:
+		fmt.Printf("migration plan VIOLATED at step %d (%s): %s\n", res.ViolatedStep, res.ViolatedLabel, res.Reason)
+	}
 }

@@ -100,6 +100,27 @@
 //	    Body: {"network": <plan network source>}. Diffs the new network
 //	    against the pinned state and re-solves only dirtied checks.
 //
+//	POST /v2/sessions/{id}/migrate
+//	    Body: {"steps": [...], "unordered": bool, "search_budget": N} — a
+//	    migration plan (internal/migrate) whose baseline, properties, and
+//	    options are the session's. Each step is {"label", "config"} (a full
+//	    replacement network) or {"label", "mutation"} (a serializable config
+//	    edit applied to the previous state). The response is a synchronous
+//	    NDJSON stream of step-indexed events (step_started, problem, check,
+//	    step_ok, step_violated, order_found, order_infeasible, then done
+//	    with the full result, or error): every intermediate state is
+//	    verified as an incremental delta on the session's verifier, and the
+//	    stream reports the first violating step with its failing checks and
+//	    witnesses. With "unordered": true the steps are an unordered change
+//	    set and the run searches for a safe ordering (events carry
+//	    "search": true while exploring). The whole plan is admitted as one
+//	    reservation up front (429 before the first step if over quota). On
+//	    success the final state becomes the session's pinned baseline —
+//	    follow-up updates delta against the migrated network; on violation,
+//	    infeasibility, or error the original pinned state is restored. The
+//	    plan also appears in the session's run history ("migrate": true,
+//	    with its result) for later GETs.
+//
 //	GET /v2/sessions/{id}, DELETE /v2/sessions/{id}
 //	    As in v1.
 //
@@ -186,6 +207,7 @@ import (
 	"lightyear/internal/engine"
 	"lightyear/internal/fabric"
 	"lightyear/internal/logging"
+	"lightyear/internal/migrate"
 	"lightyear/internal/netgen"
 	"lightyear/internal/plan"
 	"lightyear/internal/solver"
@@ -467,6 +489,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v2/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("POST /v2/sessions", s.handleSessionCreateV2)
 	mux.HandleFunc("POST /v2/sessions/{id}/update", s.handleSessionUpdateV2)
+	mux.HandleFunc("POST /v2/sessions/{id}/migrate", s.handleSessionMigrate)
 	mux.HandleFunc("GET /v2/sessions/{id}", s.handleSessionGet)
 	mux.HandleFunc("DELETE /v2/sessions/{id}", s.handleSessionDelete)
 
@@ -1212,22 +1235,33 @@ func (sess *session) expireIfIdle(cutoff time.Time) bool {
 	return true
 }
 
-// queuedRun is one pending run awaiting the session worker.
+// queuedRun is one pending run awaiting the session worker: a network to
+// baseline/update against, or a migration plan closure. migrateFn entries
+// carry an abandon hook the session's close() invokes — under the queue's
+// mutual exclusion with the worker's dequeue, so exactly once — to release
+// the plan's reservation and end its event stream when the session is
+// deleted before the plan runs.
 type queuedRun struct {
 	run      *sessionRun
 	network  *topology.Network
 	baseline bool
+
+	migrateFn func() (*migrate.Result, error)
+	abandon   func()
 }
 
-// sessionRun is one baseline or update applied to a session.
+// sessionRun is one baseline, update, or migration plan applied to a
+// session.
 type sessionRun struct {
 	seq       int
 	submitted time.Time
 	baseline  bool
+	migrate   bool
 
-	status string // running | done | failed
-	errMsg string
-	result *delta.Result
+	status        string // running | done | failed
+	errMsg        string
+	result        *delta.Result
+	migrateResult *migrate.Result
 }
 
 // createSession registers and starts a session whose problem source is the
@@ -1401,6 +1435,13 @@ func (sess *session) pinSourceFP(cfg string) {
 	sess.mu.Unlock()
 }
 
+// currentSrcFP reads the session's pinned source fingerprint.
+func (sess *session) currentSrcFP() string {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.srcFP
+}
+
 func (s *server) handleSessionUpdateV1(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.lookupSession(w, r)
 	if !ok {
@@ -1478,6 +1519,138 @@ func (s *server) handleSessionUpdateV2(w http.ResponseWriter, r *http.Request) {
 	launchUpdate(w, sess, n, "/v2/sessions/")
 }
 
+// sessionMigrateV2 is the POST /v2/sessions/{id}/migrate body: a migration
+// plan's step list (the session pins the baseline, properties, and
+// options), plus the search controls and optionally the caller's tenant.
+// Network and Properties are decoded only so that bodies carrying them are
+// rejected by CompileSteps with a real explanation rather than silently
+// ignored.
+type sessionMigrateV2 struct {
+	Network      *plan.Network   `json:"network,omitempty"`
+	Properties   []plan.Property `json:"properties,omitempty"`
+	Steps        []migrate.Step  `json:"steps"`
+	Unordered    bool            `json:"unordered,omitempty"`
+	SearchBudget int             `json:"search_budget,omitempty"`
+	Tenant       string          `json:"tenant,omitempty"`
+}
+
+// handleSessionMigrate verifies a migration plan against the session's
+// pinned baseline and streams its step-indexed events as NDJSON. Unlike
+// updates (202 + poll), the response is the run: migration is a deployment
+// gate, and the caller wants the first violating step the moment it is
+// found. The plan executes on the session worker — strictly ordered with
+// the session's other runs — while this handler relays its events; a
+// disconnecting client does not abort the plan (the session must end on a
+// verified state, pinned or rolled back, not mid-sequence).
+func (s *server) handleSessionMigrate(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	var req sessionMigrateV2
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !sessionTenantAllowed(w, r, sess, req.Tenant) {
+		return
+	}
+	var c *migrate.Compiled
+	var cerr error
+	tr, ok := s.startRequestTrace("migrate:"+sess.label, sess.tenant, func() bool {
+		c, cerr = migrate.CompileSteps(migrate.Plan{
+			Network:      req.Network,
+			Properties:   req.Properties,
+			Steps:        req.Steps,
+			Unordered:    req.Unordered,
+			SearchBudget: req.SearchBudget,
+		}, sess.plan, sess.currentSrcFP())
+		return cerr == nil
+	})
+	if !ok {
+		httpError(w, http.StatusBadRequest, strings.TrimPrefix(cerr.Error(), "plan: "))
+		return
+	}
+	// Whole-plan admission, decided before the stream opens: every step
+	// re-solves at most the plan's full per-state cost, and the steps run
+	// sequentially, so one reservation covers the entire sequence. An
+	// over-quota migration is a clean 429 here, never a failure mid-plan.
+	resv, ok := s.admitTraced(w, sess.plan, tr)
+	if !ok {
+		return
+	}
+
+	events := make(chan migrate.Event, 256)
+	clientGone := make(chan struct{})
+	run := sess.launchMigrate(func() (*migrate.Result, error) {
+		defer close(events)
+		defer tr.Finish()
+		res, err := migrate.Run(context.Background(), s.eng, c, migrate.RunConfig{
+			Verifier:         sess.verifier,
+			BaselineSourceFP: sess.currentSrcFP(),
+			Reservation:      resv, // released by Run
+			Store:            s.store,
+			Recorder:         s.rec,
+			Trace:            tr,
+			Sink: func(ev migrate.Event) {
+				select {
+				case events <- ev:
+				case <-clientGone:
+					// Client disconnected; keep running, drop the event.
+				}
+			},
+		})
+		if err != nil {
+			select {
+			case events <- migrate.Event{Type: migrate.EvError, Step: -1, PlanStep: -1, Reason: err.Error()}:
+			case <-clientGone:
+			}
+		}
+		return res, err
+	}, func() {
+		// Session deleted while the plan was queued: nothing ran, nothing
+		// was reserved beyond the admission we took — hand it back and end
+		// the stream.
+		resv.Release()
+		tr.Finish()
+		close(events)
+	})
+	if run == nil {
+		resv.Release()
+		tr.Finish()
+		httpError(w, http.StatusNotFound, "session deleted")
+		return
+	}
+
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if id := tr.ID(); id != "" {
+		w.Header().Set("X-Trace-Id", id)
+	}
+	w.WriteHeader(http.StatusOK)
+	defer close(clientGone)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if canFlush {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		case <-s.shutdown:
+			// Everything emitted so far has been flushed; the plan itself
+			// finishes on the session worker.
+			return
+		}
+	}
+}
+
 // launch enqueues a run and returns immediately; the session worker
 // executes queued runs in submission order (run seq and queue position are
 // assigned under one lock hold, so they agree). Returns nil if the session
@@ -1500,13 +1673,47 @@ func (sess *session) launch(n *topology.Network, baseline bool) *sessionRun {
 	return run
 }
 
+// launchMigrate queues a migration plan on the session worker, so it runs
+// in submission order with the session's baselines and updates (never
+// concurrently with them — migration steps and updates mutate the same
+// verifier). fn executes the plan; abandon is invoked instead if the
+// session is deleted while the plan is still queued. Returns nil if the
+// session is already deleted (the caller keeps ownership of the plan's
+// reservation and event stream).
+func (sess *session) launchMigrate(fn func() (*migrate.Result, error), abandon func()) *sessionRun {
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		return nil
+	}
+	run := &sessionRun{seq: len(sess.runs), submitted: time.Now(), migrate: true, status: "running"}
+	sess.runs = append(sess.runs, run)
+	sess.queue = append(sess.queue, &queuedRun{run: run, migrateFn: fn, abandon: abandon})
+	sess.lastActive = time.Now()
+	sess.mu.Unlock()
+	select {
+	case sess.wake <- struct{}{}:
+	default:
+	}
+	return run
+}
+
 // close marks the session deleted and releases its worker. Queued runs are
-// abandoned.
+// abandoned; a queued migration plan's abandon hook releases its
+// reservation and closes its event stream. The queue is swapped out under
+// sess.mu — the worker dequeues under the same lock, so an entry is either
+// abandoned here or executed there, never both.
 func (sess *session) close() {
 	sess.mu.Lock()
 	sess.closed = true
+	abandoned := sess.queue
 	sess.queue = nil
 	sess.mu.Unlock()
+	for _, q := range abandoned {
+		if q.abandon != nil {
+			q.abandon()
+		}
+	}
 	select {
 	case sess.wake <- struct{}{}:
 	default:
@@ -1530,6 +1737,33 @@ func (sess *session) worker() {
 			sess.queue = sess.queue[1:]
 			sess.running++
 			sess.mu.Unlock()
+
+			if q.migrateFn != nil {
+				mres, err := q.migrateFn()
+				sess.mu.Lock()
+				q.run.migrateResult = mres
+				if err != nil {
+					q.run.status = "failed"
+					q.run.errMsg = err.Error()
+					// The rollback to the original baseline may itself have
+					// failed; the pinned state is unknown, so no stored
+					// source may claim to match it.
+					sess.srcFP = ""
+				} else {
+					q.run.status = "done"
+					if mres.OK {
+						// The final migrated state is the session's new
+						// baseline: re-pin its source identity ("" when it is
+						// mutation-derived and corresponds to no stored
+						// config source) so the no-op fast path stays sound.
+						sess.srcFP = mres.FinalSourceFP
+					}
+				}
+				sess.running--
+				sess.lastActive = time.Now()
+				sess.mu.Unlock()
+				continue
+			}
 
 			if sess.store != nil {
 				sess.store.SetFingerprint(q.network.Fingerprint())
@@ -1571,12 +1805,14 @@ type sessionJSON struct {
 }
 
 type sessionRunJSON struct {
-	Seq       int           `json:"seq"`
-	Submitted time.Time     `json:"submitted"`
-	Baseline  bool          `json:"baseline"`
-	Status    string        `json:"status"`
-	Error     string        `json:"error,omitempty"`
-	Result    *delta.Result `json:"result,omitempty"`
+	Seq       int             `json:"seq"`
+	Submitted time.Time       `json:"submitted"`
+	Baseline  bool            `json:"baseline"`
+	Migrate   bool            `json:"migrate,omitempty"`
+	Status    string          `json:"status"`
+	Error     string          `json:"error,omitempty"`
+	Result    *delta.Result   `json:"result,omitempty"`
+	Migration *migrate.Result `json:"migration,omitempty"`
 }
 
 func (s *server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
@@ -1598,9 +1834,11 @@ func (s *server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 			Seq:       run.seq,
 			Submitted: run.submitted,
 			Baseline:  run.baseline,
+			Migrate:   run.migrate,
 			Status:    run.status,
 			Error:     run.errMsg,
 			Result:    run.result,
+			Migration: run.migrateResult,
 		})
 	}
 	sess.mu.Unlock()

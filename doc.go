@@ -114,6 +114,30 @@
 // /v1/sessions/{id}/update, GET /v1/sessions/{id}), and `lybench
 // -experiment delta` for the change-size vs re-verification-cost sweep.
 //
+// # Migration plans
+//
+// internal/migrate verifies reconfiguration sequences, not just states: a
+// migrate.Plan pins a baseline network and walks an ordered list of steps —
+// each a full replacement config or a named route-map edit
+// (netgen.MutationSpec: insert/remove an import or export clause, tighten a
+// router's peer imports) — verifying every intermediate state as a dirty-
+// subset delta re-solve on one delta.Verifier. Steps whose config source is
+// unchanged (config.SourceFingerprint — comments and whitespace don't
+// count) skip solving entirely; a violating step stops the walk and reports
+// its index, failing checks, and witnesses. For an unordered change set
+// ("unordered": true) migrate.Run searches for a safe order instead:
+// depth-first over permutations, pruning interchangeable orders of
+// independent steps (disjoint touched routers commute), memoizing verified
+// intermediate states by network fingerprint, and bounded by a search
+// budget — answering a safe order, or a minimal explanation of why none
+// exists. The whole plan is admitted up front as one engine.Reserve unit.
+// Surfaces: `lightyear -migrate steps.json` (exit 0 safe, 1 violated at
+// step k, 3 undecided, 4 no safe order), POST /v2/sessions/{id}/migrate on
+// lyserve (streams step events as NDJSON; success re-pins the session on
+// the migrated state, failure rolls back), `lybench -experiment migrate`
+// (BENCH_migrate.json), and the lightyear_migrate_steps /
+// lightyear_migrate_reorders counters on /metrics.
+//
 // # Verification plans — the one request API
 //
 // internal/plan is the declarative request schema every entry point speaks:

@@ -29,6 +29,63 @@
 //	     {"type":"property","prop":0,"property":"wan-peering","ok":true,...}
 //	     {"type":"plan","ok":true}
 //
+// # Verifying a deployment
+//
+// A change rolled out to a live network passes through intermediate states,
+// and any one of them can violate a property the endpoints both satisfy.
+// A migration plan (internal/migrate) verifies the whole sequence: a
+// baseline network, the properties to hold throughout, and ordered steps —
+// each either a full replacement config ("config") or a named route-map
+// edit ("mutation"). The steps.json schema, accepted verbatim by the CLI
+// and (steps only) by the session endpoint:
+//
+//	{
+//	  "network":    {"generator": {"kind": "fig1"}},
+//	  "properties": [{"name": "fig1-no-transit"}],
+//	  "steps": [
+//	    {"label": "shield", "mutation": {"kind": "insert-export-deny",
+//	      "from": "R2", "to": "ISP2", "seq": 5, "match": "community:100:1"}},
+//	    {"label": "retire", "mutation": {"kind": "remove-export-clause",
+//	      "from": "R2", "to": "ISP2", "seq": 10}}
+//	  ]
+//	}
+//
+// `lightyear -migrate steps.json` verifies the baseline once, then each
+// step as an incremental delta re-solve (only checks touched by the edit
+// are re-proven; a comment-only config step solves nothing). Exit status:
+// 0 every step verified (or a safe order was found), 1 the plan violated
+// at some step k (printed with the failing checks and witness), 2 the
+// steps.json was malformed, 3 the walk stopped on an undecided (solver
+// budget) step, 4 no safe order exists for an unordered change set. With
+// "unordered": true the steps are a change *set*: the walk becomes a
+// search that prunes interchangeable orders of independent steps, memoizes
+// verified intermediate states, and prints the safe order it found — or
+// why none exists.
+//
+// Against lyserve the same steps run inside a pinned session — the session
+// supplies the network and properties, so the body carries only the steps —
+// and the walk streams back as NDJSON, one event per state:
+//
+//	curl -s localhost:8080/v2/sessions -d '{
+//	  "network": {"generator": {"kind": "fig1"}},
+//	  "properties": [{"name": "fig1-no-transit"}]}'
+//	  => {"id":"session-1",...}
+//	curl -sN localhost:8080/v2/sessions/session-1/migrate -d @steps.json
+//	  => {"type":"baseline","step":-1,"ok":true,"reused":22,...}
+//	     {"type":"step_started","step":0,"label":"shield",...}
+//	     {"type":"step_ok","step":0,"label":"shield","checks":22,"dirty":1,...}
+//	     {"type":"step_started","step":1,"label":"retire",...}
+//	     {"type":"step_ok","step":1,"label":"retire","checks":22,"dirty":1,...}
+//	     {"type":"done","ok":true,"result":{...}}
+//
+// A violating plan streams {"type":"step_violated","step":k,...} plus one
+// "check" event per failing check, and the session rolls back to its
+// pinned baseline; on success the session re-pins on the migrated state,
+// so follow-up /update calls delta against the deployed network. The
+// lightyear_migrate_steps{outcome} and lightyear_migrate_reorders counters
+// on /metrics, and `lybench -experiment migrate` (BENCH_migrate.json),
+// measure the per-step reuse this buys.
+//
 // # Choosing a solver backend
 //
 // Every check is a declarative obligation decided by a pluggable solver

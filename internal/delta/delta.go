@@ -147,6 +147,10 @@ type Verifier struct {
 	workload engine.Workload
 
 	runMu sync.Mutex // serializes Baseline/Update
+	// resv, when set, is an externally held admission reservation every run
+	// executes under instead of reserving its own dirty cost — the seam
+	// internal/migrate uses to admit a whole N-step plan as one unit.
+	resv *engine.Reservation
 
 	mu          sync.Mutex // guards the pinned state below
 	network     *topology.Network
@@ -180,6 +184,19 @@ func (v *Verifier) SetWorkload(w engine.Workload) {
 	w.Kind, w.Safety, w.Liveness, w.Checks = "", nil, nil, nil
 	w.Property, w.Reservation = core.Property{}, nil
 	v.workload = w
+}
+
+// SetReservation supplies an externally held admission reservation. While
+// set, Baseline and Update submit their dirty subsets under it instead of
+// reserving their own cost per run — the caller has already admitted the
+// whole workload (e.g. a migration plan reserves its full baseline cost
+// once, since its sequential steps never hold more than that in flight) and
+// remains responsible for releasing it. Pass nil to restore per-run
+// reservations. Must not be called while a run is in progress.
+func (v *Verifier) SetReservation(resv *engine.Reservation) {
+	v.runMu.Lock()
+	v.resv = resv
+	v.runMu.Unlock()
 }
 
 // Tenant returns the tenant the session's runs are admitted under.
@@ -314,11 +331,15 @@ func (v *Verifier) run(prev *topology.Network, prevResults map[string]core.Check
 		dirtyCost += len(pr.dirty)
 	}
 
-	resv, err := v.eng.Reserve(v.workload.Tenant, dirtyCost)
-	if err != nil {
-		return nil, err
+	resv := v.resv
+	if resv == nil {
+		owned, err := v.eng.Reserve(v.workload.Tenant, dirtyCost)
+		if err != nil {
+			return nil, err
+		}
+		defer owned.Release()
+		resv = owned
 	}
-	defer resv.Release()
 
 	// Submit the dirty subset of every problem before waiting on any, so
 	// the engine dedups identical dirty checks across the whole suite.
@@ -411,12 +432,15 @@ func (v *Verifier) unchangedResult(res *Result, prev *topology.Network) (*Result
 	// zero-cost reservation keeps per-tenant admission accounting (and
 	// quota rejections) identical to the slow path's empty dirty set. On
 	// admission error, fall through — the slow path reserves the same cost
-	// and surfaces the same error.
-	resv, err := v.eng.Reserve(v.workload.Tenant, 0)
-	if err != nil {
-		return nil, false
+	// and surfaces the same error. Under an external reservation the whole
+	// workload is already admitted, so there is nothing to charge.
+	if v.resv == nil {
+		resv, err := v.eng.Reserve(v.workload.Tenant, 0)
+		if err != nil {
+			return nil, false
+		}
+		resv.Release()
 	}
-	resv.Release()
 	res.Unchanged = true
 	res.OK = last.OK
 	res.Failures = last.Failures

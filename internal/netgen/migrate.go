@@ -1,0 +1,297 @@
+package netgen
+
+import (
+	"fmt"
+	"strings"
+
+	"lightyear/internal/policy"
+	"lightyear/internal/routemodel"
+	"lightyear/internal/spec"
+	"lightyear/internal/topology"
+)
+
+// Serializable config deltas for migration plans (internal/migrate): a
+// MutationSpec names one realistic route-map edit — the unit a deployment
+// step applies — and ApplyMutation produces the post-step network without
+// touching the input state, so a plan walk can hold many intermediate
+// states at once. The ordered change-set generators at the bottom emit
+// labeled step sequences for tests and benchmarks, including the
+// clause-swap set whose safety depends on order.
+
+// Mutation kinds understood by ApplyMutation.
+const (
+	// MutTighten prepends a deny-TEST-NET-2 clause to every peer import at
+	// router At (TightenPeerImports): semantically benign, touches every
+	// external session of one router.
+	MutTighten = "tighten-imports"
+	// MutInsertImportDeny / MutInsertExportDeny insert a deny clause with
+	// sequence number Seq matching the named predicate Match into the
+	// import (resp. export) route map bound on the edge From -> To.
+	// Inserting at an occupied sequence number is an error, as it is on
+	// real devices where sequence numbers are unique per map.
+	MutInsertImportDeny = "insert-import-deny"
+	MutInsertExportDeny = "insert-export-deny"
+	// MutRemoveImportClause / MutRemoveExportClause delete the clause with
+	// sequence number Seq from the edge's import (resp. export) map; a
+	// missing sequence number is an error.
+	MutRemoveImportClause = "remove-import-clause"
+	MutRemoveExportClause = "remove-export-clause"
+)
+
+// MutationSpec is one named configuration edit, the serializable form a
+// migration step carries over the wire and in steps.json files.
+type MutationSpec struct {
+	Kind  string          `json:"kind"`
+	At    topology.NodeID `json:"at,omitempty"`   // tighten-imports: the router
+	From  topology.NodeID `json:"from,omitempty"` // clause edits: the session edge
+	To    topology.NodeID `json:"to,omitempty"`
+	Seq   int             `json:"seq,omitempty"`   // clause sequence number
+	Match string          `json:"match,omitempty"` // insert kinds: named predicate
+}
+
+// String renders the spec compactly for labels and error messages.
+func (m MutationSpec) String() string {
+	switch m.Kind {
+	case MutTighten:
+		return fmt.Sprintf("%s at %s", m.Kind, m.At)
+	case MutInsertImportDeny, MutInsertExportDeny:
+		return fmt.Sprintf("%s %s -> %s seq %d match %s", m.Kind, m.From, m.To, m.Seq, m.Match)
+	default:
+		return fmt.Sprintf("%s %s -> %s seq %d", m.Kind, m.From, m.To, m.Seq)
+	}
+}
+
+// MatchPred resolves the named match predicates insert mutations carry:
+// "community:<a>:<b>" plus the generated suites' well-known prefix sets.
+func MatchPred(name string) (spec.Pred, error) {
+	if rest, ok := strings.CutPrefix(name, "community:"); ok {
+		c, err := routemodel.ParseCommunity(rest)
+		if err != nil {
+			return nil, fmt.Errorf("netgen: bad match %q: %v", name, err)
+		}
+		return spec.HasCommunity(c), nil
+	}
+	switch name {
+	case "test-net-2":
+		return spec.PrefixIn(TestNet2), nil
+	case "bogons":
+		return spec.PrefixIn(Bogons), nil
+	case "class-e":
+		return spec.PrefixIn(ClassE), nil
+	case "default-route":
+		return spec.PrefixIn(DefaultRoute), nil
+	case "reused-ips":
+		return spec.PrefixIn(ReusedIPs), nil
+	case "cust-prefixes":
+		return spec.PrefixIn(CustPrefixes), nil
+	}
+	return nil, fmt.Errorf("netgen: unknown match predicate %q (want community:<a>:<b>, test-net-2, bogons, class-e, default-route, reused-ips, or cust-prefixes)", name)
+}
+
+// Validate checks the spec is well-formed independent of any network state,
+// so plan compilation can reject bad steps before anything runs.
+func (m MutationSpec) Validate() error {
+	switch m.Kind {
+	case MutTighten:
+		if m.At == "" {
+			return fmt.Errorf("netgen: %s requires \"at\"", m.Kind)
+		}
+	case MutInsertImportDeny, MutInsertExportDeny:
+		if m.From == "" || m.To == "" {
+			return fmt.Errorf("netgen: %s requires \"from\" and \"to\"", m.Kind)
+		}
+		if m.Seq <= 0 {
+			return fmt.Errorf("netgen: %s requires a positive \"seq\"", m.Kind)
+		}
+		if _, err := MatchPred(m.Match); err != nil {
+			return err
+		}
+	case MutRemoveImportClause, MutRemoveExportClause:
+		if m.From == "" || m.To == "" {
+			return fmt.Errorf("netgen: %s requires \"from\" and \"to\"", m.Kind)
+		}
+		if m.Seq <= 0 {
+			return fmt.Errorf("netgen: %s requires a positive \"seq\"", m.Kind)
+		}
+	case "":
+		return fmt.Errorf("netgen: mutation kind missing")
+	default:
+		return fmt.Errorf("netgen: unknown mutation kind %q", m.Kind)
+	}
+	return nil
+}
+
+// TouchedNodes returns the nodes whose local configuration the mutation can
+// edit. Every local check reads the route maps of one session edge (or of
+// one router's edges), so two mutations with disjoint touched-node sets
+// edit disjoint check footprints: they commute, and applying them in either
+// adjacent order traverses intermediate states that verify identically.
+// Migration-order search prunes on exactly this independence.
+func (m MutationSpec) TouchedNodes() []topology.NodeID {
+	if m.Kind == MutTighten {
+		return []topology.NodeID{m.At}
+	}
+	return []topology.NodeID{m.From, m.To}
+}
+
+// IndependentMutations reports whether a and b touch disjoint node sets and
+// therefore commute (see TouchedNodes).
+func IndependentMutations(a, b MutationSpec) bool {
+	for _, x := range a.TouchedNodes() {
+		for _, y := range b.TouchedNodes() {
+			if x == y {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ApplyMutation returns the network state after applying m to n. The input
+// network is never modified (Clone + copy-on-write maps), so a caller can
+// branch many candidate orders off one state. Errors mean the mutation does
+// not apply to this state — an unknown edge, an occupied sequence number on
+// insert, a missing one on remove — which a migration plan treats as the
+// step being infeasible at this point of the sequence.
+func ApplyMutation(n *topology.Network, m MutationSpec) (*topology.Network, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Kind == MutTighten {
+		if n.Node(m.At) == nil || n.IsExternal(m.At) {
+			return nil, fmt.Errorf("netgen: %s: no configured router %q", m.Kind, m.At)
+		}
+		c := n.Clone()
+		if TightenPeerImports(c, m.At) == 0 {
+			return nil, fmt.Errorf("netgen: %s: router %q has no external peer sessions", m.Kind, m.At)
+		}
+		return c, nil
+	}
+
+	e := topology.Edge{From: m.From, To: m.To}
+	if !n.HasEdge(e) {
+		return nil, fmt.Errorf("netgen: %s: no session edge %s", m.Kind, e)
+	}
+	isImport := m.Kind == MutInsertImportDeny || m.Kind == MutRemoveImportClause
+	old := n.Export(e)
+	if isImport {
+		old = n.Import(e)
+	}
+	var edited *policy.RouteMap
+	var err error
+	switch m.Kind {
+	case MutInsertImportDeny, MutInsertExportDeny:
+		pred, _ := MatchPred(m.Match) // validated above
+		edited, err = InsertDenyClause(old, m.Seq, pred)
+	default:
+		edited, err = RemoveClause(old, m.Seq)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("netgen: %s on %s: %v", m.Kind, e, err)
+	}
+	c := n.Clone()
+	if isImport {
+		c.SetImport(e, edited)
+	} else {
+		c.SetExport(e, edited)
+	}
+	return c, nil
+}
+
+// InsertDenyClause returns a copy of m with a deny clause for pred at
+// sequence number seq, placed so ascending sequence order — the first-match
+// evaluation order of generated maps — is preserved. Inserting at an
+// occupied sequence number is an error: on real devices sequence numbers
+// are unique per map, and a migration step that assumes a free slot must
+// fail loudly when an earlier step (or none) left it occupied. A nil map is
+// the implicit permit-all and becomes an explicit map with the one clause.
+func InsertDenyClause(m *policy.RouteMap, seq int, pred spec.Pred) (*policy.RouteMap, error) {
+	out := &policy.RouteMap{Name: "edited", DefaultPermit: true}
+	if m != nil {
+		out.Name = m.Name
+		out.DefaultPermit = m.DefaultPermit
+		out.Clauses = append([]policy.Clause(nil), m.Clauses...)
+	}
+	at := len(out.Clauses)
+	for i, cl := range out.Clauses {
+		if cl.Seq == seq {
+			return nil, fmt.Errorf("sequence %d already occupied", seq)
+		}
+		if cl.Seq > seq {
+			at = i
+			break
+		}
+	}
+	clause := policy.Clause{Seq: seq, Matches: []spec.Pred{pred}, Permit: false}
+	out.Clauses = append(out.Clauses[:at], append([]policy.Clause{clause}, out.Clauses[at:]...)...)
+	return out, nil
+}
+
+// RemoveClause returns a copy of m without the clause at sequence number
+// seq; a missing sequence number (including a nil map) is an error.
+func RemoveClause(m *policy.RouteMap, seq int) (*policy.RouteMap, error) {
+	if m == nil {
+		return nil, fmt.Errorf("no clause with sequence %d (map is implicit permit-all)", seq)
+	}
+	for i, cl := range m.Clauses {
+		if cl.Seq == seq {
+			out := &policy.RouteMap{Name: m.Name, DefaultPermit: m.DefaultPermit}
+			out.Clauses = append(append([]policy.Clause(nil), m.Clauses[:i]...), m.Clauses[i+1:]...)
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("no clause with sequence %d in %s", seq, m.Name)
+}
+
+// MigrationStep is one labeled config delta in an ordered change set.
+type MigrationStep struct {
+	Label    string       `json:"label"`
+	Mutation MutationSpec `json:"mutation"`
+}
+
+// Fig1FilterSwap returns the clause-swap change set on R2's export to ISP2
+// in the Figure-1 network: replace the transit filter clause at sequence 10
+// with a fresh copy, keeping the network transit-safe throughout.
+//
+//	shield:    insert deny 100:1 at seq 5  (safe any time)
+//	retire:    remove the clause at seq 10 (safe only once shielded)
+//	reinstate: insert deny 100:1 at seq 10 (needs seq 10 free: after retire)
+//
+// Exactly one of the six orders — shield, retire, reinstate — keeps every
+// intermediate state verified: retiring first leaks transit routes to ISP2,
+// and reinstating before retiring collides with the occupied sequence
+// number. The first two steps alone are the minimal unsafe-in-one-order
+// pair: [shield, retire] verifies at every state, [retire, shield] violates
+// the no-transit property after its first step.
+func Fig1FilterSwap() []MigrationStep {
+	deny := "community:" + CommTransit.String()
+	edge := func(kind string, seq int, match string) MutationSpec {
+		return MutationSpec{Kind: kind, From: "R2", To: "ISP2", Seq: seq, Match: match}
+	}
+	return []MigrationStep{
+		{Label: "shield", Mutation: edge(MutInsertExportDeny, 5, deny)},
+		{Label: "retire", Mutation: edge(MutRemoveExportClause, 10, "")},
+		{Label: "reinstate", Mutation: edge(MutInsertExportDeny, 10, deny)},
+	}
+}
+
+// Fig1ShieldRetire returns the two-step prefix of Fig1FilterSwap: safe in
+// the given order, violating in the reverse one.
+func Fig1ShieldRetire() []MigrationStep {
+	return Fig1FilterSwap()[:2]
+}
+
+// WANTightenSteps returns k labeled steps each tightening the peer imports
+// of a distinct WAN edge router. The steps touch disjoint routers, so every
+// order is safe — the benchmark shape for measuring per-step re-solve cost
+// and search pruning on commuting change sets.
+func WANTightenSteps(k int) []MigrationStep {
+	steps := make([]MigrationStep, 0, k)
+	for i := 0; i < k; i++ {
+		steps = append(steps, MigrationStep{
+			Label:    fmt.Sprintf("tighten-%s", EdgeRouter(i)),
+			Mutation: MutationSpec{Kind: MutTighten, At: EdgeRouter(i)},
+		})
+	}
+	return steps
+}

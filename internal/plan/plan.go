@@ -143,6 +143,13 @@ func requestErrorf(format string, args ...any) error {
 	return &RequestError{msg: fmt.Sprintf(format, args...)}
 }
 
+// RequestErrorf builds a RequestError — for sibling request layers (e.g.
+// internal/migrate) whose malformed inputs belong to the same usage-error
+// class and must be classified identically by every entry point.
+func RequestErrorf(format string, args ...any) error {
+	return requestErrorf(format, args...)
+}
+
 // Validate checks the request's shape without materializing networks:
 // exactly one network source, at least one property, and every property
 // name registered. Compile calls it; entry points may call it earlier for

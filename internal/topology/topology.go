@@ -280,6 +280,49 @@ func (n *Network) Validate() error {
 	return nil
 }
 
+// Clone returns an independent copy of the network: nodes are copied by
+// value and every map and adjacency slice is rebuilt, so structural edits
+// and policy rebinding (SetImport/SetExport/AddOriginate) on the clone
+// never affect the original. Route maps and originated routes are shared
+// by pointer — they are treated as immutable values throughout (mutation
+// helpers copy-on-write, see netgen.PrependDeny), which is what makes an
+// N-step migration plan affordable: each step clones the graph shell and
+// replaces only the one binding it edits.
+func (n *Network) Clone() *Network {
+	c := &Network{
+		nodes:      make(map[NodeID]*Node, len(n.nodes)),
+		edges:      make(map[Edge]struct{}, len(n.edges)),
+		out:        make(map[NodeID][]NodeID, len(n.out)),
+		in:         make(map[NodeID][]NodeID, len(n.in)),
+		imports:    make(map[Edge]*policy.RouteMap, len(n.imports)),
+		exports:    make(map[Edge]*policy.RouteMap, len(n.exports)),
+		originates: make(map[Edge][]*routemodel.Route, len(n.originates)),
+	}
+	for id, node := range n.nodes {
+		cp := *node
+		c.nodes[id] = &cp
+	}
+	for e := range n.edges {
+		c.edges[e] = struct{}{}
+	}
+	for id, ns := range n.out {
+		c.out[id] = append([]NodeID(nil), ns...)
+	}
+	for id, ns := range n.in {
+		c.in[id] = append([]NodeID(nil), ns...)
+	}
+	for e, m := range n.imports {
+		c.imports[e] = m
+	}
+	for e, m := range n.exports {
+		c.exports[e] = m
+	}
+	for e, rs := range n.originates {
+		c.originates[e] = append([]*routemodel.Route(nil), rs...)
+	}
+	return c
+}
+
 // RoutersByRole returns configured routers with the given role tag.
 func (n *Network) RoutersByRole(role string) []NodeID {
 	var out []NodeID
