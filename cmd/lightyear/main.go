@@ -16,6 +16,10 @@
 //	lightyear -plan plan.json                                          # run a saved verification plan
 //	lightyear -migrate steps.json                                      # verify a migration plan step by step
 //	lightyear -list                                                    # print the property registry
+//	lightyear -corpus ring:42                                          # verify a generated corpus member
+//	lightyear -corpus waxman:7:size=16,bug=no-bogons                   # corpus member with a planted bug
+//	lightyear -corpus zoo:1 -corpus-graph net.graphml                  # imported TopologyZoo-style graph
+//	lightyear -corpus list                                             # enumerate corpus families and knobs
 //
 // Every invocation is compiled into an internal/plan Request — the same
 // declarative document lyserve accepts on POST /v2/verify — and run on a
@@ -51,6 +55,16 @@
 //	             verdict wins, losers cancelled
 //	tiered       solve with a small conflict budget first (default 2048, or
 //	             the given budget), escalate to unlimited on Unknown
+//
+// With -corpus the network source is a scenario-corpus member reference
+// (internal/corpus): family:seed plus optional knobs, deterministically
+// synthesized and verified like any other network. Members default
+// -property to wan-peering (the suite the corpus policy template
+// instantiates), a bug=<property> knob plants a known violation whose
+// detection is graded after the run, -corpus-emit prints the generated
+// configuration instead of verifying it, and -corpus-graph attaches a
+// GraphML or edge-list file to a zoo member. -corpus list enumerates the
+// families, their knobs, the builtin graphs, and the plantable bugs.
 //
 // With -plan file.json the request is read from the file (the plan.Request
 // JSON schema; see package internal/plan). Explicitly set flags override
@@ -150,6 +164,7 @@ import (
 	"time"
 
 	"lightyear/internal/core"
+	"lightyear/internal/corpus"
 	"lightyear/internal/delta"
 	"lightyear/internal/engine"
 	"lightyear/internal/fabric"
@@ -167,6 +182,8 @@ import (
 // recording which flags were given explicitly (plan-file overrides).
 type cliFlags struct {
 	ConfigPath  string
+	Corpus      string // corpus member reference, or "list"
+	CorpusGraph string // graph file attached to a zoo corpus member
 	Properties  string
 	Routers     string
 	Regions     string // property scope: comma-separated region indices
@@ -200,9 +217,29 @@ func buildRequest(f cliFlags) (plan.Request, error) {
 			return req, fmt.Errorf("%s: %w", f.PlanPath, err)
 		}
 	}
-	if f.PlanPath == "" || f.set("config") {
+	switch {
+	case f.Corpus != "":
+		if f.ConfigPath != "" {
+			return req, &usageError{"-config and -corpus are mutually exclusive"}
+		}
+		m, err := corpusMember(f)
+		if err != nil {
+			return req, err
+		}
+		if m.GraphText != "" {
+			// An out-of-band graph file cannot travel in a member reference;
+			// inline the emitted DSL instead (same network, same bug state).
+			text, err := m.DSL()
+			if err != nil {
+				return req, err
+			}
+			req.Network = plan.Network{Config: text}
+		} else {
+			req.Network = plan.Network{Corpus: f.Corpus}
+		}
+	case f.PlanPath == "" || f.set("config"):
 		if f.ConfigPath == "" {
-			return req, &usageError{"-config is required (generate one with lygen, or pass -plan)"}
+			return req, &usageError{"-config is required (generate one with lygen, pick -corpus, or pass -plan)"}
 		}
 		req.Network = plan.Network{ConfigPath: f.ConfigPath}
 	}
@@ -228,10 +265,16 @@ func buildRequest(f cliFlags) (plan.Request, error) {
 			regions = append(regions, idx)
 		}
 	}
+	props := f.Properties
+	if f.Corpus != "" && !f.set("property") {
+		// Corpus members are built for the peering suite; make it the
+		// default property instead of the fig1 demo.
+		props = corpus.PropertySuite
+	}
 	switch {
 	case f.PlanPath == "" || f.set("property"):
 		req.Properties = nil
-		for _, name := range strings.Split(f.Properties, ",") {
+		for _, name := range strings.Split(props, ",") {
 			name = strings.TrimSpace(name)
 			if name == "" {
 				continue
@@ -305,10 +348,90 @@ type usageError struct{ msg string }
 
 func (e *usageError) Error() string { return e.msg }
 
+// corpusMember resolves -corpus (plus an optional -corpus-graph file) into
+// the member the run verifies.
+func corpusMember(f cliFlags) (corpus.Member, error) {
+	graphText := ""
+	if f.CorpusGraph != "" {
+		src, err := os.ReadFile(f.CorpusGraph)
+		if err != nil {
+			return corpus.Member{}, err
+		}
+		graphText = string(src)
+	}
+	m, err := corpus.ParseWithGraphText(f.Corpus, graphText)
+	if err != nil {
+		return m, &usageError{strings.TrimPrefix(err.Error(), "corpus: ")}
+	}
+	if f.CorpusGraph != "" && m.Family != "zoo" {
+		return m, &usageError{"-corpus-graph only applies to zoo corpus members"}
+	}
+	return m, nil
+}
+
+// printCorpusFamilies renders the corpus enumeration: families with their
+// knobs, the builtin zoo graphs, and the plantable bugs.
+func printCorpusFamilies(prefix string) {
+	for _, fam := range corpus.Families() {
+		fmt.Printf("%s%-17s %s\n", prefix, fam.Name, fam.Desc)
+		for _, k := range fam.Knobs {
+			fmt.Printf("%s    %-10s %-10s %s\n", prefix, k.Name, k.Default, k.Desc)
+		}
+	}
+	fmt.Printf("%sbuiltin zoo graphs: %s\n", prefix, strings.Join(corpus.BuiltinGraphNames(), ", "))
+	fmt.Printf("%splantable bugs (bug=...): %s\n", prefix, strings.Join(corpus.BugNames(), ", "))
+}
+
+// meanDegree is the average BGP neighbor count over configured routers.
+func meanDegree(n *topology.Network) float64 {
+	routers := n.Routers()
+	if len(routers) == 0 {
+		return 0
+	}
+	total := 0
+	for _, r := range routers {
+		total += n.Degree(r)
+	}
+	return float64(total) / float64(len(routers))
+}
+
+// printCorpusDetection compares the run's failing problems against the
+// member's planted-bug ground truth: the planted property must fail and
+// every other failure is unexpected.
+func printCorpusDetection(res *plan.Result, gt *corpus.GroundTruth) {
+	if gt == nil {
+		fmt.Println("corpus: clean member (no planted bug)")
+		return
+	}
+	detected, unexpected := 0, 0
+	for _, pr := range res.Properties {
+		for _, p := range pr.Problems {
+			if p.OK || p.Skipped {
+				continue
+			}
+			if strings.HasPrefix(p.Name, gt.Property+"@") {
+				detected++
+			} else {
+				unexpected++
+			}
+		}
+	}
+	verdict := "NOT DETECTED"
+	if detected > 0 {
+		verdict = fmt.Sprintf("DETECTED (%d failing problems)", detected)
+	}
+	fmt.Printf("corpus: planted %s on session %s: %s\n", gt.Property, gt.Session, verdict)
+	if unexpected > 0 {
+		fmt.Printf("corpus: %d failing problems outside the planted property\n", unexpected)
+	}
+}
+
 func main() {
 	var f cliFlags
 	flag.StringVar(&f.ConfigPath, "config", "", "path to the network configuration file")
-	flag.StringVar(&f.Properties, "property", "fig1-no-transit", "comma-separated property suites to verify")
+	flag.StringVar(&f.Corpus, "corpus", "", "verify a corpus member (family:seed[:knob=value,...]), or \"list\" to enumerate families")
+	flag.StringVar(&f.CorpusGraph, "corpus-graph", "", "GraphML or edge-list file for zoo corpus members")
+	flag.StringVar(&f.Properties, "property", "fig1-no-transit", "comma-separated property suites to verify (corpus members default to wan-peering)")
 	flag.StringVar(&f.Routers, "routers", "", "comma-separated router subset scoping per-router properties")
 	flag.StringVar(&f.Regions, "regions", "", "comma-separated 0-based region indices scoping regional properties")
 	flag.StringVar(&f.PlanPath, "plan", "", "run a saved plan.Request JSON file")
@@ -323,7 +446,8 @@ func main() {
 	flag.StringVar(&f.Tenant, "tenant", "", "tenant the run is admitted and accounted under")
 	flag.IntVar(&f.MaxInflight, "max-inflight", 0, "admission: max in-flight checks on the engine (0 = unlimited)")
 	flag.StringVar(&f.Weights, "tenant-weights", "", "per-tenant dispatch weights, e.g. t1=3,t2=1 (unlisted tenants weigh 1)")
-	list := flag.Bool("list", false, "print the registered property suites and exit")
+	list := flag.Bool("list", false, "print the registered property suites and corpus families, then exit")
+	corpusEmit := flag.Bool("corpus-emit", false, "print the corpus member's generated configuration and exit")
 	jsonOut := flag.Bool("json", false, "emit the report as machine-readable JSON")
 	verbose := flag.Bool("verbose", false, "print every check result")
 	traceOut := flag.Bool("trace", false, "record an end-to-end telemetry trace and print its span tree to stderr")
@@ -344,7 +468,32 @@ func main() {
 		for _, s := range netgen.Suites() {
 			fmt.Printf("%-17s %s\n", s.Name, s.Desc)
 		}
+		fmt.Println("\ncorpus families (-corpus family:seed[:knob=value,...]):")
+		printCorpusFamilies("")
 		return
+	}
+	if f.Corpus == "list" {
+		printCorpusFamilies("")
+		return
+	}
+	if *corpusEmit {
+		if f.Corpus == "" {
+			fmt.Fprintln(os.Stderr, "lightyear: -corpus-emit requires -corpus")
+			os.Exit(2)
+		}
+		m, err := corpusMember(f)
+		if err == nil {
+			var text string
+			if text, err = m.DSL(); err == nil {
+				fmt.Print(text)
+				return
+			}
+		}
+		fmt.Fprintln(os.Stderr, "lightyear:", err)
+		if _, usage := err.(*usageError); usage {
+			os.Exit(2)
+		}
+		os.Exit(1)
 	}
 
 	if f.MigratePath != "" {
@@ -377,6 +526,7 @@ func main() {
 	// plan.Compile; point the fabric at the run's sinks first.
 	fabric.SetTelemetry(rec)
 	fabric.SetLogger(logger)
+	corpus.SetTelemetry(rec)
 
 	cs := tr.StartSpan("compile")
 	compiled, err := plan.Compile(req, nil)
@@ -395,6 +545,11 @@ func main() {
 			n := compiled.Network
 			fmt.Printf("parsed %s: %d routers, %d externals, %d sessions\n",
 				path, len(n.Routers()), len(n.Externals()), n.NumEdges())
+		}
+		if f.Corpus != "" {
+			n := compiled.Network
+			fmt.Printf("corpus %s: %d routers, %d externals, %d sessions, mean degree %.1f\n",
+				f.Corpus, len(n.Routers()), len(n.Externals()), n.NumEdges(), meanDegree(n))
 		}
 		if b := req.Options.Baseline; b != nil && b.ConfigPath != "" {
 			n := compiled.Baseline
@@ -446,6 +601,15 @@ func main() {
 		printJSON(res, compiled)
 	default:
 		printHuman(res, compiled, *verbose, resultStore)
+		if f.Corpus != "" {
+			// buildRequest already validated the reference; resolve the
+			// ground truth to grade the run against it.
+			if m, err := corpusMember(f); err == nil {
+				if gt, err := m.Plant(); err == nil {
+					printCorpusDetection(res, gt)
+				}
+			}
+		}
 	}
 	if rec != nil {
 		// plan.Run finished the trace, landing it in the recorder's ring.

@@ -27,6 +27,13 @@
 //	                      reporting checks/sec, rpc latency quantiles, and the
 //	                      per-worker shard counters
 //	-experiment faults    differential simulation under random failures (§4.5)
+//	-experiment corpus    scenario-corpus sweep: the default roster of ≥30
+//	                      generated topologies (ring, tree, fattree, waxman,
+//	                      zoo) with one bug planted per member, asserting
+//	                      100% detection with zero mislocalizations, plus a
+//	                      property-preserving fuzz soak and byte-identical
+//	                      regeneration checks; -seed picks the roster,
+//	                      -members truncates it for smoke runs
 //	-experiment migrate   migration-plan verification: ordered walks of k
 //	                      commuting steps on a WAN (per-step dirty subset vs
 //	                      whole-network re-verification) and the safe-order
@@ -35,9 +42,10 @@
 //	                      swap where exactly one order of six is safe
 //	-experiment all       everything above
 //
-// With -out FILE the wan, solver, shard, and migrate experiments additionally write a JSON
-// benchmark document (BENCH_wan.json / BENCH_solver.json in this repo's
-// committed trajectory): completed checks per second, allocations per
+// With -out FILE the wan, solver, shard, migrate, and corpus experiments
+// additionally write a JSON benchmark document (BENCH_wan.json /
+// BENCH_solver.json / BENCH_corpus.json in this repo's committed
+// trajectory): completed checks per second, allocations per
 // check, p50/p99 solve-time and queue-wait quantiles derived from the
 // same internal/telemetry histograms lyserve exposes at /metrics, and the
 // solver-depth dimensions (mean CDCL conflicts and learned clauses per
@@ -62,6 +70,7 @@ import (
 	"time"
 
 	"lightyear/internal/core"
+	"lightyear/internal/corpus"
 	"lightyear/internal/delta"
 	"lightyear/internal/engine"
 	"lightyear/internal/fabric"
@@ -83,12 +92,18 @@ func main() {
 		msTimeout  = flag.Duration("ms-timeout", 2*time.Minute, "fig3: Minesweeper per-size timeout (paper used 2h)")
 		wanScale   = flag.String("wan-scale", "small", "wan: small|medium|large")
 		workers    = flag.Int("workers", 0, "parallel check workers (0 = GOMAXPROCS)")
-		out        = flag.String("out", "", "write a JSON benchmark document (wan and solver experiments)")
+		seed       = flag.Int64("seed", 1, "base seed for seeded experiments (corpus roster, fuzz soak); recorded in every -out document")
+		members    = flag.Int("members", 0, "corpus: verify only the first N roster members (0 = all)")
+		out        = flag.String("out", "", "write a JSON benchmark document (wan, solver, shard, migrate, and corpus experiments)")
 	)
 	flag.Parse()
-	if *out != "" && *experiment != "wan" && *experiment != "solver" && *experiment != "shard" && *experiment != "migrate" {
-		fmt.Fprintf(os.Stderr, "lybench: -out is supported by the wan, solver, shard, and migrate experiments, not %q\n", *experiment)
-		os.Exit(2)
+	switch *experiment {
+	case "wan", "solver", "shard", "migrate", "corpus":
+	default:
+		if *out != "" {
+			fmt.Fprintf(os.Stderr, "lybench: -out is supported by the wan, solver, shard, migrate, and corpus experiments, not %q\n", *experiment)
+			os.Exit(2)
+		}
 	}
 
 	// All experiments share one verification engine, so identical checks
@@ -114,19 +129,21 @@ func main() {
 	case "fig3":
 		fig3(parseSizes(*sizes), *msTimeout, *workers)
 	case "wan":
-		wanExperiment(*wanScale, *workers, *out)
+		wanExperiment(*wanScale, *workers, *seed, *out)
 	case "delta":
 		deltaExperiment(*workers)
 	case "solver":
-		solverExperiment(*workers, *out)
+		solverExperiment(*workers, *seed, *out)
 	case "admission":
 		admissionExperiment(*workers)
 	case "shard":
-		shardExperiment(*out)
+		shardExperiment(*seed, *out)
 	case "faults":
 		faults()
 	case "migrate":
-		migrateExperiment(*workers, *out)
+		migrateExperiment(*workers, *seed, *out)
+	case "corpus":
+		corpusExperiment(*workers, *seed, *members, *out)
 	case "all":
 		table1()
 		table2(eng)
@@ -135,13 +152,14 @@ func main() {
 		table4b(eng)
 		table4c(eng)
 		fig3(parseSizes(*sizes), *msTimeout, *workers)
-		wanExperiment(*wanScale, *workers, "")
+		wanExperiment(*wanScale, *workers, *seed, "")
 		deltaExperiment(*workers)
-		solverExperiment(*workers, "")
+		solverExperiment(*workers, *seed, "")
 		admissionExperiment(*workers)
-		shardExperiment("")
+		shardExperiment(*seed, "")
 		faults()
-		migrateExperiment(*workers, "")
+		migrateExperiment(*workers, *seed, "")
+		corpusExperiment(*workers, *seed, *members, "")
 	default:
 		fmt.Fprintf(os.Stderr, "lybench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -359,6 +377,11 @@ type benchDoc struct {
 	Experiment string `json:"experiment"`
 	Scale      string `json:"scale,omitempty"`
 	Workers    int    `json:"workers"`
+	// Seed is the -seed the run was invoked with and Scenarios the number
+	// of verification scenarios measured, so every committed document states
+	// how to reproduce it and how much it covered.
+	Seed      int64 `json:"seed"`
+	Scenarios int   `json:"scenarios"`
 	benchRow
 	Rows []benchRow `json:"rows,omitempty"`
 }
@@ -440,7 +463,7 @@ func wanSpec(p netgen.WANParams) *netgen.GeneratorSpec {
 	}
 }
 
-func wanExperiment(scale string, workers int, out string) {
+func wanExperiment(scale string, workers int, seed int64, out string) {
 	header("§6.1 WAN scale run")
 	var p netgen.WANParams
 	switch scale {
@@ -534,7 +557,8 @@ func wanExperiment(scale string, workers int, out string) {
 		// The headline measurement is the production path (mode 3): checks
 		// completed per second on the plan run, allocations attributable to
 		// it, and the latency quantiles from the engine's histograms.
-		doc := benchDoc{Experiment: "wan", Scale: scale, Workers: workers}
+		doc := benchDoc{Experiment: "wan", Scale: scale, Workers: workers,
+			Seed: seed, Scenarios: len(problems)}
 		doc.Checks = uint64(st.ChecksSubmitted)
 		doc.ElapsedSeconds = deduped.Seconds()
 		doc.benchRate(allocs)
@@ -618,7 +642,7 @@ func deltaExperiment(workers int) {
 // row pays identical check-generation work and the rows differ only in how
 // obligations are decided — one native solve, a heuristic-variant race
 // (portfolio), or budget-tiered escalation (tiered).
-func solverExperiment(workers int, out string) {
+func solverExperiment(workers int, seed int64, out string) {
 	header("solver: backend comparison on wan-peering")
 	p := netgen.WANParams{Regions: 3, RoutersPerRegion: 2, EdgeRouters: 6, DCsPerRegion: 1, PeersPerEdge: 2}
 	req := plan.Request{
@@ -638,6 +662,11 @@ func solverExperiment(workers int, out string) {
 	fmt.Printf("%-10s | %8s %8s %8s %8s %8s | %10s %10s\n",
 		"backend", "checks", "solved", "unknown", "raced", "escal", "solve", "wall")
 	for _, name := range solver.Names() {
+		if name == solver.RemoteName {
+			// A bare remote spec has no worker fleet to ship to; the shard
+			// experiment measures that backend against a real fleet.
+			continue
+		}
 		r := req
 		r.Options.Solver = &solver.Spec{Backend: name}
 		c, err := plan.Compile(r, nil)
@@ -674,6 +703,7 @@ func solverExperiment(workers int, out string) {
 	}
 	if out != "" {
 		doc.Experiment, doc.Workers, doc.Rows = "solver", workers, rows
+		doc.Seed, doc.Scenarios = seed, len(rows)
 		doc.benchRate(totalAllocs)
 		doc.benchDepth(totalDepth, totalSolved)
 		benchQuantiles(rec, "", &doc.benchRow)
@@ -869,7 +899,7 @@ type shardRow struct {
 // the resource a real deployment adds with each machine. The engine's own
 // worker pool matches the fleet's total slot count, so coordinator-side
 // concurrency grows with the fleet the way a deployment's would.
-func shardExperiment(out string) {
+func shardExperiment(seed int64, out string) {
 	header("shard: solver fabric scaling on sat-stress")
 	const (
 		slotsPerWorker = 2
@@ -979,12 +1009,15 @@ func shardExperiment(out string) {
 	if out != "" {
 		doc := struct {
 			Experiment       string     `json:"experiment"`
+			Seed             int64      `json:"seed"`
+			Scenarios        int        `json:"scenarios"`
 			SlotsPerWorker   int        `json:"slots_per_worker"`
 			ServiceFloorSecs float64    `json:"service_floor_seconds"`
 			Obligations      int        `json:"obligations"`
 			Speedup          float64    `json:"speedup_vs_one_worker"`
 			Rows             []shardRow `json:"rows"`
-		}{Experiment: "shard", SlotsPerWorker: slotsPerWorker, ServiceFloorSecs: serviceFloor.Seconds(), Obligations: len(problems), Rows: rows}
+		}{Experiment: "shard", Seed: seed, Scenarios: len(rows), SlotsPerWorker: slotsPerWorker,
+			ServiceFloorSecs: serviceFloor.Seconds(), Obligations: len(problems), Rows: rows}
 		if len(rows) > 1 && rows[0].ChecksPerSec > 0 {
 			doc.Speedup = rows[len(rows)-1].ChecksPerSec / rows[0].ChecksPerSec
 		}
@@ -1023,7 +1056,7 @@ type migrateRow struct {
 // collapses k! orderings to one explored chain of k states), and the fig1
 // filter swap, where exactly one order of six is safe and the search must
 // actually explore.
-func migrateExperiment(workers int, out string) {
+func migrateExperiment(workers int, seed int64, out string) {
 	header("migrate: steps × change size, ordered walk and safe-order search")
 	p := netgen.WANParams{Regions: 3, RoutersPerRegion: 2, EdgeRouters: 8, DCsPerRegion: 1, PeersPerEdge: 2}
 	var rows []migrateRow
@@ -1103,8 +1136,10 @@ func migrateExperiment(workers int, out string) {
 		doc := struct {
 			Experiment string       `json:"experiment"`
 			Workers    int          `json:"workers"`
+			Seed       int64        `json:"seed"`
+			Scenarios  int          `json:"scenarios"`
 			Rows       []migrateRow `json:"rows"`
-		}{Experiment: "migrate", Workers: workers, Rows: rows}
+		}{Experiment: "migrate", Workers: workers, Seed: seed, Scenarios: len(rows), Rows: rows}
 		if doc.Workers == 0 {
 			doc.Workers = runtime.GOMAXPROCS(0)
 		}
@@ -1113,4 +1148,236 @@ func migrateExperiment(workers int, out string) {
 	fmt.Println("(expected shape: dirty/step tracks the per-step change, not the plan")
 	fmt.Println(" length; unordered commuting sets verify k states, not k! orders; the")
 	fmt.Println(" fig1 swap finds its single safe order of six after a real search.)")
+}
+
+// corpusRow is one synthesizer family's aggregate of the corpus sweep: how
+// many members ran, the check volume, the planted-bug detection score, and
+// the per-family solve-time envelope from the lightyear_corpus_solve_seconds
+// histogram — the same series lyserve exposes at /metrics.
+type corpusRow struct {
+	Family          string  `json:"family"`
+	Members         int     `json:"members"`
+	Checks          uint64  `json:"checks"`
+	Planted         int     `json:"planted"`
+	Detected        int     `json:"detected"`
+	SolveP50Seconds float64 `json:"solve_p50_seconds"`
+	SolveP99Seconds float64 `json:"solve_p99_seconds"`
+}
+
+// corpusDoc is the -out document of the corpus experiment (BENCH_corpus.json
+// in this repo's committed trajectory).
+type corpusDoc struct {
+	Experiment     string      `json:"experiment"`
+	Workers        int         `json:"workers"`
+	Seed           int64       `json:"seed"`
+	Scenarios      int         `json:"scenarios"`
+	Planted        int         `json:"planted"`
+	Detected       int         `json:"detected"`
+	DetectionRate  float64     `json:"detection_rate"`
+	Checks         uint64      `json:"checks"`
+	ElapsedSeconds float64     `json:"elapsed_seconds"`
+	FuzzWalks      int         `json:"fuzz_walks"`
+	Reproducible   bool        `json:"reproducible"`
+	Rows           []corpusRow `json:"rows"`
+}
+
+// corpusExperiment sweeps the default scenario roster: >= 30 deterministic
+// topologies across every synthesizer family, each verified under the full
+// wan-peering property set with a planted bug, grading detection against
+// the member's ground truth. Every member is also regenerated and
+// byte-compared (the reproducibility contract), and one clean member per
+// family takes a property-preserving fuzz walk whose result must still
+// verify. A detection or grading miss fails the run with exit 1 — the
+// sweep asserts 100% detection, it does not merely report it.
+func corpusExperiment(workers int, seed int64, members int, out string) {
+	header("corpus: randomized scenario sweep with planted-bug ground truth")
+	roster := corpus.DefaultRoster(seed)
+	if members > 0 && members < len(roster) {
+		roster = roster[:members]
+	}
+	suite, ok := netgen.Lookup(corpus.PropertySuite)
+	if !ok {
+		fatal(fmt.Errorf("suite %q not registered", corpus.PropertySuite))
+	}
+	rec := telemetry.New(0)
+	corpus.SetTelemetry(rec)
+	defer corpus.SetTelemetry(nil)
+
+	type famAgg struct {
+		members, planted, detected int
+		checks                     uint64
+		first                      corpus.Member
+	}
+	agg := map[string]*famAgg{}
+	var order []string
+	planted, detected, misgraded := 0, 0, 0
+	reproducible := true
+	var totalChecks uint64
+	t0 := time.Now()
+	fmt.Printf("%-36s | %7s %8s %9s | %s\n", "member", "routers", "checks", "time", "detection")
+	for _, m := range roster {
+		// Reproducibility: regenerating the member (and its canonical
+		// reference) must be byte-identical.
+		text, err := m.DSL()
+		if err != nil {
+			fatal(err)
+		}
+		if again, err := m.DSL(); err != nil || again != text {
+			fmt.Printf("  %s: regeneration is not byte-identical\n", m.Ref())
+			reproducible = false
+		}
+		rt, err := corpus.Parse(m.Ref())
+		if err != nil {
+			fatal(err)
+		}
+		if again, err := rt.DSL(); err != nil || again != text {
+			fmt.Printf("  %s: reference round-trip diverges\n", m.Ref())
+			reproducible = false
+		}
+
+		n, gt, err := m.Build()
+		if err != nil {
+			fatal(err)
+		}
+		failing, checks, elapsed := corpusVerify(n, suite, workers)
+		corpus.ObserveSolve(m.Family, elapsed.Seconds())
+		totalChecks += checks
+
+		a := agg[m.Family]
+		if a == nil {
+			a = &famAgg{first: m}
+			agg[m.Family] = a
+			order = append(order, m.Family)
+		}
+		a.members++
+		a.checks += checks
+
+		verdict := "clean: ok"
+		graded := true
+		if gt != nil {
+			planted++
+			a.planted++
+			hit, unexpected := 0, 0
+			for _, name := range failing {
+				if strings.HasPrefix(name, gt.Property+"@") {
+					hit++
+				} else {
+					unexpected++
+				}
+			}
+			switch {
+			case hit > 0 && unexpected == 0:
+				verdict = fmt.Sprintf("DETECTED %s (%d problems)", gt.Property, hit)
+				detected++
+				a.detected++
+			case hit > 0:
+				verdict = fmt.Sprintf("detected %s, but %d unrelated failures", gt.Property, unexpected)
+				graded = false
+			default:
+				verdict = fmt.Sprintf("MISSED %s", gt.Property)
+				graded = false
+			}
+		} else if len(failing) > 0 {
+			verdict = fmt.Sprintf("clean member FAILED %d problems", len(failing))
+			graded = false
+		}
+		if !graded {
+			misgraded++
+		}
+		fmt.Printf("%-36s | %7d %8d %9v | %s\n",
+			m.Ref(), len(n.Routers()), checks, elapsed.Round(time.Millisecond), verdict)
+	}
+	elapsed := time.Since(t0)
+
+	// Fuzz soak: a seeded property-preserving walk on one clean member per
+	// family; the mutated network must still verify the full suite.
+	fuzzWalks := 0
+	fmt.Println("fuzz soak (property-preserving walks):")
+	for _, fam := range order {
+		m := agg[fam].first
+		m.Bug = ""
+		n, _, err := m.Build()
+		if err != nil {
+			fatal(err)
+		}
+		res, err := corpus.Fuzz(n, seed, 4)
+		if err != nil {
+			fatal(err)
+		}
+		failing, _, _ := corpusVerify(res.Network, suite, workers)
+		fuzzWalks++
+		if len(failing) > 0 {
+			fmt.Printf("  %s: %d mutations BROKE %d problems (verifier or fuzzer bug)\n",
+				m.Ref(), len(res.Trail), len(failing))
+			misgraded++
+		} else {
+			fmt.Printf("  %s: %d mutations, suite still verifies\n", m.Ref(), len(res.Trail))
+		}
+	}
+
+	solve := rec.Histogram("lightyear_corpus_solve_seconds", "", nil, "family")
+	var rows []corpusRow
+	fmt.Printf("%-10s | %7s %8s %8s %8s | %10s %10s\n",
+		"family", "members", "checks", "planted", "detected", "p50", "p99")
+	for _, fam := range order {
+		a := agg[fam]
+		h := solve.With(fam)
+		row := corpusRow{Family: fam, Members: a.members, Checks: a.checks,
+			Planted: a.planted, Detected: a.detected,
+			SolveP50Seconds: h.Quantile(0.50), SolveP99Seconds: h.Quantile(0.99)}
+		rows = append(rows, row)
+		fmt.Printf("%-10s | %7d %8d %8d %8d | %10v %10v\n",
+			fam, a.members, a.checks, a.planted, a.detected,
+			time.Duration(row.SolveP50Seconds*float64(time.Second)).Round(time.Millisecond),
+			time.Duration(row.SolveP99Seconds*float64(time.Second)).Round(time.Millisecond))
+	}
+	rate := 0.0
+	if planted > 0 {
+		rate = float64(detected) / float64(planted)
+	}
+	fmt.Printf("corpus: %d members, %d planted bugs, %d detected (%.0f%%), %d checks in %v\n",
+		len(roster), planted, detected, rate*100, totalChecks, elapsed.Round(time.Millisecond))
+
+	if out != "" {
+		doc := corpusDoc{Experiment: "corpus", Workers: workers, Seed: seed,
+			Scenarios: len(roster), Planted: planted, Detected: detected,
+			DetectionRate: rate, Checks: totalChecks,
+			ElapsedSeconds: elapsed.Seconds(), FuzzWalks: fuzzWalks,
+			Reproducible: reproducible, Rows: rows}
+		if doc.Workers == 0 {
+			doc.Workers = runtime.GOMAXPROCS(0)
+		}
+		writeDoc(out, doc)
+	}
+	if misgraded > 0 || detected < planted || !reproducible {
+		fatal(fmt.Errorf("corpus sweep failed: %d/%d detected, %d misgraded, reproducible=%v",
+			detected, planted, misgraded, reproducible))
+	}
+}
+
+// corpusVerify runs the full property suite over one member on a fresh
+// engine (cold per member, like the wan experiment's plan mode: all
+// problems submitted before any is awaited) and returns the failing problem
+// names, the submitted check volume, and the wall time.
+func corpusVerify(n *topology.Network, suite netgen.Suite, workers int) ([]string, uint64, time.Duration) {
+	problems := suite.Problems(n, netgen.SuiteParams{}, netgen.Scope{})
+	eng := engine.New(engine.Options{Workers: workers})
+	defer eng.Close()
+	t0 := time.Now()
+	jobs := make([]*engine.Job, len(problems))
+	for i, p := range problems {
+		j, err := eng.Submit(context.Background(), engine.Workload{Safety: p.Safety})
+		if err != nil {
+			fatal(err)
+		}
+		jobs[i] = j
+	}
+	var failing []string
+	for i, j := range jobs {
+		if !j.Wait().OK() {
+			failing = append(failing, problems[i].Name)
+		}
+	}
+	elapsed := time.Since(t0)
+	return failing, uint64(eng.Stats().ChecksSubmitted), elapsed
 }

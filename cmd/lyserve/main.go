@@ -203,6 +203,7 @@ import (
 	"time"
 
 	"lightyear/internal/config"
+	"lightyear/internal/corpus"
 	"lightyear/internal/delta"
 	"lightyear/internal/engine"
 	"lightyear/internal/fabric"
@@ -281,6 +282,9 @@ func main() {
 	// report into the same sinks as the engine.
 	fabric.SetTelemetry(rec)
 	fabric.SetLogger(logger)
+	// Corpus network sources (plan documents with "corpus") count their
+	// generations into the same /metrics recorder.
+	corpus.SetTelemetry(rec)
 	opts := engine.Options{
 		Workers:   *workers,
 		CacheSize: *cacheSize,

@@ -247,6 +247,34 @@
 // in-flight requests get -shutdown-grace to finish while event streams
 // flush, then the engine drains and the store journal closes.
 //
+// # Scenario corpus
+//
+// internal/corpus turns "a test network" into a declarative, reproducible
+// coordinate: a member reference family:seed[:knob=value,...] names one
+// scenario — a graph source (ring, tree, fattree, and waxman synthesizers,
+// plus a zoo importer reading GraphML or edge-list files in the
+// TopologyZoo style), a deterministic role assignment (which nodes are
+// edge routers, which external peers attach where), and the WAN peering
+// policy template — and corpus.Parse + Member.Build regenerate the same
+// network byte-for-byte from the same reference, on any machine. A member
+// may also carry a planted bug (bug=no-bogons and seven other wan-peering
+// properties): corpus.Plant returns the mutated network together with a
+// GroundTruth record naming the mutated session, the property that must
+// now fail, and the properties that must keep passing — so a verifier run
+// is gradable, not just runnable. On top of that, corpus.Fuzz applies a
+// seed-derived trail of property-preserving edits (clause renumbering,
+// no-op inserts then removes, router reorderings) for soak runs where the
+// suite must keep passing. Surfaces: `lightyear -corpus ref` verifies a
+// member and reports planted-bug detection, `-corpus list` and `-list`
+// enumerate the families and knobs, `-corpus-emit` prints the member's
+// config DSL; a plan's network source may be {"corpus": "ref"} (so
+// lyserve verifies corpus members over HTTP); and `lybench -experiment
+// corpus` sweeps the ≥30-member default roster with planted bugs,
+// asserting 100% detection and writing BENCH_corpus.json with per-family
+// solve-time quantiles. Generation and planting count into the
+// lightyear_corpus_generated_total / lightyear_corpus_bugs_planted_total
+// counters and the lightyear_corpus_solve_seconds histogram on /metrics.
+//
 // # Property registry
 //
 // Built-in property suites are registered by name in internal/netgen

@@ -239,6 +239,26 @@
 // counts, and trace-ring occupancy. On SIGINT/SIGTERM the server drains
 // gracefully: in-flight requests get -shutdown-grace, event streams flush,
 // the engine drains, and the store journal closes.
+//
+// # The scenario corpus
+//
+// A corpus member reference names a whole reproducible test scenario —
+// topology family, seed, knobs, and optionally a planted bug with ground
+// truth — so "the network the bug was found on" is a string, not a file:
+//
+//	lightyear -corpus ring:42                        # clean member, verify
+//	lightyear -corpus waxman:7:size=12,bug=no-bogons # planted bug, graded
+//	  => corpus: planted no-bogons on session px-r3-0 -> r3:
+//	     DETECTED (4 failing problems)
+//	lightyear -corpus list                           # families, knobs, bugs
+//	lightyear -corpus zoo:1:graph=abilene -corpus-emit  # print the config DSL
+//
+// The same reference is a plan network source, so lyserve verifies corpus
+// members over HTTP ({"network": {"corpus": "tree:3:depth=3,fanout=2"}}),
+// and `lybench -experiment corpus` sweeps the ≥30-member default roster —
+// every member bugged, asserting 100% detection with zero mislocalized
+// failures — into BENCH_corpus.json (step 10 below does one member in the
+// library).
 package main
 
 import (
@@ -246,9 +266,11 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"lightyear/internal/core"
+	"lightyear/internal/corpus"
 	"lightyear/internal/engine"
 	"lightyear/internal/netgen"
 	"lightyear/internal/plan"
@@ -432,4 +454,42 @@ func main() {
 			r.Desc, r.Solver.Conflicts, r.Solver.Decisions, r.Solver.Learned,
 			r.Solver.Restarts, r.NumVars, r.NumCons, r.NumTerms)
 	}
+
+	// 10. The scenario corpus: a member reference is a reproducible test
+	// network, and a planted bug comes with machine-checkable ground truth
+	// — which session was mutated, which property must fail, which must
+	// keep passing. Build the member once to read the ground truth, then
+	// verify it through the ordinary plan path (the reference itself is
+	// the network source) and grade the run against it.
+	member, err := corpus.Parse("waxman:7:size=12,degree=3,bug=no-bogons")
+	if err != nil {
+		panic(err)
+	}
+	_, gt, err := member.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ncorpus %s: planted %s on session %s -> %s\n",
+		member.Ref(), gt.Property, gt.Mutation.From, gt.Mutation.To)
+	cres, err := plan.Execute(plan.Request{
+		Network:    plan.Network{Corpus: member.Ref()},
+		Properties: []plan.Property{{Name: corpus.PropertySuite}},
+	}, nil)
+	if err != nil {
+		panic(err)
+	}
+	detected, unexpected := 0, 0
+	for _, pr := range cres.Properties {
+		for _, prob := range pr.Problems {
+			switch {
+			case prob.OK:
+			case strings.HasPrefix(prob.Name, gt.Property+"@"):
+				detected++
+			default:
+				unexpected++
+			}
+		}
+	}
+	fmt.Printf("corpus: %d failing problems of the planted property, %d mislocalized — detection %v\n",
+		detected, unexpected, detected > 0 && unexpected == 0)
 }

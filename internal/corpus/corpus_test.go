@@ -1,0 +1,283 @@
+package corpus
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"lightyear/internal/config"
+	"lightyear/internal/engine"
+	"lightyear/internal/netgen"
+	"lightyear/internal/telemetry"
+	"lightyear/internal/topology"
+)
+
+// oneOfEach returns one small member per family, seeded distinctly.
+func oneOfEach() []Member {
+	return []Member{
+		{Family: "ring", Seed: 11, Size: 6},
+		{Family: "tree", Seed: 12, Depth: 2, Fanout: 2},
+		{Family: "fattree", Seed: 13, K: 4},
+		{Family: "waxman", Seed: 14, Size: 10, Degree: 3, Regions: 2},
+		{Family: "zoo", Seed: 15, Graph: "abilene"},
+	}
+}
+
+func TestParseRefRoundTrip(t *testing.T) {
+	for _, m := range oneOfEach() {
+		m.Bug = "no-bogons"
+		got, err := Parse(m.Ref())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", m.Ref(), err)
+		}
+		if got != m {
+			t.Errorf("round trip %q: got %+v want %+v", m.Ref(), got, m)
+		}
+	}
+}
+
+func TestParseRejectsBadRefs(t *testing.T) {
+	for _, ref := range []string{
+		"",
+		"ring",
+		"nosuch:1",
+		"ring:x",
+		"ring:1:bad",
+		"ring:1:size=-2",
+		"ring:1:nope=3",
+		"ring:1:bug=nosuch",
+		"zoo:1",
+		"zoo:1:graph=nosuch",
+		"fattree:1:k=3",
+	} {
+		if _, err := Parse(ref); err == nil {
+			t.Errorf("Parse(%q): want error, got none", ref)
+		}
+	}
+}
+
+func TestDSLDeterministicAndParses(t *testing.T) {
+	for _, m := range oneOfEach() {
+		for _, bug := range []string{"", "no-reused-space"} {
+			m.Bug = bug
+			a, err := m.DSL()
+			if err != nil {
+				t.Fatalf("%s: DSL: %v", m.Ref(), err)
+			}
+			b, err := m.DSL()
+			if err != nil {
+				t.Fatalf("%s: DSL (second call): %v", m.Ref(), err)
+			}
+			if a != b {
+				t.Fatalf("%s: DSL not byte-identical across calls", m.Ref())
+			}
+			n, err := config.Parse(a)
+			if err != nil {
+				t.Fatalf("%s: emitted DSL does not parse: %v", m.Ref(), err)
+			}
+			if err := n.Validate(); err != nil {
+				t.Fatalf("%s: emitted network invalid: %v", m.Ref(), err)
+			}
+			if len(n.RoutersByRole("edge")) == 0 {
+				t.Errorf("%s: no edge routers", m.Ref())
+			}
+			if len(n.Externals()) == 0 {
+				t.Errorf("%s: no peer sessions", m.Ref())
+			}
+		}
+	}
+}
+
+// The planted state must be reachable both ways: parsing the bugged DSL
+// and mutating the clean network must agree on the semantic fingerprint —
+// the injector genuinely is a MutationSpec application.
+func TestBuildMatchesEmittedDSL(t *testing.T) {
+	for _, m := range oneOfEach() {
+		m.Bug = "no-class-e"
+		n, gt, err := m.Build()
+		if err != nil {
+			t.Fatalf("%s: Build: %v", m.Ref(), err)
+		}
+		if gt == nil || gt.Property != "no-class-e" || len(gt.MustPass) != 10 {
+			t.Fatalf("%s: bad ground truth %+v", m.Ref(), gt)
+		}
+		if gt.Mutation.Kind != netgen.MutRemoveImportClause || gt.Mutation.Seq != 20 {
+			t.Fatalf("%s: unexpected mutation %v", m.Ref(), gt.Mutation)
+		}
+		text, err := m.DSL()
+		if err != nil {
+			t.Fatalf("%s: DSL: %v", m.Ref(), err)
+		}
+		parsed, err := config.Parse(text)
+		if err != nil {
+			t.Fatalf("%s: bugged DSL does not parse: %v", m.Ref(), err)
+		}
+		if parsed.Fingerprint() != n.Fingerprint() {
+			t.Errorf("%s: mutated network and emitted bugged DSL disagree", m.Ref())
+		}
+	}
+}
+
+func TestBuildSeedSensitivity(t *testing.T) {
+	a := Member{Family: "waxman", Seed: 1, Size: 12}
+	b := Member{Family: "waxman", Seed: 2, Size: 12}
+	da, err := a.DSL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.DSL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da == db {
+		t.Error("waxman members with different seeds emitted identical configs")
+	}
+}
+
+func TestDefaultRoster(t *testing.T) {
+	roster := DefaultRoster(7)
+	if len(roster) < 30 {
+		t.Fatalf("roster has %d members, want >= 30", len(roster))
+	}
+	fams := map[string]bool{}
+	prefixFams := map[string]bool{}
+	for i, m := range roster {
+		fams[m.Family] = true
+		if i < 10 {
+			prefixFams[m.Family] = true
+		}
+		if m.Bug == "" {
+			t.Errorf("roster member %s has no planted bug", m.Ref())
+		}
+		if _, err := Parse(m.Ref()); err != nil {
+			t.Errorf("roster member %d: %v", i, err)
+		}
+	}
+	if len(fams) < 5 {
+		t.Errorf("roster covers %d families, want 5", len(fams))
+	}
+	// CI smoke truncates the roster; any 10-member prefix must still
+	// cover at least 3 families.
+	if len(prefixFams) < 3 {
+		t.Errorf("first 10 roster members cover %d families, want >= 3", len(prefixFams))
+	}
+}
+
+// verifySuite runs the full wan-peering property set and returns the
+// failing problem names.
+func verifySuite(t *testing.T, n *topology.Network) []string {
+	t.Helper()
+	suite, ok := netgen.Lookup(PropertySuite)
+	if !ok {
+		t.Fatalf("suite %q not registered", PropertySuite)
+	}
+	eng := engine.New(engine.Options{})
+	defer eng.Close()
+	var failing []string
+	for _, p := range suite.Problems(n, netgen.SuiteParams{}, netgen.Scope{}) {
+		j, err := eng.Submit(context.Background(), engine.Workload{Safety: p.Safety})
+		if err != nil {
+			t.Fatalf("submit %s: %v", p.Name, err)
+		}
+		if !j.Wait().OK() {
+			failing = append(failing, p.Name)
+		}
+	}
+	return failing
+}
+
+func TestCleanMembersVerify(t *testing.T) {
+	for _, m := range oneOfEach() {
+		n, gt, err := m.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", m.Ref(), err)
+		}
+		if gt != nil {
+			t.Fatalf("%s: clean member returned ground truth", m.Ref())
+		}
+		if failing := verifySuite(t, n); len(failing) > 0 {
+			t.Errorf("%s: clean member fails %v", m.Ref(), failing)
+		}
+	}
+}
+
+// Planted bugs must be detected as exactly their ground truth: every
+// failing problem belongs to the planted property, and at least one fails.
+func TestPlantedBugsDetectedExactly(t *testing.T) {
+	bugs := BugNames()
+	for i, m := range oneOfEach() {
+		m.Bug = bugs[i%len(bugs)]
+		n, gt, err := m.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", m.Ref(), err)
+		}
+		failing := verifySuite(t, n)
+		if len(failing) == 0 {
+			t.Errorf("%s: planted %s went undetected", m.Ref(), gt.Property)
+			continue
+		}
+		for _, name := range failing {
+			if !strings.HasPrefix(name, gt.Property+"@") {
+				t.Errorf("%s: unexpected failure %s (planted %s)", m.Ref(), name, gt.Property)
+			}
+		}
+	}
+}
+
+func TestFuzzPreservesPropertiesAndInput(t *testing.T) {
+	m := Member{Family: "ring", Seed: 3, Size: 5}
+	n, _, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := n.Fingerprint()
+	res, err := Fuzz(n, 99, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trail) != 6 {
+		t.Fatalf("fuzz trail has %d steps, want 6", len(res.Trail))
+	}
+	if n.Fingerprint() != before {
+		t.Fatal("fuzz modified its input network")
+	}
+	if res.Network.Fingerprint() == before {
+		t.Fatal("fuzz produced an unmodified network")
+	}
+	// Replaying the trail on the original input reproduces the state.
+	replay := n
+	for _, spec := range res.Trail {
+		replay, err = netgen.ApplyMutation(replay, spec)
+		if err != nil {
+			t.Fatalf("replaying %v: %v", spec, err)
+		}
+	}
+	if replay.Fingerprint() != res.Network.Fingerprint() {
+		t.Fatal("trail replay diverged from fuzz result")
+	}
+	if failing := verifySuite(t, res.Network); len(failing) > 0 {
+		t.Errorf("property-preserving fuzz broke %v", failing)
+	}
+}
+
+func TestTelemetryCounters(t *testing.T) {
+	rec := telemetry.New(0)
+	SetTelemetry(rec)
+	defer SetTelemetry(nil)
+	m := Member{Family: "ring", Seed: 4, Size: 4, Bug: "no-bogons"}
+	if _, _, err := m.Build(); err != nil {
+		t.Fatal(err)
+	}
+	ObserveSolve("ring", 0.25)
+	gen := rec.Counter("lightyear_corpus_generated_total", "", "family").With("ring").Value()
+	if gen != 1 {
+		t.Errorf("generated counter = %d, want 1", gen)
+	}
+	planted := rec.Counter("lightyear_corpus_bugs_planted_total", "", "property").With("no-bogons").Value()
+	if planted != 1 {
+		t.Errorf("planted counter = %d, want 1", planted)
+	}
+	if c := rec.Histogram("lightyear_corpus_solve_seconds", "", nil, "family").With("ring").Count(); c != 1 {
+		t.Errorf("solve histogram count = %d, want 1", c)
+	}
+}

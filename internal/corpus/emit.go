@@ -1,0 +1,100 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"lightyear/internal/netgen"
+	"lightyear/internal/topology"
+)
+
+// The policy-template layer: every corpus member binds the same "hygiene"
+// template — each external peer session imports through the §6.1
+// eleven-filter map (eight deny clauses, one normalizing permit), exports
+// filter reused space — emitted in the internal/config DSL. Internal
+// sessions carry no maps (implicit permit-all), which preserves the
+// FromPeer ⇒ Q invariants the wan-peering suite checks, so the registry
+// properties instantiate over any member.
+//
+// Emission is append-only over deterministic iteration (graph order,
+// session order), so the text is a pure function of the member: the
+// byte-identical regeneration guarantee of the corpus format.
+
+// peerImportSeqs are the hygiene clauses in emission order; bugClauses in
+// corpus.go names the property each one enforces.
+const permitSeq = 90
+
+// emitDSL renders the member's configuration. gt, when non-nil, plants the
+// member's bug syntactically: the enforcing deny clause of gt.Property is
+// left out of the import map on gt.Session — the same post-state
+// netgen.ApplyMutation produces from the clean text.
+func emitDSL(m Member, g *graph, gt *GroundTruth) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# corpus member %s (generated)\n", m.Ref())
+	fmt.Fprintf(&b, "# family %s: %d routers, %d links, %d peer sessions\n",
+		m.Family, len(g.routers), len(g.links), len(g.peerSessions()))
+
+	for _, r := range g.routers {
+		fmt.Fprintf(&b, "node %s { as %d role %s", r.id, netgen.WANLocalAS, r.role)
+		if r.region != "" {
+			fmt.Fprintf(&b, " region %s", r.region)
+		}
+		b.WriteString(" }\n")
+	}
+	sessions := g.peerSessions()
+	for i, s := range sessions {
+		fmt.Fprintf(&b, "external %s { as %d role peer }\n", s.From, 3000+i)
+	}
+	b.WriteString("\n")
+	for _, ln := range g.links {
+		fmt.Fprintf(&b, "peering %s %s\n", g.routers[ln[0]].id, g.routers[ln[1]].id)
+	}
+	for _, s := range sessions {
+		fmt.Fprintf(&b, "peering %s %s\n", s.From, s.To)
+	}
+
+	b.WriteString("\nprefix-list reused { 10.128.0.0/9 ge 9 le 28 }\n")
+	b.WriteString("prefix-list bogons {\n  0.0.0.0/8 ge 8 le 32\n  127.0.0.0/8 ge 8 le 32\n  169.254.0.0/16 ge 16 le 32\n  192.0.2.0/24 ge 24 le 32\n  224.0.0.0/4 ge 4 le 32\n}\n")
+	b.WriteString("prefix-list class-e { 240.0.0.0/4 ge 4 le 32 }\n")
+	b.WriteString("prefix-list default-route { 0.0.0.0/0 }\n\n")
+
+	for _, s := range sessions {
+		emitPeerImport(&b, s, gt)
+		name := "exp-" + string(s.From)
+		fmt.Fprintf(&b, "route-map %s {\n  term 10 deny { match prefix-list reused }\n  term 20 permit { }\n}\n", name)
+		fmt.Fprintf(&b, "export %s -> %s map %s\n", s.To, s.From, name)
+	}
+	return b.String()
+}
+
+// emitPeerImport renders one session's hygiene import map and binding.
+func emitPeerImport(b *strings.Builder, s topology.Edge, gt *GroundTruth) {
+	skip := 0
+	if gt != nil && gt.Session == s {
+		skip = gt.Mutation.Seq
+	}
+	name := "imp-" + string(s.From)
+	fmt.Fprintf(b, "route-map %s {\n", name)
+	clauses := []struct {
+		seq   int
+		match string
+	}{
+		{10, "prefix-list bogons"},
+		{20, "prefix-list class-e"},
+		{30, "prefix-list default-route"},
+		{40, "prefix-list reused"},
+		{50, "plen >= 25"},
+		{60, "not pathlen <= 30"},
+		{70, fmt.Sprintf("path-contains %d", netgen.PrivateASN)},
+		{80, fmt.Sprintf("path-contains %d", netgen.WANLocalAS)},
+	}
+	for _, c := range clauses {
+		if c.seq == skip {
+			continue
+		}
+		fmt.Fprintf(b, "  term %d deny { match %s }\n", c.seq, c.match)
+	}
+	fmt.Fprintf(b, "  term %d permit {\n    set community none\n    set local-pref %d\n    set med %d\n  }\n}\n",
+		permitSeq, netgen.PeerLocalPref, netgen.PeerMED)
+	fmt.Fprintf(b, "import %s -> %s map %s\n", s.From, s.To, name)
+}

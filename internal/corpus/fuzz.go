@@ -1,0 +1,100 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lightyear/internal/netgen"
+	"lightyear/internal/topology"
+)
+
+// The property-preserving fuzzer for soak runs: a seeded walk over benign
+// configuration mutations. Every step is a netgen.MutationSpec that only
+// *adds* deny clauses (or tightens peer imports, which prepends one), and
+// the clause always matches TEST-NET-2 — a block disjoint from every
+// prefix set the corpus properties mention. Filtering more routes can
+// never break a FromPeer ⇒ Q invariant, so after any number of steps the
+// full property set must still verify; a failure after a fuzz walk is a
+// verifier bug, not a network bug. Each step goes through ApplyMutation,
+// so the walk also soaks the clone-isolation contract: the input network
+// of every step is left untouched.
+
+// FuzzResult is one fuzz walk: the mutated network and the mutation trail
+// that produced it (replayable via netgen.ApplyMutation).
+type FuzzResult struct {
+	Network *topology.Network
+	Trail   []netgen.MutationSpec
+}
+
+// Fuzz applies `steps` seeded property-preserving mutations to n and
+// returns the final state plus the trail. The input network is never
+// modified. Steps that happen to be infeasible on the current state (an
+// occupied sequence number chosen twice) are skipped, so the trail may be
+// shorter than steps — but never empty for steps >= 1 on a network with
+// at least one session.
+func Fuzz(n *topology.Network, seed int64, steps int) (*FuzzResult, error) {
+	if steps < 1 {
+		return &FuzzResult{Network: n}, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := n.Edges()
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("corpus: cannot fuzz a network with no sessions")
+	}
+	// Routers with external sessions, for tighten-imports steps.
+	var tightenable []topology.NodeID
+	for _, r := range n.Routers() {
+		for _, e := range edges {
+			if e.To == r && n.IsExternal(e.From) {
+				tightenable = append(tightenable, r)
+				break
+			}
+		}
+	}
+
+	cur := n
+	res := &FuzzResult{}
+	for len(res.Trail) < steps {
+		var spec netgen.MutationSpec
+		switch kind := rng.Intn(3); {
+		case kind == 0 && len(tightenable) > 0:
+			spec = netgen.MutationSpec{
+				Kind: netgen.MutTighten,
+				At:   tightenable[rng.Intn(len(tightenable))],
+			}
+		default:
+			e := edges[rng.Intn(len(edges))]
+			mutKind := netgen.MutInsertImportDeny
+			if kind == 2 && !cur.IsExternal(e.From) {
+				mutKind = netgen.MutInsertExportDeny
+			}
+			// Only filters on the receiving (import, To internal) or
+			// sending (export, From internal) side of a session are
+			// checked; skip draws that would edit an inert map.
+			if mutKind == netgen.MutInsertImportDeny && cur.IsExternal(e.To) {
+				continue
+			}
+			m := cur.Import(e)
+			if mutKind == netgen.MutInsertExportDeny {
+				m = cur.Export(e)
+			}
+			spec = netgen.MutationSpec{
+				Kind:  mutKind,
+				From:  e.From,
+				To:    e.To,
+				Seq:   netgen.FreeSeq(m, 1+rng.Intn(200)),
+				Match: "test-net-2",
+			}
+		}
+		next, err := netgen.ApplyMutation(cur, spec)
+		if err != nil {
+			// Infeasible on this state (e.g. a tighten race left no free
+			// slot); skip rather than abort the soak.
+			continue
+		}
+		cur = next
+		res.Trail = append(res.Trail, spec)
+	}
+	res.Network = cur
+	return res, nil
+}

@@ -1,0 +1,215 @@
+package corpus
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The zoo family imports TopologyZoo-style graphs: either a minimal
+// GraphML subset (the format the Internet Topology Zoo distributes) or a
+// plain edge list, one "a b" link per line. Imported nodes become routers;
+// roles are ranked by degree exactly like the waxman family, so the same
+// policy template and property set apply.
+
+// builtinGraphs ships two classic research backbones as edge lists, so zoo
+// members are usable from serializable references (plan documents, lyserve
+// requests) without any filesystem contract.
+var builtinGraphs = map[string]string{
+	// The Abilene (Internet2) backbone: 11 PoPs, 14 links.
+	"abilene": `
+seattle sunnyvale
+seattle denver
+sunnyvale losangeles
+sunnyvale denver
+losangeles houston
+denver kansascity
+kansascity houston
+kansascity indianapolis
+houston atlanta
+chicago indianapolis
+chicago newyork
+indianapolis atlanta
+atlanta washington
+washington newyork
+`,
+	// The NSFNET T1 backbone: 14 nodes, 21 links.
+	"nsfnet": `
+seattle paloalto
+seattle sandiego
+seattle champaign
+paloalto sandiego
+paloalto saltlake
+sandiego houston
+saltlake boulder
+saltlake annarbor
+boulder houston
+boulder lincoln
+houston atlanta
+lincoln champaign
+lincoln annarbor
+champaign pittsburgh
+pittsburgh atlanta
+pittsburgh ithaca
+pittsburgh princeton
+atlanta collegepark
+annarbor ithaca
+ithaca collegepark
+princeton collegepark
+`,
+}
+
+// BuiltinGraphNames lists the graphs shipped with the corpus.
+func BuiltinGraphNames() []string {
+	return sortedKeys(builtinGraphs)
+}
+
+// synthZoo imports the member's graph source: inline GraphText first, then
+// the named builtin.
+func synthZoo(m Member) (*graph, error) {
+	text := m.GraphText
+	if text == "" {
+		text = builtinGraphs[m.Graph]
+	}
+	if text == "" {
+		return nil, fmt.Errorf("corpus: zoo member %s has no graph source", m.Ref())
+	}
+	nodes, edges, err := ParseGraph(text)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %s: %w", m.Ref(), err)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("corpus: %s: graph has no nodes", m.Ref())
+	}
+	idx := make(map[string]int, len(nodes))
+	g := &graph{}
+	for i, id := range nodes {
+		idx[id] = i
+		g.routers = append(g.routers, router{id: id})
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range edges {
+		a, b := idx[e[0]], idx[e[1]]
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		g.links = append(g.links, [2]int{a, b})
+	}
+	assignRolesByDegree(g, defaultInt(m.Peers, 1))
+	return g, nil
+}
+
+// ParseGraph parses a TopologyZoo-style graph: GraphML when the text looks
+// like XML, otherwise an edge list ("a b" per line, '#' comments). Node
+// names are sanitized to configuration-safe atoms; nodes are returned in
+// sorted order and edges in input order (both deterministic).
+func ParseGraph(text string) (nodes []string, edges [][2]string, err error) {
+	if strings.Contains(text, "<graphml") || strings.HasPrefix(strings.TrimSpace(text), "<") {
+		return parseGraphML(text)
+	}
+	return parseEdgeList(text)
+}
+
+func parseEdgeList(text string) ([]string, [][2]string, error) {
+	set := map[string]bool{}
+	var edges [][2]string
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("edge list line %d: want \"a b\", got %q", lineNo+1, line)
+		}
+		a, b := sanitizeNodeID(fields[0]), sanitizeNodeID(fields[1])
+		set[a], set[b] = true, true
+		edges = append(edges, [2]string{a, b})
+	}
+	if len(edges) == 0 {
+		return nil, nil, fmt.Errorf("edge list: no edges found")
+	}
+	nodes := make([]string, 0, len(set))
+	for id := range set {
+		nodes = append(nodes, id)
+	}
+	sort.Strings(nodes)
+	return nodes, edges, nil
+}
+
+// parseGraphML reads the minimal GraphML subset TopologyZoo files use:
+// <node id="..."/> and <edge source="..." target="..."/> elements, all
+// other markup ignored.
+func parseGraphML(text string) ([]string, [][2]string, error) {
+	dec := xml.NewDecoder(strings.NewReader(text))
+	set := map[string]bool{}
+	var edges [][2]string
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break // io.EOF or a malformed tail; what parsed so far decides
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		attr := func(name string) string {
+			for _, a := range start.Attr {
+				if a.Name.Local == name {
+					return a.Value
+				}
+			}
+			return ""
+		}
+		switch start.Name.Local {
+		case "node":
+			if id := attr("id"); id != "" {
+				set[sanitizeNodeID(id)] = true
+			}
+		case "edge":
+			s, t := attr("source"), attr("target")
+			if s == "" || t == "" {
+				return nil, nil, fmt.Errorf("graphml: edge element without source/target")
+			}
+			s, t = sanitizeNodeID(s), sanitizeNodeID(t)
+			set[s], set[t] = true, true
+			edges = append(edges, [2]string{s, t})
+		}
+	}
+	if len(set) == 0 {
+		return nil, nil, fmt.Errorf("graphml: no node or edge elements found")
+	}
+	nodes := make([]string, 0, len(set))
+	for id := range set {
+		nodes = append(nodes, id)
+	}
+	sort.Strings(nodes)
+	return nodes, edges, nil
+}
+
+// sanitizeNodeID maps arbitrary graph labels onto configuration-safe
+// atoms: lowercase letters, digits, and dashes.
+func sanitizeNodeID(raw string) string {
+	var b strings.Builder
+	for _, c := range strings.ToLower(raw) {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteRune('-')
+		}
+	}
+	id := strings.Trim(b.String(), "-")
+	if id == "" {
+		return "x"
+	}
+	return id
+}

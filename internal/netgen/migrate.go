@@ -227,6 +227,26 @@ func InsertDenyClause(m *policy.RouteMap, seq int, pred spec.Pred) (*policy.Rout
 	return out, nil
 }
 
+// FreeSeq returns the smallest sequence number >= from that is unoccupied
+// in m (a nil map is the implicit permit-all, so from itself is free).
+// Mutation generators — the corpus fuzzer's seeded walks — use it to build
+// insert steps that are feasible by construction.
+func FreeSeq(m *policy.RouteMap, from int) int {
+	if from < 1 {
+		from = 1
+	}
+	if m == nil {
+		return from
+	}
+	occupied := make(map[int]bool, len(m.Clauses))
+	for _, cl := range m.Clauses {
+		occupied[cl.Seq] = true
+	}
+	for ; occupied[from]; from++ {
+	}
+	return from
+}
+
 // RemoveClause returns a copy of m without the clause at sequence number
 // seq; a missing sequence number (including a nil map) is an error.
 func RemoveClause(m *policy.RouteMap, seq int) (*policy.RouteMap, error) {

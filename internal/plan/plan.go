@@ -6,9 +6,9 @@
 // A Request composes three orthogonal parts:
 //
 //   - a network source (Network): an inline internal/config DSL source, a
-//     config file path, a named generator (netgen.GeneratorSpec), or a
-//     symbolic reference to a pinned session baseline resolved by the host
-//     (lyserve sessions);
+//     config file path, a named generator (netgen.GeneratorSpec), a corpus
+//     member reference (internal/corpus), or a symbolic reference to a
+//     pinned session baseline resolved by the host (lyserve sessions);
 //   - a property list (Property): one entry per registered suite name
 //     (netgen.Lookup), each optionally scoped to a router subset and/or WAN
 //     region subset (netgen.Scope);
@@ -41,6 +41,7 @@ import (
 
 	"lightyear/internal/config"
 	"lightyear/internal/core"
+	"lightyear/internal/corpus"
 	"lightyear/internal/delta"
 	"lightyear/internal/engine"
 	"lightyear/internal/netgen"
@@ -66,6 +67,11 @@ type Network struct {
 	ConfigPath string `json:"config_path,omitempty"`
 	// Generator names a built-in network generator.
 	Generator *netgen.GeneratorSpec `json:"generator,omitempty"`
+	// Corpus references a corpus member ("family:seed[:knob=value,...]",
+	// internal/corpus). Members build deterministically from the
+	// reference alone — no filesystem contract — so the source is safe on
+	// every host, lyserve included.
+	Corpus string `json:"corpus,omitempty"`
 	// Baseline references a network pinned by the host — e.g. an lyserve
 	// session id, resolved to that session's pinned state. Requires a
 	// Resolver.
@@ -190,16 +196,21 @@ func (r Request) Validate() error {
 
 func (ns Network) validate() error {
 	set := 0
-	for _, present := range []bool{ns.Config != "", ns.ConfigPath != "", ns.Generator != nil, ns.Baseline != ""} {
+	for _, present := range []bool{ns.Config != "", ns.ConfigPath != "", ns.Generator != nil, ns.Corpus != "", ns.Baseline != ""} {
 		if present {
 			set++
 		}
 	}
 	switch {
 	case set == 0:
-		return requestErrorf("plan: a network source is required (config, config_path, generator, or baseline)")
+		return requestErrorf("plan: a network source is required (config, config_path, generator, corpus, or baseline)")
 	case set > 1:
-		return requestErrorf("plan: exactly one network source must be set (config, config_path, generator, or baseline)")
+		return requestErrorf("plan: exactly one network source must be set (config, config_path, generator, corpus, or baseline)")
+	}
+	if ns.Corpus != "" {
+		if _, err := corpus.Parse(ns.Corpus); err != nil {
+			return requestErrorf("plan: %v", err)
+		}
 	}
 	return nil
 }
@@ -232,6 +243,16 @@ func (ns Network) Materialize(res Resolver) (*topology.Network, int, error) {
 		return n, 0, nil
 	case ns.Generator != nil:
 		return netgen.Generate(*ns.Generator)
+	case ns.Corpus != "":
+		m, err := corpus.Parse(ns.Corpus)
+		if err != nil {
+			return nil, 0, requestErrorf("plan: %v", err)
+		}
+		n, _, err := m.Build()
+		if err != nil {
+			return nil, 0, err
+		}
+		return n, 0, nil
 	case ns.Baseline != "":
 		if res == nil {
 			return nil, 0, fmt.Errorf("baseline reference %q requires a host with pinned sessions", ns.Baseline)

@@ -176,6 +176,10 @@ func (n *Network) Predecessors(id NodeID) []NodeID {
 	return out
 }
 
+// Degree returns the number of distinct BGP neighbors of id (sessions are
+// added in both directions, so out-neighbors cover them).
+func (n *Network) Degree(id NodeID) int { return len(n.out[id]) }
+
 func sortIDs(ids []NodeID) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }
